@@ -1,0 +1,161 @@
+// Command bench regenerates every table and figure of the ForkBase ICDE'20
+// demonstration paper, plus the ablations from DESIGN.md.
+//
+//	bench -exp all          run everything (default)
+//	bench -exp table1       Table I comparison
+//	bench -exp fig2         POS-Tree structure
+//	bench -exp fig3         merge sub-tree reuse
+//	bench -exp fig4         CSV deduplication
+//	bench -exp fig5         differential query
+//	bench -exp fig6         tamper evidence
+//	bench -exp a1|a2|a3     ablations
+//
+// Use -quick for smaller workloads (CI-sized).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"forkbase/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3")
+	quick := flag.Bool("quick", false, "smaller workloads")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "bench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	out := os.Stdout
+
+	run("table1", func() error {
+		cfg := experiments.DefaultTable1()
+		if *quick {
+			cfg = experiments.Table1Config{Rows: 2000, Versions: 5, Churn: 5}
+		}
+		rows, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(out, rows, cfg)
+		return nil
+	})
+
+	run("fig2", func() error {
+		sizes := []int{1000, 10000, 100000, 1000000}
+		if *quick {
+			sizes = []int{1000, 10000, 50000}
+		}
+		rows, err := experiments.RunFig2(sizes)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig2(out, rows)
+		return nil
+	})
+
+	run("fig3", func() error {
+		n, edits := 100000, 1000
+		if *quick {
+			n, edits = 20000, 200
+		}
+		res, err := experiments.RunFig3(n, edits)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig3(out, res)
+		return nil
+	})
+
+	run("fig4", func() error {
+		rows := 4000 // ~340 KB of CSV, matching the demo's dataset size
+		if *quick {
+			rows = 1000
+		}
+		res, err := experiments.RunFig4(rows)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig4(out, res)
+		return nil
+	})
+
+	run("fig5", func() error {
+		sizes := []int{1000, 10000, 100000, 500000}
+		if *quick {
+			sizes = []int{1000, 10000, 50000}
+		}
+		rows, err := experiments.RunFig5(sizes, 10)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(out, rows)
+		return nil
+	})
+
+	run("fig6", func() error {
+		versions, rows := 5, 2000
+		if *quick {
+			versions, rows = 3, 300
+		}
+		res, err := experiments.RunFig6(versions, rows)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(out, res)
+		return nil
+	})
+
+	run("a1", func() error {
+		entries, versions := 50000, 10
+		if *quick {
+			entries, versions = 10000, 5
+		}
+		res, err := experiments.RunA1(entries, versions)
+		if err != nil {
+			return err
+		}
+		experiments.PrintA1(out, res)
+		return nil
+	})
+
+	run("a2", func() error {
+		entries := 100000
+		batches := []int{1, 10, 100, 1000, 10000}
+		if *quick {
+			entries = 20000
+			batches = []int{1, 10, 100, 1000}
+		}
+		rows, err := experiments.RunA2(entries, batches)
+		if err != nil {
+			return err
+		}
+		experiments.PrintA2(out, rows)
+		return nil
+	})
+
+	run("a3", func() error {
+		entries := 50000
+		qs := []uint{8, 10, 12, 14}
+		if *quick {
+			entries = 10000
+		}
+		rows, err := experiments.RunA3(entries, qs)
+		if err != nil {
+			return err
+		}
+		experiments.PrintA3(out, rows, entries)
+		return nil
+	})
+}

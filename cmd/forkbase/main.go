@@ -1,0 +1,20 @@
+// Command forkbase is the ForkBase command-line interface: Git-like data
+// management over an in-memory, file-backed or remote ForkBase instance.
+//
+//	forkbase -dir ./data put mykey "hello"
+//	forkbase -dir ./data get mykey
+//	forkbase -dir ./data import sales sales.csv -key order_id
+//	forkbase -dir ./data branch sales vendorx
+//	forkbase -dir ./data diff sales master vendorx
+//	forkbase -dir ./data verify sales -deep
+package main
+
+import (
+	"os"
+
+	"forkbase/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,70 @@
+// Command forkbased runs a ForkBase storage node: a TCP chunk/branch
+// service (for forkbase -remote and cluster deployments) and, optionally,
+// the REST API.
+//
+//	forkbased -listen 127.0.0.1:7450 -dir ./node0 -http 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"forkbase/internal/core"
+	"forkbase/internal/rest"
+	"forkbase/internal/server"
+	"forkbase/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7450", "TCP address for the chunk/branch service")
+	httpAddr := flag.String("http", "", "optional HTTP address for the REST API")
+	dir := flag.String("dir", "", "data directory (default: in-memory)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "forkbased: ", log.LstdFlags)
+
+	var st store.Store
+	var heads core.BranchTable
+	if *dir != "" {
+		fs, err := store.OpenFileStore(*dir)
+		if err != nil {
+			logger.Fatalf("opening store: %v", err)
+		}
+		defer fs.Close()
+		bt, err := core.OpenFileBranchTable(*dir)
+		if err != nil {
+			logger.Fatalf("opening branch table: %v", err)
+		}
+		st, heads = fs, bt
+	} else {
+		st, heads = store.NewMemStore(), core.NewMemBranchTable()
+	}
+
+	srv := server.New(st, heads, logger)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("chunk/branch service on %s", addr)
+
+	if *httpAddr != "" {
+		db := core.Open(core.Options{Store: st, Branches: heads})
+		go func() {
+			logger.Printf("REST API on %s", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, rest.New(db)); err != nil {
+				logger.Fatalf("http: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	srv.Close()
+}

@@ -1,0 +1,474 @@
+// Package forkbase is a Go implementation of ForkBase — an immutable,
+// tamper-evident storage substrate for branchable applications (Lin et al.,
+// ICDE 2020; Wang et al., PVLDB 2018).
+//
+// ForkBase pushes Git-style versioning and branching down into the storage
+// layer.  Every object is multi-versioned and content-addressed: a version
+// identifier (uid) is the Merkle root of the value plus its derivation
+// history, so it uniquely identifies the data AND is tamper-evident against
+// a malicious storage provider.  Values are stored in Pattern-Oriented-Split
+// Trees (POS-Trees): probabilistically balanced Merkle search trees whose
+// node boundaries are content-defined, giving structural invariance —
+// logically identical data is byte-identical on disk — and therefore
+// page-level deduplication, O(D log N) diffs and sub-tree-reusing merges.
+//
+// Quick start:
+//
+//	db := forkbase.Open(forkbase.InMemory())
+//	db.PutString("greeting", "master", "hello", nil)
+//	v, _ := db.Get("greeting", "master")
+//	fmt.Println(v.Value.Display())
+package forkbase
+
+import (
+	"io"
+
+	"forkbase/internal/access"
+	"forkbase/internal/chunker"
+	"forkbase/internal/cluster"
+	"forkbase/internal/core"
+	"forkbase/internal/dataset"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+// Re-exported fundamental types.  Consumers program against these aliases;
+// the internal packages remain free to evolve.
+type (
+	// Hash is a 256-bit content identifier (chunk id or version uid).
+	Hash = hash.Hash
+	// Value is a typed ForkBase value descriptor.
+	Value = value.Value
+	// Version describes one version of an object.
+	Version = core.Version
+	// Entry is a key/value pair of a map value.
+	Entry = pos.Entry
+	// Delta is one key-level difference between two map values.
+	Delta = pos.Delta
+	// DiffStats instruments a differential query.
+	DiffStats = pos.DiffStats
+	// MergeStats reports sub-tree reuse of a three-way merge.
+	MergeStats = pos.MergeStats
+	// Conflict is a key modified divergently by both merge sides.
+	Conflict = pos.Conflict
+	// Resolver decides merged values for conflicting keys.
+	Resolver = pos.Resolver
+	// MergeResult is the outcome of DB.Merge.
+	MergeResult = core.MergeResult
+	// StoreStats is chunk-store dedup accounting.
+	StoreStats = store.Stats
+	// VerifyReport summarises a tamper-evidence validation.
+	VerifyReport = core.VerifyReport
+	// Schema describes dataset columns.
+	Schema = dataset.Schema
+	// Row is one dataset record.
+	Row = dataset.Row
+	// Dataset is a handle to one dataset version.
+	Dataset = dataset.Dataset
+	// RowDelta is a row-level dataset difference.
+	RowDelta = dataset.RowDelta
+	// DiffResult is a dataset differential-query result.
+	DiffResult = dataset.DiffResult
+)
+
+// Re-exported errors and constants.
+var (
+	// ErrBranchNotFound is returned for operations on missing branches.
+	ErrBranchNotFound = core.ErrBranchNotFound
+	// ErrBranchExists is returned when creating a branch that exists.
+	ErrBranchExists = core.ErrBranchExists
+	// ErrTampered is returned when validation detects corruption.
+	ErrTampered = core.ErrTampered
+	// ErrKeyNotFound is returned by map lookups for absent keys.
+	ErrKeyNotFound = pos.ErrKeyNotFound
+	// ErrDenied is returned when access control rejects an operation.
+	ErrDenied = access.ErrDenied
+)
+
+// DefaultBranch is the branch used when none is named.
+const DefaultBranch = core.DefaultBranch
+
+// ParseHash decodes the Base32 text form of a version uid or chunk id.
+func ParseHash(s string) (Hash, error) { return hash.Parse(s) }
+
+// Value constructors.
+var (
+	// NewString constructs a string value.
+	NewString = value.String
+	// NewInt constructs an integer value.
+	NewInt = value.Int
+	// NewFloat constructs a float value.
+	NewFloat = value.Float
+	// NewBool constructs a boolean value.
+	NewBool = value.Bool
+	// ResolveOurs / ResolveTheirs are stock merge resolvers.
+	ResolveOurs   = pos.ResolveOurs
+	ResolveTheirs = pos.ResolveTheirs
+)
+
+// DB is a ForkBase instance: a chunk store, a branch table, and the Git-like
+// operation surface of the paper's Fig 1.
+type DB struct {
+	eng *core.DB
+	acl *access.Controller
+
+	fileStore *store.FileStore // non-nil for file-backed instances
+	clust     *cluster.Cluster // non-nil for cluster-backed instances
+}
+
+// Option configures Open.
+type Option func(*options)
+
+type options struct {
+	dir      string
+	addrs    []string
+	chunking chunker.Config
+	st       store.Store
+	branches core.BranchTable
+}
+
+// InMemory keeps everything in RAM (default).
+func InMemory() Option { return func(o *options) {} }
+
+// FileBacked persists chunks and branch heads under dir.
+func FileBacked(dir string) Option { return func(o *options) { o.dir = dir } }
+
+// Remote connects to a cluster of forkbased servers; addrs[0] is the
+// metadata master.
+func Remote(addrs ...string) Option { return func(o *options) { o.addrs = addrs } }
+
+// WithChunking overrides the content-defined chunking parameters.
+func WithChunking(q uint, minSize, maxSize int) Option {
+	return func(o *options) {
+		o.chunking = chunker.Config{Q: q, Window: 48, MinSize: minSize, MaxSize: maxSize}
+	}
+}
+
+// WithStore injects a custom chunk store (advanced; used by benchmarks).
+func WithStore(st store.Store) Option { return func(o *options) { o.st = st } }
+
+// Open creates or opens a ForkBase instance.
+func Open(opts ...Option) (*DB, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	db := &DB{acl: access.NewController()}
+	switch {
+	case len(o.addrs) > 0:
+		cl, err := cluster.Connect(o.addrs)
+		if err != nil {
+			return nil, err
+		}
+		db.clust = cl
+		o.st = cl.Store()
+		o.branches = cl.BranchTable()
+	case o.dir != "":
+		fs, err := store.OpenFileStore(o.dir)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := core.OpenFileBranchTable(o.dir)
+		if err != nil {
+			fs.Close()
+			return nil, err
+		}
+		db.fileStore = fs
+		o.st = fs
+		o.branches = bt
+	}
+	db.eng = core.Open(core.Options{Store: o.st, Branches: o.branches, Chunking: o.chunking})
+	return db, nil
+}
+
+// MustOpen is Open for examples and tests; it panics on error.
+func MustOpen(opts ...Option) *DB {
+	db, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Close releases file handles and network connections.
+func (db *DB) Close() error {
+	if db.fileStore != nil {
+		return db.fileStore.Close()
+	}
+	if db.clust != nil {
+		return db.clust.Close()
+	}
+	return nil
+}
+
+// Engine exposes the underlying engine for advanced integrations
+// (the dataset and REST layers use it).
+func (db *DB) Engine() *core.DB { return db.eng }
+
+// --- object operations (paper Fig 1 API layer) -------------------------------
+
+// Put writes a new version of key on branch and returns it.
+func (db *DB) Put(key, branch string, v Value, meta map[string]string) (Version, error) {
+	return db.eng.Put(key, branch, v, meta)
+}
+
+// PutString is Put with a string value.
+func (db *DB) PutString(key, branch, s string, meta map[string]string) (Version, error) {
+	return db.eng.Put(key, branch, value.String(s), meta)
+}
+
+// PutMap builds a map value from entries and Puts it.
+func (db *DB) PutMap(key, branch string, entries []Entry, meta map[string]string) (Version, error) {
+	v, err := value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
+	if err != nil {
+		return Version{}, err
+	}
+	return db.eng.Put(key, branch, v, meta)
+}
+
+// PutBlob builds a blob value from data and Puts it.
+func (db *DB) PutBlob(key, branch string, data []byte, meta map[string]string) (Version, error) {
+	v, err := value.NewBlob(db.eng.Store(), db.eng.Chunking(), data)
+	if err != nil {
+		return Version{}, err
+	}
+	return db.eng.Put(key, branch, v, meta)
+}
+
+// PutSet builds a set value from elements and Puts it.
+func (db *DB) PutSet(key, branch string, elems [][]byte, meta map[string]string) (Version, error) {
+	v, err := value.NewSet(db.eng.Store(), db.eng.Chunking(), elems)
+	if err != nil {
+		return Version{}, err
+	}
+	return db.eng.Put(key, branch, v, meta)
+}
+
+// PutList builds a list value from items and Puts it.
+func (db *DB) PutList(key, branch string, items [][]byte, meta map[string]string) (Version, error) {
+	v, err := value.NewList(db.eng.Store(), db.eng.Chunking(), items)
+	if err != nil {
+		return Version{}, err
+	}
+	return db.eng.Put(key, branch, v, meta)
+}
+
+// BuildMapValue constructs a map value in db's store without committing a
+// version; pair it with Session.Put when access control must gate the write.
+func BuildMapValue(db *DB, entries []Entry) (Value, error) {
+	return value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
+}
+
+// BuildBlobValue constructs a blob value without committing a version.
+func BuildBlobValue(db *DB, data []byte) (Value, error) {
+	return value.NewBlob(db.eng.Store(), db.eng.Chunking(), data)
+}
+
+// Get returns the current version of key on branch.
+func (db *DB) Get(key, branch string) (Version, error) { return db.eng.Get(key, branch) }
+
+// GetVersion returns a historical version by uid (verified).
+func (db *DB) GetVersion(key string, uid Hash) (Version, error) {
+	return db.eng.GetVersion(key, uid)
+}
+
+// MapOf loads the map entries interface of a map-valued version.
+func (db *DB) MapOf(v Version) (*pos.Tree, error) {
+	return v.Value.MapTree(db.eng.Store(), db.eng.Chunking())
+}
+
+// BlobBytes materialises a blob-valued version's content.
+func (db *DB) BlobBytes(v Version) ([]byte, error) {
+	b, err := v.Value.Blob(db.eng.Store(), db.eng.Chunking())
+	if err != nil {
+		return nil, err
+	}
+	return b.Bytes()
+}
+
+// Head returns the head uid of key@branch.
+func (db *DB) Head(key, branch string) (Hash, error) { return db.eng.Head(key, branch) }
+
+// Latest returns the branch and version with the highest sequence number.
+func (db *DB) Latest(key string) (string, Version, error) { return db.eng.Latest(key) }
+
+// History lists versions of key@branch, newest first.
+func (db *DB) History(key, branch string, limit int) ([]Version, error) {
+	return db.eng.History(key, branch, limit)
+}
+
+// Branch forks newBranch from fromBranch's head.
+func (db *DB) Branch(key, newBranch, fromBranch string) error {
+	return db.eng.Branch(key, newBranch, fromBranch)
+}
+
+// BranchFromVersion forks newBranch from a historical version.
+func (db *DB) BranchFromVersion(key, newBranch string, uid Hash) error {
+	return db.eng.BranchFromVersion(key, newBranch, uid)
+}
+
+// DeleteBranch removes a branch head.
+func (db *DB) DeleteBranch(key, branch string) error { return db.eng.DeleteBranch(key, branch) }
+
+// RenameBranch renames a branch.
+func (db *DB) RenameBranch(key, from, to string) error { return db.eng.RenameBranch(key, from, to) }
+
+// ListBranches lists key's branches, sorted.
+func (db *DB) ListBranches(key string) ([]string, error) { return db.eng.ListBranches(key) }
+
+// ListKeys lists all object keys, sorted.
+func (db *DB) ListKeys() ([]string, error) { return db.eng.ListKeys() }
+
+// Diff computes key-level deltas between two versions (differential query).
+func (db *DB) Diff(key string, from, to Hash) ([]Delta, DiffStats, error) {
+	return db.eng.Diff(key, from, to)
+}
+
+// DiffBranches diffs the heads of two branches.
+func (db *DB) DiffBranches(key, fromBranch, toBranch string) ([]Delta, DiffStats, error) {
+	return db.eng.DiffBranches(key, fromBranch, toBranch)
+}
+
+// Merge three-way-merges branch src into dst.
+func (db *DB) Merge(key, dst, src string, resolve Resolver, meta map[string]string) (MergeResult, error) {
+	return db.eng.Merge(key, dst, src, resolve, meta)
+}
+
+// EditMap writes a new version of a map- or set-valued object by applying
+// puts and deletes incrementally to the current head: cost is
+// O(changes·log N) and untouched pages are shared with the previous version.
+func (db *DB) EditMap(key, branch string, puts []Entry, deletes [][]byte, meta map[string]string) (Version, error) {
+	return db.eng.EditMap(key, branch, puts, deletes, meta)
+}
+
+// AppendList writes a new version of a list-valued object with items
+// appended.
+func (db *DB) AppendList(key, branch string, items [][]byte, meta map[string]string) (Version, error) {
+	return db.eng.AppendList(key, branch, items, meta)
+}
+
+// SpliceBlob writes a new version of a blob-valued object with bytes
+// [at, at+del) replaced by ins.
+func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta map[string]string) (Version, error) {
+	return db.eng.SpliceBlob(key, branch, at, del, ins, meta)
+}
+
+// GC removes chunks unreachable from any branch head.  Supported on
+// in-memory stores; file-backed stores are append-only and return an error.
+func (db *DB) GC() (core.GCStats, error) { return db.eng.GC() }
+
+// Verify validates the object graph reachable from uid; deep extends the
+// walk through the full derivation history.
+func (db *DB) Verify(key string, uid Hash, deep bool) (VerifyReport, error) {
+	return db.eng.VerifyVersion(key, uid, deep)
+}
+
+// Stats returns chunk-store dedup accounting.
+func (db *DB) Stats() StoreStats { return db.eng.Stats() }
+
+// --- datasets ----------------------------------------------------------------
+
+// CreateDataset writes rows as a new dataset.
+func (db *DB) CreateDataset(name, branch string, schema Schema, rows []Row, meta map[string]string) (*Dataset, error) {
+	return dataset.Create(db.eng, name, branch, schema, rows, meta)
+}
+
+// LoadCSVDataset loads a CSV stream (header first) as a dataset.
+func (db *DB) LoadCSVDataset(name, branch, keyColumn string, r io.Reader, meta map[string]string) (*Dataset, error) {
+	return dataset.CreateFromCSV(db.eng, name, branch, keyColumn, r, meta)
+}
+
+// OpenDataset attaches to the head version of a dataset.
+func (db *DB) OpenDataset(name, branch string) (*Dataset, error) {
+	return dataset.Open(db.eng, name, branch)
+}
+
+// DiffDatasets runs a differential query between two branches of a dataset.
+func (db *DB) DiffDatasets(name, fromBranch, toBranch string) (DiffResult, error) {
+	return dataset.DiffBranches(db.eng, name, fromBranch, toBranch)
+}
+
+// --- access control ----------------------------------------------------------
+
+// ACL exposes the access controller for grants.
+func (db *DB) ACL() *access.Controller { return db.acl }
+
+// Session binds a user identity to the DB; every operation is checked
+// against the ACL first (branch-based access control, paper Fig 1).
+type Session struct {
+	db   *DB
+	user string
+}
+
+// SessionFor returns a session for user.
+func (db *DB) SessionFor(user string) *Session { return &Session{db: db, user: user} }
+
+// User returns the session's identity.
+func (s *Session) User() string { return s.user }
+
+func (s *Session) check(key, branch string, lvl access.Level) error {
+	if branch == "" {
+		branch = DefaultBranch
+	}
+	return s.db.acl.Check(s.user, key, branch, lvl)
+}
+
+// Get reads key@branch if the user holds read access.
+func (s *Session) Get(key, branch string) (Version, error) {
+	if err := s.check(key, branch, access.Read); err != nil {
+		return Version{}, err
+	}
+	return s.db.Get(key, branch)
+}
+
+// Put writes key@branch if the user holds write access.
+func (s *Session) Put(key, branch string, v Value, meta map[string]string) (Version, error) {
+	if err := s.check(key, branch, access.Write); err != nil {
+		return Version{}, err
+	}
+	return s.db.Put(key, branch, v, meta)
+}
+
+// Branch forks a branch if the user holds write access on the source and
+// admin is not required for fresh branch names.
+func (s *Session) Branch(key, newBranch, fromBranch string) error {
+	if err := s.check(key, fromBranch, access.Read); err != nil {
+		return err
+	}
+	if err := s.check(key, newBranch, access.Write); err != nil {
+		return err
+	}
+	return s.db.Branch(key, newBranch, fromBranch)
+}
+
+// Merge merges src into dst if the user can read src and write dst.
+func (s *Session) Merge(key, dst, src string, resolve Resolver, meta map[string]string) (MergeResult, error) {
+	if err := s.check(key, src, access.Read); err != nil {
+		return MergeResult{}, err
+	}
+	if err := s.check(key, dst, access.Write); err != nil {
+		return MergeResult{}, err
+	}
+	return s.db.Merge(key, dst, src, resolve, meta)
+}
+
+// Diff runs a differential query if the user can read both branches.
+func (s *Session) Diff(key, fromBranch, toBranch string) ([]Delta, DiffStats, error) {
+	if err := s.check(key, fromBranch, access.Read); err != nil {
+		return nil, DiffStats{}, err
+	}
+	if err := s.check(key, toBranch, access.Read); err != nil {
+		return nil, DiffStats{}, err
+	}
+	return s.db.DiffBranches(key, fromBranch, toBranch)
+}
+
+// DeleteBranch removes a branch if the user holds admin on it.
+func (s *Session) DeleteBranch(key, branch string) error {
+	if err := s.check(key, branch, access.Admin); err != nil {
+		return err
+	}
+	return s.db.DeleteBranch(key, branch)
+}

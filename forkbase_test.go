@@ -1,0 +1,192 @@
+package forkbase_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"forkbase"
+	"forkbase/internal/access"
+)
+
+func TestPublicRoundTrip(t *testing.T) {
+	db := forkbase.MustOpen(forkbase.InMemory())
+	defer db.Close()
+
+	v, err := db.PutString("k", "", "hello", map[string]string{"a": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get("k", "")
+	if err != nil || got.UID != v.UID {
+		t.Fatalf("get: %v", err)
+	}
+	if got.Value.Display() != "hello" {
+		t.Fatalf("display = %q", got.Value.Display())
+	}
+	byUID, err := db.GetVersion("k", v.UID)
+	if err != nil || byUID.Value.Display() != "hello" {
+		t.Fatalf("get by uid: %v", err)
+	}
+}
+
+func TestPublicTypedPuts(t *testing.T) {
+	db := forkbase.MustOpen()
+	defer db.Close()
+	if _, err := db.PutBlob("b", "", bytes.Repeat([]byte("z"), 50000), nil); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := db.Get("b", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := db.BlobBytes(ver)
+	if err != nil || len(data) != 50000 {
+		t.Fatalf("blob: %d %v", len(data), err)
+	}
+	if _, err := db.PutSet("s", "", [][]byte{[]byte("x")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.PutList("l", "", [][]byte{[]byte("i")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put("prim", "", forkbase.NewInt(7), nil); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := db.ListKeys()
+	if err != nil || len(keys) != 4 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestPublicBranchDiffMerge(t *testing.T) {
+	db := forkbase.MustOpen()
+	defer db.Close()
+	entries := make([]forkbase.Entry, 500)
+	for i := range entries {
+		entries[i] = forkbase.Entry{Key: []byte(fmt.Sprintf("r%04d", i)), Val: []byte("v")}
+	}
+	if _, err := db.PutMap("m", "", entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Branch("m", "dev", ""); err != nil {
+		t.Fatal(err)
+	}
+	entries[100].Val = []byte("changed")
+	if _, err := db.PutMap("m", "dev", entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	deltas, _, err := db.DiffBranches("m", "master", "dev")
+	if err != nil || len(deltas) != 1 {
+		t.Fatalf("diff: %d %v", len(deltas), err)
+	}
+	res, err := db.Merge("m", "master", "dev", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastForward {
+		t.Fatal("expected fast-forward")
+	}
+	branch, latest, err := db.Latest("m")
+	if err != nil || latest.Seq != 2 {
+		t.Fatalf("latest: %s %d %v", branch, latest.Seq, err)
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	db := forkbase.MustOpen()
+	defer db.Close()
+	csv := "id,city\nu1,Oslo\nu2,Rio\n"
+	ds, err := db.LoadCSVDataset("users", "", "id", strings.NewReader(csv), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 2 {
+		t.Fatalf("rows = %d", ds.Rows())
+	}
+	ds2, err := db.OpenDataset("users", "")
+	if err != nil || ds2.Rows() != 2 {
+		t.Fatalf("reopen: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ds2.ExportCSV(&buf); err != nil || buf.String() != csv {
+		t.Fatalf("export: %q %v", buf.String(), err)
+	}
+}
+
+func TestPublicFileBacked(t *testing.T) {
+	dir := t.TempDir()
+	db, err := forkbase.Open(forkbase.FileBacked(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.PutString("persist", "", "disk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := forkbase.Open(forkbase.FileBacked(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got, err := db2.Get("persist", "")
+	if err != nil || got.UID != want.UID {
+		t.Fatalf("reopen: %v", err)
+	}
+}
+
+func TestPublicSessionACL(t *testing.T) {
+	db := forkbase.MustOpen()
+	defer db.Close()
+	db.ACL().Grant("writer", "doc", access.Wildcard, access.Write)
+	w := db.SessionFor("writer")
+	r := db.SessionFor("reader")
+
+	if _, err := w.Put("doc", "", forkbase.NewString("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("doc", ""); !errors.Is(err, forkbase.ErrDenied) {
+		t.Fatalf("reader get: %v", err)
+	}
+	db.ACL().Grant("reader", "doc", "master", access.Read)
+	if _, err := r.Get("doc", ""); err != nil {
+		t.Fatalf("granted reader get: %v", err)
+	}
+	if _, err := r.Put("doc", "", forkbase.NewString("y"), nil); !errors.Is(err, forkbase.ErrDenied) {
+		t.Fatalf("reader put: %v", err)
+	}
+	if err := r.DeleteBranch("doc", "master"); !errors.Is(err, forkbase.ErrDenied) {
+		t.Fatalf("reader delete-branch: %v", err)
+	}
+}
+
+func TestPublicVerify(t *testing.T) {
+	db := forkbase.MustOpen()
+	defer db.Close()
+	v, err := db.PutString("k", "", "content", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := db.Verify("k", v.UID, true)
+	if err != nil || !rep.OK {
+		t.Fatalf("verify: %+v %v", rep, err)
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	db := forkbase.MustOpen()
+	defer db.Close()
+	v, _ := db.PutString("k", "", "x", nil)
+	parsed, err := forkbase.ParseHash(v.UID.String())
+	if err != nil || parsed != v.UID {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := forkbase.ParseHash("nope"); err == nil {
+		t.Fatal("parsed garbage")
+	}
+}

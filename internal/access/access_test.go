@@ -1,0 +1,105 @@
+package access
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGrantAndCheck(t *testing.T) {
+	c := NewController()
+	c.Grant("alice", "dataset1", "master", Write)
+
+	if err := c.Check("alice", "dataset1", "master", Read); err != nil {
+		t.Fatalf("write implies read: %v", err)
+	}
+	if err := c.Check("alice", "dataset1", "master", Write); err != nil {
+		t.Fatalf("write denied: %v", err)
+	}
+	if err := c.Check("alice", "dataset1", "master", Admin); !errors.Is(err, ErrDenied) {
+		t.Fatalf("admin allowed: %v", err)
+	}
+	if err := c.Check("alice", "dataset1", "dev", Read); !errors.Is(err, ErrDenied) {
+		t.Fatalf("other branch allowed: %v", err)
+	}
+	if err := c.Check("bob", "dataset1", "master", Read); !errors.Is(err, ErrDenied) {
+		t.Fatalf("stranger allowed: %v", err)
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	c := NewController()
+	c.Grant("alice", "dataset1", Wildcard, Read)
+	c.Grant("bob", Wildcard, "master", Write)
+
+	if err := c.Check("alice", "dataset1", "anybranch", Read); err != nil {
+		t.Fatalf("branch wildcard: %v", err)
+	}
+	if err := c.Check("alice", "other", "master", Read); !errors.Is(err, ErrDenied) {
+		t.Fatal("key leak through branch wildcard")
+	}
+	if err := c.Check("bob", "anything", "master", Write); err != nil {
+		t.Fatalf("key wildcard: %v", err)
+	}
+	if err := c.Check("bob", "anything", "dev", Read); !errors.Is(err, ErrDenied) {
+		t.Fatal("branch leak through key wildcard")
+	}
+}
+
+func TestSuperuser(t *testing.T) {
+	c := NewController()
+	c.AddSuperuser("root")
+	if err := c.Check("root", "any", "thing", Admin); err != nil {
+		t.Fatalf("superuser denied: %v", err)
+	}
+}
+
+func TestStrongestGrantWins(t *testing.T) {
+	c := NewController()
+	c.Grant("u", "k", "b", Read)
+	c.Grant("u", "k", "b", Admin)
+	c.Grant("u", "k", "b", Write)
+	if got := c.LevelFor("u", "k", "b"); got != Admin {
+		t.Fatalf("level = %v", got)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	c := NewController()
+	c.Grant("u", "k", "b", Write)
+	c.Grant("u", "k", "other", Read)
+	c.Revoke("u", "k", "b")
+	if err := c.Check("u", "k", "b", Read); !errors.Is(err, ErrDenied) {
+		t.Fatal("revoked grant still active")
+	}
+	if err := c.Check("u", "k", "other", Read); err != nil {
+		t.Fatalf("unrelated grant revoked: %v", err)
+	}
+}
+
+func TestGrantsListing(t *testing.T) {
+	c := NewController()
+	c.Grant("u", "b-key", "x", Read)
+	c.Grant("u", "a-key", "y", Write)
+	gs := c.Grants("u")
+	if len(gs) != 2 || gs[0].Key != "a-key" || gs[1].Key != "b-key" {
+		t.Fatalf("grants = %+v", gs)
+	}
+}
+
+func TestUsers(t *testing.T) {
+	c := NewController()
+	c.Grant("bob", "k", "b", Read)
+	c.AddSuperuser("alice")
+	us := c.Users()
+	if len(us) != 2 || us[0] != "alice" || us[1] != "bob" {
+		t.Fatalf("users = %v", us)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for _, l := range []Level{None, Read, Write, Admin} {
+		if l.String() == "" {
+			t.Fatalf("level %d has no name", l)
+		}
+	}
+}

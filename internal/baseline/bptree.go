@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"bytes"
+	"sort"
+
+	"forkbase/internal/hash"
+)
+
+// BPlusTree is a deliberately conventional B+-tree: pages split when full,
+// so the final page layout depends on the order in which records were
+// inserted.  The SIRI ablation uses it to demonstrate the paper's core
+// argument (§II-A, Definition 1): without structural invariance, two
+// logically identical indexes — or two adjacent versions — share almost no
+// pages, making page-level deduplication ineffective.
+type BPlusTree struct {
+	capacity int // max entries per page
+	root     *bpNode
+}
+
+type bpNode struct {
+	leaf     bool
+	keys     [][]byte  // routing keys (index) or entry keys (leaf)
+	vals     [][]byte  // leaf values
+	children []*bpNode // index children
+}
+
+// NewBPlusTree returns a tree whose pages hold up to capacity entries.
+func NewBPlusTree(capacity int) *BPlusTree {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &BPlusTree{capacity: capacity, root: &bpNode{leaf: true}}
+}
+
+// Insert adds or replaces a key.
+func (t *BPlusTree) Insert(key, val []byte) {
+	root := t.root
+	if len(root.keys) >= t.capacity {
+		newRoot := &bpNode{children: []*bpNode{root}}
+		newRoot.splitChild(0, t.capacity)
+		t.root = newRoot
+		root = newRoot
+	}
+	root.insertNonFull(key, val, t.capacity)
+}
+
+func (n *bpNode) insertNonFull(key, val []byte, capacity int) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = val
+			return
+		}
+		n.keys = append(n.keys, nil)
+		n.vals = append(n.vals, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		return
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+	if len(n.children[i].keys) >= capacity {
+		n.splitChild(i, capacity)
+		if bytes.Compare(key, n.keys[i]) >= 0 {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(key, val, capacity)
+}
+
+// splitChild performs the classic split-at-median, the operation whose
+// timing (and therefore the resulting page set) is insertion-order
+// dependent.
+func (n *bpNode) splitChild(i, capacity int) {
+	child := n.children[i]
+	mid := capacity / 2
+	right := &bpNode{leaf: child.leaf}
+	var up []byte
+	if child.leaf {
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
+		up = right.keys[0]
+	} else {
+		up = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = up
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Get returns the value stored under key.
+func (t *BPlusTree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+		n = n.children[i]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Pages returns the Merkle-style content hash of every page: identical page
+// content (including identical subtrees) hashes identically, so comparing
+// two trees' page sets measures exactly how much page-level dedup a
+// content-addressed store could extract.
+func (t *BPlusTree) Pages() []hash.Hash {
+	var out []hash.Hash
+	var walk func(n *bpNode) hash.Hash
+	walk = func(n *bpNode) hash.Hash {
+		var buf []byte
+		if n.leaf {
+			buf = append(buf, 0)
+			for i, k := range n.keys {
+				buf = append(buf, byte(len(k)>>8), byte(len(k)))
+				buf = append(buf, k...)
+				v := n.vals[i]
+				buf = append(buf, byte(len(v)>>8), byte(len(v)))
+				buf = append(buf, v...)
+			}
+		} else {
+			buf = append(buf, 1)
+			ids := make([]hash.Hash, len(n.children))
+			for i, c := range n.children {
+				ids[i] = walk(c)
+			}
+			for i, k := range n.keys {
+				buf = append(buf, byte(len(k)>>8), byte(len(k)))
+				buf = append(buf, k...)
+				_ = i
+			}
+			for _, id := range ids {
+				buf = append(buf, id[:]...)
+			}
+		}
+		id := hash.Of(buf)
+		out = append(out, id)
+		return id
+	}
+	walk(t.root)
+	return out
+}
+
+// SharedPages counts pages (by content hash) present in both trees.
+func SharedPages(a, b *BPlusTree) (shared, totalA, totalB int) {
+	pa := a.Pages()
+	set := make(map[hash.Hash]int, len(pa))
+	for _, id := range pa {
+		set[id]++
+	}
+	pb := b.Pages()
+	for _, id := range pb {
+		if set[id] > 0 {
+			set[id]--
+			shared++
+		}
+	}
+	return shared, len(pa), len(pb)
+}
+
+// Len reports the number of entries (leaf cells).
+func (t *BPlusTree) Len() int {
+	var count func(n *bpNode) int
+	count = func(n *bpNode) int {
+		if n.leaf {
+			return len(n.keys)
+		}
+		total := 0
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(t.root)
+}

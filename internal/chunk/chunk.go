@@ -1,0 +1,129 @@
+// Package chunk defines the unit of physical storage and deduplication in
+// ForkBase.
+//
+// Every persistent object — blob fragments, POS-Tree nodes, FNode commits —
+// is encoded as a Chunk: a one-byte type tag followed by an opaque payload.
+// A chunk is immutable once constructed and is identified by the SHA-256
+// hash of its full encoding, which makes the store content-addressed and
+// every chunk self-verifying (paper §II-C).
+package chunk
+
+import (
+	"errors"
+	"fmt"
+
+	"forkbase/internal/hash"
+)
+
+// Type tags the payload format of a chunk.
+type Type byte
+
+// Chunk types. The tag participates in the hash, so a leaf node and an index
+// node with coincidentally equal payloads have different identities.
+const (
+	TypeInvalid  Type = 0
+	TypeBlobLeaf Type = 1 // raw bytes of a blob segment
+	TypeMapLeaf  Type = 2 // sorted key/value entries
+	TypeMapIndex Type = 3 // split-key + child-hash entries
+	TypeSeqLeaf  Type = 4 // positional items
+	TypeSeqIndex Type = 5 // child-hash + count entries
+	TypeFNode    Type = 6 // version commit object
+	TypeCellar   Type = 7 // small inline value (primitive)
+	TypeTag      Type = 8 // named pointer payloads (branch snapshots)
+	maxType      Type = 9
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t Type) String() string {
+	switch t {
+	case TypeBlobLeaf:
+		return "blob-leaf"
+	case TypeMapLeaf:
+		return "map-leaf"
+	case TypeMapIndex:
+		return "map-index"
+	case TypeSeqLeaf:
+		return "seq-leaf"
+	case TypeSeqIndex:
+		return "seq-index"
+	case TypeFNode:
+		return "fnode"
+	case TypeCellar:
+		return "cellar"
+	case TypeTag:
+		return "tag"
+	default:
+		return fmt.Sprintf("invalid(%d)", byte(t))
+	}
+}
+
+// Valid reports whether t is a known chunk type.
+func (t Type) Valid() bool { return t > TypeInvalid && t < maxType }
+
+// Chunk is an immutable, typed, content-addressed byte payload.
+//
+// Construct chunks with New (which takes ownership of data) and never mutate
+// Data afterwards; the hash is computed lazily over the encoding and cached.
+type Chunk struct {
+	typ  Type
+	data []byte
+	id   hash.Hash
+}
+
+// ErrCorrupt is returned when a chunk's bytes do not match its claimed id.
+var ErrCorrupt = errors.New("chunk: content does not match id (corruption or tampering)")
+
+// ErrBadEncoding is returned when decoding malformed chunk bytes.
+var ErrBadEncoding = errors.New("chunk: malformed encoding")
+
+// New creates a chunk of the given type, taking ownership of data.
+func New(t Type, data []byte) *Chunk {
+	if !t.Valid() {
+		panic(fmt.Sprintf("chunk: invalid type %d", t))
+	}
+	c := &Chunk{typ: t, data: data}
+	c.id = hash.OfParts([]byte{byte(t)}, data)
+	return c
+}
+
+// Type returns the chunk's type tag.
+func (c *Chunk) Type() Type { return c.typ }
+
+// Data returns the chunk payload.  Callers must not modify it.
+func (c *Chunk) Data() []byte { return c.data }
+
+// ID returns the chunk's content identifier.
+func (c *Chunk) ID() hash.Hash { return c.id }
+
+// Size returns the encoded size in bytes (1 type byte + payload).
+func (c *Chunk) Size() int { return 1 + len(c.data) }
+
+// Encode renders the canonical byte form: [type][payload...].
+func (c *Chunk) Encode() []byte {
+	out := make([]byte, 1+len(c.data))
+	out[0] = byte(c.typ)
+	copy(out[1:], c.data)
+	return out
+}
+
+// Decode parses the canonical byte form.  The returned chunk aliases b's
+// payload region; callers handing Decode a shared buffer must copy first.
+func Decode(b []byte) (*Chunk, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: empty", ErrBadEncoding)
+	}
+	t := Type(b[0])
+	if !t.Valid() {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadEncoding, b[0])
+	}
+	return New(t, b[1:]), nil
+}
+
+// Verify checks that the chunk's content hashes to want. It is how ForkBase
+// detects malicious storage: a provider can withhold data but cannot forge it.
+func (c *Chunk) Verify(want hash.Hash) error {
+	if c.id != want {
+		return fmt.Errorf("%w: have %s want %s", ErrCorrupt, c.id.Short(), want.Short())
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"forkbase/internal/hash"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	c := New(TypeBlobLeaf, []byte("payload"))
+	if c.Type() != TypeBlobLeaf {
+		t.Fatalf("type = %v", c.Type())
+	}
+	if string(c.Data()) != "payload" {
+		t.Fatalf("data = %q", c.Data())
+	}
+	if c.Size() != 1+7 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if c.ID().IsZero() {
+		t.Fatal("zero id")
+	}
+}
+
+func TestIDIncludesType(t *testing.T) {
+	a := New(TypeBlobLeaf, []byte("same"))
+	b := New(TypeMapLeaf, []byte("same"))
+	if a.ID() == b.ID() {
+		t.Fatal("different types share an id")
+	}
+}
+
+func TestIDMatchesManualHash(t *testing.T) {
+	c := New(TypeFNode, []byte("abc"))
+	want := hash.Of(append([]byte{byte(TypeFNode)}, []byte("abc")...))
+	if c.ID() != want {
+		t.Fatal("id does not equal hash of encoding")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(data []byte, typSeed uint8) bool {
+		typ := Type(typSeed%8) + 1
+		c := New(typ, data)
+		d, err := Decode(c.Encode())
+		if err != nil {
+			return false
+		}
+		return d.Type() == typ && bytes.Equal(d.Data(), data) && d.ID() == c.ID()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) succeeded")
+	}
+	if _, err := Decode([]byte{0xFF, 1, 2}); err == nil {
+		t.Fatal("Decode with invalid type succeeded")
+	}
+	if _, err := Decode([]byte{0, 1, 2}); err == nil {
+		t.Fatal("Decode with TypeInvalid succeeded")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	c := New(TypeCellar, []byte("v"))
+	if err := c.Verify(c.ID()); err != nil {
+		t.Fatalf("self-verify failed: %v", err)
+	}
+	other := New(TypeCellar, []byte("w"))
+	if err := c.Verify(other.ID()); err == nil {
+		t.Fatal("verify against wrong id succeeded")
+	}
+}
+
+func TestTypeStringAndValid(t *testing.T) {
+	for typ := TypeBlobLeaf; typ < maxType; typ++ {
+		if !typ.Valid() {
+			t.Fatalf("type %d invalid", typ)
+		}
+		if typ.String() == "" || typ.String()[0] == 'i' {
+			t.Fatalf("type %d has bad name %q", typ, typ.String())
+		}
+	}
+	if TypeInvalid.Valid() || Type(200).Valid() {
+		t.Fatal("invalid types report valid")
+	}
+}
+
+func TestNewPanicsOnInvalidType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(TypeInvalid) did not panic")
+		}
+	}()
+	New(TypeInvalid, nil)
+}

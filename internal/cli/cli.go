@@ -1,0 +1,512 @@
+// Package cli implements the forkbase command-line interface — the
+// "Command Line scripting" entry point of the paper's Fig 1, exposing the
+// full operation set: Put Get List Branch Merge Diff Head Latest Meta
+// Rename Stat Export Verify History.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"forkbase"
+	"forkbase/internal/pos"
+)
+
+// Run executes a CLI invocation and returns a process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("forkbase", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "file-backed data directory (default: in-memory)")
+	remote := fs.String("remote", "", "comma-separated server addresses (first is master)")
+	fs.Usage = func() { usage(stderr, fs) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		usage(stderr, fs)
+		return 2
+	}
+
+	var opts []forkbase.Option
+	switch {
+	case *remote != "":
+		opts = append(opts, forkbase.Remote(strings.Split(*remote, ",")...))
+	case *dir != "":
+		opts = append(opts, forkbase.FileBacked(*dir))
+	}
+	db, err := forkbase.Open(opts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "forkbase: %v\n", err)
+		return 1
+	}
+	defer db.Close()
+
+	cmd, cmdArgs := rest[0], rest[1:]
+	handler, ok := commands[cmd]
+	if !ok {
+		fmt.Fprintf(stderr, "forkbase: unknown command %q\n", cmd)
+		usage(stderr, fs)
+		return 2
+	}
+	if err := handler(db, cmdArgs, stdout); err != nil {
+		fmt.Fprintf(stderr, "forkbase %s: %v\n", cmd, err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintln(w, "usage: forkbase [-dir DIR | -remote ADDRS] COMMAND [ARGS]")
+	fmt.Fprintln(w, "\ncommands:")
+	names := make([]string, 0, len(commands))
+	for n := range commands {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-8s %s\n", n, commandHelp[n])
+	}
+	fmt.Fprintln(w, "\nflags:")
+	fs.PrintDefaults()
+}
+
+type command func(db *forkbase.DB, args []string, out io.Writer) error
+
+var commandHelp = map[string]string{
+	"put":     "put KEY VALUE [-branch B] [-meta k=v ...]   write a string value",
+	"get":     "get KEY [-branch B] [-uid UID]              read a value",
+	"list":    "list                                        list keys",
+	"branch":  "branch KEY NEW [FROM]                       fork a branch",
+	"merge":   "merge KEY INTO FROM [-resolve ours|theirs]  three-way merge",
+	"diff":    "diff KEY FROM TO                            differential query",
+	"head":    "head KEY [BRANCH]                           branch head uid",
+	"latest":  "latest KEY                                  newest version anywhere",
+	"meta":    "meta KEY [-branch B]                        version metadata",
+	"rename":  "rename KEY OLD NEW                          rename a branch",
+	"stat":    "stat KEY [-branch B]                        dataset statistics",
+	"export":  "export KEY [-branch B]                      dataset as CSV to stdout",
+	"import":  "import KEY CSVFILE [-branch B] [-key COL]   CSV file as dataset",
+	"history": "history KEY [-branch B] [-n N]              version chain",
+	"verify":  "verify KEY [-uid UID] [-deep]               tamper validation",
+	"stats":   "stats                                       store dedup accounting",
+	"gc":      "gc                                          collect unreachable chunks",
+}
+
+var commands = map[string]command{
+	"put":     cmdPut,
+	"get":     cmdGet,
+	"list":    cmdList,
+	"branch":  cmdBranch,
+	"merge":   cmdMerge,
+	"diff":    cmdDiff,
+	"head":    cmdHead,
+	"latest":  cmdLatest,
+	"meta":    cmdMeta,
+	"rename":  cmdRename,
+	"stat":    cmdStat,
+	"export":  cmdExport,
+	"import":  cmdImport,
+	"history": cmdHistory,
+	"verify":  cmdVerify,
+	"stats":   cmdStats,
+	"gc":      cmdGC,
+}
+
+func cmdPut(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("put", flag.ContinueOnError)
+	branch := fs.String("branch", "", "target branch")
+	var metas multiFlag
+	fs.Var(&metas, "meta", "k=v metadata (repeatable)")
+	pos, err := parseArgs(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	key, val := pos[0], pos[1]
+	meta := map[string]string{}
+	for _, m := range metas {
+		k, v, ok := strings.Cut(m, "=")
+		if !ok {
+			return fmt.Errorf("bad -meta %q, want k=v", m)
+		}
+		meta[k] = v
+	}
+	ver, err := db.PutString(key, *branch, val, meta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, ver.UID)
+	return nil
+}
+
+func cmdGet(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("get", flag.ContinueOnError)
+	branch := fs.String("branch", "", "branch")
+	uidStr := fs.String("uid", "", "specific version uid")
+	pos, err := parseArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	key := pos[0]
+	var ver forkbase.Version
+	if *uidStr != "" {
+		uid, perr := parseHash(*uidStr)
+		if perr != nil {
+			return perr
+		}
+		ver, err = db.GetVersion(key, uid)
+	} else {
+		ver, err = db.Get(key, *branch)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, ver.Value.Display())
+	return nil
+}
+
+func cmdList(db *forkbase.DB, args []string, out io.Writer) error {
+	keys, err := db.ListKeys()
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		branches, err := db.ListBranches(k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\t[%s]\n", k, strings.Join(branches, " "))
+	}
+	return nil
+}
+
+func cmdBranch(db *forkbase.DB, args []string, out io.Writer) error {
+	if len(args) < 2 || len(args) > 3 {
+		return errors.New("usage: branch KEY NEW [FROM]")
+	}
+	from := ""
+	if len(args) == 3 {
+		from = args[2]
+	}
+	if err := db.Branch(args[0], args[1], from); err != nil {
+		return err
+	}
+	uid, err := db.Head(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "branch %s created at %s\n", args[1], uid)
+	return nil
+}
+
+func cmdMerge(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	resolve := fs.String("resolve", "", "conflict resolution: ours|theirs")
+	msg := fs.String("m", "", "merge message")
+	p, err := parseArgs(fs, args, 3)
+	if err != nil {
+		return err
+	}
+	var resolver forkbase.Resolver
+	switch *resolve {
+	case "":
+	case "ours":
+		resolver = forkbase.ResolveOurs
+	case "theirs":
+		resolver = forkbase.ResolveTheirs
+	default:
+		return fmt.Errorf("bad -resolve %q", *resolve)
+	}
+	meta := map[string]string{}
+	if *msg != "" {
+		meta["message"] = *msg
+	}
+	res, err := db.Merge(p[0], p[1], p[2], resolver, meta)
+	if err != nil {
+		var ce *pos.ErrConflict
+		if errors.As(err, &ce) {
+			for _, c := range ce.Conflicts {
+				fmt.Fprintf(out, "CONFLICT %s: ours=%q theirs=%q base=%q\n", c.Key, c.A, c.B, c.Base)
+			}
+		}
+		return err
+	}
+	if res.FastForward {
+		fmt.Fprintf(out, "fast-forward to %s\n", res.Version.UID)
+	} else {
+		fmt.Fprintf(out, "merged as %s (%d chunks reused, %d new)\n",
+			res.Version.UID, res.Stats.ReusedChunks, res.Stats.NewChunks)
+	}
+	return nil
+}
+
+func cmdDiff(db *forkbase.DB, args []string, out io.Writer) error {
+	if len(args) != 3 {
+		return errors.New("usage: diff KEY FROM TO")
+	}
+	key, from, to := args[0], args[1], args[2]
+	// Datasets get cell-level output; plain maps get key-level.
+	if res, err := db.DiffDatasets(key, from, to); err == nil {
+		for _, d := range res.Deltas {
+			switch {
+			case d.From == nil:
+				fmt.Fprintf(out, "+ %s\t%s\n", d.Key, strings.Join(d.To, ","))
+			case d.To == nil:
+				fmt.Fprintf(out, "- %s\t%s\n", d.Key, strings.Join(d.From, ","))
+			default:
+				fmt.Fprintf(out, "~ %s", d.Key)
+				for _, c := range d.Cells {
+					fmt.Fprintf(out, "\t%s: %q -> %q", c.Column, c.From, c.To)
+				}
+				fmt.Fprintln(out)
+			}
+		}
+		fmt.Fprintln(out, res.Summary())
+		return nil
+	}
+	deltas, stats, err := db.DiffBranches(key, from, to)
+	if err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		switch d.Kind() {
+		case pos.Added:
+			fmt.Fprintf(out, "+ %s\t%s\n", d.Key, d.To)
+		case pos.Removed:
+			fmt.Fprintf(out, "- %s\t%s\n", d.Key, d.From)
+		default:
+			fmt.Fprintf(out, "~ %s\t%q -> %q\n", d.Key, d.From, d.To)
+		}
+	}
+	fmt.Fprintf(out, "%d deltas (%d pages touched)\n", len(deltas), stats.TouchedChunks)
+	return nil
+}
+
+func cmdHead(db *forkbase.DB, args []string, out io.Writer) error {
+	if len(args) < 1 || len(args) > 2 {
+		return errors.New("usage: head KEY [BRANCH]")
+	}
+	branch := ""
+	if len(args) == 2 {
+		branch = args[1]
+	}
+	uid, err := db.Head(args[0], branch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, uid)
+	return nil
+}
+
+func cmdLatest(db *forkbase.DB, args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return errors.New("usage: latest KEY")
+	}
+	branch, ver, err := db.Latest(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s@%s seq=%d %s\n", args[0], branch, ver.Seq, ver.UID)
+	return nil
+}
+
+func cmdMeta(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("meta", flag.ContinueOnError)
+	branch := fs.String("branch", "", "branch")
+	pos, err := parseArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	ver, err := db.Get(pos[0], *branch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "uid:  %s\nseq:  %d\nkind: %s\n", ver.UID, ver.Seq, ver.Value.Kind())
+	for _, b := range ver.Bases {
+		fmt.Fprintf(out, "base: %s\n", b)
+	}
+	keys := make([]string, 0, len(ver.Meta))
+	for k := range ver.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "meta: %s=%s\n", k, ver.Meta[k])
+	}
+	return nil
+}
+
+func cmdRename(db *forkbase.DB, args []string, out io.Writer) error {
+	if len(args) != 3 {
+		return errors.New("usage: rename KEY OLD NEW")
+	}
+	if err := db.RenameBranch(args[0], args[1], args[2]); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "renamed %s -> %s\n", args[1], args[2])
+	return nil
+}
+
+func cmdStat(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stat", flag.ContinueOnError)
+	branch := fs.String("branch", "", "branch")
+	pos, err := parseArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	ds, err := db.OpenDataset(pos[0], *branch)
+	if err != nil {
+		return err
+	}
+	st, err := ds.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dataset:  %s@%s\nrows:     %d\ncolumns:  %d\nversions: %d\n",
+		st.Name, st.Branch, st.Rows, st.Columns, st.Versions)
+	fmt.Fprintf(out, "tree:     height=%d nodes=%d leaf-bytes=%d avg-leaf=%.0f\n",
+		st.Tree.Height, st.Tree.Nodes, st.Tree.LeafBytes, st.Tree.AvgLeaf())
+	return nil
+}
+
+func cmdExport(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	branch := fs.String("branch", "", "branch")
+	pos, err := parseArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	ds, err := db.OpenDataset(pos[0], *branch)
+	if err != nil {
+		return err
+	}
+	return ds.ExportCSV(out)
+}
+
+func cmdImport(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("import", flag.ContinueOnError)
+	branch := fs.String("branch", "", "branch")
+	keyCol := fs.String("key", "id", "primary key column")
+	pos, err := parseArgs(fs, args, 2)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(pos[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := db.LoadCSVDataset(pos[0], *branch, *keyCol, f, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "imported %d rows as %s\n", ds.Rows(), ds.Version().UID)
+	return nil
+}
+
+func cmdHistory(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("history", flag.ContinueOnError)
+	branch := fs.String("branch", "", "branch")
+	n := fs.Int("n", 0, "limit")
+	pos, err := parseArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	versions, err := db.History(pos[0], *branch, *n)
+	if err != nil {
+		return err
+	}
+	for _, v := range versions {
+		msg := v.Meta["message"]
+		fmt.Fprintf(out, "%s seq=%d %s %s\n", v.UID, v.Seq, v.Value.Kind(), msg)
+	}
+	return nil
+}
+
+func cmdVerify(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	uidStr := fs.String("uid", "", "version uid (default: master head)")
+	deep := fs.Bool("deep", false, "verify full derivation history")
+	pos, err := parseArgs(fs, args, 1)
+	if err != nil {
+		return err
+	}
+	key := pos[0]
+	var uid forkbase.Hash
+	if *uidStr != "" {
+		var err error
+		if uid, err = parseHash(*uidStr); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if uid, err = db.Head(key, ""); err != nil {
+			return err
+		}
+	}
+	rep, err := db.Verify(key, uid, *deep)
+	fmt.Fprintf(out, "uid:      %s\nchunks:   %d\nversions: %d\n", rep.UID, rep.ChunksChecked, rep.VersionsChecked)
+	if err != nil {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(out, "TAMPERED: %s (%s): %v\n", f.ChunkID, f.Context, f.Err)
+		}
+		return err
+	}
+	fmt.Fprintln(out, "status:   OK — content and history verified")
+	return nil
+}
+
+func cmdStats(db *forkbase.DB, args []string, out io.Writer) error {
+	s := db.Stats()
+	fmt.Fprintf(out, "unique chunks:  %d\nphysical bytes: %d\nlogical bytes:  %d\ndedup ratio:    %.2fx\ndedup hits:     %d\n",
+		s.UniqueChunks, s.PhysicalBytes, s.LogicalBytes, s.DedupRatio(), s.DedupHits)
+	return nil
+}
+
+func cmdGC(db *forkbase.DB, args []string, out io.Writer) error {
+	stats, err := db.GC()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "live chunks:  %d\nswept chunks: %d\nreclaimed:    %d bytes\n",
+		stats.Live, stats.Swept, stats.SweptBytes)
+	return nil
+}
+
+// --- helpers -----------------------------------------------------------------
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// parseArgs parses args allowing flags and positionals to be interspersed
+// (the flag package stops at the first positional otherwise) and returns the
+// positional arguments in order.
+func parseArgs(fs *flag.FlagSet, args []string, minPos int) ([]string, error) {
+	fs.SetOutput(io.Discard)
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		pos = append(pos, fs.Arg(0))
+		args = fs.Args()[1:]
+	}
+	if len(pos) < minPos {
+		return nil, fmt.Errorf("need at least %d argument(s)", minPos)
+	}
+	return pos, nil
+}
+
+func parseHash(s string) (forkbase.Hash, error) {
+	return forkbase.ParseHash(s)
+}

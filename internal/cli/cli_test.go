@@ -1,0 +1,158 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes the CLI against a shared file-backed directory so state
+// persists across invocations, mimicking real usage.
+func run(t *testing.T, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := Run(append([]string{"-dir", dir}, args...), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestPutGetFlow(t *testing.T) {
+	dir := t.TempDir()
+	out, errs, code := run(t, dir, "put", "greeting", "hello world")
+	if code != 0 {
+		t.Fatalf("put failed: %s", errs)
+	}
+	uid := strings.TrimSpace(out)
+	if len(uid) != 52 {
+		t.Fatalf("uid = %q", uid)
+	}
+	out, _, code = run(t, dir, "get", "greeting")
+	if code != 0 || strings.TrimSpace(out) != "hello world" {
+		t.Fatalf("get = %q (%d)", out, code)
+	}
+	out, _, code = run(t, dir, "get", "greeting", "-uid", uid)
+	if code != 0 || strings.TrimSpace(out) != "hello world" {
+		t.Fatalf("get -uid = %q (%d)", out, code)
+	}
+}
+
+func TestBranchMergeDiffFlow(t *testing.T) {
+	dir := t.TempDir()
+	run(t, dir, "put", "obj", "base")
+	out, errs, code := run(t, dir, "branch", "obj", "dev")
+	if code != 0 || !strings.Contains(out, "branch dev created") {
+		t.Fatalf("branch: %q %q", out, errs)
+	}
+	run(t, dir, "put", "obj", "dev-edit", "-branch", "dev")
+	out, _, code = run(t, dir, "head", "obj", "dev")
+	if code != 0 || len(strings.TrimSpace(out)) != 52 {
+		t.Fatalf("head: %q", out)
+	}
+	out, _, code = run(t, dir, "latest", "obj")
+	if code != 0 || !strings.Contains(out, "obj@dev seq=2") {
+		t.Fatalf("latest: %q", out)
+	}
+	out, _, code = run(t, dir, "merge", "obj", "master", "dev")
+	if code != 0 || !strings.Contains(out, "fast-forward") {
+		t.Fatalf("merge: %q", out)
+	}
+	out, _, code = run(t, dir, "history", "obj")
+	if code != 0 || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("history: %q", out)
+	}
+}
+
+func TestImportExportStatDiff(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "in.csv")
+	csv := "id,name\n1,ann\n2,bo\n3,cy\n"
+	if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errs, code := run(t, dir, "import", "people", csvPath)
+	if code != 0 || !strings.Contains(out, "imported 3 rows") {
+		t.Fatalf("import: %q %q", out, errs)
+	}
+	out, _, code = run(t, dir, "export", "people")
+	if code != 0 || out != csv {
+		t.Fatalf("export: %q", out)
+	}
+	out, _, code = run(t, dir, "stat", "people")
+	if code != 0 || !strings.Contains(out, "rows:     3") {
+		t.Fatalf("stat: %q", out)
+	}
+
+	// Branch, edit via import on the branch, then diff.
+	run(t, dir, "branch", "people", "vendor")
+	csv2 := "id,name\n1,ann\n2,bob\n4,dee\n"
+	if err := os.WriteFile(csvPath, []byte(csv2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errs, code = run(t, dir, "import", "people", csvPath, "-branch", "vendor")
+	if code != 0 {
+		t.Fatalf("import branch: %q", errs)
+	}
+	out, _, code = run(t, dir, "diff", "people", "master", "vendor")
+	if code != 0 {
+		t.Fatalf("diff: %q", out)
+	}
+	if !strings.Contains(out, "~ 2") || !strings.Contains(out, "- 3") || !strings.Contains(out, "+ 4") {
+		t.Fatalf("diff output: %q", out)
+	}
+}
+
+func TestMetaRenameListStats(t *testing.T) {
+	dir := t.TempDir()
+	run(t, dir, "put", "k", "v", "-meta", "author=alice", "-meta", "tag=x")
+	out, _, code := run(t, dir, "meta", "k")
+	if code != 0 || !strings.Contains(out, "meta: author=alice") || !strings.Contains(out, "kind: string") {
+		t.Fatalf("meta: %q", out)
+	}
+	run(t, dir, "branch", "k", "tmp")
+	out, _, code = run(t, dir, "rename", "k", "tmp", "perm")
+	if code != 0 || !strings.Contains(out, "renamed") {
+		t.Fatalf("rename: %q", out)
+	}
+	out, _, code = run(t, dir, "list")
+	if code != 0 || !strings.Contains(out, "k\t[master perm]") {
+		t.Fatalf("list: %q", out)
+	}
+	out, _, code = run(t, dir, "stats")
+	if code != 0 || !strings.Contains(out, "unique chunks") {
+		t.Fatalf("stats: %q", out)
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	dir := t.TempDir()
+	run(t, dir, "put", "k", "payload")
+	out, _, code := run(t, dir, "verify", "k", "-deep")
+	if code != 0 || !strings.Contains(out, "OK — content and history verified") {
+		t.Fatalf("verify: %q", out)
+	}
+}
+
+func TestErrorExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"get", "missing"},
+		{"head", "missing"},
+		{"nonsense"},
+		{"merge", "a"},  // too few args
+		{"branch", "a"}, // too few args
+		{"put", "k", "v", "-meta", "malformed"},
+	} {
+		if _, _, code := run(t, dir, args...); code == 0 {
+			t.Fatalf("args %v exited 0", args)
+		}
+	}
+	// No command at all.
+	var out, errb bytes.Buffer
+	if code := Run(nil, &out, &errb); code == 0 {
+		t.Fatal("empty invocation exited 0")
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatalf("no usage text: %q", errb.String())
+	}
+}

@@ -1,0 +1,119 @@
+// Package cluster shards a ForkBase chunk store across several servers.
+//
+// Chunks are placed by hash prefix (consistent by construction: a chunk's id
+// never changes), so every node holds an even share of unique chunks and
+// deduplication keeps working globally — a chunk written via any client is
+// found by all.  Branch metadata, which needs linearizable compare-and-set,
+// lives on the first node (the metadata master).
+package cluster
+
+import (
+	"fmt"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/server"
+	"forkbase/internal/store"
+)
+
+// Cluster is a client-side view of a sharded ForkBase deployment.
+type Cluster struct {
+	clients []*server.Client
+	stores  []*server.RemoteStore
+	heads   *server.RemoteBranchTable
+}
+
+// Connect dials every node; addrs[0] is the metadata master.
+func Connect(addrs []string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no addresses")
+	}
+	c := &Cluster{}
+	for _, a := range addrs {
+		cl, err := server.Dial(a)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.clients = append(c.clients, cl)
+		c.stores = append(c.stores, server.NewRemoteStore(cl))
+	}
+	c.heads = server.NewRemoteBranchTable(c.clients[0])
+	return c, nil
+}
+
+// Close disconnects from all nodes.
+func (c *Cluster) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Nodes returns the number of nodes.
+func (c *Cluster) Nodes() int { return len(c.stores) }
+
+// shard maps a chunk id to a node.
+func (c *Cluster) shard(id hash.Hash) *server.RemoteStore {
+	return c.stores[int(id[0])%len(c.stores)]
+}
+
+// Store returns a store.Store view of the cluster.
+func (c *Cluster) Store() store.Store { return (*shardedStore)(c) }
+
+// BranchTable returns the cluster's branch table (on the master).
+func (c *Cluster) BranchTable() core.BranchTable { return c.heads }
+
+// shardedStore implements store.Store over the shards.
+type shardedStore Cluster
+
+var _ store.Store = (*shardedStore)(nil)
+
+func (s *shardedStore) cluster() *Cluster { return (*Cluster)(s) }
+
+// Put implements store.Store.
+func (s *shardedStore) Put(ch *chunk.Chunk) (bool, error) {
+	return s.cluster().shard(ch.ID()).Put(ch)
+}
+
+// Get implements store.Store.
+func (s *shardedStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	return s.cluster().shard(id).Get(id)
+}
+
+// Has implements store.Store.
+func (s *shardedStore) Has(id hash.Hash) (bool, error) {
+	return s.cluster().shard(id).Has(id)
+}
+
+// Stats implements store.Store by aggregating all shards.
+func (s *shardedStore) Stats() store.Stats {
+	var total store.Stats
+	for _, rs := range s.cluster().stores {
+		st := rs.Stats()
+		total.UniqueChunks += st.UniqueChunks
+		total.PhysicalBytes += st.PhysicalBytes
+		total.LogicalBytes += st.LogicalBytes
+		total.DedupHits += st.DedupHits
+		total.Gets += st.Gets
+	}
+	return total
+}
+
+// ShardStats reports per-node stats (for balance inspection).
+func (c *Cluster) ShardStats() []store.Stats {
+	out := make([]store.Stats, len(c.stores))
+	for i, rs := range c.stores {
+		out[i] = rs.Stats()
+	}
+	return out
+}
+
+// OpenDB assembles a core.DB backed by the cluster.
+func (c *Cluster) OpenDB() *core.DB {
+	return core.Open(core.Options{Store: c.Store(), Branches: c.heads})
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/fnode"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+// DefaultBranch is the branch Put targets when none is named, mirroring the
+// "master" branch of the paper's demo UI.
+const DefaultBranch = "master"
+
+// DB is a ForkBase storage engine instance.
+//
+// A DB combines an (untrusted) chunk store with a (trusted) branch table.
+// All chunk reads go through a verifying wrapper, so any tampering by the
+// storage provider surfaces as chunk.ErrCorrupt.
+type DB struct {
+	raw    store.Store // unwrapped, for Stats
+	st     store.Store // verifying read path
+	cfg    chunker.Config
+	heads  BranchTable
+	noCopy noCopy
+}
+
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
+// Options configure a DB.
+type Options struct {
+	// Store is the chunk store; defaults to a fresh MemStore.
+	Store store.Store
+	// Branches is the branch table; defaults to a fresh MemBranchTable.
+	Branches BranchTable
+	// Chunking overrides the chunker configuration (zero = DefaultConfig).
+	Chunking chunker.Config
+}
+
+// Open assembles a DB from options.
+func Open(opts Options) *DB {
+	if opts.Store == nil {
+		opts.Store = store.NewMemStore()
+	}
+	if opts.Branches == nil {
+		opts.Branches = NewMemBranchTable()
+	}
+	if opts.Chunking.Q == 0 {
+		opts.Chunking = chunker.DefaultConfig()
+	}
+	return &DB{
+		raw:   opts.Store,
+		st:    store.NewVerifyingStore(opts.Store),
+		cfg:   opts.Chunking,
+		heads: opts.Branches,
+	}
+}
+
+// Store returns the verifying chunk store (reads are tamper-checked).
+func (db *DB) Store() store.Store { return db.st }
+
+// RawStore returns the unwrapped chunk store (for stats and benchmarks).
+func (db *DB) RawStore() store.Store { return db.raw }
+
+// Chunking returns the chunker configuration.
+func (db *DB) Chunking() chunker.Config { return db.cfg }
+
+// Branches returns the branch table.
+func (db *DB) BranchTable() BranchTable { return db.heads }
+
+// Version describes one version of an object.
+type Version struct {
+	UID   hash.Hash
+	Seq   uint64
+	Bases []hash.Hash
+	Value value.Value
+	Meta  map[string]string
+	Key   string
+}
+
+// Put writes a new version of key on branch, deriving from the current
+// branch head, and advances the head.  It retries on concurrent head moves
+// is NOT performed: callers see ErrStaleHead and decide.
+func (db *DB) Put(key, branch string, v value.Value, meta map[string]string) (Version, error) {
+	if branch == "" {
+		branch = DefaultBranch
+	}
+	head, ok, err := db.heads.Head(key, branch)
+	if err != nil {
+		return Version{}, err
+	}
+	var bases []hash.Hash
+	var seq uint64
+	if ok {
+		parent, err := fnode.Load(db.st, head)
+		if err != nil {
+			return Version{}, fmt.Errorf("core: loading head of %s@%s: %w", key, branch, err)
+		}
+		bases = []hash.Hash{head}
+		seq = parent.Seq + 1
+	} else {
+		seq = 1
+	}
+	f := fnode.New([]byte(key), v, bases, seq, meta)
+	uid, err := f.Save(db.st)
+	if err != nil {
+		return Version{}, err
+	}
+	okCAS, err := db.heads.CompareAndSet(key, branch, head, uid)
+	if err != nil {
+		return Version{}, err
+	}
+	if !okCAS {
+		return Version{}, fmt.Errorf("%w: %s@%s", ErrStaleHead, key, branch)
+	}
+	return Version{UID: uid, Seq: seq, Bases: bases, Value: v, Meta: meta, Key: key}, nil
+}
+
+// Get returns the current value of key on branch.
+func (db *DB) Get(key, branch string) (Version, error) {
+	if branch == "" {
+		branch = DefaultBranch
+	}
+	head, ok, err := db.heads.Head(key, branch)
+	if err != nil {
+		return Version{}, err
+	}
+	if !ok {
+		return Version{}, fmt.Errorf("%w: %s@%s", ErrBranchNotFound, key, branch)
+	}
+	return db.GetVersion(key, head)
+}
+
+// GetVersion returns a specific version of key by uid.  The FNode chunk is
+// verified against the uid, so a forged version cannot be returned.
+func (db *DB) GetVersion(key string, uid hash.Hash) (Version, error) {
+	f, err := fnode.Load(db.st, uid)
+	if err != nil {
+		return Version{}, err
+	}
+	if string(f.Key) != key {
+		return Version{}, fmt.Errorf("core: version %s belongs to key %q, not %q", uid.Short(), f.Key, key)
+	}
+	v, err := f.DecodedValue()
+	if err != nil {
+		return Version{}, err
+	}
+	return Version{UID: uid, Seq: f.Seq, Bases: f.Bases, Value: v, Meta: f.Meta, Key: key}, nil
+}
+
+// Head returns the head uid of key@branch.
+func (db *DB) Head(key, branch string) (hash.Hash, error) {
+	if branch == "" {
+		branch = DefaultBranch
+	}
+	uid, ok, err := db.heads.Head(key, branch)
+	if err != nil {
+		return hash.Hash{}, err
+	}
+	if !ok {
+		return hash.Hash{}, fmt.Errorf("%w: %s@%s", ErrBranchNotFound, key, branch)
+	}
+	return uid, nil
+}
+
+// Latest returns the branch and version with the highest logical sequence
+// number across all branches of key (ties broken by branch name for
+// determinism) — the engine-level Latest operation of Fig 1.
+func (db *DB) Latest(key string) (string, Version, error) {
+	branches, err := db.heads.Branches(key)
+	if err != nil {
+		return "", Version{}, err
+	}
+	names := make([]string, 0, len(branches))
+	for b := range branches {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	var bestName string
+	var best Version
+	for _, b := range names {
+		v, err := db.GetVersion(key, branches[b])
+		if err != nil {
+			return "", Version{}, err
+		}
+		if bestName == "" || v.Seq > best.Seq {
+			bestName, best = b, v
+		}
+	}
+	return bestName, best, nil
+}
+
+// Branch forks a new branch of key from an existing branch's head — an O(1)
+// metadata operation: no data is copied, the new branch simply shares every
+// chunk with its origin.
+func (db *DB) Branch(key, newBranch, fromBranch string) error {
+	if fromBranch == "" {
+		fromBranch = DefaultBranch
+	}
+	head, ok, err := db.heads.Head(key, fromBranch)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s@%s", ErrBranchNotFound, key, fromBranch)
+	}
+	return db.branchAt(key, newBranch, head)
+}
+
+// BranchFromVersion forks a new branch from an arbitrary historical version.
+func (db *DB) BranchFromVersion(key, newBranch string, uid hash.Hash) error {
+	if _, err := db.GetVersion(key, uid); err != nil {
+		return err
+	}
+	return db.branchAt(key, newBranch, uid)
+}
+
+func (db *DB) branchAt(key, newBranch string, uid hash.Hash) error {
+	ok, err := db.heads.CompareAndSet(key, newBranch, hash.Hash{}, uid)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s@%s", ErrBranchExists, key, newBranch)
+	}
+	return nil
+}
+
+// DeleteBranch removes a branch head (chunks remain; they may be shared).
+func (db *DB) DeleteBranch(key, branch string) error {
+	return db.heads.Delete(key, branch)
+}
+
+// RenameBranch renames a branch.
+func (db *DB) RenameBranch(key, from, to string) error {
+	return db.heads.Rename(key, from, to)
+}
+
+// ListBranches returns the branch names of key, sorted.
+func (db *DB) ListBranches(key string) ([]string, error) {
+	branches, err := db.heads.Branches(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(branches))
+	for b := range branches {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ListKeys returns all object keys, sorted.
+func (db *DB) ListKeys() ([]string, error) { return db.heads.Keys() }
+
+// History returns up to limit versions of key@branch, newest first,
+// following first parents.
+func (db *DB) History(key, branch string, limit int) ([]Version, error) {
+	head, err := db.Head(key, branch)
+	if err != nil {
+		return nil, err
+	}
+	uids, err := fnode.History(db.st, head, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Version, 0, len(uids))
+	for _, uid := range uids {
+		v, err := db.GetVersion(key, uid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Diff computes key-level deltas between two versions of a map- or
+// set-valued object (the differential query of paper §III-B).
+func (db *DB) Diff(key string, from, to hash.Hash) ([]pos.Delta, pos.DiffStats, error) {
+	vf, err := db.GetVersion(key, from)
+	if err != nil {
+		return nil, pos.DiffStats{}, err
+	}
+	vt, err := db.GetVersion(key, to)
+	if err != nil {
+		return nil, pos.DiffStats{}, err
+	}
+	return db.DiffValues(vf.Value, vt.Value)
+}
+
+// DiffBranches diffs the heads of two branches of key.
+func (db *DB) DiffBranches(key, fromBranch, toBranch string) ([]pos.Delta, pos.DiffStats, error) {
+	from, err := db.Head(key, fromBranch)
+	if err != nil {
+		return nil, pos.DiffStats{}, err
+	}
+	to, err := db.Head(key, toBranch)
+	if err != nil {
+		return nil, pos.DiffStats{}, err
+	}
+	return db.Diff(key, from, to)
+}
+
+// DiffValues diffs two map/set values directly.
+func (db *DB) DiffValues(a, b value.Value) ([]pos.Delta, pos.DiffStats, error) {
+	if a.Kind() != b.Kind() {
+		return nil, pos.DiffStats{}, fmt.Errorf("core: cannot diff %s against %s", a.Kind(), b.Kind())
+	}
+	var ta, tb *pos.Tree
+	var err error
+	switch a.Kind() {
+	case value.KindMap:
+		if ta, err = a.MapTree(db.st, db.cfg); err != nil {
+			return nil, pos.DiffStats{}, err
+		}
+		tb, err = b.MapTree(db.st, db.cfg)
+	case value.KindSet:
+		if ta, err = a.SetTree(db.st, db.cfg); err != nil {
+			return nil, pos.DiffStats{}, err
+		}
+		tb, err = b.SetTree(db.st, db.cfg)
+	default:
+		return nil, pos.DiffStats{}, fmt.Errorf("core: diff unsupported for %s values", a.Kind())
+	}
+	if err != nil {
+		return nil, pos.DiffStats{}, err
+	}
+	return ta.Diff(tb)
+}
+
+// MergeResult reports the outcome of a Merge.
+type MergeResult struct {
+	Version Version
+	Stats   pos.MergeStats
+	// FastForward is true when no merge commit was needed.
+	FastForward bool
+}
+
+// Merge three-way-merges branch src into branch dst of key (paper §II-B).
+// The merge base is the LCA in the version DAG.  The merged version carries
+// both heads as bases, making the merge itself part of the tamper-evident
+// history.  resolve handles conflicting keys (nil = fail on conflict).
+func (db *DB) Merge(key, dst, src string, resolve pos.Resolver, meta map[string]string) (MergeResult, error) {
+	dstHead, err := db.Head(key, dst)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	srcHead, err := db.Head(key, src)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	if dstHead == srcHead {
+		v, err := db.GetVersion(key, dstHead)
+		return MergeResult{Version: v, FastForward: true}, err
+	}
+	// Fast-forward: dst is an ancestor of src.
+	if anc, err := fnode.IsAncestor(db.st, dstHead, srcHead); err != nil {
+		return MergeResult{}, err
+	} else if anc {
+		ok, err := db.heads.CompareAndSet(key, dst, dstHead, srcHead)
+		if err != nil {
+			return MergeResult{}, err
+		}
+		if !ok {
+			return MergeResult{}, fmt.Errorf("%w: %s@%s", ErrStaleHead, key, dst)
+		}
+		v, err := db.GetVersion(key, srcHead)
+		return MergeResult{Version: v, FastForward: true}, err
+	}
+	// Already-merged: src is an ancestor of dst.
+	if anc, err := fnode.IsAncestor(db.st, srcHead, dstHead); err != nil {
+		return MergeResult{}, err
+	} else if anc {
+		v, err := db.GetVersion(key, dstHead)
+		return MergeResult{Version: v, FastForward: true}, err
+	}
+
+	baseUID, err := fnode.LCA(db.st, dstHead, srcHead)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	dv, err := db.GetVersion(key, dstHead)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	sv, err := db.GetVersion(key, srcHead)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	mergedVal, stats, err := db.mergeValues(key, baseUID, dv.Value, sv.Value, resolve)
+	if err != nil {
+		return MergeResult{}, err
+	}
+
+	seq := dv.Seq
+	if sv.Seq > seq {
+		seq = sv.Seq
+	}
+	f := fnode.New([]byte(key), mergedVal, []hash.Hash{dstHead, srcHead}, seq+1, meta)
+	uid, err := f.Save(db.st)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	ok, err := db.heads.CompareAndSet(key, dst, dstHead, uid)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	if !ok {
+		return MergeResult{}, fmt.Errorf("%w: %s@%s", ErrStaleHead, key, dst)
+	}
+	return MergeResult{
+		Version: Version{UID: uid, Seq: seq + 1, Bases: []hash.Hash{dstHead, srcHead}, Value: mergedVal, Meta: meta, Key: key},
+		Stats:   stats,
+	}, nil
+}
+
+func (db *DB) mergeValues(key string, baseUID hash.Hash, a, b value.Value, resolve pos.Resolver) (value.Value, pos.MergeStats, error) {
+	if a.Equal(b) {
+		return a, pos.MergeStats{}, nil
+	}
+	if a.Kind() != b.Kind() {
+		return value.Value{}, pos.MergeStats{}, fmt.Errorf("core: cannot merge %s into %s", b.Kind(), a.Kind())
+	}
+	switch a.Kind() {
+	case value.KindMap, value.KindSet:
+	default:
+		return value.Value{}, pos.MergeStats{}, fmt.Errorf("core: merge unsupported for diverged %s values", a.Kind())
+	}
+
+	var baseVal value.Value
+	if !baseUID.IsZero() {
+		bv, err := db.GetVersion(key, baseUID)
+		if err != nil {
+			return value.Value{}, pos.MergeStats{}, err
+		}
+		baseVal = bv.Value
+	}
+	loadTree := func(v value.Value) (*pos.Tree, error) {
+		if v.Kind() == value.KindInvalid || v.Root().IsZero() && !v.Kind().Composite() {
+			return pos.NewEmptyTree(db.st, db.cfg), nil
+		}
+		return pos.LoadTree(db.st, db.cfg, v.Root())
+	}
+	baseTree, err := loadTree(baseVal)
+	if err != nil {
+		return value.Value{}, pos.MergeStats{}, err
+	}
+	at, err := loadTree(a)
+	if err != nil {
+		return value.Value{}, pos.MergeStats{}, err
+	}
+	bt, err := loadTree(b)
+	if err != nil {
+		return value.Value{}, pos.MergeStats{}, err
+	}
+	merged, stats, err := pos.Merge3(baseTree, at, bt, resolve)
+	if err != nil {
+		return value.Value{}, stats, err
+	}
+	if a.Kind() == value.KindSet {
+		return value.FromSetTree(merged), stats, nil
+	}
+	return value.FromMapTree(merged), stats, nil
+}
+
+// Exists reports whether key has any branch.
+func (db *DB) Exists(key string) bool {
+	branches, err := db.heads.Branches(key)
+	return err == nil && len(branches) > 0
+}
+
+// Stats returns the underlying store's dedup accounting.
+func (db *DB) Stats() store.Stats { return db.raw.Stats() }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"forkbase/internal/pos"
+	"forkbase/internal/value"
+)
+
+// EditMap writes a new version of a map-valued object by applying puts and
+// deletes to the current branch head *incrementally*: only the affected
+// POS-Tree region is re-chunked, so the cost is O(changes · log N) rather
+// than O(N), and all untouched pages are shared with the previous version.
+func (db *DB) EditMap(key, branch string, puts []pos.Entry, deletes [][]byte, meta map[string]string) (Version, error) {
+	if branch == "" {
+		branch = DefaultBranch
+	}
+	cur, err := db.Get(key, branch)
+	if err != nil {
+		return Version{}, err
+	}
+	var tree *pos.Tree
+	switch cur.Value.Kind() {
+	case value.KindMap:
+		tree, err = cur.Value.MapTree(db.st, db.cfg)
+	case value.KindSet:
+		tree, err = cur.Value.SetTree(db.st, db.cfg)
+	default:
+		return Version{}, fmt.Errorf("core: EditMap on %s value", cur.Value.Kind())
+	}
+	if err != nil {
+		return Version{}, err
+	}
+	ops := make([]pos.Op, 0, len(puts)+len(deletes))
+	for _, e := range puts {
+		ops = append(ops, pos.Put(e.Key, e.Val))
+	}
+	for _, k := range deletes {
+		ops = append(ops, pos.Del(k))
+	}
+	edited, err := tree.Edit(ops)
+	if err != nil {
+		return Version{}, err
+	}
+	var v value.Value
+	if cur.Value.Kind() == value.KindSet {
+		v = value.FromSetTree(edited)
+	} else {
+		v = value.FromMapTree(edited)
+	}
+	return db.Put(key, branch, v, meta)
+}
+
+// AppendList writes a new version of a list-valued object with items
+// appended, reusing the existing sequence chunks.
+func (db *DB) AppendList(key, branch string, items [][]byte, meta map[string]string) (Version, error) {
+	if branch == "" {
+		branch = DefaultBranch
+	}
+	cur, err := db.Get(key, branch)
+	if err != nil {
+		return Version{}, err
+	}
+	seq, err := cur.Value.Seq(db.st, db.cfg)
+	if err != nil {
+		return Version{}, err
+	}
+	appended, err := seq.Append(items...)
+	if err != nil {
+		return Version{}, err
+	}
+	return db.Put(key, branch, value.FromSeq(appended), meta)
+}
+
+// SpliceBlob writes a new version of a blob-valued object with bytes
+// [at, at+del) replaced by ins, re-chunking only the affected region.
+func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta map[string]string) (Version, error) {
+	if branch == "" {
+		branch = DefaultBranch
+	}
+	cur, err := db.Get(key, branch)
+	if err != nil {
+		return Version{}, err
+	}
+	blob, err := cur.Value.Blob(db.st, db.cfg)
+	if err != nil {
+		return Version{}, err
+	}
+	spliced, err := blob.Splice(at, del, ins)
+	if err != nil {
+		return Version{}, err
+	}
+	return db.Put(key, branch, value.FromBlob(spliced), meta)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/fnode"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+)
+
+// GCStats reports a collection run.
+type GCStats struct {
+	// Live is the number of chunks reachable from any branch head.
+	Live int
+	// Swept is the number of unreachable chunks deleted.
+	Swept int
+	// SweptBytes is the physical space reclaimed.
+	SweptBytes int64
+}
+
+// Collectable is the optional store capability GC needs: enumeration and
+// deletion of chunks.  MemStore implements it; append-only FileStore does
+// not (compaction there means rewriting segments, deliberately out of
+// scope), so GC on a file-backed DB returns ErrNotCollectable.
+type Collectable interface {
+	IDs() []hash.Hash
+	Delete(id hash.Hash)
+	Get(id hash.Hash) (*chunk.Chunk, error)
+}
+
+// ErrNotCollectable is returned when the backing store cannot enumerate and
+// delete chunks.
+var ErrNotCollectable = fmt.Errorf("core: store does not support garbage collection")
+
+// GC removes every chunk not reachable from any branch head of any key.
+//
+// Immutability makes this safe and simple: the reachable set is the closure
+// of {branch heads} over FNode bases and POS-Tree child pointers.  Note that
+// ForkBase semantics keep *all history reachable from a head* alive —
+// history is only collected when the branches referencing it are deleted.
+func (db *DB) GC() (GCStats, error) {
+	col, ok := collectable(db.raw)
+	if !ok {
+		return GCStats{}, ErrNotCollectable
+	}
+	live := make(map[hash.Hash]bool)
+	keys, err := db.heads.Keys()
+	if err != nil {
+		return GCStats{}, err
+	}
+	for _, key := range keys {
+		branches, err := db.heads.Branches(key)
+		if err != nil {
+			return GCStats{}, err
+		}
+		for _, head := range branches {
+			if err := db.markFrom(head, live); err != nil {
+				return GCStats{}, err
+			}
+		}
+	}
+	var stats GCStats
+	stats.Live = len(live)
+	for _, id := range col.IDs() {
+		if live[id] {
+			continue
+		}
+		if c, err := col.Get(id); err == nil {
+			stats.SweptBytes += int64(c.Size())
+		}
+		col.Delete(id)
+		stats.Swept++
+	}
+	return stats, nil
+}
+
+func collectable(st store.Store) (Collectable, bool) {
+	switch s := st.(type) {
+	case Collectable:
+		return s, true
+	case *store.CountingStore:
+		return collectable(s.Inner)
+	case *store.VerifyingStore:
+		return collectable(s.Inner)
+	case *store.MaliciousStore:
+		return collectable(s.Inner)
+	default:
+		return nil, false
+	}
+}
+
+// markFrom adds every chunk reachable from a version uid to live: the FNode
+// chain (all bases, transitively) and each version's value tree.
+func (db *DB) markFrom(uid hash.Hash, live map[hash.Hash]bool) error {
+	queue := []hash.Hash{uid}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.IsZero() || live[cur] {
+			continue
+		}
+		f, err := fnode.Load(db.st, cur)
+		if err != nil {
+			return fmt.Errorf("core: gc mark %s: %w", cur.Short(), err)
+		}
+		live[cur] = true
+		queue = append(queue, f.Bases...)
+		v, err := f.DecodedValue()
+		if err != nil {
+			return err
+		}
+		if v.Kind().Composite() && !v.Root().IsZero() {
+			if err := db.markValue(v.Root(), live); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) markValue(root hash.Hash, live map[hash.Hash]bool) error {
+	if live[root] {
+		return nil
+	}
+	c, err := db.st.Get(root)
+	if err != nil {
+		return fmt.Errorf("core: gc mark value %s: %w", root.Short(), err)
+	}
+	live[root] = true
+	children, err := pos.IndexChildren(c)
+	if err != nil {
+		return err
+	}
+	for _, child := range children {
+		if err := db.markValue(child, live); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+func bigMap(t *testing.T, db *DB, n int, tag string) value.Value {
+	t.Helper()
+	entries := make([]pos.Entry, n)
+	for i := range entries {
+		entries[i] = pos.Entry{
+			Key: []byte(fmt.Sprintf("k-%05d", i)),
+			Val: []byte(fmt.Sprintf("%s-%d", tag, i)),
+		}
+	}
+	v, err := value.NewMap(db.Store(), db.Chunking(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestGCKeepsEverythingReachable(t *testing.T) {
+	db := newTestDB()
+	db.Put("a", "", bigMap(t, db, 500, "v1"), nil)
+	db.Put("a", "", bigMap(t, db, 500, "v2"), nil)
+	db.Branch("a", "dev", "")
+	db.Put("b", "", value.String("primitive"), nil)
+
+	stats, err := db.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Swept != 0 {
+		t.Fatalf("GC swept %d chunks that were all reachable", stats.Swept)
+	}
+	// Everything still readable, including history.
+	hist, err := db.History("a", "master", 0)
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history after GC: %d %v", len(hist), err)
+	}
+	if _, err := db.VerifyVersion("a", hist[0].UID, true); err != nil {
+		t.Fatalf("verify after GC: %v", err)
+	}
+}
+
+func TestGCSweepsAfterBranchDelete(t *testing.T) {
+	db := newTestDB()
+	// Two independent keys; delete every branch of one of them.
+	db.Put("keep", "", bigMap(t, db, 500, "keep"), nil)
+	db.Put("drop", "", bigMap(t, db, 500, "drop"), nil)
+	before := db.Stats().UniqueChunks
+
+	if err := db.DeleteBranch("drop", "master"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Swept == 0 || stats.SweptBytes == 0 {
+		t.Fatalf("nothing swept after branch delete: %+v", stats)
+	}
+	after := db.Stats().UniqueChunks
+	if after >= before {
+		t.Fatalf("chunk count did not shrink: %d -> %d", before, after)
+	}
+	// The surviving key is fully intact.
+	v, err := db.Get("keep", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.VerifyVersion("keep", v.UID, true); err != nil {
+		t.Fatalf("survivor corrupted by GC: %v", err)
+	}
+}
+
+func TestGCPreservesSharedChunks(t *testing.T) {
+	db := newTestDB()
+	// Two keys sharing most pages (same content); deleting one must not
+	// free the shared pages.
+	v1 := bigMap(t, db, 800, "shared")
+	db.Put("x", "", v1, nil)
+	v2 := bigMap(t, db, 800, "shared") // identical content → same chunks
+	db.Put("y", "", v2, nil)
+
+	if err := db.DeleteBranch("x", "master"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GC(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get("y", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.VerifyVersion("y", got.UID, true); err != nil {
+		t.Fatalf("shared chunks swept: %v", err)
+	}
+}
+
+func TestGCHistoryStaysAlive(t *testing.T) {
+	db := newTestDB()
+	old, err := db.Put("doc", "", bigMap(t, db, 300, "old"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("doc", "", bigMap(t, db, 300, "new"), nil)
+	if _, err := db.GC(); err != nil {
+		t.Fatal(err)
+	}
+	// The old version is reachable via the head's bases chain.
+	if _, err := db.GetVersion("doc", old.UID); err != nil {
+		t.Fatalf("historical version swept: %v", err)
+	}
+}
+
+func TestGCOnWrappedStores(t *testing.T) {
+	mal := store.NewMaliciousStore(store.NewMemStore())
+	db := Open(Options{Store: mal, Chunking: chunker.SmallConfig()})
+	db.Put("k", "", value.String("v"), nil)
+	if _, err := db.GC(); err != nil {
+		t.Fatalf("GC through malicious wrapper: %v", err)
+	}
+	cs := store.NewCountingStore(store.NewMemStore())
+	db2 := Open(Options{Store: cs, Chunking: chunker.SmallConfig()})
+	db2.Put("k", "", value.String("v"), nil)
+	if _, err := db2.GC(); err != nil {
+		t.Fatalf("GC through counting wrapper: %v", err)
+	}
+}
+
+func TestGCNotCollectable(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	db := Open(Options{Store: fs, Chunking: chunker.SmallConfig()})
+	if _, err := db.GC(); !errors.Is(err, ErrNotCollectable) {
+		t.Fatalf("file store GC err = %v", err)
+	}
+}
+
+func TestEditMapIncremental(t *testing.T) {
+	db := newTestDB()
+	db.Put("m", "", bigMap(t, db, 1000, "base"), nil)
+
+	v2, err := db.EditMap("m", "", []pos.Entry{
+		{Key: []byte("k-00500"), Val: []byte("edited")},
+		{Key: []byte("new-key"), Val: []byte("added")},
+	}, [][]byte{[]byte("k-00001")}, map[string]string{"msg": "edit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := v2.Value.MapTree(db.Store(), db.Chunking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Get([]byte("k-00500")); string(v) != "edited" {
+		t.Fatalf("edit lost: %q", v)
+	}
+	if ok, _ := tr.Has([]byte("k-00001")); ok {
+		t.Fatal("delete lost")
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	// Incremental edit equals a full re-put of the same content.
+	entries, err := tr.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := value.NewMap(db.Store(), db.Chunking(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Equal(v2.Value) {
+		t.Fatal("incremental EditMap diverges from fresh build")
+	}
+}
+
+func TestEditMapOnSet(t *testing.T) {
+	db := newTestDB()
+	v, err := value.NewSet(db.Store(), db.Chunking(), [][]byte{[]byte("a"), []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("s", "", v, nil)
+	v2, err := db.EditMap("s", "", []pos.Entry{{Key: []byte("c")}}, [][]byte{[]byte("a")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Value.Kind() != value.KindSet {
+		t.Fatalf("kind changed to %s", v2.Value.Kind())
+	}
+	tr, _ := v2.Value.SetTree(db.Store(), db.Chunking())
+	if ok, _ := tr.Has([]byte("c")); !ok {
+		t.Fatal("set add lost")
+	}
+	if ok, _ := tr.Has([]byte("a")); ok {
+		t.Fatal("set remove lost")
+	}
+}
+
+func TestEditMapWrongKind(t *testing.T) {
+	db := newTestDB()
+	db.Put("str", "", value.String("x"), nil)
+	if _, err := db.EditMap("str", "", nil, nil, nil); err == nil {
+		t.Fatal("EditMap on string succeeded")
+	}
+}
+
+func TestAppendListAndSpliceBlob(t *testing.T) {
+	db := newTestDB()
+	lv, err := value.NewList(db.Store(), db.Chunking(), [][]byte{[]byte("one")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("l", "", lv, nil)
+	v2, err := db.AppendList("l", "", [][]byte{[]byte("two"), []byte("three")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, _ := v2.Value.Seq(db.Store(), db.Chunking())
+	if sq.Len() != 3 {
+		t.Fatalf("list len = %d", sq.Len())
+	}
+	it, err := sq.Get(2)
+	if err != nil || string(it) != "three" {
+		t.Fatalf("appended item = %q %v", it, err)
+	}
+
+	bv, err := value.NewBlob(db.Store(), db.Chunking(), []byte("hello cruel world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("b", "", bv, nil)
+	v3, err := db.SpliceBlob("b", "", 6, 5, []byte("kind"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, _ := v3.Value.Blob(db.Store(), db.Chunking())
+	got, _ := bl.Bytes()
+	if string(got) != "hello kind world" {
+		t.Fatalf("spliced = %q", got)
+	}
+}

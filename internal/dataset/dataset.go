@@ -1,0 +1,489 @@
+// Package dataset layers relational datasets on top of the ForkBase engine:
+// the "Dataset Management" and "Collaborative Analytics" applications of
+// paper Fig 1 and the substrate for the Fig 4 (deduplication) and Fig 5
+// (differential query) demonstrations.
+//
+// A dataset is a schema (ordered column names, one of them the primary key)
+// plus a map POS-Tree from primary key to encoded row.  Because rows live in
+// a structurally invariant tree, near-identical datasets share almost all
+// pages, and branch/version diffs run in O(D log N).
+package dataset
+
+import (
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"forkbase/internal/core"
+	"forkbase/internal/pos"
+	"forkbase/internal/value"
+)
+
+// Schema describes a dataset's columns.
+type Schema struct {
+	// Columns are the ordered column names.
+	Columns []string
+	// KeyColumn is the index (into Columns) of the primary key.
+	KeyColumn int
+}
+
+// Validate checks structural sanity.
+func (s Schema) Validate() error {
+	if len(s.Columns) == 0 {
+		return errors.New("dataset: schema has no columns")
+	}
+	if s.KeyColumn < 0 || s.KeyColumn >= len(s.Columns) {
+		return fmt.Errorf("dataset: key column %d out of range", s.KeyColumn)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c == "" {
+			return errors.New("dataset: empty column name")
+		}
+		if seen[c] {
+			return fmt.Errorf("dataset: duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Encode renders the schema as a single string (stored as object metadata).
+func (s Schema) Encode() string {
+	return fmt.Sprintf("%d|%s", s.KeyColumn, strings.Join(s.Columns, ","))
+}
+
+// ParseSchema decodes Schema.Encode output.
+func ParseSchema(enc string) (Schema, error) {
+	i := strings.IndexByte(enc, '|')
+	if i < 0 {
+		return Schema{}, fmt.Errorf("dataset: bad schema encoding %q", enc)
+	}
+	var key int
+	if _, err := fmt.Sscanf(enc[:i], "%d", &key); err != nil {
+		return Schema{}, fmt.Errorf("dataset: bad schema key column: %w", err)
+	}
+	s := Schema{Columns: strings.Split(enc[i+1:], ","), KeyColumn: key}
+	if err := s.Validate(); err != nil {
+		return Schema{}, err
+	}
+	return s, nil
+}
+
+// Row is one record, cell values ordered per the schema.
+type Row []string
+
+// encodeRow renders cells with uvarint length prefixes — deterministic, so
+// identical rows encode identically and dedup page-wise.
+func encodeRow(r Row) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(r)))
+	out = append(out, tmp[:n]...)
+	for _, cell := range r {
+		n = binary.PutUvarint(tmp[:], uint64(len(cell)))
+		out = append(out, tmp[:n]...)
+		out = append(out, cell...)
+	}
+	return out
+}
+
+func decodeRow(data []byte) (Row, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, errors.New("dataset: truncated row")
+	}
+	p := data[sz:]
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(p)
+		if sz <= 0 || uint64(len(p[sz:])) < l {
+			return nil, errors.New("dataset: truncated cell")
+		}
+		p = p[sz:]
+		row = append(row, string(p[:l]))
+		p = p[l:]
+	}
+	if len(p) != 0 {
+		return nil, errors.New("dataset: trailing row bytes")
+	}
+	return row, nil
+}
+
+// metaSchema is the FNode meta key carrying the schema.
+const metaSchema = "dataset.schema"
+
+// Dataset is a handle to one version of a named dataset on a branch.
+type Dataset struct {
+	db     *core.DB
+	Name   string
+	Branch string
+	Schema Schema
+	tree   *pos.Tree
+	ver    core.Version
+}
+
+// Create writes a new dataset (as the initial version on branch) from rows.
+func Create(db *core.DB, name, branch string, schema Schema, rows []Row, meta map[string]string) (*Dataset, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	entries, err := rowEntries(schema, rows)
+	if err != nil {
+		return nil, err
+	}
+	v, err := value.NewMap(db.Store(), db.Chunking(), entries)
+	if err != nil {
+		return nil, err
+	}
+	if meta == nil {
+		meta = map[string]string{}
+	}
+	meta[metaSchema] = schema.Encode()
+	ver, err := db.Put(name, branch, v, meta)
+	if err != nil {
+		return nil, err
+	}
+	return open(db, name, branch, ver)
+}
+
+func rowEntries(schema Schema, rows []Row) ([]pos.Entry, error) {
+	entries := make([]pos.Entry, 0, len(rows))
+	for i, r := range rows {
+		if len(r) != len(schema.Columns) {
+			return nil, fmt.Errorf("dataset: row %d has %d cells, schema has %d columns", i, len(r), len(schema.Columns))
+		}
+		entries = append(entries, pos.Entry{
+			Key: []byte(r[schema.KeyColumn]),
+			Val: encodeRow(r),
+		})
+	}
+	return entries, nil
+}
+
+// Open attaches to the current version of dataset name on branch.
+func Open(db *core.DB, name, branch string) (*Dataset, error) {
+	ver, err := db.Get(name, branch)
+	if err != nil {
+		return nil, err
+	}
+	return open(db, name, branch, ver)
+}
+
+// OpenVersion attaches to a specific historical version.  The returned
+// handle has no branch, so Stat reports zero versions and UpdateRows writes
+// to the default branch.
+func OpenVersion(db *core.DB, name string, ver core.Version) (*Dataset, error) {
+	if ver.Key != name {
+		return nil, fmt.Errorf("dataset: version belongs to %q, not %q", ver.Key, name)
+	}
+	d, err := open(db, name, "", ver)
+	if err != nil {
+		return nil, err
+	}
+	d.Branch = ""
+	return d, nil
+}
+
+func open(db *core.DB, name, branch string, ver core.Version) (*Dataset, error) {
+	if branch == "" {
+		branch = core.DefaultBranch
+	}
+	enc, ok := ver.Meta[metaSchema]
+	if !ok {
+		return nil, fmt.Errorf("dataset: object %q is not a dataset (no schema)", name)
+	}
+	schema, err := ParseSchema(enc)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := ver.Value.MapTree(db.Store(), db.Chunking())
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{db: db, Name: name, Branch: branch, Schema: schema, tree: tree, ver: ver}, nil
+}
+
+// Version returns the dataset's version record.
+func (d *Dataset) Version() core.Version { return d.ver }
+
+// Rows returns the number of rows.
+func (d *Dataset) Rows() uint64 { return d.tree.Len() }
+
+// Tree exposes the underlying POS-Tree (for stats and benchmarks).
+func (d *Dataset) Tree() *pos.Tree { return d.tree }
+
+// Get returns the row with the given primary key.
+func (d *Dataset) Get(key string) (Row, error) {
+	raw, err := d.tree.Get([]byte(key))
+	if err != nil {
+		return nil, err
+	}
+	return decodeRow(raw)
+}
+
+// Scan calls fn for every row in primary-key order; fn returning false
+// stops the scan.
+func (d *Dataset) Scan(fn func(Row) bool) error {
+	it, err := d.tree.Iter()
+	if err != nil {
+		return err
+	}
+	for it.Next() {
+		row, err := decodeRow(it.Entry().Val)
+		if err != nil {
+			return err
+		}
+		if !fn(row) {
+			break
+		}
+	}
+	return it.Err()
+}
+
+// UpdateRows writes a new version applying row upserts and deletions.
+func (d *Dataset) UpdateRows(upserts []Row, deleteKeys []string, meta map[string]string) (*Dataset, error) {
+	ops := make([]pos.Op, 0, len(upserts)+len(deleteKeys))
+	for i, r := range upserts {
+		if len(r) != len(d.Schema.Columns) {
+			return nil, fmt.Errorf("dataset: upsert %d has %d cells, schema has %d columns", i, len(r), len(d.Schema.Columns))
+		}
+		ops = append(ops, pos.Put([]byte(r[d.Schema.KeyColumn]), encodeRow(r)))
+	}
+	for _, k := range deleteKeys {
+		ops = append(ops, pos.Del([]byte(k)))
+	}
+	newTree, err := d.tree.Edit(ops)
+	if err != nil {
+		return nil, err
+	}
+	if meta == nil {
+		meta = map[string]string{}
+	}
+	meta[metaSchema] = d.Schema.Encode()
+	ver, err := d.db.Put(d.Name, d.Branch, value.FromMapTree(newTree), meta)
+	if err != nil {
+		return nil, err
+	}
+	return open(d.db, d.Name, d.Branch, ver)
+}
+
+// Stat summarises the dataset (the Stat operation of paper Fig 1).
+type Stat struct {
+	Name     string
+	Branch   string
+	Rows     uint64
+	Columns  int
+	Versions int
+	Tree     pos.Stats
+}
+
+// Stat computes dataset statistics.
+func (d *Dataset) Stat() (Stat, error) {
+	ts, err := d.tree.ComputeStats()
+	if err != nil {
+		return Stat{}, err
+	}
+	versions := 0
+	if d.Branch != "" {
+		hist, err := d.db.History(d.Name, d.Branch, 0)
+		if err == nil {
+			versions = len(hist)
+		}
+	}
+	return Stat{
+		Name:     d.Name,
+		Branch:   d.Branch,
+		Rows:     d.tree.Len(),
+		Columns:  len(d.Schema.Columns),
+		Versions: versions,
+		Tree:     ts,
+	}, nil
+}
+
+// --- CSV import/export ------------------------------------------------------
+
+// LoadCSV reads a CSV stream (first record = header) into rows + schema.
+// keyColumn names the primary-key column.
+func LoadCSV(r io.Reader, keyColumn string) (Schema, []Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return Schema{}, nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	keyIdx := -1
+	for i, c := range header {
+		if c == keyColumn {
+			keyIdx = i
+			break
+		}
+	}
+	if keyIdx < 0 {
+		return Schema{}, nil, fmt.Errorf("dataset: key column %q not in header %v", keyColumn, header)
+	}
+	schema := Schema{Columns: header, KeyColumn: keyIdx}
+	if err := schema.Validate(); err != nil {
+		return Schema{}, nil, err
+	}
+	var rows []Row
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Schema{}, nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return Schema{}, nil, fmt.Errorf("dataset: CSV line %d has %d fields, header has %d", line, len(rec), len(header))
+		}
+		rows = append(rows, Row(rec))
+	}
+	return schema, rows, nil
+}
+
+// CreateFromCSV loads a CSV stream as a new dataset version.
+func CreateFromCSV(db *core.DB, name, branch, keyColumn string, r io.Reader, meta map[string]string) (*Dataset, error) {
+	schema, rows, err := LoadCSV(r, keyColumn)
+	if err != nil {
+		return nil, err
+	}
+	return Create(db, name, branch, schema, rows, meta)
+}
+
+// ExportCSV writes the dataset as CSV (header + rows in key order) — the
+// Export operation of paper Fig 1.
+func (d *Dataset) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Schema.Columns); err != nil {
+		return err
+	}
+	var writeErr error
+	err := d.Scan(func(r Row) bool {
+		writeErr = cw.Write(r)
+		return writeErr == nil
+	})
+	if err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// --- differential query -----------------------------------------------------
+
+// CellChange pinpoints one changed cell within a modified row.
+type CellChange struct {
+	Column string
+	From   string
+	To     string
+}
+
+// RowDelta is one row-level difference, with cell-level refinement for
+// modifications — the multi-scope highlighting of paper Fig 5.
+type RowDelta struct {
+	Key   string
+	Kind  pos.DeltaKind
+	From  Row // nil for additions
+	To    Row // nil for removals
+	Cells []CellChange
+}
+
+// DiffResult is the output of a differential query.
+type DiffResult struct {
+	Deltas []RowDelta
+	Stats  pos.DiffStats
+}
+
+// Diff performs a differential query between two dataset versions (their
+// schemas must agree column-wise for cell refinement; mismatched schemas
+// fall back to whole-row deltas).
+func Diff(from, to *Dataset) (DiffResult, error) {
+	deltas, stats, err := from.tree.Diff(to.tree)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	sameSchema := schemaEqual(from.Schema, to.Schema)
+	out := make([]RowDelta, 0, len(deltas))
+	for _, d := range deltas {
+		rd := RowDelta{Key: string(d.Key), Kind: d.Kind()}
+		if d.From != nil {
+			row, err := decodeRow(d.From)
+			if err != nil {
+				return DiffResult{}, err
+			}
+			rd.From = row
+		}
+		if d.To != nil {
+			row, err := decodeRow(d.To)
+			if err != nil {
+				return DiffResult{}, err
+			}
+			rd.To = row
+		}
+		if rd.Kind == pos.Modified && sameSchema && len(rd.From) == len(rd.To) {
+			for i := range rd.From {
+				if rd.From[i] != rd.To[i] {
+					rd.Cells = append(rd.Cells, CellChange{
+						Column: from.Schema.Columns[i],
+						From:   rd.From[i],
+						To:     rd.To[i],
+					})
+				}
+			}
+		}
+		out = append(out, rd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return DiffResult{Deltas: out, Stats: stats}, nil
+}
+
+// DiffBranches runs a differential query between two branches of a dataset.
+func DiffBranches(db *core.DB, name, fromBranch, toBranch string) (DiffResult, error) {
+	from, err := Open(db, name, fromBranch)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	to, err := Open(db, name, toBranch)
+	if err != nil {
+		return DiffResult{}, err
+	}
+	return Diff(from, to)
+}
+
+func schemaEqual(a, b Schema) bool {
+	if a.KeyColumn != b.KeyColumn || len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a short human-readable diff summary.
+func (r DiffResult) Summary() string {
+	var add, rem, mod int
+	for _, d := range r.Deltas {
+		switch d.Kind {
+		case pos.Added:
+			add++
+		case pos.Removed:
+			rem++
+		default:
+			mod++
+		}
+	}
+	return fmt.Sprintf("%d added, %d removed, %d modified (%d pages touched)",
+		add, rem, mod, r.Stats.TouchedChunks)
+}

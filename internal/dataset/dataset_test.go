@@ -1,0 +1,328 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/core"
+	"forkbase/internal/pos"
+	"forkbase/internal/value"
+)
+
+func newDB() *core.DB {
+	return core.Open(core.Options{Chunking: chunker.SmallConfig()})
+}
+
+func sampleSchema() Schema {
+	return Schema{Columns: []string{"id", "name", "city"}, KeyColumn: 0}
+}
+
+func sampleRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			"id-" + pad(i),
+			"name-" + pad(i),
+			"city-" + pad(i%10),
+		}
+	}
+	return rows
+}
+
+func pad(i int) string {
+	s := "00000" + itoa(i)
+	return s[len(s)-5:]
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := []Schema{
+		{},
+		{Columns: []string{"a"}, KeyColumn: 1},
+		{Columns: []string{"a"}, KeyColumn: -1},
+		{Columns: []string{"a", "a"}, KeyColumn: 0},
+		{Columns: []string{"a", ""}, KeyColumn: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+	if err := sampleSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaEncodeParse(t *testing.T) {
+	s := sampleSchema()
+	got, err := ParseSchema(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schemaEqual(s, got) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := ParseSchema("garbage"); err == nil {
+		t.Fatal("parsed garbage")
+	}
+}
+
+func TestCreateOpenGetScan(t *testing.T) {
+	db := newDB()
+	ds, err := Create(db, "people", "", sampleSchema(), sampleRows(100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 100 {
+		t.Fatalf("rows = %d", ds.Rows())
+	}
+	row, err := ds.Get("id-00042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1] != "name-00042" {
+		t.Fatalf("row = %v", row)
+	}
+
+	reopened, err := Open(db, "people", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	prev := ""
+	err = reopened.Scan(func(r Row) bool {
+		if prev != "" && r[0] <= prev {
+			t.Fatalf("scan out of order: %q after %q", r[0], prev)
+		}
+		prev = r[0]
+		count++
+		return true
+	})
+	if err != nil || count != 100 {
+		t.Fatalf("scan count=%d err=%v", count, err)
+	}
+}
+
+func TestRowWidthMismatch(t *testing.T) {
+	db := newDB()
+	_, err := Create(db, "bad", "", sampleSchema(), []Row{{"only-one-cell"}}, nil)
+	if err == nil {
+		t.Fatal("narrow row accepted")
+	}
+}
+
+func TestUpdateRows(t *testing.T) {
+	db := newDB()
+	ds, err := Create(db, "people", "", sampleSchema(), sampleRows(50), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ds.UpdateRows(
+		[]Row{{"id-00007", "renamed", "moved"}, {"id-new01", "fresh", "town"}},
+		[]string{"id-00003"},
+		map[string]string{"msg": "edits"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Rows() != 50 { // +1 insert, -1 delete, 1 in-place update
+		t.Fatalf("rows = %d", ds2.Rows())
+	}
+	row, err := ds2.Get("id-00007")
+	if err != nil || row[1] != "renamed" {
+		t.Fatalf("update lost: %v %v", row, err)
+	}
+	if _, err := ds2.Get("id-00003"); err == nil {
+		t.Fatal("deleted row still present")
+	}
+	// Old version untouched (immutability).
+	if _, err := ds.Get("id-00003"); err != nil {
+		t.Fatalf("old version lost row: %v", err)
+	}
+	// Version chain grew.
+	if ds2.Version().Seq != ds.Version().Seq+1 {
+		t.Fatalf("seq %d -> %d", ds.Version().Seq, ds2.Version().Seq)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := newDB()
+	csvIn := "id,name,city\nu1,Ann,Oslo\nu2,Bo,Rio\nu3,Cy,Ube\n"
+	ds, err := CreateFromCSV(db, "users", "", "id", strings.NewReader(csvIn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 3 {
+		t.Fatalf("rows = %d", ds.Rows())
+	}
+	row, err := ds.Get("u2")
+	if err != nil || row[1] != "Bo" {
+		t.Fatalf("row = %v err=%v", row, err)
+	}
+	var buf bytes.Buffer
+	if err := ds.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != csvIn {
+		t.Fatalf("export = %q, want %q", buf.String(), csvIn)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	db := newDB()
+	if _, err := CreateFromCSV(db, "x", "", "missing", strings.NewReader("a,b\n1,2\n"), nil); err == nil {
+		t.Fatal("missing key column accepted")
+	}
+	if _, err := CreateFromCSV(db, "x", "", "a", strings.NewReader("a,b\n1\n"), nil); err == nil {
+		t.Fatal("ragged CSV accepted")
+	}
+	if _, err := CreateFromCSV(db, "x", "", "a", strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+}
+
+func TestOpenNonDataset(t *testing.T) {
+	db := newDB()
+	v, err := value.NewMap(db.Store(), db.Chunking(), []pos.Entry{{Key: []byte("k"), Val: []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put("plain", "", v, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(db, "plain", "master"); err == nil {
+		t.Fatal("opened a schemaless object as dataset")
+	}
+}
+
+func TestDiffBranchesCellLevel(t *testing.T) {
+	db := newDB()
+	ds, err := Create(db, "people", "", sampleSchema(), sampleRows(200), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Branch("people", "vendor", ""); err != nil {
+		t.Fatal(err)
+	}
+	vds, err := Open(db, "people", "vendor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = vds.UpdateRows(
+		[]Row{{"id-00010", "name-00010", "NEWCITY"}, {"id-extra", "who", "where"}},
+		[]string{"id-00100"},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := DiffBranches(db, "people", "master", "vendor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deltas) != 3 {
+		t.Fatalf("deltas = %d: %+v", len(res.Deltas), res.Deltas)
+	}
+	byKey := map[string]RowDelta{}
+	for _, d := range res.Deltas {
+		byKey[d.Key] = d
+	}
+	mod := byKey["id-00010"]
+	if mod.Kind != pos.Modified || len(mod.Cells) != 1 || mod.Cells[0].Column != "city" || mod.Cells[0].To != "NEWCITY" {
+		t.Fatalf("modified delta = %+v", mod)
+	}
+	if byKey["id-extra"].Kind != pos.Added || byKey["id-00100"].Kind != pos.Removed {
+		t.Fatalf("kinds wrong: %+v", byKey)
+	}
+	if res.Summary() == "" || !strings.Contains(res.Summary(), "1 added") {
+		t.Fatalf("summary = %q", res.Summary())
+	}
+	_ = ds
+}
+
+func TestStat(t *testing.T) {
+	db := newDB()
+	ds, err := Create(db, "people", "", sampleSchema(), sampleRows(500), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err = ds.UpdateRows([]Row{{"id-00001", "x", "y"}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ds.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 500 || st.Columns != 3 || st.Versions != 2 || st.Tree.Nodes == 0 {
+		t.Fatalf("stat = %+v", st)
+	}
+}
+
+func TestOpenVersionHistorical(t *testing.T) {
+	db := newDB()
+	ds, err := Create(db, "hist", "", sampleSchema(), sampleRows(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := ds.Version()
+	ds2, err := ds.UpdateRows([]Row{{"id-00001", "renamed", "moved"}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open the historical version: content is frozen at v1.
+	old, err := OpenVersion(db, "hist", v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := old.Get("id-00001")
+	if err != nil || row[1] != "name-00001" {
+		t.Fatalf("historical row = %v, %v", row, err)
+	}
+	cur, err := ds2.Get("id-00001")
+	if err != nil || cur[1] != "renamed" {
+		t.Fatalf("current row = %v, %v", cur, err)
+	}
+	// Wrong key is rejected.
+	if _, err := OpenVersion(db, "other", v1); err == nil {
+		t.Fatal("cross-key OpenVersion succeeded")
+	}
+	// Stat on a branchless handle reports zero versions but full tree data.
+	st, err := old.Stat()
+	if err != nil || st.Versions != 0 || st.Rows != 20 {
+		t.Fatalf("historical stat = %+v, %v", st, err)
+	}
+}
+
+func TestDiffIdenticalDatasets(t *testing.T) {
+	db := newDB()
+	_, err := Create(db, "same", "", sampleSchema(), sampleRows(50), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Branch("same", "copy", ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiffBranches(db, "same", "master", "copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deltas) != 0 || res.Stats.TouchedChunks != 0 {
+		t.Fatalf("identical branches diff = %+v", res)
+	}
+}

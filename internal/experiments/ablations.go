@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"forkbase/internal/baseline"
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation A1 — SIRI (POS-Tree) vs non-SIRI (B+-tree) page sharing
+// ---------------------------------------------------------------------------
+
+// A1Result contrasts page sharing across versions and insertion orders.
+type A1Result struct {
+	Entries  int
+	Versions int
+
+	// Cross-version sharing: fraction of version i+1's pages shared with i.
+	POSVersionShare float64
+	BPVersionShare  float64
+
+	// Cross-order sharing: pages shared between two logically identical
+	// indexes built with different insertion orders.
+	POSOrderShare float64
+	BPOrderShare  float64
+}
+
+// RunA1 measures both sharing dimensions.  POS-Tree should share nearly
+// everything; the classic B+-tree should share almost nothing — Definition 1
+// of the paper made quantitative.
+func RunA1(entries, versions int) (A1Result, error) {
+	keys := make([][]byte, entries)
+	vals := make([][]byte, entries)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+		vals[i] = []byte(fmt.Sprintf("val-%d", i))
+	}
+
+	// --- Cross-order sharing ---
+	ms := store.NewMemStore()
+	cfg := chunker.DefaultConfig()
+	sortedEntries := make([]pos.Entry, entries)
+	for i := range sortedEntries {
+		sortedEntries[i] = pos.Entry{Key: keys[i], Val: vals[i]}
+	}
+	posSorted, err := pos.BuildMap(ms, cfg, sortedEntries)
+	if err != nil {
+		return A1Result{}, err
+	}
+	// "Different insertion order" for POS-Tree = build half, edit in the
+	// rest shuffled; structural invariance says the result is identical.
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(entries)
+	half := entries / 2
+	firstHalf := make([]pos.Entry, 0, half)
+	for _, i := range perm[:half] {
+		firstHalf = append(firstHalf, pos.Entry{Key: keys[i], Val: vals[i]})
+	}
+	posShuffled, err := pos.BuildMap(ms, cfg, firstHalf)
+	if err != nil {
+		return A1Result{}, err
+	}
+	var ops []pos.Op
+	for _, i := range perm[half:] {
+		ops = append(ops, pos.Put(keys[i], vals[i]))
+	}
+	posShuffled, err = posShuffled.Edit(ops)
+	if err != nil {
+		return A1Result{}, err
+	}
+	posOrderShare := chunkShare(posSorted, posShuffled)
+
+	bpSorted := baseline.NewBPlusTree(64)
+	for i := range keys {
+		bpSorted.Insert(keys[i], vals[i])
+	}
+	bpShuffled := baseline.NewBPlusTree(64)
+	for _, i := range rng.Perm(entries) {
+		bpShuffled.Insert(keys[i], vals[i])
+	}
+	shared, ta, tb := baseline.SharedPages(bpSorted, bpShuffled)
+	bpOrderShare := float64(shared) / float64(min(ta, tb))
+
+	// --- Cross-version sharing ---
+	posPrev := posSorted
+	var posShareSum float64
+	bpPrev := bpSorted
+	var bpShareSum float64
+	for v := 1; v < versions; v++ {
+		idx := (v * 997) % entries
+		newVal := []byte(fmt.Sprintf("version-%d-value", v))
+
+		posNext, err := posPrev.Edit([]pos.Op{pos.Put(keys[idx], newVal)})
+		if err != nil {
+			return A1Result{}, err
+		}
+		posShareSum += chunkShare(posPrev, posNext)
+		posPrev = posNext
+
+		// A fresh B+-tree per version (a mutable B+-tree would modify in
+		// place and keep no old version at all; copy-on-write without SIRI
+		// still rewrites split-dependent paths).
+		bpNext := baseline.NewBPlusTree(64)
+		for i := range keys {
+			val := vals[i]
+			if i == idx {
+				val = newVal
+			}
+			bpNext.Insert(keys[i], val)
+		}
+		s, a, b := baseline.SharedPages(bpPrev, bpNext)
+		bpShareSum += float64(s) / float64(min(a, b))
+		bpPrev = bpNext
+		vals[idx] = newVal
+	}
+	return A1Result{
+		Entries:         entries,
+		Versions:        versions,
+		POSVersionShare: posShareSum / float64(versions-1),
+		BPVersionShare:  bpShareSum / float64(versions-1),
+		POSOrderShare:   posOrderShare,
+		BPOrderShare:    bpOrderShare,
+	}, nil
+}
+
+// chunkShare returns the fraction of b's chunks also present in a.
+func chunkShare(a, b *pos.Tree) float64 {
+	aids, err := a.ChunkIDs()
+	if err != nil {
+		return 0
+	}
+	bids, err := b.ChunkIDs()
+	if err != nil {
+		return 0
+	}
+	set := make(map[hash.Hash]bool, len(aids))
+	for _, id := range aids {
+		set[id] = true
+	}
+	shared := 0
+	for _, id := range bids {
+		if set[id] {
+			shared++
+		}
+	}
+	if len(bids) == 0 {
+		return 1
+	}
+	return float64(shared) / float64(len(bids))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PrintA1 renders the SIRI ablation.
+func PrintA1(w io.Writer, r A1Result) {
+	fmt.Fprintf(w, "ABLATION A1 — SIRI (POS-Tree) vs non-SIRI (B+-tree) page sharing\n")
+	fmt.Fprintf(w, "(%d entries, %d versions, 1-record churn)\n\n", r.Entries, r.Versions)
+	fmt.Fprintf(w, "%-28s %12s %12s\n", "", "POS-Tree", "B+-tree")
+	fmt.Fprintf(w, "%-28s %11.1f%% %11.1f%%\n", "pages shared across versions", 100*r.POSVersionShare, 100*r.BPVersionShare)
+	fmt.Fprintf(w, "%-28s %11.1f%% %11.1f%%\n", "pages shared across orders", 100*r.POSOrderShare, 100*r.BPOrderShare)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A2 — incremental edit vs full rebuild
+// ---------------------------------------------------------------------------
+
+// A2Row compares edit strategies for one batch size.
+type A2Row struct {
+	Entries      int
+	BatchSize    int
+	IncNanos     int64
+	RebuildNanos int64
+	Speedup      float64
+	Identical    bool
+}
+
+// RunA2 verifies that Edit (incremental) and EditRebuild (streaming full
+// rebuild) produce identical trees and compares their cost across batch
+// sizes.
+func RunA2(entries int, batches []int) ([]A2Row, error) {
+	ms := store.NewMemStore()
+	cfg := chunker.DefaultConfig()
+	base := make([]pos.Entry, entries)
+	for i := range base {
+		base[i] = pos.Entry{
+			Key: []byte(fmt.Sprintf("key-%08d", i)),
+			Val: []byte(fmt.Sprintf("value-%d", i)),
+		}
+	}
+	tree, err := pos.BuildMap(ms, cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	var out []A2Row
+	for _, bs := range batches {
+		ops := make([]pos.Op, bs)
+		for i := range ops {
+			idx := (i * 131) % entries
+			ops[i] = pos.Put([]byte(fmt.Sprintf("key-%08d", idx)), []byte(fmt.Sprintf("edit-%d-%d", bs, i)))
+		}
+		var inc, reb *pos.Tree
+		incNanos := timeIt(func() { inc, err = tree.Edit(ops) })
+		if err != nil {
+			return nil, err
+		}
+		rebNanos := timeIt(func() { reb, err = tree.EditRebuild(ops) })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, A2Row{
+			Entries:      entries,
+			BatchSize:    bs,
+			IncNanos:     incNanos,
+			RebuildNanos: rebNanos,
+			Speedup:      float64(rebNanos) / float64(incNanos),
+			Identical:    inc.Root() == reb.Root(),
+		})
+	}
+	return out, nil
+}
+
+// PrintA2 renders the edit-strategy ablation.
+func PrintA2(w io.Writer, rows []A2Row) {
+	fmt.Fprintf(w, "ABLATION A2 — incremental edit vs full rebuild (N=%d)\n\n", rows[0].Entries)
+	fmt.Fprintf(w, "%10s %14s %14s %9s %10s\n", "batch", "incremental", "rebuild", "speedup", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %12.3fms %12.3fms %8.1fx %10v\n",
+			r.BatchSize, float64(r.IncNanos)/1e6, float64(r.RebuildNanos)/1e6, r.Speedup, r.Identical)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation A3 — chunk-size (q) sweep
+// ---------------------------------------------------------------------------
+
+// A3Row reports the dedup/latency trade-off for one pattern width.
+type A3Row struct {
+	Q             uint
+	TargetBytes   int
+	Height        int
+	Nodes         int
+	PhysicalBytes int64
+	EditNanos     int64
+	SecondCopyPct float64 // physical growth when storing a 1-edit copy
+}
+
+// RunA3 sweeps the pattern bit-width q: small chunks dedup better but make
+// deeper trees and slower ops; large chunks the reverse.
+func RunA3(entries int, qs []uint) ([]A3Row, error) {
+	var out []A3Row
+	for _, q := range qs {
+		ms := store.NewMemStore()
+		cfg := chunker.Config{Q: q, Window: 48, MinSize: 1 << (q - 3), MaxSize: 1 << (q + 3)}
+		base := make([]pos.Entry, entries)
+		for i := range base {
+			base[i] = pos.Entry{
+				Key: []byte(fmt.Sprintf("key-%08d", i)),
+				Val: []byte(fmt.Sprintf("value-%d", i)),
+			}
+		}
+		tree, err := pos.BuildMap(ms, cfg, base)
+		if err != nil {
+			return nil, err
+		}
+		st, err := tree.ComputeStats()
+		if err != nil {
+			return nil, err
+		}
+		afterFirst := ms.Stats().PhysicalBytes
+
+		var edited *pos.Tree
+		editNanos := timeIt(func() {
+			edited, err = tree.Edit([]pos.Op{pos.Put([]byte("key-00000500"), []byte("poked"))})
+		})
+		if err != nil {
+			return nil, err
+		}
+		_ = edited
+		growth := ms.Stats().PhysicalBytes - afterFirst
+		out = append(out, A3Row{
+			Q:             q,
+			TargetBytes:   1 << q,
+			Height:        st.Height,
+			Nodes:         st.Nodes,
+			PhysicalBytes: afterFirst,
+			EditNanos:     editNanos,
+			SecondCopyPct: 100 * float64(growth) / float64(afterFirst),
+		})
+	}
+	return out, nil
+}
+
+// PrintA3 renders the chunk-size sweep.
+func PrintA3(w io.Writer, rows []A3Row, entries int) {
+	fmt.Fprintf(w, "ABLATION A3 — chunk-size sweep (N=%d, one-record edit)\n\n", entries)
+	fmt.Fprintf(w, "%4s %10s %8s %8s %14s %12s %14s\n",
+		"q", "target(B)", "height", "nodes", "physical(B)", "edit", "copy-growth")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %10d %8d %8d %14d %10.3fms %13.2f%%\n",
+			r.Q, r.TargetBytes, r.Height, r.Nodes, r.PhysicalBytes,
+			float64(r.EditNanos)/1e6, r.SecondCopyPct)
+	}
+}
+
+// Elapsed re-exports duration formatting for the bench harness.
+func Elapsed(d time.Duration) string { return d.String() }

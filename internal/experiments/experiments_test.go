@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// These are CI-sized runs of every experiment: they assert the *direction*
+// of each paper claim, leaving magnitudes to cmd/bench / EXPERIMENTS.md.
+
+func TestTable1Directions(t *testing.T) {
+	rows, err := RunTable1(Table1Config{Rows: 1500, Versions: 6, Churn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	fb, fc, gf := byName["ForkBase"], byName["full-copy"], byName["git-file"]
+	if !fb.TamperEvident || fc.TamperEvident {
+		t.Fatal("tamper evidence column wrong")
+	}
+	if fb.StorageBytes >= fc.StorageBytes {
+		t.Fatalf("ForkBase %d not smaller than full-copy %d", fb.StorageBytes, fc.StorageBytes)
+	}
+	if fb.StorageBytes >= gf.StorageBytes {
+		t.Fatalf("ForkBase %d not smaller than git-file %d", fb.StorageBytes, gf.StorageBytes)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows, Table1Config{Rows: 1500, Versions: 6, Churn: 5})
+	if !strings.Contains(buf.String(), "ForkBase") {
+		t.Fatal("print output missing ForkBase row")
+	}
+}
+
+func TestFig2Directions(t *testing.T) {
+	rows, err := RunFig2([]int{500, 5000, 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[2].Height < rows[0].Height {
+		t.Fatalf("height not monotone: %+v", rows)
+	}
+	if rows[2].Nodes <= rows[0].Nodes {
+		t.Fatalf("nodes not growing: %+v", rows)
+	}
+	// Average leaf should be within 4x of the 2^q target.
+	if rows[2].AvgLeaf < float64(rows[2].TargetLeaf)/4 || rows[2].AvgLeaf > float64(rows[2].TargetLeaf)*4 {
+		t.Fatalf("avg leaf %f far from target %d", rows[2].AvgLeaf, rows[2].TargetLeaf)
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestFig3Directions(t *testing.T) {
+	res, err := RunFig3(20000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReuseFraction < 0.5 {
+		t.Fatalf("merge reuse %.2f < 0.5", res.ReuseFraction)
+	}
+	if res.ReusedChunks+res.NewChunks != res.MergedChunks {
+		t.Fatalf("chunk accounting: %+v", res)
+	}
+	var buf bytes.Buffer
+	PrintFig3(&buf, res)
+	if !strings.Contains(buf.String(), "reused") {
+		t.Fatal("print missing reuse line")
+	}
+}
+
+func TestFig4Directions(t *testing.T) {
+	res, err := RunFig4(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.SecondLoadBytes >= row.FirstLoadBytes/5 {
+			t.Fatalf("q=%d: second load %d not ≪ first %d", row.Q, row.SecondLoadBytes, row.FirstLoadBytes)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, res)
+	if !strings.Contains(buf.String(), "paper") {
+		t.Fatal("print missing paper reference")
+	}
+}
+
+func TestFig5Directions(t *testing.T) {
+	rows, err := RunFig5([]int{2000, 20000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ChangedRows != 5 {
+			t.Fatalf("changed = %d", r.ChangedRows)
+		}
+		if r.POSDiffNanos >= r.NaiveNanos {
+			t.Fatalf("N=%d: pos diff %d slower than naive %d", r.Rows, r.POSDiffNanos, r.NaiveNanos)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestFig6Exhaustive(t *testing.T) {
+	res, err := RunFig6(3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionRate != 1.0 {
+		t.Fatalf("detection rate %.3f", res.DetectionRate)
+	}
+	if res.Attacks != res.ChunksReachable {
+		t.Fatalf("attacks %d != reachable %d", res.Attacks, res.ChunksReachable)
+	}
+	if len(res.UIDExample) != 52 {
+		t.Fatalf("uid not Base32: %q", res.UIDExample)
+	}
+	var buf bytes.Buffer
+	PrintFig6(&buf, res)
+	if !strings.Contains(buf.String(), "100.0%") {
+		t.Fatalf("print: %s", buf.String())
+	}
+}
+
+func TestA1Directions(t *testing.T) {
+	res, err := RunA1(8000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.POSOrderShare != 1.0 {
+		t.Fatalf("POS-Tree cross-order share %.3f != 1 — structural invariance broken", res.POSOrderShare)
+	}
+	if res.BPOrderShare > 0.5 {
+		t.Fatalf("B+-tree cross-order share %.3f suspiciously high", res.BPOrderShare)
+	}
+	if res.POSVersionShare < 0.8 {
+		t.Fatalf("POS-Tree cross-version share %.3f too low", res.POSVersionShare)
+	}
+	var buf bytes.Buffer
+	PrintA1(&buf, res)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestA2IdenticalAndFast(t *testing.T) {
+	rows, err := RunA2(20000, []int{1, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("batch %d: incremental != rebuild", r.BatchSize)
+		}
+	}
+	if rows[0].Speedup < 2 {
+		t.Fatalf("single-op incremental speedup %.1f < 2", rows[0].Speedup)
+	}
+	var buf bytes.Buffer
+	PrintA2(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestA3Directions(t *testing.T) {
+	rows, err := RunA3(8000, []uint{8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Height < rows[1].Height {
+		t.Fatalf("smaller pages should be deeper: %+v", rows)
+	}
+	if rows[0].SecondCopyPct > rows[1].SecondCopyPct {
+		t.Fatalf("smaller pages should dedup better: %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintA3(&buf, rows, 8000)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}

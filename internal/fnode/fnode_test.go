@@ -1,0 +1,192 @@
+package fnode
+
+import (
+	"bytes"
+	"testing"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := New([]byte("mykey"), value.String("payload"),
+		[]hash.Hash{hash.Of([]byte("p1")), hash.Of([]byte("p2"))}, 7,
+		map[string]string{"author": "alice", "msg": "hello"})
+	dec, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Key, f.Key) || dec.Seq != 7 || len(dec.Bases) != 2 {
+		t.Fatalf("decoded = %+v", dec)
+	}
+	if dec.Meta["author"] != "alice" || dec.Meta["msg"] != "hello" {
+		t.Fatalf("meta = %v", dec.Meta)
+	}
+	v, err := dec.DecodedValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := v.AsString()
+	if s != "payload" {
+		t.Fatalf("value = %q", s)
+	}
+}
+
+func TestUIDDeterministic(t *testing.T) {
+	mk := func() *FNode {
+		return New([]byte("k"), value.Int(1), nil, 1, map[string]string{"b": "2", "a": "1"})
+	}
+	if mk().UID() != mk().UID() {
+		t.Fatal("uid not deterministic")
+	}
+	// Different meta → different uid.
+	other := New([]byte("k"), value.Int(1), nil, 1, map[string]string{"a": "1", "b": "3"})
+	if other.UID() == mk().UID() {
+		t.Fatal("meta change did not change uid")
+	}
+	// Different bases → different uid (history is part of identity).
+	withBase := New([]byte("k"), value.Int(1), []hash.Hash{hash.Of([]byte("x"))}, 1, map[string]string{"a": "1", "b": "2"})
+	if withBase.UID() == mk().UID() {
+		t.Fatal("base change did not change uid")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	st := store.NewMemStore()
+	f := New([]byte("obj"), value.String("v1"), nil, 1, nil)
+	uid, err := f.Save(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uid != f.UID() {
+		t.Fatal("Save uid != UID()")
+	}
+	got, err := Load(st, uid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Key, []byte("obj")) {
+		t.Fatalf("key = %q", got.Key)
+	}
+}
+
+func TestLoadRejectsNonFNode(t *testing.T) {
+	st := store.NewMemStore()
+	v, err := value.NewBlob(st, cfgSmall(), []byte("not a version"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(st, v.Root()); err == nil {
+		t.Fatal("loaded a blob chunk as FNode")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := New([]byte("k"), value.Int(1), []hash.Hash{hash.Of([]byte("p"))}, 2, map[string]string{"a": "b"}).Encode()
+	for cut := 0; cut < len(good); cut += 3 {
+		if _, err := Decode(good[:cut]); err == nil && cut < len(good) {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(append([]byte{}, good...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestHistoryChain(t *testing.T) {
+	st := store.NewMemStore()
+	var uids []hash.Hash
+	var prev []hash.Hash
+	for i := 1; i <= 5; i++ {
+		f := New([]byte("k"), value.Int(int64(i)), prev, uint64(i), nil)
+		uid, err := f.Save(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uids = append(uids, uid)
+		prev = []hash.Hash{uid}
+	}
+	hist, err := History(st, uids[4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 5 {
+		t.Fatalf("history len %d", len(hist))
+	}
+	for i := range hist {
+		if hist[i] != uids[4-i] {
+			t.Fatalf("history[%d] = %s", i, hist[i].Short())
+		}
+	}
+	limited, err := History(st, uids[4], 2)
+	if err != nil || len(limited) != 2 {
+		t.Fatalf("limited history = %d, %v", len(limited), err)
+	}
+}
+
+func TestLCA(t *testing.T) {
+	st := store.NewMemStore()
+	save := func(seq uint64, val int64, bases ...hash.Hash) hash.Hash {
+		f := New([]byte("k"), value.Int(val), bases, seq, nil)
+		uid, err := f.Save(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uid
+	}
+	root := save(1, 0)
+	base := save(2, 1, root)
+	a1 := save(3, 2, base)
+	a2 := save(4, 3, a1)
+	b1 := save(3, 4, base)
+
+	got, err := LCA(st, a2, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Fatalf("LCA = %s, want %s", got.Short(), base.Short())
+	}
+	// LCA with self is self.
+	got, err = LCA(st, a1, a1)
+	if err != nil || got != a1 {
+		t.Fatalf("LCA(self) = %s, %v", got.Short(), err)
+	}
+	// LCA where one is ancestor of the other.
+	got, err = LCA(st, base, a2)
+	if err != nil || got != base {
+		t.Fatalf("LCA(anc) = %s, %v", got.Short(), err)
+	}
+	// Unrelated histories → zero.
+	solo := save(1, 99)
+	got, err = LCA(st, solo, a2)
+	if err != nil || !got.IsZero() {
+		t.Fatalf("unrelated LCA = %s, %v", got.Short(), err)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	st := store.NewMemStore()
+	f1 := New([]byte("k"), value.Int(1), nil, 1, nil)
+	u1, _ := f1.Save(st)
+	f2 := New([]byte("k"), value.Int(2), []hash.Hash{u1}, 2, nil)
+	u2, _ := f2.Save(st)
+
+	if ok, err := IsAncestor(st, u1, u2); err != nil || !ok {
+		t.Fatalf("ancestor: %v %v", ok, err)
+	}
+	if ok, err := IsAncestor(st, u2, u1); err != nil || ok {
+		t.Fatalf("descendant flagged as ancestor: %v %v", ok, err)
+	}
+	if ok, err := IsAncestor(st, u2, u2); err != nil || !ok {
+		t.Fatalf("self not ancestor: %v %v", ok, err)
+	}
+	if ok, _ := IsAncestor(st, hash.Hash{}, u2); ok {
+		t.Fatal("zero hash is ancestor")
+	}
+}
+
+func cfgSmall() chunker.Config { return chunker.SmallConfig() }

@@ -1,0 +1,116 @@
+// Package hash provides the content identifiers used throughout ForkBase.
+//
+// Every chunk and every version (uid) in ForkBase is identified by the
+// SHA-256 digest of its canonical encoding, rendered for humans using the
+// RFC 4648 Base32 alphabet, exactly as described in §III-C of the ICDE'20
+// demonstration paper.
+package hash
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/base32"
+	"errors"
+	"fmt"
+)
+
+// Size is the byte length of a Hash (SHA-256).
+const Size = sha256.Size
+
+// StringLen is the length of the canonical Base32 text form of a Hash.
+var StringLen = base32.StdEncoding.WithPadding(base32.NoPadding).EncodedLen(Size)
+
+// enc is the RFC 4648 Base32 alphabet without padding; ForkBase versions are
+// short identifiers, so the trailing '=' padding is dropped.
+var enc = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// Hash is a 256-bit content identifier.
+//
+// The zero value is the "null hash" and is never produced by hashing data; it
+// is used as the absent-parent marker in version chains.
+type Hash [Size]byte
+
+// ErrInvalidHash is returned by Parse for malformed textual hashes.
+var ErrInvalidHash = errors.New("hash: invalid hash string")
+
+// Of returns the hash of data.
+func Of(data []byte) Hash {
+	return sha256.Sum256(data)
+}
+
+// OfParts returns the hash of the concatenation of parts without
+// materialising the concatenation.
+func OfParts(parts ...[]byte) Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// IsZero reports whether h is the null hash.
+func (h Hash) IsZero() bool {
+	return h == Hash{}
+}
+
+// String renders h in the RFC 4648 Base32 alphabet (no padding), the textual
+// form ForkBase exposes as a data version.
+func (h Hash) String() string {
+	return enc.EncodeToString(h[:])
+}
+
+// Short returns a truncated human-friendly prefix of the Base32 form.
+func (h Hash) Short() string {
+	s := h.String()
+	if len(s) > 10 {
+		s = s[:10]
+	}
+	return s
+}
+
+// Bytes returns the raw digest as a fresh slice.
+func (h Hash) Bytes() []byte {
+	out := make([]byte, Size)
+	copy(out, h[:])
+	return out
+}
+
+// Compare orders hashes lexicographically by raw digest bytes.
+func (h Hash) Compare(o Hash) int {
+	return bytes.Compare(h[:], o[:])
+}
+
+// Parse decodes the textual (Base32) form produced by String.
+func Parse(s string) (Hash, error) {
+	var h Hash
+	if len(s) != StringLen {
+		return h, fmt.Errorf("%w: length %d, want %d", ErrInvalidHash, len(s), StringLen)
+	}
+	raw, err := enc.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("%w: %v", ErrInvalidHash, err)
+	}
+	copy(h[:], raw)
+	return h, nil
+}
+
+// MustParse is Parse for tests and constants; it panics on malformed input.
+func MustParse(s string) Hash {
+	h, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FromBytes copies a raw 32-byte digest into a Hash.
+func FromBytes(b []byte) (Hash, error) {
+	var h Hash
+	if len(b) != Size {
+		return h, fmt.Errorf("%w: raw length %d, want %d", ErrInvalidHash, len(b), Size)
+	}
+	copy(h[:], b)
+	return h, nil
+}

@@ -1,0 +1,171 @@
+package pos
+
+import (
+	"fmt"
+	"testing"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/store"
+)
+
+// benchTree builds an n-entry tree with default (4 KiB page) chunking.
+func benchTree(b *testing.B, n int) (*Tree, *store.MemStore) {
+	b.Helper()
+	ms := store.NewMemStore()
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			Key: []byte(fmt.Sprintf("key-%010d", i)),
+			Val: []byte(fmt.Sprintf("value-%d", i)),
+		}
+	}
+	tree, err := BuildMap(ms, chunker.DefaultConfig(), entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree, ms
+}
+
+func BenchmarkBuildMap(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			entries := make([]Entry, n)
+			for i := range entries {
+				entries[i] = Entry{
+					Key: []byte(fmt.Sprintf("key-%010d", i)),
+					Val: []byte(fmt.Sprintf("value-%d", i)),
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms := store.NewMemStore()
+				if _, err := BuildMap(ms, chunker.DefaultConfig(), entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(n * 24))
+		})
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tree, _ := benchTree(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := []byte(fmt.Sprintf("key-%010d", i%n))
+				if _, err := tree.Get(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tree, _ := benchTree(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := []byte(fmt.Sprintf("key-%010d", i%n))
+				if _, err := tree.Insert(key, []byte(fmt.Sprintf("upd-%d", i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTreeIterate(b *testing.B) {
+	tree, _ := benchTree(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := tree.Iter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		for it.Next() {
+			count++
+		}
+		if err := it.Err(); err != nil || count != 100000 {
+			b.Fatalf("count=%d err=%v", count, err)
+		}
+	}
+}
+
+func BenchmarkTreeDiff(b *testing.B) {
+	for _, d := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			tree, _ := benchTree(b, 100000)
+			ops := make([]Op, d)
+			for i := range ops {
+				ops[i] = Put([]byte(fmt.Sprintf("key-%010d", i*997)), []byte("changed"))
+			}
+			other, err := tree.Edit(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				deltas, _, err := tree.Diff(other)
+				if err != nil || len(deltas) != d {
+					b.Fatalf("deltas=%d err=%v", len(deltas), err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMerge3Disjoint(b *testing.B) {
+	tree, _ := benchTree(b, 100000)
+	a, err := tree.Edit([]Op{Put([]byte("key-0000000001"), []byte("A"))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tree.Edit([]Op{Put([]byte("key-0000099998"), []byte("B"))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Merge3(tree, a, c, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobBuild(b *testing.B) {
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := store.NewMemStore()
+		if _, err := BuildBlob(ms, chunker.DefaultConfig(), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeqSplice(b *testing.B) {
+	ms := store.NewMemStore()
+	items := make([][]byte, 50000)
+	for i := range items {
+		items[i] = []byte(fmt.Sprintf("item-%08d", i))
+	}
+	seq, err := BuildSeq(ms, chunker.DefaultConfig(), items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seq.Splice(uint64(i%50000), 1, [][]byte{[]byte("spliced")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

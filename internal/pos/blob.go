@@ -1,0 +1,369 @@
+package pos
+
+import (
+	"fmt"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Blob is an immutable byte sequence stored as a POS-Tree whose leaves are
+// content-defined byte segments (TypeBlobLeaf) and whose index levels are
+// count-routed sequence nodes.  Blobs give ForkBase file-like values with
+// chunk-level dedup between near-identical versions — the mechanism behind
+// the Fig 4 experiment.
+type Blob struct {
+	st   store.Store
+	cfg  chunker.Config
+	root hash.Hash
+	size uint64
+}
+
+// NewEmptyBlob returns the empty blob.
+func NewEmptyBlob(st store.Store, cfg chunker.Config) *Blob {
+	return &Blob{st: st, cfg: cfg}
+}
+
+// LoadBlob attaches to an existing blob by root hash.
+func LoadBlob(st store.Store, cfg chunker.Config, root hash.Hash) (*Blob, error) {
+	b := &Blob{st: st, cfg: cfg, root: root}
+	if root.IsZero() {
+		return b, nil
+	}
+	c, err := st.Get(root)
+	if err != nil {
+		return nil, fmt.Errorf("pos: loading blob root: %w", err)
+	}
+	switch c.Type() {
+	case chunk.TypeBlobLeaf:
+		b.size = uint64(len(c.Data()))
+	case chunk.TypeSeqIndex:
+		_, refs, err := decodeSeqIndex(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			b.size += r.count
+		}
+	default:
+		return nil, fmt.Errorf("pos: blob root %s is a %s", root.Short(), c.Type())
+	}
+	return b, nil
+}
+
+// blobBuilder assembles blob leaves from a byte stream.
+type blobBuilder struct {
+	st       store.Store
+	chk      *chunker.ByteChunker
+	buf      []byte
+	emitted  []childRef
+	boundary bool
+}
+
+func newBlobBuilder(st store.Store, cfg chunker.Config) *blobBuilder {
+	return &blobBuilder{st: st, chk: chunker.NewByteChunker(cfg), boundary: true}
+}
+
+func (b *blobBuilder) add(by byte) error {
+	b.buf = append(b.buf, by)
+	b.boundary = false
+	if b.chk.Roll(by) {
+		return b.closeLeaf()
+	}
+	return nil
+}
+
+func (b *blobBuilder) addAll(p []byte) error {
+	for _, by := range p {
+		if err := b.add(by); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *blobBuilder) closeLeaf() error {
+	if len(b.buf) == 0 {
+		b.boundary = true
+		return nil
+	}
+	c := chunk.New(chunk.TypeBlobLeaf, append([]byte(nil), b.buf...))
+	if _, err := b.st.Put(c); err != nil {
+		return err
+	}
+	b.emitted = append(b.emitted, childRef{id: c.ID(), count: uint64(len(b.buf))})
+	b.buf = b.buf[:0]
+	b.chk.Reset()
+	b.boundary = true
+	return nil
+}
+
+func (b *blobBuilder) finish() ([]childRef, error) {
+	if err := b.closeLeaf(); err != nil {
+		return nil, err
+	}
+	return b.emitted, nil
+}
+
+// BuildBlob constructs a blob over data.
+func BuildBlob(st store.Store, cfg chunker.Config, data []byte) (*Blob, error) {
+	bb := newBlobBuilder(st, cfg)
+	if err := bb.addAll(data); err != nil {
+		return nil, err
+	}
+	leaves, err := bb.finish()
+	if err != nil {
+		return nil, err
+	}
+	root, err := buildLevels(st, cfg, leaves, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{st: st, cfg: cfg, root: root.id, size: root.count}, nil
+}
+
+// Root returns the root hash.
+func (b *Blob) Root() hash.Hash { return b.root }
+
+// Size returns the blob length in bytes.
+func (b *Blob) Size() uint64 { return b.size }
+
+// Bytes materialises the full content.
+func (b *Blob) Bytes() ([]byte, error) {
+	out := make([]byte, 0, b.size)
+	if b.root.IsZero() {
+		return out, nil
+	}
+	var walk func(id hash.Hash) error
+	walk = func(id hash.Hash) error {
+		c, err := b.st.Get(id)
+		if err != nil {
+			return err
+		}
+		switch c.Type() {
+		case chunk.TypeBlobLeaf:
+			out = append(out, c.Data()...)
+			return nil
+		case chunk.TypeSeqIndex:
+			_, refs, err := decodeSeqIndex(c.Data())
+			if err != nil {
+				return err
+			}
+			for _, r := range refs {
+				if err := walk(r.id); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("pos: unexpected chunk %s in blob", c.Type())
+		}
+	}
+	if err := walk(b.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadAt fills p from offset off, returning the bytes copied.
+func (b *Blob) ReadAt(p []byte, off uint64) (int, error) {
+	if off >= b.size {
+		return 0, ErrOutOfRange
+	}
+	// Walk down by counts collecting only the needed leaves.
+	n := 0
+	var walk func(id hash.Hash, skip uint64) error
+	walk = func(id hash.Hash, skip uint64) error {
+		if n >= len(p) {
+			return nil
+		}
+		c, err := b.st.Get(id)
+		if err != nil {
+			return err
+		}
+		switch c.Type() {
+		case chunk.TypeBlobLeaf:
+			data := c.Data()
+			if skip < uint64(len(data)) {
+				n += copy(p[n:], data[skip:])
+			}
+			return nil
+		case chunk.TypeSeqIndex:
+			_, refs, err := decodeSeqIndex(c.Data())
+			if err != nil {
+				return err
+			}
+			for _, r := range refs {
+				if skip >= r.count {
+					skip -= r.count
+					continue
+				}
+				if err := walk(r.id, skip); err != nil {
+					return err
+				}
+				skip = 0
+				if n >= len(p) {
+					return nil
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("pos: unexpected chunk %s in blob", c.Type())
+		}
+	}
+	if err := walk(b.root, off); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// blobLevels materialises the blob's levels (leaves carry byte counts).
+func (b *Blob) blobLevels() ([]levelInfo, error) {
+	s := &Seq{st: b.st, cfg: b.cfg, root: b.root, count: b.size}
+	return s.seqLevels()
+}
+
+// Splice returns a blob with bytes [at, at+del) replaced by ins, re-chunking
+// incrementally from the affected leaf until boundary re-synchronisation.
+func (b *Blob) Splice(at, del uint64, ins []byte) (*Blob, error) {
+	if at > b.size {
+		return nil, ErrOutOfRange
+	}
+	if del > b.size-at {
+		del = b.size - at
+	}
+	if del == 0 && len(ins) == 0 {
+		return b, nil
+	}
+	if b.root.IsZero() {
+		return BuildBlob(b.st, b.cfg, ins)
+	}
+
+	levels, err := b.blobLevels()
+	if err != nil {
+		return nil, err
+	}
+	leafRefs := levels[0].refs
+
+	lo := 0
+	var skipped uint64
+	for lo < len(leafRefs)-1 && skipped+leafRefs[lo].count <= at {
+		skipped += leafRefs[lo].count
+		lo++
+	}
+
+	bb := newBlobBuilder(b.st, b.cfg)
+	oldLeaf := lo
+	var oldData []byte
+	oldPos := 0
+	loaded := false
+	pos := skipped
+	peek := func() (byte, bool, error) {
+		for {
+			if oldLeaf >= len(leafRefs) {
+				return 0, false, nil
+			}
+			if !loaded {
+				c, err := b.st.Get(leafRefs[oldLeaf].id)
+				if err != nil {
+					return 0, false, err
+				}
+				oldData = c.Data()
+				loaded = true
+				oldPos = 0
+			}
+			if oldPos < len(oldData) {
+				return oldData[oldPos], true, nil
+			}
+			oldLeaf++
+			loaded = false
+		}
+	}
+
+	insDone := false
+	delEnd := at + del
+	hi := len(leafRefs)
+	for {
+		by, ok, err := peek()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case pos < at:
+			if !ok {
+				return nil, fmt.Errorf("pos: blob splice ran out of bytes before at=%d", at)
+			}
+			if err := bb.add(by); err != nil {
+				return nil, err
+			}
+			oldPos++
+			pos++
+		case !insDone:
+			if err := bb.addAll(ins); err != nil {
+				return nil, err
+			}
+			insDone = true
+		case pos < delEnd:
+			if !ok {
+				return nil, fmt.Errorf("pos: blob splice ran out of bytes during delete")
+			}
+			oldPos++
+			pos++
+		default:
+			if !ok {
+				hi = len(leafRefs)
+				goto done
+			}
+			if oldPos == 0 && bb.boundary {
+				hi = oldLeaf
+				goto done
+			}
+			if err := bb.add(by); err != nil {
+				return nil, err
+			}
+			oldPos++
+			pos++
+		}
+	}
+done:
+	newRefs, err := bb.finish()
+	if err != nil {
+		return nil, err
+	}
+	newSize := b.size - del + uint64(len(ins))
+	cur := splice{lo: lo, hi: hi, refs: newRefs}
+	for h := 0; ; h++ {
+		level := levels[h]
+		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
+		if total == 0 {
+			return &Blob{st: b.st, cfg: b.cfg}, nil
+		}
+		if total == 1 {
+			root := singleSurvivor(level.refs, cur)
+			return &Blob{st: b.st, cfg: b.cfg, root: root.id, size: newSize}, nil
+		}
+		if h == len(levels)-1 {
+			full := make([]childRef, 0, total)
+			full = append(full, level.refs[:cur.lo]...)
+			full = append(full, cur.refs...)
+			full = append(full, level.refs[cur.hi:]...)
+			root, err := buildLevels(b.st, b.cfg, full, uint8(h+1), false)
+			if err != nil {
+				return nil, err
+			}
+			return &Blob{st: b.st, cfg: b.cfg, root: root.id, size: newSize}, nil
+		}
+		cur, err = seqSpliceLevel(b.st, b.cfg, levels[h+1], level.refs, cur, uint8(h+1))
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ChunkIDs returns every chunk reachable from the blob root.
+func (b *Blob) ChunkIDs() ([]hash.Hash, error) {
+	s := &Seq{st: b.st, cfg: b.cfg, root: b.root, count: b.size}
+	return s.ChunkIDs()
+}

@@ -1,0 +1,189 @@
+package pos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/store"
+)
+
+// levelBuilder assembles one level of a POS-Tree.  Encoded entries are fed in
+// order; the entry chunker decides node boundaries; finished nodes are
+// written to the store and summarised as childRefs for the level above.
+type levelBuilder struct {
+	st    store.Store
+	cfg   chunker.Config
+	chk   chunker.Boundary
+	level uint8
+	isMap bool // map variant (split keys) vs sequence variant
+
+	buf      []byte // concatenated encoded entries of the open node
+	n        int    // entries in the open node
+	lastKey  []byte // greatest key seen in the open node (map only)
+	count    uint64 // leaf entries below the open node
+	emitted  []childRef
+	boundary bool // true when positioned exactly at a node boundary
+}
+
+func newLevelBuilder(st store.Store, cfg chunker.Config, level uint8, isMap bool) *levelBuilder {
+	// Leaves split on byte-granular patterns (that is the dedup unit);
+	// index levels split on entry-granular patterns, which guarantees
+	// geometric reduction towards the root (see chunker.IndexChunker).
+	var chk chunker.Boundary
+	if level == 0 {
+		chk = chunker.NewEntryChunker(cfg)
+	} else {
+		chk = chunker.NewIndexChunker(cfg)
+	}
+	return &levelBuilder{
+		st:       st,
+		cfg:      cfg,
+		chk:      chk,
+		level:    level,
+		isMap:    isMap,
+		boundary: true,
+	}
+}
+
+// add feeds one encoded entry covering `below` leaf entries, whose greatest
+// key is key (map variant only).  It returns an error only on store failure.
+func (b *levelBuilder) add(encoded []byte, key []byte, below uint64) error {
+	b.buf = append(b.buf, encoded...)
+	b.n++
+	b.lastKey = key
+	b.count += below
+	b.boundary = false
+	if b.chk.Add(encoded) {
+		return b.closeNode()
+	}
+	return nil
+}
+
+// atBoundary reports whether the builder sits exactly at a node boundary
+// (nothing buffered).  Used by incremental edits to detect re-synchronisation
+// with the old chunking.
+func (b *levelBuilder) atBoundary() bool { return b.boundary }
+
+// closeNode finalises the open node, stores its chunk, and records its ref.
+func (b *levelBuilder) closeNode() error {
+	if b.n == 0 {
+		b.boundary = true
+		return nil
+	}
+	var c *chunk.Chunk
+	if b.isMap {
+		t := chunk.TypeMapLeaf
+		if b.level > 0 {
+			t = chunk.TypeMapIndex
+		}
+		c = chunk.New(t, encodeNodePayload(b.level, b.n, b.buf))
+	} else {
+		t := chunk.TypeSeqLeaf
+		if b.level > 0 {
+			t = chunk.TypeSeqIndex
+		}
+		c = chunk.New(t, encodeNodePayload(b.level, b.n, b.buf))
+	}
+	if _, err := b.st.Put(c); err != nil {
+		return fmt.Errorf("pos: storing node: %w", err)
+	}
+	ref := childRef{id: c.ID(), count: b.count}
+	if b.isMap {
+		ref.splitKey = append([]byte(nil), b.lastKey...)
+	}
+	b.emitted = append(b.emitted, ref)
+	b.buf = b.buf[:0]
+	b.n = 0
+	b.lastKey = nil
+	b.count = 0
+	b.chk.Reset()
+	b.boundary = true
+	return nil
+}
+
+// finish closes any trailing node (the "last node of a level", which the
+// paper allows to end without a pattern) and returns the refs of this level.
+func (b *levelBuilder) finish() ([]childRef, error) {
+	if err := b.closeNode(); err != nil {
+		return nil, err
+	}
+	return b.emitted, nil
+}
+
+// buildLevels stacks index levels over refs until a single root remains.
+// Used both by from-scratch builds and to cap incremental edits whose top
+// level ended up with more than one node.
+func buildLevels(st store.Store, cfg chunker.Config, refs []childRef, level uint8, isMap bool) (childRef, error) {
+	for len(refs) > 1 {
+		lb := newLevelBuilder(st, cfg, level, isMap)
+		var enc []byte
+		for _, r := range refs {
+			enc = enc[:0]
+			if isMap {
+				enc = encodeChildRef(enc, r)
+			} else {
+				enc = encodeSeqChildRef(enc, r)
+			}
+			if err := lb.add(enc, r.splitKey, r.count); err != nil {
+				return childRef{}, err
+			}
+		}
+		var err error
+		refs, err = lb.finish()
+		if err != nil {
+			return childRef{}, err
+		}
+		level++
+	}
+	if len(refs) == 0 {
+		return childRef{}, nil
+	}
+	return refs[0], nil
+}
+
+// BuildMap constructs a map POS-Tree over entries (which need not be sorted;
+// duplicate keys keep the last value) and returns the tree.  The build is a
+// pure function of the final record set — the SIRI structural-invariance
+// property — because node boundaries depend only on the sorted entry stream.
+func BuildMap(st store.Store, cfg chunker.Config, entries []Entry) (*Tree, error) {
+	sorted := normalizeEntries(entries)
+	lb := newLevelBuilder(st, cfg, 0, true)
+	var enc []byte
+	for _, e := range sorted {
+		enc = enc[:0]
+		enc = encodeEntry(enc, e)
+		if err := lb.add(enc, e.Key, 1); err != nil {
+			return nil, err
+		}
+	}
+	leaves, err := lb.finish()
+	if err != nil {
+		return nil, err
+	}
+	root, err := buildLevels(st, cfg, leaves, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{st: st, cfg: cfg, root: root.id, count: root.count}, nil
+}
+
+// normalizeEntries sorts entries by key, keeping the last occurrence of
+// duplicate keys, and drops nil-key entries.
+func normalizeEntries(entries []Entry) []Entry {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
+	})
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i+1 < len(sorted) && bytes.Equal(e.Key, sorted[i+1].Key) {
+			continue // superseded by a later duplicate
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+package pos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"forkbase/internal/store"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	st := store.NewMemStore()
+	a := mustBuild(t, st, genEntries(500, 1))
+	b := mustBuild(t, st, genEntries(500, 1))
+	deltas, stats, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 0 {
+		t.Fatalf("identical trees diff = %d deltas", len(deltas))
+	}
+	if stats.TouchedChunks != 0 {
+		t.Fatalf("identical diff touched %d chunks, want 0 (root prune)", stats.TouchedChunks)
+	}
+}
+
+func TestDiffBasicKinds(t *testing.T) {
+	st := store.NewMemStore()
+	a := mustBuild(t, st, []Entry{
+		{Key: []byte("a"), Val: []byte("1")},
+		{Key: []byte("b"), Val: []byte("2")},
+		{Key: []byte("c"), Val: []byte("3")},
+	})
+	b := mustBuild(t, st, []Entry{
+		{Key: []byte("a"), Val: []byte("1")},
+		{Key: []byte("b"), Val: []byte("2x")},
+		{Key: []byte("d"), Val: []byte("4")},
+	})
+	deltas, _, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas: %+v", len(deltas), deltas)
+	}
+	kinds := map[string]DeltaKind{}
+	for _, d := range deltas {
+		kinds[string(d.Key)] = d.Kind()
+	}
+	if kinds["b"] != Modified || kinds["c"] != Removed || kinds["d"] != Added {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	st := store.NewMemStore()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		na, nb := 100+rng.Intn(2000), 100+rng.Intn(2000)
+		ea := genEntries(na, int64(trial))
+		eb := genEntries(nb, int64(trial+100))
+		// Overlap: borrow a random slice of a's entries into b.
+		for i := 0; i < na/2 && i < nb; i++ {
+			eb[i] = ea[rng.Intn(na)]
+		}
+		a := mustBuild(t, st, ea)
+		b := mustBuild(t, st, eb)
+		deltas, _, err := a.Diff(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied, err := a.ApplyDeltas(deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied.Root() != b.Root() {
+			t.Fatalf("trial %d: Apply(A, Diff(A,B)) root %s != B root %s",
+				trial, applied.Root().Short(), b.Root().Short())
+		}
+	}
+}
+
+func TestDiffAgainstEmpty(t *testing.T) {
+	st := store.NewMemStore()
+	a := mustBuild(t, st, genEntries(200, 5))
+	empty := NewEmptyTree(st, testCfg())
+	deltas, _, err := a.Diff(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 200 {
+		t.Fatalf("diff to empty: %d deltas", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Kind() != Removed {
+			t.Fatalf("expected all Removed, got %v for %q", d.Kind(), d.Key)
+		}
+	}
+	deltas, _, err = empty.Diff(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 200 || deltas[0].Kind() != Added {
+		t.Fatalf("diff from empty: %d deltas, first kind %v", len(deltas), deltas[0].Kind())
+	}
+}
+
+func TestDiffDifferentHeights(t *testing.T) {
+	st := store.NewMemStore()
+	small := mustBuild(t, st, genEntries(5, 1))  // single leaf
+	big := mustBuild(t, st, genEntries(3000, 1)) // multi-level
+	deltas, _, err := small.Diff(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3000-5 {
+		t.Fatalf("height-mismatch diff: %d deltas, want %d", len(deltas), 2995)
+	}
+}
+
+// TestDiffPruning verifies the O(D log N) behaviour: a diff touching D keys
+// of an N-key tree must read far fewer chunks than the tree holds.
+func TestDiffPruning(t *testing.T) {
+	st := store.NewMemStore()
+	entries := genEntries(30000, 13)
+	a := mustBuild(t, st, entries)
+	b, err := a.Edit([]Op{
+		Put([]byte("key-00005000"), []byte("changed")),
+		Put([]byte("key-00025000"), []byte("changed")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, stats, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas", len(deltas))
+	}
+	treeStats, err := a.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TouchedChunks >= treeStats.Nodes/4 {
+		t.Fatalf("diff touched %d of %d chunks — pruning broken", stats.TouchedChunks, treeStats.Nodes)
+	}
+	t.Logf("diff touched %d of %d chunks (pruned %d refs)", stats.TouchedChunks, treeStats.Nodes, stats.PrunedRefs)
+}
+
+func TestDiffOracleRandomized(t *testing.T) {
+	st := store.NewMemStore()
+	rng := rand.New(rand.NewSource(7))
+	base := genEntries(1000, 3)
+	a := mustBuild(t, st, base)
+	for trial := 0; trial < 10; trial++ {
+		// Mutate a random subset to form b.
+		ops := []Op{}
+		model := map[string]string{}
+		for _, e := range base {
+			model[string(e.Key)] = string(e.Val)
+		}
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("key-%08d", rng.Intn(1000))
+			switch rng.Intn(3) {
+			case 0:
+				ops = append(ops, Del([]byte(k)))
+				delete(model, k)
+			case 1:
+				v := fmt.Sprintf("mod-%d-%d", trial, i)
+				ops = append(ops, Put([]byte(k), []byte(v)))
+				model[k] = v
+			default:
+				nk := fmt.Sprintf("extra-%d-%d", trial, i)
+				ops = append(ops, Put([]byte(nk), []byte("new")))
+				model[nk] = "new"
+			}
+		}
+		ops = normalizeOps(ops)
+		b, err := a.Edit(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas, _, err := a.Diff(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: brute-force comparison of entry maps.
+		am := entryMap(t, a)
+		bm := entryMap(t, b)
+		want := 0
+		for k, v := range am {
+			bv, ok := bm[k]
+			if !ok || bv != v {
+				want++
+			}
+		}
+		for k := range bm {
+			if _, ok := am[k]; !ok {
+				want++
+			}
+		}
+		if len(deltas) != want {
+			t.Fatalf("trial %d: %d deltas, oracle %d", trial, len(deltas), want)
+		}
+		for _, d := range deltas {
+			av, aok := am[string(d.Key)]
+			bv, bok := bm[string(d.Key)]
+			switch d.Kind() {
+			case Added:
+				if aok || !bok || bv != string(d.To) {
+					t.Fatalf("bad Added delta %q", d.Key)
+				}
+			case Removed:
+				if !aok || bok || av != string(d.From) {
+					t.Fatalf("bad Removed delta %q", d.Key)
+				}
+			case Modified:
+				if !aok || !bok || av != string(d.From) || bv != string(d.To) {
+					t.Fatalf("bad Modified delta %q", d.Key)
+				}
+			}
+		}
+	}
+}
+
+func entryMap(t *testing.T, tr *Tree) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	es, err := tr.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range es {
+		out[string(e.Key)] = string(e.Val)
+	}
+	return out
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	st := store.NewMemStore()
+	base := mustBuild(t, st, genEntries(5000, 8))
+	a, err := base.Edit([]Op{Put([]byte("key-00000100"), []byte("A-change"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := base.Edit([]Op{Put([]byte("key-00004900"), []byte("B-change"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, stats, err := Merge3(base, a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := merged.Get([]byte("key-00000100")); string(v) != "A-change" {
+		t.Fatalf("A change lost: %q", v)
+	}
+	if v, _ := merged.Get([]byte("key-00004900")); string(v) != "B-change" {
+		t.Fatalf("B change lost: %q", v)
+	}
+	// Merged tree must equal applying both edits sequentially.
+	seq, err := base.Edit([]Op{
+		Put([]byte("key-00000100"), []byte("A-change")),
+		Put([]byte("key-00004900"), []byte("B-change")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Root() != seq.Root() {
+		t.Fatalf("merge root %s != sequential root %s", merged.Root().Short(), seq.Root().Short())
+	}
+	if stats.ReuseFraction() < 0.5 {
+		t.Fatalf("merge reuse fraction %.2f too low", stats.ReuseFraction())
+	}
+	t.Logf("merge reuse: %.1f%% (%d reused, %d new)", 100*stats.ReuseFraction(), stats.ReusedChunks, stats.NewChunks)
+}
+
+func TestMergeConflict(t *testing.T) {
+	st := store.NewMemStore()
+	base := mustBuild(t, st, genEntries(100, 4))
+	key := []byte("key-00000050")
+	a, _ := base.Edit([]Op{Put(key, []byte("from-A"))})
+	b, _ := base.Edit([]Op{Put(key, []byte("from-B"))})
+
+	_, stats, err := Merge3(base, a, b, nil)
+	var ce *ErrConflict
+	if !asConflict(err, &ce) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	if stats.Conflicts != 1 || len(ce.Conflicts) != 1 {
+		t.Fatalf("conflicts = %d", stats.Conflicts)
+	}
+	c := ce.Conflicts[0]
+	if !bytes.Equal(c.Key, key) || string(c.A) != "from-A" || string(c.B) != "from-B" {
+		t.Fatalf("conflict detail = %+v", c)
+	}
+
+	merged, _, err := Merge3(base, a, b, ResolveOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := merged.Get(key); string(v) != "from-A" {
+		t.Fatalf("ResolveOurs = %q", v)
+	}
+	merged, _, err = Merge3(base, a, b, ResolveTheirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := merged.Get(key); string(v) != "from-B" {
+		t.Fatalf("ResolveTheirs = %q", v)
+	}
+}
+
+func asConflict(err error, target **ErrConflict) bool {
+	if err == nil {
+		return false
+	}
+	ce, ok := err.(*ErrConflict)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+func TestMergeSameChange(t *testing.T) {
+	st := store.NewMemStore()
+	base := mustBuild(t, st, genEntries(100, 4))
+	key := []byte("key-00000010")
+	a, _ := base.Edit([]Op{Put(key, []byte("same"))})
+	b, _ := base.Edit([]Op{Put(key, []byte("same")), Put([]byte("extra"), []byte("b"))})
+	merged, _, err := Merge3(base, a, b, nil)
+	if err != nil {
+		t.Fatalf("identical change conflicted: %v", err)
+	}
+	if v, _ := merged.Get(key); string(v) != "same" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := merged.Get([]byte("extra")); string(v) != "b" {
+		t.Fatalf("extra = %q", v)
+	}
+}
+
+func TestMergeDeleteVsModify(t *testing.T) {
+	st := store.NewMemStore()
+	base := mustBuild(t, st, genEntries(100, 4))
+	key := []byte("key-00000033")
+	a, _ := base.Edit([]Op{Del(key)})
+	b, _ := base.Edit([]Op{Put(key, []byte("kept"))})
+	_, _, err := Merge3(base, a, b, nil)
+	var ce *ErrConflict
+	if !asConflict(err, &ce) {
+		t.Fatalf("delete-vs-modify should conflict, got %v", err)
+	}
+	if ce.Conflicts[0].A != nil {
+		t.Fatalf("A side should be nil (deleted): %+v", ce.Conflicts[0])
+	}
+	// Resolver chooses deletion.
+	merged, _, err := Merge3(base, a, b, func(c Conflict) ([]byte, bool) { return nil, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := merged.Has(key); ok {
+		t.Fatal("resolver deletion not honoured")
+	}
+}
+
+func TestMergeTrivialFastPaths(t *testing.T) {
+	st := store.NewMemStore()
+	base := mustBuild(t, st, genEntries(50, 4))
+	changed, _ := base.Edit([]Op{Put([]byte("x"), []byte("y"))})
+
+	m, _, err := Merge3(base, base, changed, nil)
+	if err != nil || m.Root() != changed.Root() {
+		t.Fatalf("untouched-A fast path: %v", err)
+	}
+	m, _, err = Merge3(base, changed, base, nil)
+	if err != nil || m.Root() != changed.Root() {
+		t.Fatalf("untouched-B fast path: %v", err)
+	}
+	m, _, err = Merge3(base, changed, changed, nil)
+	if err != nil || m.Root() != changed.Root() {
+		t.Fatalf("identical-sides fast path: %v", err)
+	}
+}

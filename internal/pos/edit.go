@@ -1,0 +1,479 @@
+package pos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+)
+
+// Op is a single mutation in an edit batch: a put (Delete=false) or a
+// delete (Delete=true).
+type Op struct {
+	Key    []byte
+	Val    []byte
+	Delete bool
+}
+
+// Put returns a put op.
+func Put(key, val []byte) Op { return Op{Key: key, Val: val} }
+
+// Del returns a delete op.
+func Del(key []byte) Op { return Op{Key: key, Delete: true} }
+
+// normalizeOps sorts ops by key keeping only the last op per key.
+func normalizeOps(ops []Op) []Op {
+	sorted := make([]Op, len(ops))
+	copy(sorted, ops)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
+	})
+	out := sorted[:0]
+	for i, o := range sorted {
+		if i+1 < len(sorted) && bytes.Equal(o.Key, sorted[i+1].Key) {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// levelInfo is a materialised level of the tree: the refs of its nodes and,
+// for index levels, where each node's children start in the level below.
+type levelInfo struct {
+	refs       []childRef
+	childStart []int // childStart[i] = index in lower level of node i's first child
+}
+
+// materializeLevels reads every index node (but no leaves) and returns the
+// levels bottom-up: levels[0] are leaf refs, levels[len-1] is the root.
+func (t *Tree) materializeLevels() ([]levelInfo, error) {
+	rootChunk, err := t.st.Get(t.root)
+	if err != nil {
+		return nil, fmt.Errorf("pos: edit: %w", err)
+	}
+	if rootChunk.Type() == chunk.TypeMapLeaf {
+		return []levelInfo{{refs: []childRef{{id: t.root, count: t.count, splitKey: lastLeafKey(rootChunk)}}}}, nil
+	}
+	// Walk top-down accumulating levels, then reverse.
+	var topDown []levelInfo
+	cur := []childRef{{id: t.root, count: t.count}}
+	for {
+		topDown = append(topDown, levelInfo{refs: cur})
+		var lower []childRef
+		starts := make([]int, len(cur))
+		leaf := false
+		for i, r := range cur {
+			starts[i] = len(lower)
+			c, err := t.st.Get(r.id)
+			if err != nil {
+				return nil, fmt.Errorf("pos: edit: %w", err)
+			}
+			switch c.Type() {
+			case chunk.TypeMapIndex:
+				_, refs, err := decodeMapIndex(c.Data())
+				if err != nil {
+					return nil, err
+				}
+				lower = append(lower, refs...)
+			case chunk.TypeMapLeaf:
+				leaf = true
+			default:
+				return nil, fmt.Errorf("pos: unexpected chunk type %s", c.Type())
+			}
+		}
+		if leaf {
+			break
+		}
+		topDown[len(topDown)-1].childStart = starts
+		cur = lower
+	}
+	// Reverse into bottom-up order.
+	levels := make([]levelInfo, len(topDown))
+	for i := range topDown {
+		levels[len(topDown)-1-i] = topDown[i]
+	}
+	return levels, nil
+}
+
+func lastLeafKey(c *chunk.Chunk) []byte {
+	entries, err := decodeMapLeaf(c.Data())
+	if err != nil || len(entries) == 0 {
+		return nil
+	}
+	return entries[len(entries)-1].Key
+}
+
+// Edit applies a batch of mutations and returns the resulting tree.
+//
+// The edit is *incremental*: chunking restarts at the first affected leaf and
+// proceeds only until the content-defined boundaries re-synchronise with the
+// old tree, at which point the remaining nodes — at every level — are reused
+// verbatim (SIRI property 2, "recursively identical").  The result is
+// guaranteed byte-identical to rebuilding the tree from scratch over the
+// edited record set; the property tests in edit_test.go enforce this.
+func (t *Tree) Edit(ops []Op) (*Tree, error) {
+	ops = normalizeOps(ops)
+	if len(ops) == 0 {
+		return t, nil
+	}
+	if t.root.IsZero() {
+		var entries []Entry
+		for _, o := range ops {
+			if !o.Delete {
+				entries = append(entries, Entry{Key: o.Key, Val: o.Val})
+			}
+		}
+		return BuildMap(t.st, t.cfg, entries)
+	}
+
+	levels, err := t.materializeLevels()
+	if err != nil {
+		return nil, err
+	}
+	leafRefs := levels[0].refs
+
+	lo, hi, newRefs, delta, err := t.editLeaves(leafRefs, ops)
+	if err != nil {
+		return nil, err
+	}
+	if lo == hi && len(newRefs) == 0 {
+		return t, nil // all ops were no-ops
+	}
+	// Fast path: detect fully-unchanged splices (ops that rewrote identical
+	// content), so Edit(identity) returns the identical root.
+	if hi-lo == len(newRefs) {
+		same := true
+		for k := range newRefs {
+			if newRefs[k].id != leafRefs[lo+k].id {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t, nil
+		}
+	}
+
+	newCount := uint64(int64(t.count) + delta)
+	cur := splice{lo: lo, hi: hi, refs: newRefs}
+	for h := 0; ; h++ {
+		level := levels[h]
+		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
+		if total == 0 {
+			return &Tree{st: t.st, cfg: t.cfg}, nil // tree emptied
+		}
+		if total == 1 {
+			root := singleSurvivor(level.refs, cur)
+			return &Tree{st: t.st, cfg: t.cfg, root: root.id, count: newCount}, nil
+		}
+		if h == len(levels)-1 {
+			// Top existing level still has multiple nodes: stack fresh
+			// index levels above the full spliced list.
+			full := make([]childRef, 0, total)
+			full = append(full, level.refs[:cur.lo]...)
+			full = append(full, cur.refs...)
+			full = append(full, level.refs[cur.hi:]...)
+			root, err := buildLevels(t.st, t.cfg, full, uint8(h+1), true)
+			if err != nil {
+				return nil, err
+			}
+			return &Tree{st: t.st, cfg: t.cfg, root: root.id, count: newCount}, nil
+		}
+		cur, err = t.spliceLevel(levels[h+1], level.refs, cur, uint8(h+1))
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// splice describes the replacement of node range [lo, hi) of a level by refs.
+type splice struct {
+	lo, hi int
+	refs   []childRef
+}
+
+func singleSurvivor(old []childRef, s splice) childRef {
+	if len(s.refs) == 1 && s.lo == 0 && s.hi == len(old) {
+		return s.refs[0]
+	}
+	if s.lo > 0 {
+		return old[0]
+	}
+	return old[len(old)-1]
+}
+
+// editLeaves re-chunks the leaf level across the affected key range.
+// It returns the replaced leaf range [lo, hi), the replacement refs, and the
+// entry-count delta.
+func (t *Tree) editLeaves(leafRefs []childRef, ops []Op) (lo, hi int, out []childRef, delta int64, err error) {
+	firstKey := ops[0].Key
+	lo = sort.Search(len(leafRefs), func(i int) bool {
+		return bytes.Compare(leafRefs[i].splitKey, firstKey) >= 0
+	})
+	if lo == len(leafRefs) {
+		lo = len(leafRefs) - 1
+	}
+
+	lb := newLevelBuilder(t.st, t.cfg, 0, true)
+	oldLeaf := lo
+	var oldEntries []Entry
+	oldPos := 0
+	loaded := false
+
+	// peekOld returns the next untouched entry of the old tree, loading
+	// leaves lazily; ok=false at the end of the tree.
+	peekOld := func() (Entry, bool, error) {
+		for {
+			if oldLeaf >= len(leafRefs) {
+				return Entry{}, false, nil
+			}
+			if !loaded {
+				oldEntries, err = t.loadLeafEntries(leafRefs[oldLeaf].id)
+				if err != nil {
+					return Entry{}, false, err
+				}
+				loaded = true
+				oldPos = 0
+			}
+			if oldPos < len(oldEntries) {
+				return oldEntries[oldPos], true, nil
+			}
+			oldLeaf++
+			loaded = false
+		}
+	}
+	advanceOld := func() { oldPos++ }
+	var enc []byte
+	feed := func(e Entry, isNew bool) error {
+		enc = enc[:0]
+		enc = encodeEntry(enc, e)
+		if isNew {
+			delta++
+		}
+		return lb.add(enc, e.Key, 1)
+	}
+
+	opIdx := 0
+	for {
+		if opIdx >= len(ops) {
+			// Tail phase: pass old entries through until the chunker
+			// re-synchronises with an old leaf boundary.
+			e, ok, perr := peekOld()
+			if perr != nil {
+				return 0, 0, nil, 0, perr
+			}
+			if !ok {
+				hi = len(leafRefs)
+				break
+			}
+			if oldPos == 0 && lb.atBoundary() {
+				hi = oldLeaf
+				break
+			}
+			if err := feed(e, false); err != nil {
+				return 0, 0, nil, 0, err
+			}
+			advanceOld()
+			continue
+		}
+		op := ops[opIdx]
+		e, ok, perr := peekOld()
+		if perr != nil {
+			return 0, 0, nil, 0, perr
+		}
+		switch {
+		case ok && bytes.Compare(e.Key, op.Key) < 0:
+			if err := feed(e, false); err != nil {
+				return 0, 0, nil, 0, err
+			}
+			advanceOld()
+		case ok && bytes.Equal(e.Key, op.Key):
+			if op.Delete {
+				delta--
+			} else if err := feed(Entry{Key: op.Key, Val: op.Val}, false); err != nil {
+				return 0, 0, nil, 0, err
+			}
+			advanceOld()
+			opIdx++
+		default: // old exhausted, or op key precedes next old key: insertion point
+			if !op.Delete {
+				if err := feed(Entry{Key: op.Key, Val: op.Val}, true); err != nil {
+					return 0, 0, nil, 0, err
+				}
+			}
+			opIdx++
+		}
+	}
+	out, err = lb.finish()
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	return lo, hi, out, delta, nil
+}
+
+// spliceLevel propagates a lower-level splice through index level `level`
+// (whose nodes' children are lowerOld).  It re-chunks index entries from the
+// first affected node until re-synchronisation and returns the splice to
+// apply one level up.
+func (t *Tree) spliceLevel(level levelInfo, lowerOld []childRef, s splice, levelNo uint8) (splice, error) {
+	starts := level.childStart
+	// Node a: the last node whose first child is <= s.lo.
+	a := sort.Search(len(starts), func(i int) bool { return starts[i] > s.lo }) - 1
+	if a < 0 {
+		a = 0
+	}
+
+	lb := newLevelBuilder(t.st, t.cfg, levelNo, true)
+	var enc []byte
+	feed := func(r childRef) error {
+		enc = enc[:0]
+		enc = encodeChildRef(enc, r)
+		return lb.add(enc, r.splitKey, r.count)
+	}
+
+	pos := starts[a]
+	newIdx := 0
+	c := len(level.refs)
+	// nodeStartAt returns (node index, true) when pos is the first child of
+	// a node after a.
+	nodeStartAt := func(pos int) (int, bool) {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] >= pos })
+		if i < len(starts) && starts[i] == pos && i > a {
+			return i, true
+		}
+		return 0, false
+	}
+	for {
+		if pos < s.lo {
+			if err := feed(lowerOld[pos]); err != nil {
+				return splice{}, err
+			}
+			pos++
+			continue
+		}
+		if newIdx < len(s.refs) {
+			if err := feed(s.refs[newIdx]); err != nil {
+				return splice{}, err
+			}
+			newIdx++
+			continue
+		}
+		if pos < s.hi {
+			pos = s.hi
+			continue
+		}
+		// Tail: reuse as soon as boundaries align.
+		if pos == len(lowerOld) {
+			c = len(level.refs)
+			break
+		}
+		if lb.atBoundary() {
+			if node, ok := nodeStartAt(pos); ok {
+				c = node
+				break
+			}
+		}
+		if err := feed(lowerOld[pos]); err != nil {
+			return splice{}, err
+		}
+		pos++
+	}
+	out, err := lb.finish()
+	if err != nil {
+		return splice{}, err
+	}
+	return splice{lo: a, hi: c, refs: out}, nil
+}
+
+// EditRebuild is the reference implementation of Edit: it streams the entire
+// edited record set through a fresh build.  It must produce a byte-identical
+// tree to Edit; it exists for the incremental-vs-rebuild ablation and as the
+// oracle for property tests.
+func (t *Tree) EditRebuild(ops []Op) (*Tree, error) {
+	ops = normalizeOps(ops)
+	if len(ops) == 0 {
+		return t, nil
+	}
+	lb := newLevelBuilder(t.st, t.cfg, 0, true)
+	var enc []byte
+	feed := func(e Entry) error {
+		enc = enc[:0]
+		enc = encodeEntry(enc, e)
+		return lb.add(enc, e.Key, 1)
+	}
+	it, err := t.Iter()
+	if err != nil {
+		return nil, err
+	}
+	opIdx := 0
+	advanced := it.Next()
+	for advanced || opIdx < len(ops) {
+		switch {
+		case advanced && opIdx < len(ops):
+			e, op := it.Entry(), ops[opIdx]
+			cmp := bytes.Compare(e.Key, op.Key)
+			switch {
+			case cmp < 0:
+				if err := feed(e); err != nil {
+					return nil, err
+				}
+				advanced = it.Next()
+			case cmp == 0:
+				if !op.Delete {
+					if err := feed(Entry{Key: op.Key, Val: op.Val}); err != nil {
+						return nil, err
+					}
+				}
+				advanced = it.Next()
+				opIdx++
+			default:
+				if !op.Delete {
+					if err := feed(Entry{Key: op.Key, Val: op.Val}); err != nil {
+						return nil, err
+					}
+				}
+				opIdx++
+			}
+		case advanced:
+			if err := feed(it.Entry()); err != nil {
+				return nil, err
+			}
+			advanced = it.Next()
+		default:
+			op := ops[opIdx]
+			if !op.Delete {
+				if err := feed(Entry{Key: op.Key, Val: op.Val}); err != nil {
+					return nil, err
+				}
+			}
+			opIdx++
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	leaves, err := lb.finish()
+	if err != nil {
+		return nil, err
+	}
+	root, err := buildLevels(t.st, t.cfg, leaves, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{st: t.st, cfg: t.cfg, root: root.id, count: root.count}, nil
+}
+
+// Insert is a convenience single-key put.
+func (t *Tree) Insert(key, val []byte) (*Tree, error) {
+	return t.Edit([]Op{Put(key, val)})
+}
+
+// Remove is a convenience single-key delete.
+func (t *Tree) Remove(key []byte) (*Tree, error) {
+	return t.Edit([]Op{Del(key)})
+}
+
+var _ = hash.Hash{} // keep hash imported for documentation references

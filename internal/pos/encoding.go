@@ -1,0 +1,286 @@
+// Package pos implements the Pattern-Oriented-Split Tree (POS-Tree), the
+// primary contribution of the ForkBase paper (§II-A).
+//
+// A POS-Tree is simultaneously:
+//
+//   - a B+-tree: index nodes route lookups through split keys;
+//   - a Merkle tree: child pointers are the cryptographic hashes of child
+//     nodes, so the root hash authenticates the entire content;
+//   - a content-defined-chunked structure: node boundaries are placed where
+//     a rolling hash over the encoded entries matches a pattern, which makes
+//     the node layout a pure function of the record set — the
+//     Structurally-Invariant Reusable Index (SIRI) properties.
+//
+// Two variants are provided: Tree (an ordered key→value map, used for maps,
+// sets and relational tables) and Seq (a positional sequence, used for lists
+// and blobs).
+package pos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+)
+
+// Entry is one key/value record of a map POS-Tree leaf.
+type Entry struct {
+	Key []byte
+	Val []byte
+}
+
+// childRef is one routing entry of an index node: the identifier of a child
+// plus the greatest key stored in that child's subtree (the split key) and
+// the number of leaf entries below it.
+type childRef struct {
+	splitKey []byte // greatest key in the subtree (nil for sequence trees)
+	id       hash.Hash
+	count    uint64 // leaf entries (or bytes/items, for sequences) below
+}
+
+// appendUvarint appends x in unsigned varint form.
+func appendUvarint(dst []byte, x uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	return append(dst, tmp[:n]...)
+}
+
+// encodeEntry appends the canonical encoding of a map entry:
+// uvarint(len key) | key | uvarint(len val) | val.
+// This byte form is both the storage format and the stream the rolling hash
+// scans, so it must be deterministic.
+func encodeEntry(dst []byte, e Entry) []byte {
+	dst = appendUvarint(dst, uint64(len(e.Key)))
+	dst = append(dst, e.Key...)
+	dst = appendUvarint(dst, uint64(len(e.Val)))
+	dst = append(dst, e.Val...)
+	return dst
+}
+
+// encodeChildRef appends the canonical encoding of an index entry:
+// uvarint(len splitKey) | splitKey | 32-byte child hash | uvarint(count).
+func encodeChildRef(dst []byte, r childRef) []byte {
+	dst = appendUvarint(dst, uint64(len(r.splitKey)))
+	dst = append(dst, r.splitKey...)
+	dst = append(dst, r.id[:]...)
+	dst = appendUvarint(dst, r.count)
+	return dst
+}
+
+// encodeSeqItem appends the canonical encoding of a sequence item.
+func encodeSeqItem(dst, item []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(item)))
+	dst = append(dst, item...)
+	return dst
+}
+
+// encodeSeqChildRef appends a sequence index entry: 32-byte hash | count.
+func encodeSeqChildRef(dst []byte, r childRef) []byte {
+	dst = append(dst, r.id[:]...)
+	dst = appendUvarint(dst, r.count)
+	return dst
+}
+
+// Node payload layout (common to all four node chunk types):
+//
+//	[1B level][uvarint n][n encoded entries]
+//
+// level 0 = leaf; ≥1 = index.  The level byte lets Diff align subtrees of
+// trees with different heights without external metadata.
+
+func encodeNodePayload(level uint8, n int, entries []byte) []byte {
+	out := make([]byte, 0, 1+binary.MaxVarintLen64+len(entries))
+	out = append(out, level)
+	out = appendUvarint(out, uint64(n))
+	out = append(out, entries...)
+	return out
+}
+
+func errTrunc(what string) error { return fmt.Errorf("pos: truncated %s payload", what) }
+
+// decodeMapLeaf parses a TypeMapLeaf payload.
+func decodeMapLeaf(data []byte) ([]Entry, error) {
+	if len(data) < 1 {
+		return nil, errTrunc("map leaf")
+	}
+	if data[0] != 0 {
+		return nil, fmt.Errorf("pos: map leaf with level %d", data[0])
+	}
+	p := data[1:]
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return nil, errTrunc("map leaf")
+	}
+	p = p[sz:]
+	entries := make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kl, sz := binary.Uvarint(p)
+		if sz <= 0 || uint64(len(p[sz:])) < kl {
+			return nil, errTrunc("map leaf entry key")
+		}
+		p = p[sz:]
+		k := p[:kl:kl]
+		p = p[kl:]
+		vl, sz := binary.Uvarint(p)
+		if sz <= 0 || uint64(len(p[sz:])) < vl {
+			return nil, errTrunc("map leaf entry value")
+		}
+		p = p[sz:]
+		v := p[:vl:vl]
+		p = p[vl:]
+		entries = append(entries, Entry{Key: k, Val: v})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("pos: %d trailing bytes in map leaf", len(p))
+	}
+	return entries, nil
+}
+
+// decodeMapIndex parses a TypeMapIndex payload, returning its level and
+// child references.
+func decodeMapIndex(data []byte) (uint8, []childRef, error) {
+	if len(data) < 1 {
+		return 0, nil, errTrunc("map index")
+	}
+	level := data[0]
+	if level == 0 {
+		return 0, nil, fmt.Errorf("pos: map index with level 0")
+	}
+	p := data[1:]
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, nil, errTrunc("map index")
+	}
+	p = p[sz:]
+	refs := make([]childRef, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kl, sz := binary.Uvarint(p)
+		if sz <= 0 || uint64(len(p[sz:])) < kl {
+			return 0, nil, errTrunc("map index split key")
+		}
+		p = p[sz:]
+		k := p[:kl:kl]
+		p = p[kl:]
+		if len(p) < hash.Size {
+			return 0, nil, errTrunc("map index child hash")
+		}
+		var id hash.Hash
+		copy(id[:], p[:hash.Size])
+		p = p[hash.Size:]
+		cnt, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return 0, nil, errTrunc("map index count")
+		}
+		p = p[sz:]
+		refs = append(refs, childRef{splitKey: k, id: id, count: cnt})
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("pos: %d trailing bytes in map index", len(p))
+	}
+	return level, refs, nil
+}
+
+// decodeSeqLeaf parses a TypeSeqLeaf payload into its items.
+func decodeSeqLeaf(data []byte) ([][]byte, error) {
+	if len(data) < 1 {
+		return nil, errTrunc("seq leaf")
+	}
+	if data[0] != 0 {
+		return nil, fmt.Errorf("pos: seq leaf with level %d", data[0])
+	}
+	p := data[1:]
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return nil, errTrunc("seq leaf")
+	}
+	p = p[sz:]
+	items := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		il, sz := binary.Uvarint(p)
+		if sz <= 0 || uint64(len(p[sz:])) < il {
+			return nil, errTrunc("seq leaf item")
+		}
+		p = p[sz:]
+		items = append(items, p[:il:il])
+		p = p[il:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("pos: %d trailing bytes in seq leaf", len(p))
+	}
+	return items, nil
+}
+
+// decodeSeqIndex parses a TypeSeqIndex payload.
+func decodeSeqIndex(data []byte) (uint8, []childRef, error) {
+	if len(data) < 1 {
+		return 0, nil, errTrunc("seq index")
+	}
+	level := data[0]
+	if level == 0 {
+		return 0, nil, fmt.Errorf("pos: seq index with level 0")
+	}
+	p := data[1:]
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, nil, errTrunc("seq index")
+	}
+	p = p[sz:]
+	refs := make([]childRef, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(p) < hash.Size {
+			return 0, nil, errTrunc("seq index child hash")
+		}
+		var id hash.Hash
+		copy(id[:], p[:hash.Size])
+		p = p[hash.Size:]
+		cnt, sz := binary.Uvarint(p)
+		if sz <= 0 {
+			return 0, nil, errTrunc("seq index count")
+		}
+		p = p[sz:]
+		refs = append(refs, childRef{id: id, count: cnt})
+	}
+	if len(p) != 0 {
+		return 0, nil, fmt.Errorf("pos: %d trailing bytes in seq index", len(p))
+	}
+	return level, refs, nil
+}
+
+// nodeLevel extracts the level byte from any POS-Tree node chunk.
+func nodeLevel(c *chunk.Chunk) (uint8, error) {
+	if len(c.Data()) < 1 {
+		return 0, errTrunc("node")
+	}
+	return c.Data()[0], nil
+}
+
+// IndexChildren returns the child hashes of a POS-Tree index node chunk, or
+// nil for leaf chunks.  It is the hook external verifiers (package core) use
+// to walk value graphs without depending on pos internals.
+func IndexChildren(c *chunk.Chunk) ([]hash.Hash, error) {
+	switch c.Type() {
+	case chunk.TypeMapIndex:
+		_, refs, err := decodeMapIndex(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		out := make([]hash.Hash, len(refs))
+		for i, r := range refs {
+			out[i] = r.id
+		}
+		return out, nil
+	case chunk.TypeSeqIndex:
+		_, refs, err := decodeSeqIndex(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		out := make([]hash.Hash, len(refs))
+		for i, r := range refs {
+			out[i] = r.id
+		}
+		return out, nil
+	default:
+		return nil, nil
+	}
+}

@@ -1,0 +1,118 @@
+package pos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunk"
+)
+
+// At returns the entry at rank i (0-based, in key order).  Because index
+// entries carry sub-tree entry counts, selection is O(log N) — one path
+// from root to leaf — rather than an O(i) scan.
+func (t *Tree) At(i uint64) (Entry, error) {
+	if i >= t.count {
+		return Entry{}, ErrOutOfRange
+	}
+	id := t.root
+	for {
+		c, err := t.st.Get(id)
+		if err != nil {
+			return Entry{}, fmt.Errorf("pos: at: %w", err)
+		}
+		switch c.Type() {
+		case chunk.TypeMapLeaf:
+			entries, err := decodeMapLeaf(c.Data())
+			if err != nil {
+				return Entry{}, err
+			}
+			if i >= uint64(len(entries)) {
+				return Entry{}, ErrOutOfRange
+			}
+			return entries[i], nil
+		case chunk.TypeMapIndex:
+			_, refs, err := decodeMapIndex(c.Data())
+			if err != nil {
+				return Entry{}, err
+			}
+			found := false
+			for _, r := range refs {
+				if i < r.count {
+					id = r.id
+					found = true
+					break
+				}
+				i -= r.count
+			}
+			if !found {
+				return Entry{}, ErrOutOfRange
+			}
+		default:
+			return Entry{}, fmt.Errorf("pos: unexpected chunk %s in map tree", c.Type())
+		}
+	}
+}
+
+// Rank returns the number of entries with key strictly less than key —
+// equivalently, the rank at which key would sit.  O(log N) via sub-tree
+// counts: whole sub-trees left of the search path are counted without being
+// read.
+func (t *Tree) Rank(key []byte) (uint64, error) {
+	if t.root.IsZero() {
+		return 0, nil
+	}
+	var rank uint64
+	id := t.root
+	for {
+		c, err := t.st.Get(id)
+		if err != nil {
+			return 0, fmt.Errorf("pos: rank: %w", err)
+		}
+		switch c.Type() {
+		case chunk.TypeMapLeaf:
+			entries, err := decodeMapLeaf(c.Data())
+			if err != nil {
+				return 0, err
+			}
+			i := sort.Search(len(entries), func(i int) bool {
+				return bytes.Compare(entries[i].Key, key) >= 0
+			})
+			return rank + uint64(i), nil
+		case chunk.TypeMapIndex:
+			_, refs, err := decodeMapIndex(c.Data())
+			if err != nil {
+				return 0, err
+			}
+			i := sort.Search(len(refs), func(i int) bool {
+				return bytes.Compare(refs[i].splitKey, key) >= 0
+			})
+			for j := 0; j < i; j++ {
+				rank += refs[j].count
+			}
+			if i == len(refs) {
+				return rank, nil // key beyond the maximum
+			}
+			id = refs[i].id
+		default:
+			return 0, fmt.Errorf("pos: unexpected chunk %s in map tree", c.Type())
+		}
+	}
+}
+
+// RangeCount returns the number of entries with lo <= key < hi in
+// O(log N), without touching the leaves in between.
+func (t *Tree) RangeCount(lo, hi []byte) (uint64, error) {
+	if bytes.Compare(lo, hi) >= 0 {
+		return 0, nil
+	}
+	rlo, err := t.Rank(lo)
+	if err != nil {
+		return 0, err
+	}
+	rhi, err := t.Rank(hi)
+	if err != nil {
+		return 0, err
+	}
+	return rhi - rlo, nil
+}

@@ -1,0 +1,135 @@
+package pos
+
+import (
+	"bytes"
+	"errors"
+
+	"testing"
+	"testing/quick"
+
+	"forkbase/internal/store"
+)
+
+func TestAtSelectsByRank(t *testing.T) {
+	st := store.NewMemStore()
+	entries := genEntries(5000, 3)
+	tree := mustBuild(t, st, entries)
+	for _, i := range []uint64{0, 1, 2499, 4998, 4999} {
+		e, err := tree.At(i)
+		if err != nil {
+			t.Fatalf("At(%d): %v", i, err)
+		}
+		if !bytes.Equal(e.Key, entries[i].Key) {
+			t.Fatalf("At(%d) = %q, want %q", i, e.Key, entries[i].Key)
+		}
+	}
+	if _, err := tree.At(5000); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("At(len) err = %v", err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	st := store.NewMemStore()
+	entries := genEntries(3000, 4)
+	tree := mustBuild(t, st, entries)
+	for _, i := range []int{0, 1, 1500, 2999} {
+		r, err := tree.Rank(entries[i].Key)
+		if err != nil || r != uint64(i) {
+			t.Fatalf("Rank(%q) = %d, %v; want %d", entries[i].Key, r, err, i)
+		}
+	}
+	// Rank of a key beyond the maximum is the full count.
+	r, err := tree.Rank([]byte("zzzz"))
+	if err != nil || r != 3000 {
+		t.Fatalf("Rank(max+) = %d, %v", r, err)
+	}
+	// Rank of a key before the minimum is zero.
+	r, err = tree.Rank([]byte("a"))
+	if err != nil || r != 0 {
+		t.Fatalf("Rank(min-) = %d, %v", r, err)
+	}
+	// Rank between two keys = index of the next one.
+	r, err = tree.Rank([]byte("key-00000999x"))
+	if err != nil || r != 1000 {
+		t.Fatalf("Rank(between) = %d, %v", r, err)
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	st := store.NewMemStore()
+	entries := genEntries(2000, 5)
+	tree := mustBuild(t, st, entries)
+	n, err := tree.RangeCount(entries[100].Key, entries[350].Key)
+	if err != nil || n != 250 {
+		t.Fatalf("RangeCount = %d, %v; want 250", n, err)
+	}
+	n, err = tree.RangeCount(entries[0].Key, []byte("zzzz"))
+	if err != nil || n != 2000 {
+		t.Fatalf("full range = %d, %v", n, err)
+	}
+	n, err = tree.RangeCount(entries[5].Key, entries[5].Key)
+	if err != nil || n != 0 {
+		t.Fatalf("empty range = %d, %v", n, err)
+	}
+	n, err = tree.RangeCount(entries[9].Key, entries[3].Key)
+	if err != nil || n != 0 {
+		t.Fatalf("inverted range = %d, %v", n, err)
+	}
+}
+
+func TestRankEmptyTree(t *testing.T) {
+	st := store.NewMemStore()
+	tree := NewEmptyTree(st, testCfg())
+	r, err := tree.Rank([]byte("k"))
+	if err != nil || r != 0 {
+		t.Fatalf("empty rank = %d, %v", r, err)
+	}
+	if _, err := tree.At(0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("empty At err = %v", err)
+	}
+}
+
+// QuickProperty: Rank(At(i).Key) == i and At is consistent with Entries.
+func TestQuickRankSelectInverse(t *testing.T) {
+	st := store.NewMemStore()
+	f := func(seed int64, nSeed uint16) bool {
+		n := 10 + int(nSeed%2000)
+		entries := genEntries(n, seed)
+		tree, err := BuildMap(st, testCfg(), entries)
+		if err != nil {
+			return false
+		}
+		for _, i := range []uint64{0, uint64(n) / 3, uint64(n) - 1} {
+			e, err := tree.At(i)
+			if err != nil {
+				return false
+			}
+			r, err := tree.Rank(e.Key)
+			if err != nil || r != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankCheapInNodeReads(t *testing.T) {
+	st := store.NewMemStore()
+	entries := genEntries(30000, 6)
+	tree := mustBuild(t, st, entries)
+	stats, err := tree.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Stats().Gets
+	if _, err := tree.Rank(entries[15000].Key); err != nil {
+		t.Fatal(err)
+	}
+	reads := st.Stats().Gets - before
+	if reads > int64(stats.Height) {
+		t.Fatalf("Rank read %d nodes for height-%d tree", reads, stats.Height)
+	}
+}

@@ -1,0 +1,486 @@
+package pos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Seq is an immutable positional POS-Tree over variable-length items; it
+// backs the List data type.  Index nodes route by cumulative item counts
+// instead of split keys; everything else (pattern-split boundaries, Merkle
+// hashing, structural invariance) matches the map variant.
+type Seq struct {
+	st    store.Store
+	cfg   chunker.Config
+	root  hash.Hash
+	count uint64
+}
+
+// ErrOutOfRange is returned for positions past the end of a sequence.
+var ErrOutOfRange = errors.New("pos: position out of range")
+
+// NewEmptySeq returns the empty sequence.
+func NewEmptySeq(st store.Store, cfg chunker.Config) *Seq {
+	return &Seq{st: st, cfg: cfg}
+}
+
+// LoadSeq attaches to an existing sequence by root hash.
+func LoadSeq(st store.Store, cfg chunker.Config, root hash.Hash) (*Seq, error) {
+	s := &Seq{st: st, cfg: cfg, root: root}
+	if root.IsZero() {
+		return s, nil
+	}
+	c, err := st.Get(root)
+	if err != nil {
+		return nil, fmt.Errorf("pos: loading seq root: %w", err)
+	}
+	switch c.Type() {
+	case chunk.TypeSeqLeaf:
+		items, err := decodeSeqLeaf(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		s.count = uint64(len(items))
+	case chunk.TypeSeqIndex:
+		_, refs, err := decodeSeqIndex(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			s.count += r.count
+		}
+	default:
+		return nil, fmt.Errorf("pos: seq root %s is a %s", root.Short(), c.Type())
+	}
+	return s, nil
+}
+
+// BuildSeq constructs a sequence over items.
+func BuildSeq(st store.Store, cfg chunker.Config, items [][]byte) (*Seq, error) {
+	lb := newLevelBuilder(st, cfg, 0, false)
+	var enc []byte
+	for _, it := range items {
+		enc = enc[:0]
+		enc = encodeSeqItem(enc, it)
+		if err := lb.add(enc, nil, 1); err != nil {
+			return nil, err
+		}
+	}
+	leaves, err := lb.finish()
+	if err != nil {
+		return nil, err
+	}
+	root, err := buildLevels(st, cfg, leaves, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Seq{st: st, cfg: cfg, root: root.id, count: root.count}, nil
+}
+
+// Root returns the root hash (zero for empty).
+func (s *Seq) Root() hash.Hash { return s.root }
+
+// Len returns the number of items.
+func (s *Seq) Len() uint64 { return s.count }
+
+// Get returns item i.
+func (s *Seq) Get(i uint64) ([]byte, error) {
+	if i >= s.count {
+		return nil, ErrOutOfRange
+	}
+	id := s.root
+	for {
+		c, err := s.st.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("pos: seq get: %w", err)
+		}
+		switch c.Type() {
+		case chunk.TypeSeqLeaf:
+			items, err := decodeSeqLeaf(c.Data())
+			if err != nil {
+				return nil, err
+			}
+			if i >= uint64(len(items)) {
+				return nil, ErrOutOfRange
+			}
+			return items[i], nil
+		case chunk.TypeSeqIndex:
+			_, refs, err := decodeSeqIndex(c.Data())
+			if err != nil {
+				return nil, err
+			}
+			found := false
+			for _, r := range refs {
+				if i < r.count {
+					id = r.id
+					found = true
+					break
+				}
+				i -= r.count
+			}
+			if !found {
+				return nil, ErrOutOfRange
+			}
+		default:
+			return nil, fmt.Errorf("pos: unexpected chunk %s in seq", c.Type())
+		}
+	}
+}
+
+// Items materialises all items in order.
+func (s *Seq) Items() ([][]byte, error) {
+	out := make([][]byte, 0, s.count)
+	err := s.walkLeaves(func(items [][]byte) {
+		for _, it := range items {
+			out = append(out, append([]byte(nil), it...))
+		}
+	})
+	return out, err
+}
+
+func (s *Seq) walkLeaves(fn func(items [][]byte)) error {
+	if s.root.IsZero() {
+		return nil
+	}
+	var walk func(id hash.Hash) error
+	walk = func(id hash.Hash) error {
+		c, err := s.st.Get(id)
+		if err != nil {
+			return err
+		}
+		switch c.Type() {
+		case chunk.TypeSeqLeaf:
+			items, err := decodeSeqLeaf(c.Data())
+			if err != nil {
+				return err
+			}
+			fn(items)
+			return nil
+		case chunk.TypeSeqIndex:
+			_, refs, err := decodeSeqIndex(c.Data())
+			if err != nil {
+				return err
+			}
+			for _, r := range refs {
+				if err := walk(r.id); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("pos: unexpected chunk %s in seq", c.Type())
+		}
+	}
+	return walk(s.root)
+}
+
+// seqLevels materialises index levels bottom-up (like materializeLevels but
+// count-routed).
+func (s *Seq) seqLevels() ([]levelInfo, error) {
+	rootChunk, err := s.st.Get(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("pos: seq: %w", err)
+	}
+	if rootChunk.Type() == chunk.TypeSeqLeaf {
+		return []levelInfo{{refs: []childRef{{id: s.root, count: s.count}}}}, nil
+	}
+	var topDown []levelInfo
+	cur := []childRef{{id: s.root, count: s.count}}
+	for {
+		topDown = append(topDown, levelInfo{refs: cur})
+		var lower []childRef
+		starts := make([]int, len(cur))
+		leaf := false
+		for i, r := range cur {
+			starts[i] = len(lower)
+			c, err := s.st.Get(r.id)
+			if err != nil {
+				return nil, err
+			}
+			switch c.Type() {
+			case chunk.TypeSeqIndex:
+				_, refs, err := decodeSeqIndex(c.Data())
+				if err != nil {
+					return nil, err
+				}
+				lower = append(lower, refs...)
+			case chunk.TypeSeqLeaf, chunk.TypeBlobLeaf:
+				leaf = true
+			default:
+				return nil, fmt.Errorf("pos: unexpected chunk %s", c.Type())
+			}
+		}
+		if leaf {
+			break
+		}
+		topDown[len(topDown)-1].childStart = starts
+		cur = lower
+	}
+	levels := make([]levelInfo, len(topDown))
+	for i := range topDown {
+		levels[len(topDown)-1-i] = topDown[i]
+	}
+	return levels, nil
+}
+
+// Splice returns a sequence with items [at, at+del) removed and ins inserted
+// at position at.  Like Tree.Edit it is incremental: chunking restarts at
+// the affected leaf and stops at re-synchronisation, and the result is
+// byte-identical to a from-scratch build of the edited item list.
+func (s *Seq) Splice(at, del uint64, ins [][]byte) (*Seq, error) {
+	if at > s.count {
+		return nil, ErrOutOfRange
+	}
+	if del > s.count-at {
+		del = s.count - at
+	}
+	if del == 0 && len(ins) == 0 {
+		return s, nil
+	}
+	if s.root.IsZero() {
+		return BuildSeq(s.st, s.cfg, ins)
+	}
+
+	levels, err := s.seqLevels()
+	if err != nil {
+		return nil, err
+	}
+	leafRefs := levels[0].refs
+
+	// Locate the leaf containing position `at` (last leaf for appends).
+	lo := 0
+	var skipped uint64
+	for lo < len(leafRefs)-1 && skipped+leafRefs[lo].count <= at {
+		skipped += leafRefs[lo].count
+		lo++
+	}
+
+	lb := newLevelBuilder(s.st, s.cfg, 0, false)
+	var enc []byte
+	feed := func(item []byte) error {
+		enc = enc[:0]
+		enc = encodeSeqItem(enc, item)
+		return lb.add(enc, nil, 1)
+	}
+
+	oldLeaf := lo
+	var oldItems [][]byte
+	oldPos := 0
+	loaded := false
+	pos := skipped // absolute position of next old item
+	peek := func() ([]byte, bool, error) {
+		for {
+			if oldLeaf >= len(leafRefs) {
+				return nil, false, nil
+			}
+			if !loaded {
+				c, err := s.st.Get(leafRefs[oldLeaf].id)
+				if err != nil {
+					return nil, false, err
+				}
+				oldItems, err = decodeSeqLeaf(c.Data())
+				if err != nil {
+					return nil, false, err
+				}
+				loaded = true
+				oldPos = 0
+			}
+			if oldPos < len(oldItems) {
+				return oldItems[oldPos], true, nil
+			}
+			oldLeaf++
+			loaded = false
+		}
+	}
+
+	insDone := false
+	delEnd := at + del
+	hi := len(leafRefs)
+	for {
+		it, ok, err := peek()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case pos < at:
+			if !ok {
+				return nil, fmt.Errorf("pos: seq splice ran out of items before at=%d", at)
+			}
+			if err := feed(it); err != nil {
+				return nil, err
+			}
+			oldPos++
+			pos++
+		case !insDone:
+			for _, item := range ins {
+				if err := feed(item); err != nil {
+					return nil, err
+				}
+			}
+			insDone = true
+		case pos < delEnd:
+			if !ok {
+				return nil, fmt.Errorf("pos: seq splice ran out of items during delete")
+			}
+			oldPos++
+			pos++
+		default:
+			// Tail phase: sync at a leaf boundary, or run to the end.
+			if !ok {
+				hi = len(leafRefs)
+				goto done
+			}
+			if oldPos == 0 && lb.atBoundary() {
+				hi = oldLeaf
+				goto done
+			}
+			if err := feed(it); err != nil {
+				return nil, err
+			}
+			oldPos++
+			pos++
+		}
+	}
+done:
+	newRefs, err := lb.finish()
+	if err != nil {
+		return nil, err
+	}
+	newCount := s.count - del + uint64(len(ins))
+	cur := splice{lo: lo, hi: hi, refs: newRefs}
+	for h := 0; ; h++ {
+		level := levels[h]
+		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
+		if total == 0 {
+			return &Seq{st: s.st, cfg: s.cfg}, nil
+		}
+		if total == 1 {
+			root := singleSurvivor(level.refs, cur)
+			return &Seq{st: s.st, cfg: s.cfg, root: root.id, count: newCount}, nil
+		}
+		if h == len(levels)-1 {
+			full := make([]childRef, 0, total)
+			full = append(full, level.refs[:cur.lo]...)
+			full = append(full, cur.refs...)
+			full = append(full, level.refs[cur.hi:]...)
+			root, err := buildLevels(s.st, s.cfg, full, uint8(h+1), false)
+			if err != nil {
+				return nil, err
+			}
+			return &Seq{st: s.st, cfg: s.cfg, root: root.id, count: newCount}, nil
+		}
+		cur, err = seqSpliceLevel(s.st, s.cfg, levels[h+1], level.refs, cur, uint8(h+1))
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// seqSpliceLevel propagates a splice through a sequence index level.
+func seqSpliceLevel(st store.Store, cfg chunker.Config, level levelInfo, lowerOld []childRef, s splice, levelNo uint8) (splice, error) {
+	starts := level.childStart
+	a := sort.Search(len(starts), func(i int) bool { return starts[i] > s.lo }) - 1
+	if a < 0 {
+		a = 0
+	}
+	lb := newLevelBuilder(st, cfg, levelNo, false)
+	var enc []byte
+	feed := func(r childRef) error {
+		enc = enc[:0]
+		enc = encodeSeqChildRef(enc, r)
+		return lb.add(enc, nil, r.count)
+	}
+	pos := starts[a]
+	newIdx := 0
+	c := len(level.refs)
+	nodeStartAt := func(pos int) (int, bool) {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] >= pos })
+		if i < len(starts) && starts[i] == pos && i > a {
+			return i, true
+		}
+		return 0, false
+	}
+	for {
+		if pos < s.lo {
+			if err := feed(lowerOld[pos]); err != nil {
+				return splice{}, err
+			}
+			pos++
+			continue
+		}
+		if newIdx < len(s.refs) {
+			if err := feed(s.refs[newIdx]); err != nil {
+				return splice{}, err
+			}
+			newIdx++
+			continue
+		}
+		if pos < s.hi {
+			pos = s.hi
+			continue
+		}
+		if pos == len(lowerOld) {
+			c = len(level.refs)
+			break
+		}
+		if lb.atBoundary() {
+			if node, ok := nodeStartAt(pos); ok {
+				c = node
+				break
+			}
+		}
+		if err := feed(lowerOld[pos]); err != nil {
+			return splice{}, err
+		}
+		pos++
+	}
+	out, err := lb.finish()
+	if err != nil {
+		return splice{}, err
+	}
+	return splice{lo: a, hi: c, refs: out}, nil
+}
+
+// Append returns the sequence with items added at the end.
+func (s *Seq) Append(items ...[]byte) (*Seq, error) {
+	return s.Splice(s.count, 0, items)
+}
+
+// ChunkIDs returns every chunk id reachable from the sequence root.
+func (s *Seq) ChunkIDs() ([]hash.Hash, error) {
+	var out []hash.Hash
+	if s.root.IsZero() {
+		return nil, nil
+	}
+	var walk func(id hash.Hash) error
+	walk = func(id hash.Hash) error {
+		out = append(out, id)
+		c, err := s.st.Get(id)
+		if err != nil {
+			return err
+		}
+		if c.Type() != chunk.TypeSeqIndex {
+			return nil
+		}
+		_, refs, err := decodeSeqIndex(c.Data())
+		if err != nil {
+			return err
+		}
+		for _, r := range refs {
+			if err := walk(r.id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(s.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package pos
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"forkbase/internal/store"
+)
+
+func TestDiffSeqIdentical(t *testing.T) {
+	st := store.NewMemStore()
+	items := genItems(1000, 1)
+	a, err := BuildSeq(st, testCfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSeq(st, testCfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := DiffSeq(a, b)
+	if err != nil || ranges != nil {
+		t.Fatalf("identical diff = %v, %v", ranges, err)
+	}
+}
+
+// rangesCover checks that every position where the two item lists disagree
+// falls inside some reported range.
+func rangesCover(t *testing.T, ranges []SeqRange, a, b [][]byte) {
+	t.Helper()
+	inRangeA := func(p uint64) bool {
+		for _, r := range ranges {
+			if p >= r.AStart && p < r.AEnd {
+				return true
+			}
+		}
+		return false
+	}
+	inRangeB := func(p uint64) bool {
+		for _, r := range ranges {
+			if p >= r.BStart && p < r.BEnd {
+				return true
+			}
+		}
+		return false
+	}
+	// For equal-length sequences positions align one-to-one: every position
+	// whose items disagree must fall inside a reported range (identical
+	// stretches between edits may legitimately be pruned out).
+	if len(a) != len(b) {
+		t.Fatalf("oracle requires equal lengths, got %d/%d", len(a), len(b))
+	}
+	for p := range a {
+		if bytes.Equal(a[p], b[p]) {
+			continue
+		}
+		if !inRangeA(uint64(p)) {
+			t.Fatalf("differing A position %d not covered by %v", p, ranges)
+		}
+		if !inRangeB(uint64(p)) {
+			t.Fatalf("differing B position %d not covered by %v", p, ranges)
+		}
+	}
+}
+
+func TestDiffSeqCoversEdits(t *testing.T) {
+	st := store.NewMemStore()
+	rng := rand.New(rand.NewSource(4))
+	items := genItems(2000, 2)
+	a, err := BuildSeq(st, testCfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		edited := make([][]byte, len(items))
+		copy(edited, items)
+		// A couple of scattered edits.
+		for e := 0; e < 3; e++ {
+			idx := rng.Intn(len(edited))
+			edited[idx] = []byte("EDITED")
+		}
+		b, err := BuildSeq(st, testCfg(), edited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges, err := DiffSeq(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranges) == 0 {
+			t.Fatal("no ranges for edited sequence")
+		}
+		rangesCover(t, ranges, items, edited)
+		// Chunk alignment bounds the over-approximation: total range size
+		// must stay far below the sequence length for 3 point edits.
+		var total uint64
+		for _, r := range ranges {
+			total += r.AEnd - r.AStart
+		}
+		if total > uint64(len(items))/2 {
+			t.Fatalf("ranges cover %d of %d items for 3 edits — no pruning", total, len(items))
+		}
+	}
+}
+
+func TestDiffSeqInsertDelete(t *testing.T) {
+	st := store.NewMemStore()
+	items := genItems(1000, 3)
+	a, err := BuildSeq(st, testCfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert 5 items at position 400.
+	b, err := a.Splice(400, 0, genItems(5, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := DiffSeq(a, b)
+	if err != nil || len(ranges) == 0 {
+		t.Fatalf("insert diff: %v %v", ranges, err)
+	}
+	// B ranges must be exactly 5 items longer than A ranges in total.
+	var da, db uint64
+	for _, r := range ranges {
+		da += r.AEnd - r.AStart
+		db += r.BEnd - r.BStart
+	}
+	if db-da != 5 {
+		t.Fatalf("insert length delta = %d, want 5 (%v)", db-da, ranges)
+	}
+
+	// Delete 7 items at position 100.
+	c, err := a.Splice(100, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err = DiffSeq(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db = 0, 0
+	for _, r := range ranges {
+		da += r.AEnd - r.AStart
+		db += r.BEnd - r.BStart
+	}
+	if da-db != 7 {
+		t.Fatalf("delete length delta = %d, want 7", da-db)
+	}
+}
+
+func TestDiffSeqAgainstEmpty(t *testing.T) {
+	st := store.NewMemStore()
+	items := genItems(100, 1)
+	a, err := BuildSeq(st, testCfg(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := NewEmptySeq(st, testCfg())
+	ranges, err := DiffSeq(a, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 1 || ranges[0].AEnd != 100 || ranges[0].BEnd != 0 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+}
+
+func TestDiffBlobLocalEdit(t *testing.T) {
+	st := store.NewMemStore()
+	rng := rand.New(rand.NewSource(8))
+	data := make([]byte, 200*1024)
+	rng.Read(data)
+	a, err := BuildBlob(st, testCfg(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := append([]byte(nil), data...)
+	copy(edited[100*1024:], "TAMPERED-REGION")
+	b, err := BuildBlob(st, testCfg(), edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := DiffBlob(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) == 0 {
+		t.Fatal("no ranges")
+	}
+	// The edit is at byte 102400; some range must contain it...
+	hit := false
+	var total uint64
+	for _, r := range ranges {
+		if r.AStart <= 100*1024 && 100*1024 < r.AEnd {
+			hit = true
+		}
+		total += r.AEnd - r.AStart
+	}
+	if !hit {
+		t.Fatalf("edit offset not covered: %v", ranges)
+	}
+	// ...and the ranges must be a tiny fraction of the blob.
+	if total > uint64(len(data))/10 {
+		t.Fatalf("ranges cover %d of %d bytes for a 15-byte edit", total, len(data))
+	}
+}

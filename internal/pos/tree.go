@@ -1,0 +1,302 @@
+package pos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Tree is an immutable map POS-Tree rooted at a chunk hash.
+//
+// A Tree value is a lightweight handle (store + root id + cached count);
+// all operations that "modify" the tree return a new Tree sharing unchanged
+// chunks with the old one.
+type Tree struct {
+	st    store.Store
+	cfg   chunker.Config
+	root  hash.Hash
+	count uint64
+}
+
+// ErrKeyNotFound is returned by Get when the key is absent.
+var ErrKeyNotFound = errors.New("pos: key not found")
+
+// NewEmptyTree returns the empty map tree (zero root).
+func NewEmptyTree(st store.Store, cfg chunker.Config) *Tree {
+	return &Tree{st: st, cfg: cfg}
+}
+
+// LoadTree attaches to an existing tree by root hash.  A zero root is the
+// empty tree.  The root node is read to recover the entry count.
+func LoadTree(st store.Store, cfg chunker.Config, root hash.Hash) (*Tree, error) {
+	t := &Tree{st: st, cfg: cfg, root: root}
+	if root.IsZero() {
+		return t, nil
+	}
+	c, err := st.Get(root)
+	if err != nil {
+		return nil, fmt.Errorf("pos: loading root: %w", err)
+	}
+	switch c.Type() {
+	case chunk.TypeMapLeaf:
+		entries, err := decodeMapLeaf(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		t.count = uint64(len(entries))
+	case chunk.TypeMapIndex:
+		_, refs, err := decodeMapIndex(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			t.count += r.count
+		}
+	default:
+		return nil, fmt.Errorf("pos: root %s is a %s, not a map node", root.Short(), c.Type())
+	}
+	return t, nil
+}
+
+// Root returns the root hash; zero for the empty tree.  Because of SIRI
+// structural invariance, two trees hold the same record set if and only if
+// their roots are equal — this single comparison is what makes Diff prune
+// and dedup share.
+func (t *Tree) Root() hash.Hash { return t.root }
+
+// Len returns the number of entries.
+func (t *Tree) Len() uint64 { return t.count }
+
+// Store returns the backing chunk store.
+func (t *Tree) Store() store.Store { return t.st }
+
+// Config returns the chunking configuration.
+func (t *Tree) Config() chunker.Config { return t.cfg }
+
+// Get returns the value stored under key, or ErrKeyNotFound.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	if t.root.IsZero() {
+		return nil, ErrKeyNotFound
+	}
+	id := t.root
+	for {
+		c, err := t.st.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("pos: get: %w", err)
+		}
+		switch c.Type() {
+		case chunk.TypeMapLeaf:
+			entries, err := decodeMapLeaf(c.Data())
+			if err != nil {
+				return nil, err
+			}
+			i := sort.Search(len(entries), func(i int) bool {
+				return bytes.Compare(entries[i].Key, key) >= 0
+			})
+			if i < len(entries) && bytes.Equal(entries[i].Key, key) {
+				return entries[i].Val, nil
+			}
+			return nil, ErrKeyNotFound
+		case chunk.TypeMapIndex:
+			_, refs, err := decodeMapIndex(c.Data())
+			if err != nil {
+				return nil, err
+			}
+			// Descend into the first child whose split key (greatest key in
+			// subtree) is >= key — the B+-tree routing rule from the paper.
+			i := sort.Search(len(refs), func(i int) bool {
+				return bytes.Compare(refs[i].splitKey, key) >= 0
+			})
+			if i == len(refs) {
+				return nil, ErrKeyNotFound
+			}
+			id = refs[i].id
+		default:
+			return nil, fmt.Errorf("pos: unexpected chunk type %s in map tree", c.Type())
+		}
+	}
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, err := t.Get(key)
+	if errors.Is(err, ErrKeyNotFound) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Entries materialises every entry in key order.  Intended for small trees
+// and tests; large trees should use Iter.
+func (t *Tree) Entries() ([]Entry, error) {
+	var out []Entry
+	it, err := t.Iter()
+	if err != nil {
+		return nil, err
+	}
+	for it.Next() {
+		e := it.Entry()
+		out = append(out, Entry{
+			Key: append([]byte(nil), e.Key...),
+			Val: append([]byte(nil), e.Val...),
+		})
+	}
+	return out, it.Err()
+}
+
+// Stats describes the physical shape of a tree, the quantity behind the
+// paper's Fig 2 (node structure) experiment.
+type Stats struct {
+	Height     int // levels (leaf = 1; empty tree = 0)
+	Nodes      int // total nodes
+	LeafNodes  int // leaf count
+	IndexNodes int // index node count
+	Entries    uint64
+	Bytes      int64 // total encoded node bytes
+	MinNode    int   // smallest node payload
+	MaxNode    int   // largest node payload
+	LeafBytes  int64
+}
+
+// AvgLeaf returns the mean leaf payload size.
+func (s Stats) AvgLeaf() float64 {
+	if s.LeafNodes == 0 {
+		return 0
+	}
+	return float64(s.LeafBytes) / float64(s.LeafNodes)
+}
+
+// AvgFanout returns the mean children per index node.
+func (s Stats) AvgFanout() float64 {
+	if s.IndexNodes == 0 {
+		return 0
+	}
+	return float64(s.Nodes-1) / float64(s.IndexNodes)
+}
+
+// ComputeStats walks the whole tree and reports its shape.
+func (t *Tree) ComputeStats() (Stats, error) {
+	st := Stats{Entries: t.count, MinNode: 1 << 30}
+	if t.root.IsZero() {
+		st.MinNode = 0
+		return st, nil
+	}
+	var walk func(id hash.Hash, depth int) error
+	walk = func(id hash.Hash, depth int) error {
+		c, err := t.st.Get(id)
+		if err != nil {
+			return err
+		}
+		st.Nodes++
+		sz := c.Size()
+		st.Bytes += int64(sz)
+		if sz < st.MinNode {
+			st.MinNode = sz
+		}
+		if sz > st.MaxNode {
+			st.MaxNode = sz
+		}
+		if depth+1 > st.Height {
+			st.Height = depth + 1
+		}
+		if c.Type() == chunk.TypeMapLeaf || c.Type() == chunk.TypeSeqLeaf || c.Type() == chunk.TypeBlobLeaf {
+			st.LeafNodes++
+			st.LeafBytes += int64(sz)
+			return nil
+		}
+		st.IndexNodes++
+		var refs []childRef
+		if c.Type() == chunk.TypeMapIndex {
+			_, refs, err = decodeMapIndex(c.Data())
+		} else {
+			_, refs, err = decodeSeqIndex(c.Data())
+		}
+		if err != nil {
+			return err
+		}
+		for _, r := range refs {
+			if err := walk(r.id, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// ChunkIDs returns the ids of every chunk in the tree (root included).
+// Used by merge-reuse accounting (Fig 3) and by the garbage collector.
+func (t *Tree) ChunkIDs() ([]hash.Hash, error) {
+	var out []hash.Hash
+	if t.root.IsZero() {
+		return nil, nil
+	}
+	var walk func(id hash.Hash) error
+	walk = func(id hash.Hash) error {
+		out = append(out, id)
+		c, err := t.st.Get(id)
+		if err != nil {
+			return err
+		}
+		var refs []childRef
+		switch c.Type() {
+		case chunk.TypeMapIndex:
+			_, refs, err = decodeMapIndex(c.Data())
+		case chunk.TypeSeqIndex:
+			_, refs, err = decodeSeqIndex(c.Data())
+		default:
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, r := range refs {
+			if err := walk(r.id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadChildRefs reads a map node and returns (level, refs) where leaves are
+// presented as level 0 with one synthetic ref per... — index nodes only;
+// callers must not pass leaf ids.
+func (t *Tree) loadIndex(id hash.Hash) (uint8, []childRef, error) {
+	c, err := t.st.Get(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	if c.Type() != chunk.TypeMapIndex {
+		return 0, nil, fmt.Errorf("pos: expected map index, got %s", c.Type())
+	}
+	return decodeMapIndex(c.Data())
+}
+
+// loadLeafEntries reads a map leaf node's entries.
+func (t *Tree) loadLeafEntries(id hash.Hash) ([]Entry, error) {
+	c, err := t.st.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type() != chunk.TypeMapLeaf {
+		return nil, fmt.Errorf("pos: expected map leaf, got %s", c.Type())
+	}
+	return decodeMapLeaf(c.Data())
+}

@@ -1,0 +1,143 @@
+package rest
+
+import (
+	"net/http"
+
+	"forkbase/internal/dataset"
+)
+
+// Dataset routes (registered under /v1/dataset/):
+//
+//	POST /v1/dataset/{name}?branch=B&key=COL    import CSV (request body)
+//	GET  /v1/dataset/{name}?branch=B            export CSV
+//	GET  /v1/dataset/{name}/stat?branch=B       dataset statistics
+//	GET  /v1/dataset/{name}/diff?from=B1&to=B2  cell-level differential query
+
+func (h *Handler) registerDatasets() {
+	h.mux.HandleFunc("/v1/dataset/", h.datasetRoute)
+}
+
+func (h *Handler) datasetRoute(w http.ResponseWriter, r *http.Request) {
+	rest := r.URL.Path[len("/v1/dataset/"):]
+	name, action, _ := cut(rest, '/')
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing dataset name"})
+		return
+	}
+	switch action {
+	case "":
+		switch r.Method {
+		case http.MethodPost:
+			h.importCSV(w, r, name)
+		case http.MethodGet:
+			h.exportCSV(w, r, name)
+		default:
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or POST"})
+		}
+	case "stat":
+		h.datasetStat(w, r, name)
+	case "diff":
+		h.datasetDiff(w, r, name)
+	default:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown dataset action " + action})
+	}
+}
+
+func cut(s string, sep byte) (before, after string, found bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == sep {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+func (h *Handler) importCSV(w http.ResponseWriter, r *http.Request, name string) {
+	keyCol := r.URL.Query().Get("key")
+	if keyCol == "" {
+		keyCol = "id"
+	}
+	ds, err := dataset.CreateFromCSV(h.db, name, branchParam(r), keyCol, r.Body, nil)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"dataset": name,
+		"rows":    ds.Rows(),
+		"uid":     ds.Version().UID.String(),
+	})
+}
+
+func (h *Handler) exportCSV(w http.ResponseWriter, r *http.Request, name string) {
+	ds, err := dataset.Open(h.db, name, branchParam(r))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	_ = ds.ExportCSV(w)
+}
+
+func (h *Handler) datasetStat(w http.ResponseWriter, r *http.Request, name string) {
+	ds, err := dataset.Open(h.db, name, branchParam(r))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	st, err := ds.Stat()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":        st.Name,
+		"branch":      st.Branch,
+		"rows":        st.Rows,
+		"columns":     st.Columns,
+		"versions":    st.Versions,
+		"tree_height": st.Tree.Height,
+		"tree_nodes":  st.Tree.Nodes,
+		"avg_leaf":    st.Tree.AvgLeaf(),
+	})
+}
+
+func (h *Handler) datasetDiff(w http.ResponseWriter, r *http.Request, name string) {
+	from, to := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if from == "" || to == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need from= and to= branches"})
+		return
+	}
+	res, err := dataset.DiffBranches(h.db, name, from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	deltas := make([]map[string]any, len(res.Deltas))
+	for i, d := range res.Deltas {
+		entry := map[string]any{
+			"key":  d.Key,
+			"kind": d.Kind.String(),
+		}
+		if d.From != nil {
+			entry["from"] = d.From
+		}
+		if d.To != nil {
+			entry["to"] = d.To
+		}
+		if len(d.Cells) > 0 {
+			cells := make([]map[string]string, len(d.Cells))
+			for j, c := range d.Cells {
+				cells[j] = map[string]string{"column": c.Column, "from": c.From, "to": c.To}
+			}
+			entry["cells"] = cells
+		}
+		deltas[i] = entry
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary":        res.Summary(),
+		"deltas":         deltas,
+		"touched_chunks": res.Stats.TouchedChunks,
+	})
+}

@@ -1,0 +1,109 @@
+package rest
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDatasetImportExportREST(t *testing.T) {
+	srv, _, _ := newServer(t)
+	csv := "id,name,city\nu1,Ann,Oslo\nu2,Bo,Rio\n"
+
+	resp, err := http.Post(srv.URL+"/v1/dataset/users?key=id", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("import: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/dataset/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != csv {
+		t.Fatalf("export = %q, %v", body, err)
+	}
+}
+
+func TestDatasetStatAndDiffREST(t *testing.T) {
+	srv, _, _ := newServer(t)
+	csv1 := "id,qty\np1,10\np2,20\np3,30\n"
+	csv2 := "id,qty\np1,10\np2,99\np4,40\n"
+
+	post := func(url, payload string) {
+		t.Helper()
+		resp, err := http.Post(url, "text/csv", strings.NewReader(payload))
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			t.Fatalf("post %s: %v %d", url, err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	post(srv.URL+"/v1/dataset/stock?key=id", csv1)
+	code, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/obj/stock/branch", branchBody{New: "vendor"})
+	if code != http.StatusCreated {
+		t.Fatalf("branch: %d", code)
+	}
+	post(srv.URL+"/v1/dataset/stock?key=id&branch=vendor", csv2)
+
+	code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/dataset/stock/stat", nil)
+	if code != http.StatusOK || body["rows"].(float64) != 3 || body["columns"].(float64) != 2 {
+		t.Fatalf("stat: %d %v", code, body)
+	}
+
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/dataset/stock/diff?from=master&to=vendor", nil)
+	if code != http.StatusOK {
+		t.Fatalf("diff: %d %v", code, body)
+	}
+	deltas := body["deltas"].([]any)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	kinds := map[string]string{}
+	var cells []any
+	for _, d := range deltas {
+		m := d.(map[string]any)
+		kinds[m["key"].(string)] = m["kind"].(string)
+		if m["key"] == "p2" {
+			cells = m["cells"].([]any)
+		}
+	}
+	if kinds["p2"] != "modified" || kinds["p3"] != "removed" || kinds["p4"] != "added" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if len(cells) != 1 || cells[0].(map[string]any)["column"] != "qty" {
+		t.Fatalf("cells = %v", cells)
+	}
+}
+
+func TestDatasetRESTErrors(t *testing.T) {
+	srv, _, _ := newServer(t)
+	resp, err := http.Post(srv.URL+"/v1/dataset/bad?key=nope", "text/csv", strings.NewReader("a,b\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key column: %d", resp.StatusCode)
+	}
+	code, _ := doJSON(t, http.MethodGet, srv.URL+"/v1/dataset/ghost/stat", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("missing dataset stat: %d", code)
+	}
+	code, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/dataset/ghost/diff", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("diff without branches: %d", code)
+	}
+}

@@ -1,0 +1,463 @@
+// Package rest exposes the ForkBase engine over HTTP/JSON — the RESTful API
+// of the paper's semantic-view layer (Fig 1).  Routes:
+//
+//	GET    /v1/keys                               list object keys
+//	GET    /v1/obj/{key}?branch=B                 current version
+//	PUT    /v1/obj/{key}?branch=B                 put (JSON body)
+//	GET    /v1/obj/{key}/history?branch=B&limit=N version chain
+//	GET    /v1/obj/{key}/branches                 list branches
+//	POST   /v1/obj/{key}/branch                   fork branch (JSON body)
+//	POST   /v1/obj/{key}/merge                    merge branches (JSON body)
+//	GET    /v1/obj/{key}/diff?from=B1&to=B2       differential query
+//	GET    /v1/obj/{key}/verify?uid=U&deep=1      tamper validation
+//	GET    /v1/stats                              store dedup accounting
+package rest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/value"
+)
+
+// Handler serves the REST API over a core engine.
+type Handler struct {
+	db  *core.DB
+	mux *http.ServeMux
+}
+
+// New builds the handler.
+func New(db *core.DB) *Handler {
+	h := &Handler{db: db, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/keys", h.keys)
+	h.mux.HandleFunc("/v1/stats", h.stats)
+	h.mux.HandleFunc("/v1/obj/", h.object)
+	h.registerDatasets()
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrBranchNotFound), errors.Is(err, core.ErrKeyNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, core.ErrBranchExists):
+		code = http.StatusConflict
+	case errors.Is(err, core.ErrTampered):
+		code = http.StatusBadGateway // the storage layer is lying to us
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// versionBody is the JSON rendering of a Version.
+type versionBody struct {
+	UID    string            `json:"uid"`
+	Seq    uint64            `json:"seq"`
+	Bases  []string          `json:"bases,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  string            `json:"value"`
+	Count  uint64            `json:"count,omitempty"`
+	Meta   map[string]string `json:"meta,omitempty"`
+	Branch string            `json:"branch,omitempty"`
+}
+
+func renderVersion(v core.Version, branch string) versionBody {
+	out := versionBody{
+		UID:    v.UID.String(),
+		Seq:    v.Seq,
+		Kind:   v.Value.Kind().String(),
+		Value:  v.Value.Display(),
+		Meta:   v.Meta,
+		Branch: branch,
+	}
+	if v.Value.Kind().Composite() {
+		out.Count = v.Value.Count()
+	}
+	for _, b := range v.Bases {
+		out.Bases = append(out.Bases, b.String())
+	}
+	return out
+}
+
+func (h *Handler) keys(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	keys, err := h.db.ListKeys()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keys": keys})
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	s := h.db.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"unique_chunks":  s.UniqueChunks,
+		"physical_bytes": s.PhysicalBytes,
+		"logical_bytes":  s.LogicalBytes,
+		"dedup_ratio":    s.DedupRatio(),
+		"dedup_hits":     s.DedupHits,
+	})
+}
+
+// object routes /v1/obj/{key}[/{action}].
+func (h *Handler) object(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/obj/")
+	key, action, _ := strings.Cut(rest, "/")
+	if key == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing key"})
+		return
+	}
+	switch action {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			h.getObject(w, r, key)
+		case http.MethodPut:
+			h.putObject(w, r, key)
+		default:
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET or PUT"})
+		}
+	case "history":
+		h.history(w, r, key)
+	case "branches":
+		h.branches(w, r, key)
+	case "branch":
+		h.branch(w, r, key)
+	case "merge":
+		h.merge(w, r, key)
+	case "diff":
+		h.diff(w, r, key)
+	case "verify":
+		h.verify(w, r, key)
+	default:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown action " + action})
+	}
+}
+
+func branchParam(r *http.Request) string {
+	b := r.URL.Query().Get("branch")
+	if b == "" {
+		b = core.DefaultBranch
+	}
+	return b
+}
+
+func (h *Handler) getObject(w http.ResponseWriter, r *http.Request, key string) {
+	branch := branchParam(r)
+	if uidStr := r.URL.Query().Get("uid"); uidStr != "" {
+		uid, err := parseUID(uidStr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		v, err := h.db.GetVersion(key, uid)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, renderVersion(v, ""))
+		return
+	}
+	v, err := h.db.Get(key, branch)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, renderVersion(v, branch))
+}
+
+// putBody is the JSON request for PUT /v1/obj/{key}.
+type putBody struct {
+	Kind    string            `json:"kind"` // string|int|float|bool|map|set|list|blob
+	Value   string            `json:"value,omitempty"`
+	Entries map[string]string `json:"entries,omitempty"` // map kind
+	Items   []string          `json:"items,omitempty"`   // list/set kind
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+func (h *Handler) putObject(w http.ResponseWriter, r *http.Request, key string) {
+	var body putBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	v, err := h.buildValue(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	ver, err := h.db.Put(key, branchParam(r), v, body.Meta)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, renderVersion(ver, branchParam(r)))
+}
+
+func (h *Handler) buildValue(body putBody) (value.Value, error) {
+	switch body.Kind {
+	case "", "string":
+		return value.String(body.Value), nil
+	case "int":
+		i, err := strconv.ParseInt(body.Value, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad int: %w", err)
+		}
+		return value.Int(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(body.Value, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad float: %w", err)
+		}
+		return value.Float(f), nil
+	case "bool":
+		b, err := strconv.ParseBool(body.Value)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad bool: %w", err)
+		}
+		return value.Bool(b), nil
+	case "blob":
+		return value.NewBlob(h.db.Store(), h.db.Chunking(), []byte(body.Value))
+	case "map":
+		entries := make([]pos.Entry, 0, len(body.Entries))
+		for k, v := range body.Entries {
+			entries = append(entries, pos.Entry{Key: []byte(k), Val: []byte(v)})
+		}
+		return value.NewMap(h.db.Store(), h.db.Chunking(), entries)
+	case "set":
+		elems := make([][]byte, len(body.Items))
+		for i, s := range body.Items {
+			elems[i] = []byte(s)
+		}
+		return value.NewSet(h.db.Store(), h.db.Chunking(), elems)
+	case "list":
+		items := make([][]byte, len(body.Items))
+		for i, s := range body.Items {
+			items[i] = []byte(s)
+		}
+		return value.NewList(h.db.Store(), h.db.Chunking(), items)
+	default:
+		return value.Value{}, fmt.Errorf("unknown kind %q", body.Kind)
+	}
+}
+
+func (h *Handler) history(w http.ResponseWriter, r *http.Request, key string) {
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		limit, _ = strconv.Atoi(l)
+	}
+	versions, err := h.db.History(key, branchParam(r), limit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]versionBody, len(versions))
+	for i, v := range versions {
+		out[i] = renderVersion(v, "")
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"history": out})
+}
+
+func (h *Handler) branches(w http.ResponseWriter, r *http.Request, key string) {
+	bs, err := h.db.ListBranches(key)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	heads := map[string]string{}
+	for _, b := range bs {
+		uid, err := h.db.Head(key, b)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		heads[b] = uid.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"branches": heads})
+}
+
+type branchBody struct {
+	New  string `json:"new"`
+	From string `json:"from,omitempty"`
+}
+
+func (h *Handler) branch(w http.ResponseWriter, r *http.Request, key string) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var body branchBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.New == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need {new, from?}"})
+		return
+	}
+	if err := h.db.Branch(key, body.New, body.From); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"branch": body.New})
+}
+
+type mergeBody struct {
+	Into    string `json:"into"`
+	From    string `json:"from"`
+	Resolve string `json:"resolve,omitempty"` // "", "ours", "theirs"
+	Message string `json:"message,omitempty"`
+}
+
+func (h *Handler) merge(w http.ResponseWriter, r *http.Request, key string) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var body mergeBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Into == "" || body.From == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need {into, from}"})
+		return
+	}
+	var resolve pos.Resolver
+	switch body.Resolve {
+	case "":
+	case "ours":
+		resolve = pos.ResolveOurs
+	case "theirs":
+		resolve = pos.ResolveTheirs
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "resolve must be ours|theirs"})
+		return
+	}
+	meta := map[string]string{}
+	if body.Message != "" {
+		meta["message"] = body.Message
+	}
+	res, err := h.db.Merge(key, body.Into, body.From, resolve, meta)
+	if err != nil {
+		var ce *pos.ErrConflict
+		if errors.As(err, &ce) {
+			conflicts := make([]map[string]string, len(ce.Conflicts))
+			for i, c := range ce.Conflicts {
+				conflicts[i] = map[string]string{
+					"key": string(c.Key), "base": string(c.Base),
+					"ours": string(c.A), "theirs": string(c.B),
+				}
+			}
+			writeJSON(w, http.StatusConflict, map[string]any{"conflicts": conflicts})
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":      renderVersion(res.Version, body.Into),
+		"fast_forward": res.FastForward,
+		"reused":       res.Stats.ReusedChunks,
+		"new_chunks":   res.Stats.NewChunks,
+	})
+}
+
+func (h *Handler) diff(w http.ResponseWriter, r *http.Request, key string) {
+	from, to := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if from == "" || to == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need from= and to= branches"})
+		return
+	}
+	deltas, stats, err := h.db.DiffBranches(key, from, to)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]map[string]string, len(deltas))
+	for i, d := range deltas {
+		out[i] = map[string]string{
+			"key":  string(d.Key),
+			"kind": d.Kind().String(),
+			"from": string(d.From),
+			"to":   string(d.To),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"deltas":         out,
+		"touched_chunks": stats.TouchedChunks,
+		"pruned_refs":    stats.PrunedRefs,
+	})
+}
+
+func (h *Handler) verify(w http.ResponseWriter, r *http.Request, key string) {
+	uidStr := r.URL.Query().Get("uid")
+	var err error
+	var target core.Version
+	if uidStr == "" {
+		target, err = h.db.Get(key, branchParam(r))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+	} else {
+		id, perr := parseUID(uidStr)
+		if perr != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: perr.Error()})
+			return
+		}
+		target = core.Version{UID: id}
+	}
+	deep := r.URL.Query().Get("deep") == "1"
+	rep, verr := h.db.VerifyVersion(key, target.UID, deep)
+	body := map[string]any{
+		"uid":              rep.UID.String(),
+		"ok":               rep.OK,
+		"chunks_checked":   rep.ChunksChecked,
+		"versions_checked": rep.VersionsChecked,
+	}
+	if verr != nil {
+		fails := make([]map[string]string, len(rep.Failures))
+		for i, f := range rep.Failures {
+			fails[i] = map[string]string{"chunk": f.ChunkID.String(), "context": f.Context, "error": f.Err.Error()}
+		}
+		body["failures"] = fails
+		writeJSON(w, http.StatusBadGateway, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// parseUID decodes a Base32 uid query parameter.
+func parseUID(s string) (hash.Hash, error) {
+	parsed, err := hash.Parse(s)
+	if err != nil {
+		return hash.Hash{}, fmt.Errorf("bad uid: %w", err)
+	}
+	return parsed, nil
+}

@@ -1,0 +1,276 @@
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/core"
+	"forkbase/internal/store"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *core.DB, *store.MaliciousStore) {
+	t.Helper()
+	mal := store.NewMaliciousStore(store.NewMemStore())
+	db := core.Open(core.Options{Store: mal, Chunking: chunker.SmallConfig()})
+	srv := httptest.NewServer(New(db))
+	t.Cleanup(srv.Close)
+	return srv, db, mal
+}
+
+func doJSON(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	srv, _, _ := newServer(t)
+	code, body := doJSON(t, http.MethodPut, srv.URL+"/v1/obj/greeting", putBody{
+		Kind: "string", Value: "hello rest", Meta: map[string]string{"author": "alice"},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("put code %d: %v", code, body)
+	}
+	uid := body["uid"].(string)
+	if uid == "" || body["seq"].(float64) != 1 {
+		t.Fatalf("body = %v", body)
+	}
+
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/greeting", nil)
+	if code != http.StatusOK || body["value"].(string) != "hello rest" {
+		t.Fatalf("get = %d %v", code, body)
+	}
+	if body["meta"].(map[string]any)["author"].(string) != "alice" {
+		t.Fatalf("meta = %v", body["meta"])
+	}
+
+	// Fetch by uid.
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/greeting?uid="+uid, nil)
+	if code != http.StatusOK || body["uid"].(string) != uid {
+		t.Fatalf("get by uid = %d %v", code, body)
+	}
+}
+
+func TestTypedPuts(t *testing.T) {
+	srv, _, _ := newServer(t)
+	cases := []putBody{
+		{Kind: "int", Value: "42"},
+		{Kind: "float", Value: "2.5"},
+		{Kind: "bool", Value: "true"},
+		{Kind: "blob", Value: strings.Repeat("x", 10000)},
+		{Kind: "map", Entries: map[string]string{"a": "1", "b": "2"}},
+		{Kind: "set", Items: []string{"p", "q"}},
+		{Kind: "list", Items: []string{"one", "two"}},
+	}
+	for i, c := range cases {
+		code, body := doJSON(t, http.MethodPut, fmt.Sprintf("%s/v1/obj/typed-%d", srv.URL, i), c)
+		if code != http.StatusCreated {
+			t.Fatalf("case %d (%s): %d %v", i, c.Kind, code, body)
+		}
+		if body["kind"].(string) != c.Kind {
+			t.Fatalf("case %d kind = %v", i, body["kind"])
+		}
+	}
+	// Bad kinds and values.
+	for _, c := range []putBody{{Kind: "int", Value: "NaN"}, {Kind: "alien"}} {
+		code, _ := doJSON(t, http.MethodPut, srv.URL+"/v1/obj/bad", c)
+		if code != http.StatusBadRequest {
+			t.Fatalf("bad put accepted: %d", code)
+		}
+	}
+}
+
+func TestKeysAndStats(t *testing.T) {
+	srv, _, _ := newServer(t)
+	code, body := doJSON(t, http.MethodGet, srv.URL+"/v1/keys", nil)
+	if code != http.StatusOK || len(body["keys"].([]any)) != 0 {
+		t.Fatalf("empty keys = %d %v", code, body)
+	}
+	doJSON(t, http.MethodPut, srv.URL+"/v1/obj/k1", putBody{Value: "v"})
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/keys", nil)
+	if code != http.StatusOK || len(body["keys"].([]any)) != 1 {
+		t.Fatalf("keys = %v", body)
+	}
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/stats", nil)
+	if code != http.StatusOK || body["unique_chunks"].(float64) < 1 {
+		t.Fatalf("stats = %v", body)
+	}
+}
+
+func TestBranchDiffMergeFlow(t *testing.T) {
+	srv, _, _ := newServer(t)
+	put := func(branch string, entries map[string]string) {
+		code, body := doJSON(t, http.MethodPut, srv.URL+"/v1/obj/data?branch="+branch,
+			putBody{Kind: "map", Entries: entries})
+		if code != http.StatusCreated {
+			t.Fatalf("put %s: %d %v", branch, code, body)
+		}
+	}
+	base := map[string]string{}
+	for i := 0; i < 50; i++ {
+		base[fmt.Sprintf("row%02d", i)] = "base"
+	}
+	put("master", base)
+
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/obj/data/branch", branchBody{New: "vendor"})
+	if code != http.StatusCreated {
+		t.Fatalf("branch: %d %v", code, body)
+	}
+	// Duplicate branch → 409.
+	code, _ = doJSON(t, http.MethodPost, srv.URL+"/v1/obj/data/branch", branchBody{New: "vendor"})
+	if code != http.StatusConflict {
+		t.Fatalf("dup branch: %d", code)
+	}
+
+	mod := map[string]string{}
+	for k, v := range base {
+		mod[k] = v
+	}
+	mod["row10"] = "vendor-edit"
+	put("vendor", mod)
+
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/data/diff?from=master&to=vendor", nil)
+	if code != http.StatusOK {
+		t.Fatalf("diff: %d %v", code, body)
+	}
+	deltas := body["deltas"].([]any)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	d := deltas[0].(map[string]any)
+	if d["key"] != "row10" || d["kind"] != "modified" {
+		t.Fatalf("delta = %v", d)
+	}
+
+	code, body = doJSON(t, http.MethodPost, srv.URL+"/v1/obj/data/merge",
+		mergeBody{Into: "master", From: "vendor", Message: "pull vendor edits"})
+	if code != http.StatusOK {
+		t.Fatalf("merge: %d %v", code, body)
+	}
+
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/data/branches", nil)
+	if code != http.StatusOK || len(body["branches"].(map[string]any)) != 2 {
+		t.Fatalf("branches = %v", body)
+	}
+
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/data/history", nil)
+	if code != http.StatusOK || len(body["history"].([]any)) < 2 {
+		t.Fatalf("history = %v", body)
+	}
+}
+
+func TestMergeConflictResponse(t *testing.T) {
+	srv, _, _ := newServer(t)
+	put := func(branch, val string) {
+		doJSON(t, http.MethodPut, srv.URL+"/v1/obj/c?branch="+branch,
+			putBody{Kind: "map", Entries: map[string]string{"k": val}})
+	}
+	put("master", "base")
+	doJSON(t, http.MethodPost, srv.URL+"/v1/obj/c/branch", branchBody{New: "dev"})
+	put("master", "from-master")
+	put("dev", "from-dev")
+
+	code, body := doJSON(t, http.MethodPost, srv.URL+"/v1/obj/c/merge", mergeBody{Into: "master", From: "dev"})
+	if code != http.StatusConflict {
+		t.Fatalf("conflict merge: %d %v", code, body)
+	}
+	conflicts := body["conflicts"].([]any)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %v", conflicts)
+	}
+	// Resolve with theirs.
+	code, body = doJSON(t, http.MethodPost, srv.URL+"/v1/obj/c/merge",
+		mergeBody{Into: "master", From: "dev", Resolve: "theirs"})
+	if code != http.StatusOK {
+		t.Fatalf("resolved merge: %d %v", code, body)
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	srv, _, mal := newServer(t)
+	code, body := doJSON(t, http.MethodPut, srv.URL+"/v1/obj/doc",
+		putBody{Kind: "blob", Value: strings.Repeat("sensitive ", 5000)})
+	if code != http.StatusCreated {
+		t.Fatalf("put: %d", code)
+	}
+	uid := body["uid"].(string)
+
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/doc/verify?uid="+uid+"&deep=1", nil)
+	if code != http.StatusOK || body["ok"] != true {
+		t.Fatalf("clean verify: %d %v", code, body)
+	}
+
+	// Corrupt a chunk and verify again.
+	ids := mal.Inner.(*store.MemStore).IDs()
+	corrupted := false
+	for _, id := range ids {
+		if id.String() != uid {
+			if ok, _ := mal.CorruptFlip(id, 3, 1); ok {
+				corrupted = true
+				break
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("nothing corrupted")
+	}
+	code, body = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/doc/verify?uid="+uid+"&deep=1", nil)
+	if code != http.StatusBadGateway || body["ok"] != false {
+		t.Fatalf("tampered verify: %d %v", code, body)
+	}
+	if len(body["failures"].([]any)) == 0 {
+		t.Fatal("no failures listed")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv, _, _ := newServer(t)
+	code, _ := doJSON(t, http.MethodGet, srv.URL+"/v1/obj/nothing", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("missing obj: %d", code)
+	}
+	code, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/x/unknownaction", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown action: %d", code)
+	}
+	code, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/x?uid=garbage", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad uid: %d", code)
+	}
+	code, _ = doJSON(t, http.MethodPost, srv.URL+"/v1/keys", nil)
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("method: %d", code)
+	}
+	code, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/obj/x/diff", nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("diff without branches: %d", code)
+	}
+}

@@ -1,0 +1,149 @@
+// Package rolling implements the cyclic polynomial rolling hash that
+// POS-Tree uses for pattern detection (§II-A of the paper).
+//
+// Given a k-byte window (b1, ..., bk) the hash is
+//
+//	Φ(b1...bk) = δ(Φ(b0...bk-1)) ⊕ δ^k(Γ(b0)) ⊕ δ^0(Γ(bk))
+//
+// where Γ maps a byte to a pseudo-random integer in [0, 2^q), and δ rotates
+// its input left by one bit within q bits (the q-th bit wraps to the lowest
+// position).  A split pattern occurs when the q least-significant bits of Φ
+// are all zero:
+//
+//	Φ(b1,...,bk) MOD 2^q == 0
+//
+// The expected distance between patterns is therefore 2^q bytes, which sets
+// the average chunk size.
+package rolling
+
+// DefaultWindow is the number of bytes over which the hash is computed.
+// 48 bytes is large enough for good boundary stability under local edits and
+// small enough to re-synchronise quickly.
+const DefaultWindow = 48
+
+// Hasher is a cyclic polynomial (buzhash-style) rolling hash over a fixed
+// window of bytes.  The zero value is not usable; construct with New.
+//
+// Hasher is not safe for concurrent use.
+type Hasher struct {
+	q      uint   // pattern bit-width; chunks average 2^q bytes
+	mask   uint64 // 2^q - 1
+	window int
+	table  [256]uint64 // Γ
+	shiftK [256]uint64 // δ^k(Γ(b)) precomputed per byte value
+
+	hash uint64
+	buf  []byte // ring buffer of the last `window` bytes
+	pos  int    // next write position in buf
+	n    int    // number of bytes currently in the window (≤ window)
+}
+
+// New returns a Hasher detecting patterns of width q bits over the given
+// window size.  q must be in [1, 63]; window must be positive.
+func New(q uint, window int) *Hasher {
+	if q < 1 || q > 63 {
+		panic("rolling: q out of range [1,63]")
+	}
+	if window <= 0 {
+		panic("rolling: window must be positive")
+	}
+	h := &Hasher{
+		q:      q,
+		mask:   (uint64(1) << q) - 1,
+		window: window,
+		buf:    make([]byte, window),
+	}
+	h.table = gamma(q)
+	for b := 0; b < 256; b++ {
+		h.shiftK[b] = rotQ(h.table[b], uint(window%int(q)), q)
+	}
+	return h
+}
+
+// Q returns the pattern bit-width.
+func (h *Hasher) Q() uint { return h.q }
+
+// Window returns the window size in bytes.
+func (h *Hasher) Window() int { return h.window }
+
+// Reset clears the window so the hasher can be reused from a chunk boundary.
+// Resetting at every emitted boundary is what makes chunking a deterministic
+// function of the byte stream following the boundary.
+func (h *Hasher) Reset() {
+	h.hash = 0
+	h.pos = 0
+	h.n = 0
+}
+
+// Roll feeds one byte into the window and returns the updated hash value.
+func (h *Hasher) Roll(b byte) uint64 {
+	if h.n == h.window {
+		old := h.buf[h.pos]
+		// Remove the contribution of the byte leaving the window: it has
+		// been rotated window times since insertion, i.e. by window mod q.
+		h.hash = rot1(h.hash, h.q) ^ h.shiftK[old] ^ h.table[b]
+	} else {
+		h.hash = rot1(h.hash, h.q) ^ h.table[b]
+		h.n++
+	}
+	h.buf[h.pos] = b
+	h.pos++
+	if h.pos == h.window {
+		h.pos = 0
+	}
+	return h.hash
+}
+
+// Write feeds a byte slice through the window; it returns the final hash.
+func (h *Hasher) Write(p []byte) uint64 {
+	for _, b := range p {
+		h.Roll(b)
+	}
+	return h.hash
+}
+
+// Sum64 returns the current hash value.
+func (h *Hasher) Sum64() uint64 { return h.hash }
+
+// OnPattern reports whether the current window ends on a split pattern,
+// i.e. Φ MOD 2^q == 0.  The window must be full: requiring h.n == window
+// prevents trivially empty windows from matching.
+func (h *Hasher) OnPattern() bool {
+	return h.n == h.window && h.hash&h.mask == 0
+}
+
+// rot1 rotates v left by one bit within q bits: the q-th bit is pushed back
+// to the lowest position (δ in the paper).
+func rot1(v uint64, q uint) uint64 {
+	v <<= 1
+	v |= (v >> q) & 1
+	return v & ((uint64(1) << q) - 1)
+}
+
+// rotQ applies rot1 n times.
+func rotQ(v uint64, n, q uint) uint64 {
+	n %= q
+	mask := (uint64(1) << q) - 1
+	v &= mask
+	return ((v << n) | (v >> (q - n))) & mask
+}
+
+// gamma builds the byte-substitution table Γ: a fixed, platform-independent
+// pseudo-random mapping from bytes to integers in [0, 2^q).  Determinism
+// matters: every ForkBase instance must chunk identically or content
+// addressing breaks, so the table is derived from a fixed SplitMix64 stream
+// rather than any runtime randomness.
+func gamma(q uint) [256]uint64 {
+	var t [256]uint64
+	mask := (uint64(1) << q) - 1
+	s := uint64(0x9E3779B97F4A7C15) // fixed seed
+	for i := 0; i < 256; i++ {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		t[i] = z & mask
+	}
+	return t
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Client is a connection to one ForkBase server.  Requests are serialised
+// over a single TCP connection guarded by a mutex; the client reconnects
+// transparently after transport errors.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server and verifies liveness with a ping.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.roundTrip(&Request{Op: OpPing}, &resp); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+func (c *Client) roundTrip(req *Request, resp *Response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return err
+		}
+	}
+	if err := c.enc.Encode(req); err != nil {
+		// One reconnect attempt for stale connections.
+		c.conn.Close()
+		if cerr := c.connect(); cerr != nil {
+			return cerr
+		}
+		if err := c.enc.Encode(req); err != nil {
+			return fmt.Errorf("client: send: %w", err)
+		}
+	}
+	if err := c.dec.Decode(resp); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return fmt.Errorf("client: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// RemoteStore adapts a Client into a store.Store.  Every fetched chunk is
+// re-hashed locally, so a malicious server cannot forge content.
+type RemoteStore struct {
+	c *Client
+}
+
+var _ store.Store = (*RemoteStore)(nil)
+
+// NewRemoteStore wraps a client as a chunk store.
+func NewRemoteStore(c *Client) *RemoteStore { return &RemoteStore{c: c} }
+
+// Put implements store.Store.
+func (r *RemoteStore) Put(ch *chunk.Chunk) (bool, error) {
+	var resp Response
+	err := r.c.roundTrip(&Request{
+		Op:        OpPutChunk,
+		ID:        ch.ID(),
+		ChunkType: byte(ch.Type()),
+		Data:      ch.Data(),
+	}, &resp)
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Get implements store.Store; the chunk is verified client-side.
+func (r *RemoteStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	var resp Response
+	if err := r.c.roundTrip(&Request{Op: OpGetChunk, ID: id}, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, store.ErrNotFound
+	}
+	t := chunk.Type(resp.ChunkType)
+	if !t.Valid() {
+		return nil, fmt.Errorf("client: server returned invalid chunk type %d", resp.ChunkType)
+	}
+	c := chunk.New(t, resp.Data)
+	if err := c.Verify(id); err != nil {
+		return nil, err // forged or corrupted in flight
+	}
+	return c, nil
+}
+
+// Has implements store.Store.
+func (r *RemoteStore) Has(id hash.Hash) (bool, error) {
+	var resp Response
+	if err := r.c.roundTrip(&Request{Op: OpHasChunk, ID: id}, &resp); err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Stats implements store.Store.
+func (r *RemoteStore) Stats() store.Stats {
+	var resp Response
+	if err := r.c.roundTrip(&Request{Op: OpStats}, &resp); err != nil {
+		return store.Stats{}
+	}
+	return resp.Stats
+}
+
+// RemoteBranchTable adapts a Client into a core.BranchTable.
+type RemoteBranchTable struct {
+	c *Client
+}
+
+// NewRemoteBranchTable wraps a client as a branch table.
+func NewRemoteBranchTable(c *Client) *RemoteBranchTable { return &RemoteBranchTable{c: c} }
+
+// Head implements core.BranchTable.
+func (r *RemoteBranchTable) Head(key, branch string) (hash.Hash, bool, error) {
+	var resp Response
+	if err := r.c.roundTrip(&Request{Op: OpHead, Key: key, Branch: branch}, &resp); err != nil {
+		return hash.Hash{}, false, err
+	}
+	return resp.UID, resp.Found, nil
+}
+
+// CompareAndSet implements core.BranchTable.
+func (r *RemoteBranchTable) CompareAndSet(key, branch string, old, new hash.Hash) (bool, error) {
+	var resp Response
+	err := r.c.roundTrip(&Request{Op: OpCAS, Key: key, Branch: branch, Old: old, New: new}, &resp)
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Delete implements core.BranchTable.
+func (r *RemoteBranchTable) Delete(key, branch string) error {
+	var resp Response
+	return r.c.roundTrip(&Request{Op: OpDeleteBranch, Key: key, Branch: branch}, &resp)
+}
+
+// Rename implements core.BranchTable.
+func (r *RemoteBranchTable) Rename(key, from, to string) error {
+	var resp Response
+	return r.c.roundTrip(&Request{Op: OpRenameBranch, Key: key, Branch: from, ToBranch: to}, &resp)
+}
+
+// Branches implements core.BranchTable.
+func (r *RemoteBranchTable) Branches(key string) (map[string]hash.Hash, error) {
+	var resp Response
+	if err := r.c.roundTrip(&Request{Op: OpBranches, Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	out := make(map[string]hash.Hash, len(resp.Heads))
+	for b, s := range resp.Heads {
+		uid, err := hash.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad uid from server: %w", err)
+		}
+		out[b] = uid
+	}
+	return out, nil
+}
+
+// Keys implements core.BranchTable.
+func (r *RemoteBranchTable) Keys() ([]string, error) {
+	var resp Response
+	if err := r.c.roundTrip(&Request{Op: OpKeys}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
+}

@@ -1,0 +1,63 @@
+// Package server implements ForkBase's distributed layer: a TCP chunk and
+// branch service plus client stubs, so several machines can share one
+// content-addressed store (the "distributed storage system" of paper §II).
+//
+// The wire protocol is a length-free gob stream per connection: the client
+// encodes Request values, the server replies with one Response per request.
+// Content addressing makes the protocol trivially safe against a buggy or
+// malicious server: clients re-hash every chunk they receive.
+package server
+
+import (
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Op identifies a request type.
+type Op byte
+
+// Protocol operations.
+const (
+	OpPutChunk Op = iota + 1
+	OpGetChunk
+	OpHasChunk
+	OpStats
+	OpHead
+	OpCAS
+	OpDeleteBranch
+	OpRenameBranch
+	OpBranches
+	OpKeys
+	OpPing
+)
+
+// Request is the single wire request shape (fields used depend on Op).
+type Request struct {
+	Op Op
+
+	// Chunk operations.
+	ID        hash.Hash
+	ChunkType byte
+	Data      []byte
+
+	// Branch operations.
+	Key      string
+	Branch   string
+	ToBranch string
+	Old, New hash.Hash
+}
+
+// Response is the single wire response shape.
+type Response struct {
+	Err   string // empty on success
+	OK    bool   // op-specific boolean (fresh put, CAS success, has)
+	Found bool
+
+	ChunkType byte
+	Data      []byte
+
+	UID   hash.Hash
+	Heads map[string]string // branch -> uid (Base32)
+	Keys  []string
+	Stats store.Stats
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/store"
+)
+
+// Server exposes a chunk store and a branch table over TCP.
+type Server struct {
+	st    store.Store
+	heads core.BranchTable
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	logger *log.Logger
+	wg     sync.WaitGroup
+}
+
+// New creates a server over the given store and branch table.
+func New(st store.Store, heads core.BranchTable, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{st: st, heads: heads, conns: make(map[net.Conn]struct{}), logger: logger}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and serves until Close.
+// It returns the bound address immediately; serving continues in the
+// background.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logger.Printf("decode: %v", err)
+			}
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			s.logger.Printf("encode: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpPing:
+		resp.OK = true
+	case OpPutChunk:
+		t := chunk.Type(req.ChunkType)
+		if !t.Valid() {
+			return fail(fmt.Errorf("invalid chunk type %d", req.ChunkType))
+		}
+		c := chunk.New(t, req.Data)
+		if c.ID() != req.ID {
+			// Refuse mislabelled chunks: content addressing is the
+			// integrity contract in both directions.
+			return fail(fmt.Errorf("chunk id mismatch: claimed %s actual %s", req.ID.Short(), c.ID().Short()))
+		}
+		fresh, err := s.st.Put(c)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = fresh
+	case OpGetChunk:
+		c, err := s.st.Get(req.ID)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				resp.Found = false
+				return resp
+			}
+			return fail(err)
+		}
+		resp.Found = true
+		resp.ChunkType = byte(c.Type())
+		resp.Data = c.Data()
+	case OpHasChunk:
+		ok, err := s.st.Has(req.ID)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = ok
+	case OpStats:
+		resp.Stats = s.st.Stats()
+	case OpHead:
+		uid, ok, err := s.heads.Head(req.Key, req.Branch)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Found = ok
+		resp.UID = uid
+	case OpCAS:
+		ok, err := s.heads.CompareAndSet(req.Key, req.Branch, req.Old, req.New)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = ok
+	case OpDeleteBranch:
+		if err := s.heads.Delete(req.Key, req.Branch); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case OpRenameBranch:
+		if err := s.heads.Rename(req.Key, req.Branch, req.ToBranch); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case OpBranches:
+		branches, err := s.heads.Branches(req.Key)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Heads = make(map[string]string, len(branches))
+		for b, uid := range branches {
+			resp.Heads[b] = uid.String()
+		}
+	case OpKeys:
+		keys, err := s.heads.Keys()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Keys = keys
+	default:
+		return fail(fmt.Errorf("unknown op %d", req.Op))
+	}
+	return resp
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

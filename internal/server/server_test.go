@@ -1,0 +1,208 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := New(store.NewMemStore(), core.NewMemBranchTable(), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func TestPingAndChunkRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rs := NewRemoteStore(cl)
+	c := chunk.New(chunk.TypeBlobLeaf, []byte("over the wire"))
+	fresh, err := rs.Put(c)
+	if err != nil || !fresh {
+		t.Fatalf("put: fresh=%v err=%v", fresh, err)
+	}
+	fresh, err = rs.Put(c)
+	if err != nil || fresh {
+		t.Fatalf("dedup over wire: fresh=%v err=%v", fresh, err)
+	}
+	got, err := rs.Get(c.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data()) != "over the wire" || got.Type() != chunk.TypeBlobLeaf {
+		t.Fatalf("got %q %v", got.Data(), got.Type())
+	}
+	ok, err := rs.Has(c.ID())
+	if err != nil || !ok {
+		t.Fatalf("has: %v %v", ok, err)
+	}
+	if _, err := rs.Get(hash.Of([]byte("missing"))); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	if rs.Stats().UniqueChunks != 1 {
+		t.Fatalf("stats: %+v", rs.Stats())
+	}
+}
+
+func TestServerRejectsMislabelledChunk(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var resp Response
+	err = cl.roundTrip(&Request{
+		Op:        OpPutChunk,
+		ID:        hash.Of([]byte("lie")),
+		ChunkType: byte(chunk.TypeBlobLeaf),
+		Data:      []byte("actual content"),
+	}, &resp)
+	if err == nil {
+		t.Fatal("server accepted mislabelled chunk")
+	}
+}
+
+func TestRemoteBranchTable(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	bt := NewRemoteBranchTable(cl)
+
+	uid1 := hash.Of([]byte("v1"))
+	ok, err := bt.CompareAndSet("k", "master", hash.Hash{}, uid1)
+	if err != nil || !ok {
+		t.Fatalf("CAS create: %v %v", ok, err)
+	}
+	got, found, err := bt.Head("k", "master")
+	if err != nil || !found || got != uid1 {
+		t.Fatalf("head: %v %v %v", got.Short(), found, err)
+	}
+	// Stale CAS fails.
+	ok, err = bt.CompareAndSet("k", "master", hash.Hash{}, hash.Of([]byte("v2")))
+	if err != nil || ok {
+		t.Fatalf("stale CAS: %v %v", ok, err)
+	}
+	// Rename, list, delete.
+	if err := bt.Rename("k", "master", "main"); err != nil {
+		t.Fatal(err)
+	}
+	branches, err := bt.Branches("k")
+	if err != nil || len(branches) != 1 || branches["main"] != uid1 {
+		t.Fatalf("branches: %v %v", branches, err)
+	}
+	keys, err := bt.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("keys: %v %v", keys, err)
+	}
+	if err := bt.Delete("k", "main"); err != nil {
+		t.Fatal(err)
+	}
+	_, found, err = bt.Head("k", "main")
+	if err != nil || found {
+		t.Fatalf("deleted branch found: %v %v", found, err)
+	}
+	// Deleting again errors (propagated through the wire).
+	if err := bt.Delete("k", "main"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestFullEngineOverWire(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	db := core.Open(core.Options{
+		Store:    NewRemoteStore(cl),
+		Branches: NewRemoteBranchTable(cl),
+	})
+	if _, err := db.Put("remote-obj", "", value.String("hello from afar"), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get("remote-obj", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := got.Value.AsString()
+	if s != "hello from afar" {
+		t.Fatalf("value = %q", s)
+	}
+	// Branch + merge over the wire.
+	if err := db.Branch("remote-obj", "dev", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put("remote-obj", "dev", value.String("dev edit"), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Merge("remote-obj", "master", "dev", nil, nil)
+	if err != nil || !res.FastForward {
+		t.Fatalf("merge: %+v %v", res, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			rs := NewRemoteStore(cl)
+			for i := 0; i < 50; i++ {
+				c := chunk.New(chunk.TypeBlobLeaf, []byte{byte(g), byte(i)})
+				if _, err := rs.Put(c); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, err := rs.Get(c.ID()); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv.Close()
+	rs := NewRemoteStore(cl)
+	if _, err := rs.Get(hash.Of([]byte("x"))); err == nil {
+		t.Fatal("request to closed server succeeded")
+	}
+}

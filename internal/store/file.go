@@ -1,0 +1,300 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+)
+
+// FileStore is a durable content-addressed chunk store backed by segmented
+// append-only log files plus an in-memory index rebuilt on open.
+//
+// On-disk record format (all integers little-endian):
+//
+//	[32B id][4B payload length][1B type][payload]
+//
+// Records are immutable; deduplication means a chunk id appears at most once
+// across all segments.  The store is safe for concurrent use.
+type FileStore struct {
+	dir        string
+	maxSegment int64
+
+	mu      sync.RWMutex
+	index   map[hash.Hash]recordLoc
+	active  *os.File
+	actBuf  *bufio.Writer
+	actSeg  int
+	actSize int64
+	stats   Stats
+	closed  bool
+}
+
+type recordLoc struct {
+	segment int
+	offset  int64
+	length  int32 // payload length
+	typ     chunk.Type
+}
+
+const recordHeader = hash.Size + 4 + 1
+
+// DefaultSegmentSize is the size at which a new log segment is started.
+const DefaultSegmentSize = 64 << 20
+
+var _ Store = (*FileStore)(nil)
+
+// OpenFileStore opens (creating if needed) a file store rooted at dir.
+// Existing segments are scanned to rebuild the index, so reopening a store
+// recovers all previously written chunks.
+func OpenFileStore(dir string) (*FileStore, error) {
+	return OpenFileStoreSegmented(dir, DefaultSegmentSize)
+}
+
+// OpenFileStoreSegmented is OpenFileStore with a custom segment size,
+// exposed so tests can force multi-segment layouts cheaply.
+func OpenFileStoreSegmented(dir string, segSize int64) (*FileStore, error) {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	fs := &FileStore{
+		dir:        dir,
+		maxSegment: segSize,
+		index:      make(map[hash.Hash]recordLoc),
+	}
+	if err := fs.recover(); err != nil {
+		return nil, err
+	}
+	if err := fs.openActive(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (f *FileStore) segmentPath(n int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("seg-%06d.log", n))
+}
+
+// recover scans all existing segments in order and rebuilds the index.
+// Truncated trailing records (from a crash mid-append) are discarded.
+func (f *FileStore) recover() error {
+	for seg := 0; ; seg++ {
+		path := f.segmentPath(seg)
+		fi, err := os.Stat(path)
+		if os.IsNotExist(err) {
+			f.actSeg = seg
+			if seg > 0 {
+				f.actSeg = seg - 1
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("filestore: %w", err)
+		}
+		if err := f.scanSegment(seg, fi.Size()); err != nil {
+			return err
+		}
+	}
+}
+
+func (f *FileStore) scanSegment(seg int, size int64) error {
+	file, err := os.Open(f.segmentPath(seg))
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	defer file.Close()
+	r := bufio.NewReaderSize(file, 1<<20)
+	var off int64
+	hdr := make([]byte, recordHeader)
+	for off < size {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			// Torn header at the tail: truncate logically and stop.
+			return f.truncate(seg, off)
+		}
+		var id hash.Hash
+		copy(id[:], hdr[:hash.Size])
+		plen := int32(binary.LittleEndian.Uint32(hdr[hash.Size : hash.Size+4]))
+		typ := chunk.Type(hdr[hash.Size+4])
+		if plen < 0 || !typ.Valid() {
+			return f.truncate(seg, off)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return f.truncate(seg, off)
+		}
+		c := chunk.New(typ, payload)
+		if c.ID() != id {
+			// Bit rot inside a record: refuse to index it but keep going;
+			// readers will get ErrNotFound rather than corrupt data.
+			off += int64(recordHeader) + int64(plen)
+			continue
+		}
+		if _, dup := f.index[id]; !dup {
+			f.index[id] = recordLoc{segment: seg, offset: off, length: plen, typ: typ}
+			f.stats.UniqueChunks++
+			f.stats.PhysicalBytes += int64(c.Size())
+		}
+		off += int64(recordHeader) + int64(plen)
+	}
+	return nil
+}
+
+// truncate drops a torn tail produced by a crash mid-write.
+func (f *FileStore) truncate(seg int, off int64) error {
+	if err := os.Truncate(f.segmentPath(seg), off); err != nil {
+		return fmt.Errorf("filestore: truncating torn tail: %w", err)
+	}
+	return nil
+}
+
+func (f *FileStore) openActive() error {
+	path := f.segmentPath(f.actSeg)
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	fi, err := file.Stat()
+	if err != nil {
+		file.Close()
+		return fmt.Errorf("filestore: %w", err)
+	}
+	f.active = file
+	f.actBuf = bufio.NewWriterSize(file, 1<<20)
+	f.actSize = fi.Size()
+	return nil
+}
+
+// Put implements Store.
+func (f *FileStore) Put(c *chunk.Chunk) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false, fmt.Errorf("filestore: closed")
+	}
+	f.stats.LogicalBytes += int64(c.Size())
+	if _, ok := f.index[c.ID()]; ok {
+		f.stats.DedupHits++
+		return false, nil
+	}
+	if f.actSize >= f.maxSegment {
+		if err := f.rotate(); err != nil {
+			return false, err
+		}
+	}
+	hdr := make([]byte, recordHeader)
+	id := c.ID()
+	copy(hdr[:hash.Size], id[:])
+	binary.LittleEndian.PutUint32(hdr[hash.Size:hash.Size+4], uint32(len(c.Data())))
+	hdr[hash.Size+4] = byte(c.Type())
+	if _, err := f.actBuf.Write(hdr); err != nil {
+		return false, fmt.Errorf("filestore: %w", err)
+	}
+	if _, err := f.actBuf.Write(c.Data()); err != nil {
+		return false, fmt.Errorf("filestore: %w", err)
+	}
+	f.index[id] = recordLoc{segment: f.actSeg, offset: f.actSize, length: int32(len(c.Data())), typ: c.Type()}
+	f.actSize += int64(recordHeader) + int64(len(c.Data()))
+	f.stats.UniqueChunks++
+	f.stats.PhysicalBytes += int64(c.Size())
+	return true, nil
+}
+
+func (f *FileStore) rotate() error {
+	if err := f.actBuf.Flush(); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	if err := f.active.Close(); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	f.actSeg++
+	return f.openActive()
+}
+
+// Get implements Store.
+func (f *FileStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	f.mu.Lock()
+	loc, ok := f.index[id]
+	if ok {
+		f.stats.Gets++
+		// Reads may hit the active segment; flush buffered writes first.
+		if loc.segment == f.actSeg {
+			if err := f.actBuf.Flush(); err != nil {
+				f.mu.Unlock()
+				return nil, fmt.Errorf("filestore: %w", err)
+			}
+		}
+	}
+	f.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	file, err := os.Open(f.segmentPath(loc.segment))
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	defer file.Close()
+	payload := make([]byte, loc.length)
+	if _, err := file.ReadAt(payload, loc.offset+recordHeader); err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	c := chunk.New(loc.typ, payload)
+	if err := c.Verify(id); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Has implements Store.
+func (f *FileStore) Has(id hash.Hash) (bool, error) {
+	f.mu.RLock()
+	_, ok := f.index[id]
+	f.mu.RUnlock()
+	return ok, nil
+}
+
+// Stats implements Store.
+func (f *FileStore) Stats() Stats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.stats
+}
+
+// Flush forces buffered appends to the OS.
+func (f *FileStore) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.actBuf.Flush()
+}
+
+// Sync flushes and fsyncs the active segment.
+func (f *FileStore) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.actBuf.Flush(); err != nil {
+		return err
+	}
+	return f.active.Sync()
+}
+
+// Close flushes and closes the store.  Further operations fail.
+func (f *FileStore) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if err := f.actBuf.Flush(); err != nil {
+		return err
+	}
+	return f.active.Close()
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"sync"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+)
+
+// MemStore is an in-memory content-addressed chunk store.
+// It is safe for concurrent use.
+type MemStore struct {
+	mu     sync.RWMutex
+	chunks map[hash.Hash]*chunk.Chunk
+	stats  Stats
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{chunks: make(map[hash.Hash]*chunk.Chunk)}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(c *chunk.Chunk) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.LogicalBytes += int64(c.Size())
+	if _, ok := m.chunks[c.ID()]; ok {
+		m.stats.DedupHits++
+		return false, nil
+	}
+	m.chunks[c.ID()] = c
+	m.stats.UniqueChunks++
+	m.stats.PhysicalBytes += int64(c.Size())
+	return true, nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	m.mu.Lock()
+	c, ok := m.chunks[id]
+	m.stats.Gets++
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+// Has implements Store.
+func (m *MemStore) Has(id hash.Hash) (bool, error) {
+	m.mu.RLock()
+	_, ok := m.chunks[id]
+	m.mu.RUnlock()
+	return ok, nil
+}
+
+// Stats implements Store.
+func (m *MemStore) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// Len returns the number of distinct chunks.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.chunks)
+}
+
+// IDs returns the ids of all stored chunks (order unspecified); used by the
+// garbage collector and by tests.
+func (m *MemStore) IDs() []hash.Hash {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]hash.Hash, 0, len(m.chunks))
+	for id := range m.chunks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Delete removes a chunk (used by GC); it is a no-op if absent.
+func (m *MemStore) Delete(id hash.Hash) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.chunks[id]; ok {
+		m.stats.UniqueChunks--
+		m.stats.PhysicalBytes -= int64(c.Size())
+		delete(m.chunks, id)
+	}
+}

@@ -1,0 +1,80 @@
+// Package store provides content-addressed chunk storage.
+//
+// A Store materialises chunks into physical storage keyed by their content
+// hash: each distinct chunk is stored exactly once and may be shared by any
+// number of logical objects (paper §II-C).  The package ships four
+// implementations:
+//
+//   - MemStore: in-memory map, the default substrate for tests and benches.
+//   - FileStore: durable segmented append-only log with an in-memory index.
+//   - CountingStore: wrapper that tracks logical vs. physical bytes, the
+//     instrument behind the storage-efficiency experiments (Fig 4).
+//   - MaliciousStore: wrapper that can corrupt or forge chunks, the threat
+//     model for the tamper-evidence experiments (Fig 6).
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+)
+
+// ErrNotFound is returned when a requested chunk is absent.
+var ErrNotFound = errors.New("store: chunk not found")
+
+// Store is a content-addressed chunk store.
+//
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Put stores c if absent.  It returns true when the chunk was new,
+	// false when an identical chunk was already present (a dedup hit).
+	Put(c *chunk.Chunk) (bool, error)
+	// Get retrieves the chunk with the given id.
+	Get(id hash.Hash) (*chunk.Chunk, error)
+	// Has reports whether a chunk with the given id is present.
+	Has(id hash.Hash) (bool, error)
+	// Stats returns a snapshot of the store's accounting counters.
+	Stats() Stats
+}
+
+// Stats captures the deduplication accounting of a store.
+type Stats struct {
+	// UniqueChunks is the number of distinct chunks physically stored.
+	UniqueChunks int64
+	// PhysicalBytes is the total encoded size of distinct chunks — what
+	// actually occupies storage.
+	PhysicalBytes int64
+	// LogicalBytes is the total encoded size of all Put calls including
+	// duplicates — what a non-deduplicating store would occupy.
+	LogicalBytes int64
+	// DedupHits counts Put calls that found the chunk already present.
+	DedupHits int64
+	// Gets counts chunk retrievals.
+	Gets int64
+}
+
+// DedupRatio returns LogicalBytes/PhysicalBytes (1.0 means no sharing).
+func (s Stats) DedupRatio() float64 {
+	if s.PhysicalBytes == 0 {
+		return 1
+	}
+	return float64(s.LogicalBytes) / float64(s.PhysicalBytes)
+}
+
+// SavedBytes returns the bytes avoided thanks to deduplication.
+func (s Stats) SavedBytes() int64 { return s.LogicalBytes - s.PhysicalBytes }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("chunks=%d physical=%dB logical=%dB dedup=%.2fx hits=%d",
+		s.UniqueChunks, s.PhysicalBytes, s.LogicalBytes, s.DedupRatio(), s.DedupHits)
+}
+
+// MustPut stores c into s and panics on error; for internal writers whose
+// stores are infallible (MemStore).
+func MustPut(s Store, c *chunk.Chunk) {
+	if _, err := s.Put(c); err != nil {
+		panic(fmt.Sprintf("store: put failed: %v", err))
+	}
+}

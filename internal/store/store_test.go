@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+)
+
+// openAppend opens the first log segment for raw appends, to simulate a
+// crash that tore the final record.
+func openAppend(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "seg-000000.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func mkChunk(i int) *chunk.Chunk {
+	return chunk.New(chunk.TypeBlobLeaf, []byte(fmt.Sprintf("chunk-%d-%s", i, bytes.Repeat([]byte{byte(i)}, i%64))))
+}
+
+func testStorePutGet(t *testing.T, s Store) {
+	t.Helper()
+	c := mkChunk(1)
+	fresh, err := s.Put(c)
+	if err != nil || !fresh {
+		t.Fatalf("first Put: fresh=%v err=%v", fresh, err)
+	}
+	fresh, err = s.Put(c)
+	if err != nil || fresh {
+		t.Fatalf("duplicate Put: fresh=%v err=%v", fresh, err)
+	}
+	got, err := s.Get(c.ID())
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.Type() != c.Type() || !bytes.Equal(got.Data(), c.Data()) {
+		t.Fatal("Get returned different chunk")
+	}
+	ok, err := s.Has(c.ID())
+	if err != nil || !ok {
+		t.Fatalf("Has: %v %v", ok, err)
+	}
+	if _, err := s.Get(hash.Of([]byte("missing"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing Get err = %v", err)
+	}
+	ok, err = s.Has(hash.Of([]byte("missing")))
+	if err != nil || ok {
+		t.Fatalf("missing Has = %v %v", ok, err)
+	}
+}
+
+func TestMemStoreBasics(t *testing.T) { testStorePutGet(t, NewMemStore()) }
+
+func TestMemStoreStats(t *testing.T) {
+	s := NewMemStore()
+	c1, c2 := mkChunk(1), mkChunk(2)
+	s.Put(c1)
+	s.Put(c1)
+	s.Put(c2)
+	st := s.Stats()
+	if st.UniqueChunks != 2 {
+		t.Fatalf("unique = %d", st.UniqueChunks)
+	}
+	if st.DedupHits != 1 {
+		t.Fatalf("hits = %d", st.DedupHits)
+	}
+	wantPhys := int64(c1.Size() + c2.Size())
+	if st.PhysicalBytes != wantPhys {
+		t.Fatalf("physical = %d want %d", st.PhysicalBytes, wantPhys)
+	}
+	if st.LogicalBytes != wantPhys+int64(c1.Size()) {
+		t.Fatalf("logical = %d", st.LogicalBytes)
+	}
+	if st.DedupRatio() <= 1.0 {
+		t.Fatalf("dedup ratio %f", st.DedupRatio())
+	}
+	if st.SavedBytes() != int64(c1.Size()) {
+		t.Fatalf("saved = %d", st.SavedBytes())
+	}
+	if st.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := mkChunk(i % 50)
+				if _, err := s.Put(c); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, err := s.Get(c.ID()); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 50 {
+		t.Fatalf("len = %d, want 50", s.Len())
+	}
+}
+
+func TestMemStoreDeleteAndIDs(t *testing.T) {
+	s := NewMemStore()
+	c := mkChunk(3)
+	s.Put(c)
+	if len(s.IDs()) != 1 {
+		t.Fatal("IDs missing chunk")
+	}
+	s.Delete(c.ID())
+	if ok, _ := s.Has(c.ID()); ok {
+		t.Fatal("delete did not remove chunk")
+	}
+	if s.Stats().UniqueChunks != 0 || s.Stats().PhysicalBytes != 0 {
+		t.Fatalf("stats after delete: %+v", s.Stats())
+	}
+	s.Delete(c.ID()) // idempotent
+}
+
+func TestFileStoreBasics(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	testStorePutGet(t, s)
+}
+
+func TestFileStoreReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []hash.Hash
+	for i := 0; i < 100; i++ {
+		c := mkChunk(i)
+		if _, err := s.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, id := range ids {
+		c, err := s2.Get(id)
+		if err != nil {
+			t.Fatalf("chunk %d lost after reopen: %v", i, err)
+		}
+		if err := c.Verify(id); err != nil {
+			t.Fatalf("chunk %d corrupt after reopen: %v", i, err)
+		}
+	}
+	if s2.Stats().UniqueChunks != 100 {
+		t.Fatalf("recovered %d chunks", s2.Stats().UniqueChunks)
+	}
+	// Dedup persists across reopen.
+	fresh, err := s2.Put(mkChunk(7))
+	if err != nil || fresh {
+		t.Fatalf("chunk re-added after reopen: fresh=%v err=%v", fresh, err)
+	}
+}
+
+func TestFileStoreSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStoreSegmented(dir, 2048) // tiny segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []hash.Hash
+	for i := 0; i < 200; i++ {
+		c := chunk.New(chunk.TypeBlobLeaf, bytes.Repeat([]byte{byte(i)}, 100))
+		if _, err := s.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	if s.actSeg == 0 {
+		t.Fatal("no segment rotation happened")
+	}
+	for _, id := range ids {
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("get across segments: %v", err)
+		}
+	}
+	s.Close()
+	s2, err := OpenFileStoreSegmented(dir, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range ids {
+		if _, err := s2.Get(id); err != nil {
+			t.Fatalf("get after multi-segment reopen: %v", err)
+		}
+	}
+}
+
+func TestFileStoreTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := mkChunk(1)
+	s.Put(good)
+	s.Flush()
+	s.Close()
+
+	// Simulate a crash mid-append: append garbage half-record.
+	f, err := openAppend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("torn-record-garbage"))
+	f.Close()
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get(good.ID()); err != nil {
+		t.Fatalf("good chunk lost: %v", err)
+	}
+	// The store must still accept writes after truncation.
+	if _, err := s2.Put(mkChunk(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 100; i++ {
+				c := mkChunk(rng.Intn(40))
+				if _, err := s.Put(c); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, err := s.Get(c.ID()); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCountingStoreIncrements(t *testing.T) {
+	cs := NewCountingStore(NewMemStore())
+	cs.Mark("start")
+	c1 := mkChunk(1)
+	cs.Put(c1)
+	cs.Mark("phase1")
+	cs.Put(c1) // duplicate: physical increment must be zero
+	cs.Put(mkChunk(2))
+	cs.Mark("phase2")
+
+	incs := cs.Increments()
+	if len(incs) != 2 {
+		t.Fatalf("increments = %d", len(incs))
+	}
+	if incs[0].Label != "phase1" || incs[0].PhysicalBytes != int64(c1.Size()) || incs[0].NewChunks != 1 {
+		t.Fatalf("phase1 = %+v", incs[0])
+	}
+	if incs[1].DedupHits != 1 || incs[1].NewChunks != 1 {
+		t.Fatalf("phase2 = %+v", incs[1])
+	}
+	if incs[1].PhysicalBytes >= incs[1].LogicalBytes {
+		t.Fatalf("phase2 dedup not visible: %+v", incs[1])
+	}
+}
+
+func TestMaliciousStoreCorruption(t *testing.T) {
+	inner := NewMemStore()
+	m := NewMaliciousStore(inner)
+	c := mkChunk(5)
+	m.Put(c)
+
+	// Honest until attacked.
+	got, err := m.Get(c.ID())
+	if err != nil || got.ID() != c.ID() {
+		t.Fatalf("honest get: %v", err)
+	}
+
+	ok, err := m.CorruptFlip(c.ID(), 3, 1)
+	if err != nil || !ok {
+		t.Fatalf("CorruptFlip: %v %v", ok, err)
+	}
+	if m.AttackCount() != 1 {
+		t.Fatalf("attacks = %d", m.AttackCount())
+	}
+	got, err = m.Get(c.ID())
+	if err != nil {
+		t.Fatalf("malicious get returned error: %v", err)
+	}
+	// The forged chunk must NOT verify against the requested id.
+	if got.Verify(c.ID()) == nil {
+		t.Fatal("corruption was not detectable")
+	}
+
+	m.Heal()
+	got, _ = m.Get(c.ID())
+	if got.Verify(c.ID()) != nil {
+		t.Fatal("heal did not restore honesty")
+	}
+}
+
+func TestMaliciousStoreForge(t *testing.T) {
+	m := NewMaliciousStore(NewMemStore())
+	c := mkChunk(9)
+	m.Put(c)
+	m.Forge(c.ID(), chunk.TypeBlobLeaf, []byte("evil payload"))
+	got, err := m.Get(c.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Verify(c.ID()) == nil {
+		t.Fatal("forged chunk verified")
+	}
+}
+
+func TestMaliciousCorruptUnknownID(t *testing.T) {
+	m := NewMaliciousStore(NewMemStore())
+	ok, err := m.CorruptFlip(hash.Of([]byte("nothing")), 0, 0)
+	if err != nil || ok {
+		t.Fatalf("corrupting unknown id: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestVerifyingStoreDetectsTampering(t *testing.T) {
+	inner := NewMemStore()
+	mal := NewMaliciousStore(inner)
+	v := NewVerifyingStore(mal)
+
+	c := mkChunk(11)
+	v.Put(c)
+	if _, err := v.Get(c.ID()); err != nil {
+		t.Fatalf("clean get: %v", err)
+	}
+	mal.CorruptFlip(c.ID(), 0, 0)
+	if _, err := v.Get(c.ID()); !errors.Is(err, chunk.ErrCorrupt) {
+		t.Fatalf("verifying store let corruption through: %v", err)
+	}
+}
+
+func TestMustPutPanicsOnClosedStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPut on closed store did not panic")
+		}
+	}()
+	MustPut(s, mkChunk(1))
+}

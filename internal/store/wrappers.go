@@ -1,0 +1,204 @@
+package store
+
+import (
+	"sync"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+)
+
+// CountingStore wraps a Store and records the byte increments of delimited
+// phases, so experiments can report "loading dataset 2 increased storage by
+// only 0.04 KB" exactly like Fig 4 of the paper.
+type CountingStore struct {
+	Inner Store
+
+	mu     sync.Mutex
+	marks  []Stats
+	labels []string
+}
+
+var _ Store = (*CountingStore)(nil)
+
+// NewCountingStore wraps inner.
+func NewCountingStore(inner Store) *CountingStore {
+	return &CountingStore{Inner: inner}
+}
+
+// Put implements Store.
+func (c *CountingStore) Put(ch *chunk.Chunk) (bool, error) { return c.Inner.Put(ch) }
+
+// Get implements Store.
+func (c *CountingStore) Get(id hash.Hash) (*chunk.Chunk, error) { return c.Inner.Get(id) }
+
+// Has implements Store.
+func (c *CountingStore) Has(id hash.Hash) (bool, error) { return c.Inner.Has(id) }
+
+// Stats implements Store.
+func (c *CountingStore) Stats() Stats { return c.Inner.Stats() }
+
+// Mark snapshots the current counters under a label.
+func (c *CountingStore) Mark(label string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.marks = append(c.marks, c.Inner.Stats())
+	c.labels = append(c.labels, label)
+}
+
+// Increment describes the storage change between two consecutive marks.
+type Increment struct {
+	Label         string
+	PhysicalBytes int64 // bytes actually added to storage
+	LogicalBytes  int64 // bytes that would have been added without dedup
+	NewChunks     int64
+	DedupHits     int64
+}
+
+// Increments reports the per-phase storage growth between consecutive marks.
+// Call Mark before and after each phase; phase i is labelled with the label
+// of its closing mark.
+func (c *CountingStore) Increments() []Increment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Increment
+	for i := 1; i < len(c.marks); i++ {
+		prev, cur := c.marks[i-1], c.marks[i]
+		out = append(out, Increment{
+			Label:         c.labels[i],
+			PhysicalBytes: cur.PhysicalBytes - prev.PhysicalBytes,
+			LogicalBytes:  cur.LogicalBytes - prev.LogicalBytes,
+			NewChunks:     cur.UniqueChunks - prev.UniqueChunks,
+			DedupHits:     cur.DedupHits - prev.DedupHits,
+		})
+	}
+	return out
+}
+
+// MaliciousStore wraps a Store and simulates the paper's threat model
+// (§II-D): "the storage is malicious, but the users keep track of the latest
+// uid of every branch".  It can silently corrupt stored chunks or substitute
+// forged ones; chunk verification at the read path must catch every attack.
+type MaliciousStore struct {
+	Inner Store
+
+	mu        sync.Mutex
+	corrupted map[hash.Hash][]byte // id -> forged payload served instead
+	forgeType map[hash.Hash]chunk.Type
+}
+
+var _ Store = (*MaliciousStore)(nil)
+
+// NewMaliciousStore wraps inner; it behaves honestly until an attack is
+// injected.
+func NewMaliciousStore(inner Store) *MaliciousStore {
+	return &MaliciousStore{
+		Inner:     inner,
+		corrupted: make(map[hash.Hash][]byte),
+		forgeType: make(map[hash.Hash]chunk.Type),
+	}
+}
+
+// Put implements Store.
+func (m *MaliciousStore) Put(ch *chunk.Chunk) (bool, error) { return m.Inner.Put(ch) }
+
+// Has implements Store.
+func (m *MaliciousStore) Has(id hash.Hash) (bool, error) { return m.Inner.Has(id) }
+
+// Stats implements Store.
+func (m *MaliciousStore) Stats() Stats { return m.Inner.Stats() }
+
+// Get implements Store: it serves the forged payload for attacked ids.
+//
+// Note that the forged chunk is returned *as if it were genuine* — no error —
+// because a malicious provider would not announce the substitution.
+// Detection is the verifier's job.
+func (m *MaliciousStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	m.mu.Lock()
+	payload, bad := m.corrupted[id]
+	typ := m.forgeType[id]
+	m.mu.Unlock()
+	if bad {
+		return chunk.New(typ, payload), nil
+	}
+	return m.Inner.Get(id)
+}
+
+// CorruptFlip arranges for future Gets of id to return the genuine payload
+// with the bit at (offset, bit) flipped.  Returns false if id is unknown.
+func (m *MaliciousStore) CorruptFlip(id hash.Hash, offset int, bit uint) (bool, error) {
+	c, err := m.Inner.Get(id)
+	if err != nil {
+		if err == ErrNotFound {
+			return false, nil
+		}
+		return false, err
+	}
+	data := append([]byte(nil), c.Data()...)
+	if len(data) == 0 {
+		return false, nil
+	}
+	offset %= len(data)
+	data[offset] ^= 1 << (bit % 8)
+	m.mu.Lock()
+	m.corrupted[id] = data
+	m.forgeType[id] = c.Type()
+	m.mu.Unlock()
+	return true, nil
+}
+
+// Forge arranges for future Gets of id to return an arbitrary payload.
+func (m *MaliciousStore) Forge(id hash.Hash, typ chunk.Type, payload []byte) {
+	m.mu.Lock()
+	m.corrupted[id] = append([]byte(nil), payload...)
+	m.forgeType[id] = typ
+	m.mu.Unlock()
+}
+
+// Heal removes all injected attacks.
+func (m *MaliciousStore) Heal() {
+	m.mu.Lock()
+	m.corrupted = make(map[hash.Hash][]byte)
+	m.forgeType = make(map[hash.Hash]chunk.Type)
+	m.mu.Unlock()
+}
+
+// AttackCount returns the number of ids currently being served forged data.
+func (m *MaliciousStore) AttackCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.corrupted)
+}
+
+// VerifyingStore wraps a Store and checks every chunk read against its id,
+// converting silent corruption into chunk.ErrCorrupt.  The ForkBase engine
+// always reads through a VerifyingStore, which is how a uid certifies the
+// entire reachable object graph.
+type VerifyingStore struct {
+	Inner Store
+}
+
+var _ Store = (*VerifyingStore)(nil)
+
+// NewVerifyingStore wraps inner.
+func NewVerifyingStore(inner Store) *VerifyingStore { return &VerifyingStore{Inner: inner} }
+
+// Put implements Store.
+func (v *VerifyingStore) Put(ch *chunk.Chunk) (bool, error) { return v.Inner.Put(ch) }
+
+// Has implements Store.
+func (v *VerifyingStore) Has(id hash.Hash) (bool, error) { return v.Inner.Has(id) }
+
+// Stats implements Store.
+func (v *VerifyingStore) Stats() Stats { return v.Inner.Stats() }
+
+// Get implements Store, verifying content against id.
+func (v *VerifyingStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	c, err := v.Inner.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Verify(id); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
