@@ -29,6 +29,7 @@ import (
 	"forkbase/internal/core"
 	"forkbase/internal/dataset"
 	"forkbase/internal/hash"
+	"forkbase/internal/nodecache"
 	"forkbase/internal/pos"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
@@ -59,6 +60,8 @@ type (
 	MergeResult = core.MergeResult
 	// StoreStats is chunk-store dedup accounting.
 	StoreStats = store.Stats
+	// NodeCacheStats is decoded-node cache effectiveness accounting.
+	NodeCacheStats = nodecache.Stats
 	// VerifyReport summarises a tamper-evidence validation.
 	VerifyReport = core.VerifyReport
 	// Schema describes dataset columns.
@@ -122,11 +125,12 @@ type DB struct {
 type Option func(*options)
 
 type options struct {
-	dir      string
-	addrs    []string
-	chunking chunker.Config
-	st       store.Store
-	branches core.BranchTable
+	dir            string
+	addrs          []string
+	chunking       chunker.Config
+	st             store.Store
+	branches       core.BranchTable
+	nodeCacheBytes int64
 }
 
 // InMemory keeps everything in RAM (default).
@@ -148,6 +152,24 @@ func WithChunking(q uint, minSize, maxSize int) Option {
 
 // WithStore injects a custom chunk store (advanced; used by benchmarks).
 func WithStore(st store.Store) Option { return func(o *options) { o.st = st } }
+
+// WithNodeCache enables the decoded-node cache on the read path with the
+// given byte budget (<= 0 selects a 32 MiB default).
+//
+// The cache holds *decoded* POS-Tree nodes keyed by chunk id, so hot
+// traversals skip both the store fetch and the decode.  Immutability makes
+// it trivially coherent: a content address can only ever denote one payload,
+// so entries never go stale — eviction (LRU per shard, byte-budgeted) is the
+// only way anything leaves.  The cache sits above chunk verification, so a
+// malicious store can never populate it with forged data.
+func WithNodeCache(bytes int64) Option {
+	return func(o *options) {
+		if bytes <= 0 {
+			bytes = nodecache.DefaultBytes
+		}
+		o.nodeCacheBytes = bytes
+	}
+}
 
 // Open creates or opens a ForkBase instance.
 func Open(opts ...Option) (*DB, error) {
@@ -179,7 +201,12 @@ func Open(opts ...Option) (*DB, error) {
 		o.st = fs
 		o.branches = bt
 	}
-	db.eng = core.Open(core.Options{Store: o.st, Branches: o.branches, Chunking: o.chunking})
+	db.eng = core.Open(core.Options{
+		Store:          o.st,
+		Branches:       o.branches,
+		Chunking:       o.chunking,
+		NodeCacheBytes: o.nodeCacheBytes,
+	})
 	return db, nil
 }
 
@@ -192,8 +219,11 @@ func MustOpen(opts ...Option) *DB {
 	return db
 }
 
-// Close releases file handles and network connections.
+// Close releases file handles and network connections.  The decoded-node
+// cache is purged so post-close reads fail at the store uniformly instead of
+// succeeding whenever a node happens to be cached.
 func (db *DB) Close() error {
+	store.NodeCacheOf(db.eng.Store()).Purge() // nil-safe; covers injected caches too
 	if db.fileStore != nil {
 		return db.fileStore.Close()
 	}
@@ -275,6 +305,11 @@ func (db *DB) GetVersion(key string, uid Hash) (Version, error) {
 }
 
 // MapOf loads the map entries interface of a map-valued version.
+//
+// Slices returned by the tree's read methods (Get, At, Iter.Entry) alias
+// shared decoded node data — with the node cache enabled this data is
+// shared across all readers of the store.  Treat them as read-only and copy
+// before mutating or holding long-term.
 func (db *DB) MapOf(v Version) (*pos.Tree, error) {
 	return v.Value.MapTree(db.eng.Store(), db.eng.Chunking())
 }
@@ -367,6 +402,10 @@ func (db *DB) Verify(key string, uid Hash, deep bool) (VerifyReport, error) {
 
 // Stats returns chunk-store dedup accounting.
 func (db *DB) Stats() StoreStats { return db.eng.Stats() }
+
+// CacheStats returns decoded-node cache effectiveness (zeros when the cache
+// was not enabled via WithNodeCache).
+func (db *DB) CacheStats() NodeCacheStats { return db.eng.NodeCacheStats() }
 
 // --- datasets ----------------------------------------------------------------
 

@@ -190,3 +190,46 @@ func TestParseHash(t *testing.T) {
 		t.Fatal("parsed garbage")
 	}
 }
+
+func TestPublicNodeCache(t *testing.T) {
+	db := forkbase.MustOpen(forkbase.InMemory(), forkbase.WithNodeCache(16<<20))
+	defer db.Close()
+
+	entries := make([]forkbase.Entry, 5000)
+	for i := range entries {
+		entries[i] = forkbase.Entry{Key: []byte(fmt.Sprintf("k%06d", i)), Val: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if _, err := db.PutMap("m", "", entries, nil); err != nil {
+		t.Fatal(err)
+	}
+	ver, err := db.Get("m", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := db.MapOf(ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 5000; i += 113 {
+			v, err := tree.Get([]byte(fmt.Sprintf("k%06d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fmt.Sprintf("v%d", i); string(v) != want {
+				t.Fatalf("got %q want %q", v, want)
+			}
+		}
+	}
+	st := db.CacheStats()
+	if st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("cache unused through public API: %+v", st)
+	}
+
+	// Without WithNodeCache the stats stay zero.
+	plain := forkbase.MustOpen()
+	defer plain.Close()
+	if st := plain.CacheStats(); st != (forkbase.NodeCacheStats{}) {
+		t.Fatalf("cache stats on uncached DB: %+v", st)
+	}
+}

@@ -1,0 +1,3 @@
+module forkbase
+
+go 1.21

@@ -7,6 +7,7 @@ import (
 	"forkbase/internal/chunker"
 	"forkbase/internal/fnode"
 	"forkbase/internal/hash"
+	"forkbase/internal/nodecache"
 	"forkbase/internal/pos"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
@@ -23,7 +24,8 @@ const DefaultBranch = "master"
 // storage provider surfaces as chunk.ErrCorrupt.
 type DB struct {
 	raw    store.Store // unwrapped, for Stats
-	st     store.Store // verifying read path
+	st     store.Store // verifying read path (node cache layered on top)
+	ncache *nodecache.Cache
 	cfg    chunker.Config
 	heads  BranchTable
 	noCopy noCopy
@@ -42,6 +44,12 @@ type Options struct {
 	Branches BranchTable
 	// Chunking overrides the chunker configuration (zero = DefaultConfig).
 	Chunking chunker.Config
+	// NodeCacheBytes enables a decoded-node cache with the given byte
+	// budget on the read path (0 = disabled).  Because chunks are immutable
+	// and content-addressed the cache needs no invalidation; GC purges the
+	// ids it sweeps.  The cache is layered *above* the verifying store, so
+	// only nodes that passed tamper verification are ever cached.
+	NodeCacheBytes int64
 }
 
 // Open assembles a DB from options.
@@ -55,12 +63,17 @@ func Open(opts Options) *DB {
 	if opts.Chunking.Q == 0 {
 		opts.Chunking = chunker.DefaultConfig()
 	}
-	return &DB{
+	db := &DB{
 		raw:   opts.Store,
 		st:    store.NewVerifyingStore(opts.Store),
 		cfg:   opts.Chunking,
 		heads: opts.Branches,
 	}
+	if opts.NodeCacheBytes > 0 {
+		db.ncache = nodecache.New(opts.NodeCacheBytes)
+		db.st = store.WithNodeCache(db.st, db.ncache)
+	}
+	return db
 }
 
 // Store returns the verifying chunk store (reads are tamper-checked).
@@ -71,6 +84,13 @@ func (db *DB) RawStore() store.Store { return db.raw }
 
 // Chunking returns the chunker configuration.
 func (db *DB) Chunking() chunker.Config { return db.cfg }
+
+// NodeCache returns the decoded-node cache, or nil when disabled.
+func (db *DB) NodeCache() *nodecache.Cache { return db.ncache }
+
+// NodeCacheStats snapshots decoded-node cache effectiveness (zeros when the
+// cache is disabled — nodecache methods are nil-safe).
+func (db *DB) NodeCacheStats() nodecache.Stats { return db.ncache.Stats() }
 
 // Branches returns the branch table.
 func (db *DB) BranchTable() BranchTable { return db.heads }

@@ -40,6 +40,12 @@ var ErrNotCollectable = fmt.Errorf("core: store does not support garbage collect
 // of {branch heads} over FNode bases and POS-Tree child pointers.  Note that
 // ForkBase semantics keep *all history reachable from a head* alive —
 // history is only collected when the branches referencing it are deleted.
+//
+// Readers concurrent with GC that hold roots of *collected* objects may
+// observe ErrNotFound mid-traversal (as before this cache existed); they can
+// never permanently resurrect swept data through the decoded-node cache —
+// the cache purge below runs after each store delete, and the read path
+// revalidates cache inserts against the store (nodeSource.load).
 func (db *DB) GC() (GCStats, error) {
 	col, ok := collectable(db.raw)
 	if !ok {
@@ -63,6 +69,10 @@ func (db *DB) GC() (GCStats, error) {
 	}
 	var stats GCStats
 	stats.Live = len(live)
+	// Purge swept ids from whichever decoded-node cache the read path uses:
+	// db.ncache when core created it, or one the caller attached to the
+	// injected store.  Either way it is discoverable on db.st (nil-safe).
+	ncache := store.NodeCacheOf(db.st)
 	for _, id := range col.IDs() {
 		if live[id] {
 			continue
@@ -71,6 +81,7 @@ func (db *DB) GC() (GCStats, error) {
 			stats.SweptBytes += int64(c.Size())
 		}
 		col.Delete(id)
+		ncache.Remove(id)
 		stats.Swept++
 	}
 	return stats, nil
@@ -86,6 +97,8 @@ func collectable(st store.Store) (Collectable, bool) {
 		return collectable(s.Inner)
 	case *store.MaliciousStore:
 		return collectable(s.Inner)
+	case interface{ Unwrap() store.Store }:
+		return collectable(s.Unwrap())
 	default:
 		return nil, false
 	}

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"forkbase/internal/chunker"
+	"forkbase/internal/nodecache"
 	"forkbase/internal/pos"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
@@ -252,5 +254,108 @@ func TestAppendListAndSpliceBlob(t *testing.T) {
 	got, _ := bl.Bytes()
 	if string(got) != "hello kind world" {
 		t.Fatalf("spliced = %q", got)
+	}
+}
+
+// TestGCPurgesInjectedNodeCache covers the configuration where the caller
+// attaches the decoded-node cache to the store directly (rather than via
+// Options.NodeCacheBytes): GC must purge swept ids from that cache too, or
+// traversals could resurrect deleted chunks.
+func TestGCPurgesInjectedNodeCache(t *testing.T) {
+	cache := nodecache.New(16 << 20)
+	db := Open(Options{
+		Store:    store.WithNodeCache(store.NewMemStore(), cache),
+		Chunking: chunker.SmallConfig(),
+	})
+	v, err := db.Put("data", "", bigMapValue(t, db, 2000, "v1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache, then orphan everything.
+	tree, err := pos.LoadTree(db.Store(), db.Chunking(), v.Value.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Get([]byte("row-00000")); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache not populated")
+	}
+	if err := db.DeleteBranch("data", "master"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cache.Len(); n != 0 {
+		t.Fatalf("GC left %d swept nodes in the injected cache", n)
+	}
+	if _, err := tree.Get([]byte("row-00000")); err == nil {
+		t.Fatal("read of collected data succeeded via cache")
+	}
+}
+
+// TestGCConcurrentReadersCannotResurrect races traversals of an orphaned
+// tree against the GC sweep (under -race this also validates the locking).
+// Whatever interleaving occurs, the end state must be consistent: no swept
+// chunk may remain readable through the decoded-node cache.
+func TestGCConcurrentReadersCannotResurrect(t *testing.T) {
+	cache := nodecache.New(16 << 20)
+	mem := store.NewMemStore()
+	db := Open(Options{
+		Store:    store.WithNodeCache(mem, cache),
+		Chunking: chunker.SmallConfig(),
+	})
+	v, err := db.Put("data", "", bigMapValue(t, db, 3000, "v1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := pos.LoadTree(db.Store(), db.Chunking(), v.Value.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := tree.ChunkIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteBranch("data", "master"); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected once the sweep passes under us.
+				tree.Get([]byte(fmt.Sprintf("row-%05d", (g*977+i)%3000)))
+			}
+		}(g)
+	}
+	if _, err := db.GC(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, id := range ids {
+		has, err := mem.Has(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if has {
+			continue // still stored (nothing swept it) — cache residency fine
+		}
+		if _, ok := cache.Get(id); ok {
+			t.Fatalf("swept chunk %s resurrected in cache", id.Short())
+		}
 	}
 }

@@ -167,3 +167,35 @@ func TestUIDCoversValueAndHistory(t *testing.T) {
 		t.Fatal("same value, longer history, same uid — history not covered")
 	}
 }
+
+// TestNodeCacheCannotMaskTampering enables the decoded-node cache over a
+// malicious store and confirms the layering invariant: the cache sits above
+// chunk verification, so a forged chunk is rejected before it can ever be
+// cached, and repeated reads keep failing rather than "warming up" on
+// corrupt data.
+func TestNodeCacheCannotMaskTampering(t *testing.T) {
+	mal := store.NewMaliciousStore(store.NewMemStore())
+	db := Open(Options{Store: mal, Chunking: chunker.SmallConfig(), NodeCacheBytes: 16 << 20})
+	v, err := db.Put("data", "", bigMapValue(t, db, 2000, "v1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := v.Value.ChunkIDs(db.RawStore(), db.Chunking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict anything decoded during the build/put phase so the attacked
+	// chunk must be re-read through the verifying layer.
+	db.NodeCache().Purge()
+	for _, id := range ids {
+		if ok, err := mal.CorruptFlip(id, 7, 2); err != nil || !ok {
+			t.Fatalf("corrupt %s: %v", id.Short(), err)
+		}
+	}
+	if _, err := pos.LoadTree(db.Store(), db.Chunking(), v.Value.Root()); err == nil {
+		t.Fatal("loading a fully corrupted tree succeeded")
+	}
+	if st := db.NodeCacheStats(); st.Entries != 0 {
+		t.Fatalf("forged chunks entered the cache: %+v", st)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"forkbase/internal/chunker"
+	"forkbase/internal/nodecache"
 	"forkbase/internal/store"
 )
 
@@ -24,6 +25,35 @@ func benchTree(b *testing.B, n int) (*Tree, *store.MemStore) {
 		b.Fatal(err)
 	}
 	return tree, ms
+}
+
+// benchTreeCached is benchTree over a store with an attached decoded-node
+// cache, pre-warmed by one full traversal so steady-state hits dominate.
+func benchTreeCached(b *testing.B, n int) *Tree {
+	b.Helper()
+	ms := store.NewMemStore()
+	cs := store.WithNodeCache(ms, nodecache.New(256<<20))
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			Key: []byte(fmt.Sprintf("key-%010d", i)),
+			Val: []byte(fmt.Sprintf("value-%d", i)),
+		}
+	}
+	tree, err := BuildMap(cs, chunker.DefaultConfig(), entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	it, err := tree.Iter()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for it.Next() {
+	}
+	if err := it.Err(); err != nil {
+		b.Fatal(err)
+	}
+	return tree
 }
 
 func BenchmarkBuildMap(b *testing.B) {
@@ -72,6 +102,106 @@ func BenchmarkTreeInsert(b *testing.B) {
 				key := []byte(fmt.Sprintf("key-%010d", i%n))
 				if _, err := tree.Insert(key, []byte(fmt.Sprintf("upd-%d", i))); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTreeGetCached is the cached counterpart of BenchmarkTreeGet:
+// point lookups served from the decoded-node cache instead of re-fetching
+// and re-decoding whole leaves per Get.
+func BenchmarkTreeGetCached(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tree := benchTreeCached(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := []byte(fmt.Sprintf("key-%010d", i%n))
+				if _, err := tree.Get(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTreeGetParallel measures read scalability: all goroutines hammer
+// one tree.  With the exclusive store mutex of the seed this serialized;
+// with RLock + atomic stats (and optionally the cache) it must scale with
+// GOMAXPROCS.
+func BenchmarkTreeGetParallel(b *testing.B) {
+	const n = 100000
+	for _, cached := range []bool{false, true} {
+		name := "cache=off"
+		if cached {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tree *Tree
+			if cached {
+				tree = benchTreeCached(b, n)
+			} else {
+				tree, _ = benchTree(b, n)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					key := []byte(fmt.Sprintf("key-%010d", i%n))
+					if _, err := tree.Get(key); err != nil {
+						b.Error(err) // Fatal is not legal off the benchmark goroutine
+						return
+					}
+					i += 7919 // stride to spread goroutines over the key space
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTreeIterateCached is the cached counterpart of
+// BenchmarkTreeIterate (full scan).
+func BenchmarkTreeIterateCached(b *testing.B) {
+	tree := benchTreeCached(b, 100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := tree.Iter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		for it.Next() {
+			count++
+		}
+		if err := it.Err(); err != nil || count != 100000 {
+			b.Fatalf("count=%d err=%v", count, err)
+		}
+	}
+}
+
+// BenchmarkTreeDiffCached diffs two cached trees differing in D keys.
+func BenchmarkTreeDiffCached(b *testing.B) {
+	for _, d := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			tree := benchTreeCached(b, 100000)
+			ops := make([]Op, d)
+			for i := range ops {
+				ops[i] = Put([]byte(fmt.Sprintf("key-%010d", i*997)), []byte("changed"))
+			}
+			other, err := tree.Edit(ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				deltas, _, err := tree.Diff(other)
+				if err != nil || len(deltas) != d {
+					b.Fatalf("deltas=%d err=%v", len(deltas), err)
 				}
 			}
 		})

@@ -15,7 +15,7 @@ import (
 // chunk-level dedup between near-identical versions — the mechanism behind
 // the Fig 4 experiment.
 type Blob struct {
-	st   store.Store
+	src  nodeSource
 	cfg  chunker.Config
 	root hash.Hash
 	size uint64
@@ -23,32 +23,28 @@ type Blob struct {
 
 // NewEmptyBlob returns the empty blob.
 func NewEmptyBlob(st store.Store, cfg chunker.Config) *Blob {
-	return &Blob{st: st, cfg: cfg}
+	return &Blob{src: sourceFor(st), cfg: cfg}
 }
 
 // LoadBlob attaches to an existing blob by root hash.
 func LoadBlob(st store.Store, cfg chunker.Config, root hash.Hash) (*Blob, error) {
-	b := &Blob{st: st, cfg: cfg, root: root}
+	b := &Blob{src: sourceFor(st), cfg: cfg, root: root}
 	if root.IsZero() {
 		return b, nil
 	}
-	c, err := st.Get(root)
+	n, err := b.src.load(root)
 	if err != nil {
 		return nil, fmt.Errorf("pos: loading blob root: %w", err)
 	}
-	switch c.Type() {
+	switch n.typ {
 	case chunk.TypeBlobLeaf:
-		b.size = uint64(len(c.Data()))
+		b.size = uint64(len(n.blob))
 	case chunk.TypeSeqIndex:
-		_, refs, err := decodeSeqIndex(c.Data())
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range refs {
+		for _, r := range n.refs {
 			b.size += r.count
 		}
 	default:
-		return nil, fmt.Errorf("pos: blob root %s is a %s", root.Short(), c.Type())
+		return nil, fmt.Errorf("pos: blob root %s is a %s", root.Short(), n.typ)
 	}
 	return b, nil
 }
@@ -121,7 +117,7 @@ func BuildBlob(st store.Store, cfg chunker.Config, data []byte) (*Blob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Blob{st: st, cfg: cfg, root: root.id, size: root.count}, nil
+	return &Blob{src: sourceFor(st), cfg: cfg, root: root.id, size: root.count}, nil
 }
 
 // Root returns the root hash.
@@ -138,27 +134,23 @@ func (b *Blob) Bytes() ([]byte, error) {
 	}
 	var walk func(id hash.Hash) error
 	walk = func(id hash.Hash) error {
-		c, err := b.st.Get(id)
+		n, err := b.src.load(id)
 		if err != nil {
 			return err
 		}
-		switch c.Type() {
+		switch n.typ {
 		case chunk.TypeBlobLeaf:
-			out = append(out, c.Data()...)
+			out = append(out, n.blob...)
 			return nil
 		case chunk.TypeSeqIndex:
-			_, refs, err := decodeSeqIndex(c.Data())
-			if err != nil {
-				return err
-			}
-			for _, r := range refs {
+			for _, r := range n.refs {
 				if err := walk(r.id); err != nil {
 					return err
 				}
 			}
 			return nil
 		default:
-			return fmt.Errorf("pos: unexpected chunk %s in blob", c.Type())
+			return fmt.Errorf("pos: unexpected chunk %s in blob", n.typ)
 		}
 	}
 	if err := walk(b.root); err != nil {
@@ -179,23 +171,19 @@ func (b *Blob) ReadAt(p []byte, off uint64) (int, error) {
 		if n >= len(p) {
 			return nil
 		}
-		c, err := b.st.Get(id)
+		nd, err := b.src.load(id)
 		if err != nil {
 			return err
 		}
-		switch c.Type() {
+		switch nd.typ {
 		case chunk.TypeBlobLeaf:
-			data := c.Data()
+			data := nd.blob
 			if skip < uint64(len(data)) {
 				n += copy(p[n:], data[skip:])
 			}
 			return nil
 		case chunk.TypeSeqIndex:
-			_, refs, err := decodeSeqIndex(c.Data())
-			if err != nil {
-				return err
-			}
-			for _, r := range refs {
+			for _, r := range nd.refs {
 				if skip >= r.count {
 					skip -= r.count
 					continue
@@ -210,7 +198,7 @@ func (b *Blob) ReadAt(p []byte, off uint64) (int, error) {
 			}
 			return nil
 		default:
-			return fmt.Errorf("pos: unexpected chunk %s in blob", c.Type())
+			return fmt.Errorf("pos: unexpected chunk %s in blob", nd.typ)
 		}
 	}
 	if err := walk(b.root, off); err != nil {
@@ -221,7 +209,7 @@ func (b *Blob) ReadAt(p []byte, off uint64) (int, error) {
 
 // blobLevels materialises the blob's levels (leaves carry byte counts).
 func (b *Blob) blobLevels() ([]levelInfo, error) {
-	s := &Seq{st: b.st, cfg: b.cfg, root: b.root, count: b.size}
+	s := &Seq{src: b.src, cfg: b.cfg, root: b.root, count: b.size}
 	return s.seqLevels()
 }
 
@@ -238,7 +226,7 @@ func (b *Blob) Splice(at, del uint64, ins []byte) (*Blob, error) {
 		return b, nil
 	}
 	if b.root.IsZero() {
-		return BuildBlob(b.st, b.cfg, ins)
+		return BuildBlob(b.src.st, b.cfg, ins)
 	}
 
 	levels, err := b.blobLevels()
@@ -254,7 +242,7 @@ func (b *Blob) Splice(at, del uint64, ins []byte) (*Blob, error) {
 		lo++
 	}
 
-	bb := newBlobBuilder(b.st, b.cfg)
+	bb := newBlobBuilder(b.src.st, b.cfg)
 	oldLeaf := lo
 	var oldData []byte
 	oldPos := 0
@@ -266,11 +254,14 @@ func (b *Blob) Splice(at, del uint64, ins []byte) (*Blob, error) {
 				return 0, false, nil
 			}
 			if !loaded {
-				c, err := b.st.Get(leafRefs[oldLeaf].id)
+				n, err := b.src.load(leafRefs[oldLeaf].id)
 				if err != nil {
 					return 0, false, err
 				}
-				oldData = c.Data()
+				if n.typ != chunk.TypeBlobLeaf {
+					return 0, false, fmt.Errorf("pos: expected blob leaf, got %s", n.typ)
+				}
+				oldData = n.blob
 				loaded = true
 				oldPos = 0
 			}
@@ -338,24 +329,24 @@ done:
 		level := levels[h]
 		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
 		if total == 0 {
-			return &Blob{st: b.st, cfg: b.cfg}, nil
+			return &Blob{src: b.src, cfg: b.cfg}, nil
 		}
 		if total == 1 {
 			root := singleSurvivor(level.refs, cur)
-			return &Blob{st: b.st, cfg: b.cfg, root: root.id, size: newSize}, nil
+			return &Blob{src: b.src, cfg: b.cfg, root: root.id, size: newSize}, nil
 		}
 		if h == len(levels)-1 {
 			full := make([]childRef, 0, total)
 			full = append(full, level.refs[:cur.lo]...)
 			full = append(full, cur.refs...)
 			full = append(full, level.refs[cur.hi:]...)
-			root, err := buildLevels(b.st, b.cfg, full, uint8(h+1), false)
+			root, err := buildLevels(b.src.st, b.cfg, full, uint8(h+1), false)
 			if err != nil {
 				return nil, err
 			}
-			return &Blob{st: b.st, cfg: b.cfg, root: root.id, size: newSize}, nil
+			return &Blob{src: b.src, cfg: b.cfg, root: root.id, size: newSize}, nil
 		}
-		cur, err = seqSpliceLevel(b.st, b.cfg, levels[h+1], level.refs, cur, uint8(h+1))
+		cur, err = seqSpliceLevel(b.src.st, b.cfg, levels[h+1], level.refs, cur, uint8(h+1))
 		if err != nil {
 			return nil, err
 		}
@@ -364,6 +355,6 @@ done:
 
 // ChunkIDs returns every chunk reachable from the blob root.
 func (b *Blob) ChunkIDs() ([]hash.Hash, error) {
-	s := &Seq{st: b.st, cfg: b.cfg, root: b.root, count: b.size}
+	s := &Seq{src: b.src, cfg: b.cfg, root: b.root, count: b.size}
 	return s.ChunkIDs()
 }

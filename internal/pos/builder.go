@@ -167,7 +167,7 @@ func BuildMap(st store.Store, cfg chunker.Config, entries []Entry) (*Tree, error
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{st: st, cfg: cfg, root: root.id, count: root.count}, nil
+	return &Tree{src: sourceFor(st), cfg: cfg, root: root.id, count: root.count}, nil
 }
 
 // normalizeEntries sorts entries by key, keeping the last occurrence of

@@ -88,35 +88,20 @@ type differ struct {
 	stats    DiffStats
 }
 
-// loadSpanLevel loads the nodes of refs and reports their common level; it
-// also returns, per node, either entries (level 0) or child refs (level ≥1).
-type loadedNode struct {
-	level   uint8
-	entries []Entry
-	refs    []childRef
-}
-
-func (d *differ) load(st *Tree, id hash.Hash) (loadedNode, error) {
-	c, err := st.st.Get(id)
+// load fetches one decoded node through the tree's node source (cache hits
+// included in TouchedChunks: the count is "nodes visited", the O(D·log N)
+// quantity, regardless of where the bytes came from).
+func (d *differ) load(t *Tree, id hash.Hash) (*node, error) {
+	n, err := t.src.load(id)
 	if err != nil {
-		return loadedNode{}, fmt.Errorf("pos: diff: %w", err)
+		return nil, fmt.Errorf("pos: diff: %w", err)
 	}
 	d.stats.TouchedChunks++
-	switch c.Type() {
-	case chunk.TypeMapLeaf:
-		es, err := decodeMapLeaf(c.Data())
-		if err != nil {
-			return loadedNode{}, err
-		}
-		return loadedNode{level: 0, entries: es}, nil
-	case chunk.TypeMapIndex:
-		lvl, refs, err := decodeMapIndex(c.Data())
-		if err != nil {
-			return loadedNode{}, err
-		}
-		return loadedNode{level: lvl, refs: refs}, nil
+	switch n.typ {
+	case chunk.TypeMapLeaf, chunk.TypeMapIndex:
+		return n, nil
 	default:
-		return loadedNode{}, fmt.Errorf("pos: diff: unexpected chunk %s", c.Type())
+		return nil, fmt.Errorf("pos: diff: unexpected chunk %s", n.typ)
 	}
 }
 
@@ -125,15 +110,11 @@ func (d *differ) spanLevel(t *Tree, refs []childRef) (uint8, error) {
 	if len(refs) == 0 {
 		return 0, nil
 	}
-	c, err := t.st.Get(refs[0].id)
+	n, err := t.src.load(refs[0].id)
 	if err != nil {
 		return 0, fmt.Errorf("pos: diff: %w", err)
 	}
-	lvl, err := nodeLevel(c)
-	if err != nil {
-		return 0, err
-	}
-	return lvl, nil
+	return n.level, nil
 }
 
 // expand replaces a span of index refs by the concatenation of their

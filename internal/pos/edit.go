@@ -50,12 +50,12 @@ type levelInfo struct {
 // materializeLevels reads every index node (but no leaves) and returns the
 // levels bottom-up: levels[0] are leaf refs, levels[len-1] is the root.
 func (t *Tree) materializeLevels() ([]levelInfo, error) {
-	rootChunk, err := t.st.Get(t.root)
+	rootNode, err := t.src.load(t.root)
 	if err != nil {
 		return nil, fmt.Errorf("pos: edit: %w", err)
 	}
-	if rootChunk.Type() == chunk.TypeMapLeaf {
-		return []levelInfo{{refs: []childRef{{id: t.root, count: t.count, splitKey: lastLeafKey(rootChunk)}}}}, nil
+	if rootNode.typ == chunk.TypeMapLeaf {
+		return []levelInfo{{refs: []childRef{{id: t.root, count: t.count, splitKey: lastLeafKey(rootNode)}}}}, nil
 	}
 	// Walk top-down accumulating levels, then reverse.
 	var topDown []levelInfo
@@ -67,21 +67,17 @@ func (t *Tree) materializeLevels() ([]levelInfo, error) {
 		leaf := false
 		for i, r := range cur {
 			starts[i] = len(lower)
-			c, err := t.st.Get(r.id)
+			n, err := t.src.load(r.id)
 			if err != nil {
 				return nil, fmt.Errorf("pos: edit: %w", err)
 			}
-			switch c.Type() {
+			switch n.typ {
 			case chunk.TypeMapIndex:
-				_, refs, err := decodeMapIndex(c.Data())
-				if err != nil {
-					return nil, err
-				}
-				lower = append(lower, refs...)
+				lower = append(lower, n.refs...)
 			case chunk.TypeMapLeaf:
 				leaf = true
 			default:
-				return nil, fmt.Errorf("pos: unexpected chunk type %s", c.Type())
+				return nil, fmt.Errorf("pos: unexpected chunk type %s", n.typ)
 			}
 		}
 		if leaf {
@@ -98,12 +94,11 @@ func (t *Tree) materializeLevels() ([]levelInfo, error) {
 	return levels, nil
 }
 
-func lastLeafKey(c *chunk.Chunk) []byte {
-	entries, err := decodeMapLeaf(c.Data())
-	if err != nil || len(entries) == 0 {
+func lastLeafKey(n *node) []byte {
+	if len(n.entries) == 0 {
 		return nil
 	}
-	return entries[len(entries)-1].Key
+	return n.entries[len(n.entries)-1].Key
 }
 
 // Edit applies a batch of mutations and returns the resulting tree.
@@ -126,7 +121,7 @@ func (t *Tree) Edit(ops []Op) (*Tree, error) {
 				entries = append(entries, Entry{Key: o.Key, Val: o.Val})
 			}
 		}
-		return BuildMap(t.st, t.cfg, entries)
+		return BuildMap(t.src.st, t.cfg, entries)
 	}
 
 	levels, err := t.materializeLevels()
@@ -163,11 +158,11 @@ func (t *Tree) Edit(ops []Op) (*Tree, error) {
 		level := levels[h]
 		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
 		if total == 0 {
-			return &Tree{st: t.st, cfg: t.cfg}, nil // tree emptied
+			return &Tree{src: t.src, cfg: t.cfg}, nil // tree emptied
 		}
 		if total == 1 {
 			root := singleSurvivor(level.refs, cur)
-			return &Tree{st: t.st, cfg: t.cfg, root: root.id, count: newCount}, nil
+			return &Tree{src: t.src, cfg: t.cfg, root: root.id, count: newCount}, nil
 		}
 		if h == len(levels)-1 {
 			// Top existing level still has multiple nodes: stack fresh
@@ -176,11 +171,11 @@ func (t *Tree) Edit(ops []Op) (*Tree, error) {
 			full = append(full, level.refs[:cur.lo]...)
 			full = append(full, cur.refs...)
 			full = append(full, level.refs[cur.hi:]...)
-			root, err := buildLevels(t.st, t.cfg, full, uint8(h+1), true)
+			root, err := buildLevels(t.src.st, t.cfg, full, uint8(h+1), true)
 			if err != nil {
 				return nil, err
 			}
-			return &Tree{st: t.st, cfg: t.cfg, root: root.id, count: newCount}, nil
+			return &Tree{src: t.src, cfg: t.cfg, root: root.id, count: newCount}, nil
 		}
 		cur, err = t.spliceLevel(levels[h+1], level.refs, cur, uint8(h+1))
 		if err != nil {
@@ -217,7 +212,7 @@ func (t *Tree) editLeaves(leafRefs []childRef, ops []Op) (lo, hi int, out []chil
 		lo = len(leafRefs) - 1
 	}
 
-	lb := newLevelBuilder(t.st, t.cfg, 0, true)
+	lb := newLevelBuilder(t.src.st, t.cfg, 0, true)
 	oldLeaf := lo
 	var oldEntries []Entry
 	oldPos := 0
@@ -231,7 +226,7 @@ func (t *Tree) editLeaves(leafRefs []childRef, ops []Op) (lo, hi int, out []chil
 				return Entry{}, false, nil
 			}
 			if !loaded {
-				oldEntries, err = t.loadLeafEntries(leafRefs[oldLeaf].id)
+				oldEntries, err = t.src.loadMapLeaf(leafRefs[oldLeaf].id)
 				if err != nil {
 					return Entry{}, false, err
 				}
@@ -326,7 +321,7 @@ func (t *Tree) spliceLevel(level levelInfo, lowerOld []childRef, s splice, level
 		a = 0
 	}
 
-	lb := newLevelBuilder(t.st, t.cfg, levelNo, true)
+	lb := newLevelBuilder(t.src.st, t.cfg, levelNo, true)
 	var enc []byte
 	feed := func(r childRef) error {
 		enc = enc[:0]
@@ -397,7 +392,7 @@ func (t *Tree) EditRebuild(ops []Op) (*Tree, error) {
 	if len(ops) == 0 {
 		return t, nil
 	}
-	lb := newLevelBuilder(t.st, t.cfg, 0, true)
+	lb := newLevelBuilder(t.src.st, t.cfg, 0, true)
 	var enc []byte
 	feed := func(e Entry) error {
 		enc = enc[:0]
@@ -459,11 +454,11 @@ func (t *Tree) EditRebuild(ops []Op) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	root, err := buildLevels(t.st, t.cfg, leaves, 1, true)
+	root, err := buildLevels(t.src.st, t.cfg, leaves, 1, true)
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{st: t.st, cfg: t.cfg, root: root.id, count: root.count}, nil
+	return &Tree{src: t.src, cfg: t.cfg, root: root.id, count: root.count}, nil
 }
 
 // Insert is a convenience single-key put.

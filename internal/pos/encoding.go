@@ -99,6 +99,20 @@ func encodeNodePayload(level uint8, n int, entries []byte) []byte {
 
 func errTrunc(what string) error { return fmt.Errorf("pos: truncated %s payload", what) }
 
+// capHint bounds a decoder's preallocation by what the remaining payload
+// could possibly hold (minSize bytes per element), so a corrupt or hostile
+// count cannot force a huge allocation before per-element validation
+// rejects it.
+func capHint(n uint64, avail, minSize int) int {
+	if minSize < 1 {
+		minSize = 1
+	}
+	if max := uint64(avail/minSize) + 1; n > max {
+		n = max
+	}
+	return int(n)
+}
+
 // decodeMapLeaf parses a TypeMapLeaf payload.
 func decodeMapLeaf(data []byte) ([]Entry, error) {
 	if len(data) < 1 {
@@ -113,7 +127,7 @@ func decodeMapLeaf(data []byte) ([]Entry, error) {
 		return nil, errTrunc("map leaf")
 	}
 	p = p[sz:]
-	entries := make([]Entry, 0, n)
+	entries := make([]Entry, 0, capHint(n, len(p), 2))
 	for i := uint64(0); i < n; i++ {
 		kl, sz := binary.Uvarint(p)
 		if sz <= 0 || uint64(len(p[sz:])) < kl {
@@ -153,7 +167,7 @@ func decodeMapIndex(data []byte) (uint8, []childRef, error) {
 		return 0, nil, errTrunc("map index")
 	}
 	p = p[sz:]
-	refs := make([]childRef, 0, n)
+	refs := make([]childRef, 0, capHint(n, len(p), hash.Size+2))
 	for i := uint64(0); i < n; i++ {
 		kl, sz := binary.Uvarint(p)
 		if sz <= 0 || uint64(len(p[sz:])) < kl {
@@ -195,7 +209,7 @@ func decodeSeqLeaf(data []byte) ([][]byte, error) {
 		return nil, errTrunc("seq leaf")
 	}
 	p = p[sz:]
-	items := make([][]byte, 0, n)
+	items := make([][]byte, 0, capHint(n, len(p), 1))
 	for i := uint64(0); i < n; i++ {
 		il, sz := binary.Uvarint(p)
 		if sz <= 0 || uint64(len(p[sz:])) < il {
@@ -226,7 +240,7 @@ func decodeSeqIndex(data []byte) (uint8, []childRef, error) {
 		return 0, nil, errTrunc("seq index")
 	}
 	p = p[sz:]
-	refs := make([]childRef, 0, n)
+	refs := make([]childRef, 0, capHint(n, len(p), hash.Size+1))
 	for i := uint64(0); i < n; i++ {
 		if len(p) < hash.Size {
 			return 0, nil, errTrunc("seq index child hash")
@@ -245,14 +259,6 @@ func decodeSeqIndex(data []byte) (uint8, []childRef, error) {
 		return 0, nil, fmt.Errorf("pos: %d trailing bytes in seq index", len(p))
 	}
 	return level, refs, nil
-}
-
-// nodeLevel extracts the level byte from any POS-Tree node chunk.
-func nodeLevel(c *chunk.Chunk) (uint8, error) {
-	if len(c.Data()) < 1 {
-		return 0, errTrunc("node")
-	}
-	return c.Data()[0], nil
 }
 
 // IndexChildren returns the child hashes of a POS-Tree index node chunk, or

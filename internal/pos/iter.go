@@ -54,15 +54,12 @@ func (t *Tree) IterFrom(key []byte) (*Iter, error) {
 	}
 	id := t.root
 	for {
-		c, err := t.st.Get(id)
+		n, err := t.src.load(id)
 		if err != nil {
 			return nil, fmt.Errorf("pos: iter: %w", err)
 		}
-		if c.Type() == chunk.TypeMapLeaf {
-			entries, err := decodeMapLeaf(c.Data())
-			if err != nil {
-				return nil, err
-			}
+		if n.typ == chunk.TypeMapLeaf {
+			entries := n.entries
 			it.entries = entries
 			i := sort.Search(len(entries), func(i int) bool {
 				return bytes.Compare(entries[i].Key, key) >= 0
@@ -74,10 +71,10 @@ func (t *Tree) IterFrom(key []byte) (*Iter, error) {
 			}
 			return it, nil
 		}
-		_, refs, err := decodeMapIndex(c.Data())
-		if err != nil {
-			return nil, err
+		if n.typ != chunk.TypeMapIndex {
+			return nil, fmt.Errorf("pos: unexpected chunk type %s in map tree", n.typ)
 		}
+		refs := n.refs
 		i := sort.Search(len(refs), func(i int) bool {
 			return bytes.Compare(refs[i].splitKey, key) >= 0
 		})
@@ -92,23 +89,19 @@ func (t *Tree) IterFrom(key []byte) (*Iter, error) {
 // descend loads the leftmost leaf under id, pushing index frames.
 func (it *Iter) descend(id hash.Hash) error {
 	for {
-		c, err := it.t.st.Get(id)
+		n, err := it.t.src.load(id)
 		if err != nil {
 			return fmt.Errorf("pos: iter: %w", err)
 		}
-		if c.Type() == chunk.TypeMapLeaf {
-			entries, err := decodeMapLeaf(c.Data())
-			if err != nil {
-				return err
-			}
-			it.entries = entries
+		if n.typ == chunk.TypeMapLeaf {
+			it.entries = n.entries
 			it.pos = -1
 			return nil
 		}
-		_, refs, err := decodeMapIndex(c.Data())
-		if err != nil {
-			return err
+		if n.typ != chunk.TypeMapIndex {
+			return fmt.Errorf("pos: unexpected chunk type %s in map tree", n.typ)
 		}
+		refs := n.refs
 		if len(refs) == 0 {
 			return fmt.Errorf("pos: empty index node %s", id.Short())
 		}

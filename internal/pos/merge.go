@@ -129,12 +129,12 @@ func Merge3(base, a, b *Tree, resolve Resolver) (*Tree, MergeStats, error) {
 	// Snapshot which chunks exist before the merge-phase edit, so new
 	// chunks can be attributed (for the Fig 3 reuse accounting we instead
 	// query the store's unique-count delta, which is cheap and exact).
-	before := a.st.Stats()
+	before := a.src.st.Stats()
 	merged, err := a.Edit(ops)
 	if err != nil {
 		return nil, stats, err
 	}
-	after := a.st.Stats()
+	after := a.src.st.Stats()
 	stats.NewChunks = int(after.UniqueChunks - before.UniqueChunks)
 	ids, err := merged.ChunkIDs()
 	if err != nil {

@@ -10,34 +10,27 @@ import (
 
 // At returns the entry at rank i (0-based, in key order).  Because index
 // entries carry sub-tree entry counts, selection is O(log N) — one path
-// from root to leaf — rather than an O(i) scan.
+// from root to leaf — rather than an O(i) scan.  The returned entry aliases
+// shared decoded node data; callers must not modify it.
 func (t *Tree) At(i uint64) (Entry, error) {
 	if i >= t.count {
 		return Entry{}, ErrOutOfRange
 	}
 	id := t.root
 	for {
-		c, err := t.st.Get(id)
+		n, err := t.src.load(id)
 		if err != nil {
 			return Entry{}, fmt.Errorf("pos: at: %w", err)
 		}
-		switch c.Type() {
+		switch n.typ {
 		case chunk.TypeMapLeaf:
-			entries, err := decodeMapLeaf(c.Data())
-			if err != nil {
-				return Entry{}, err
-			}
-			if i >= uint64(len(entries)) {
+			if i >= uint64(len(n.entries)) {
 				return Entry{}, ErrOutOfRange
 			}
-			return entries[i], nil
+			return n.entries[i], nil
 		case chunk.TypeMapIndex:
-			_, refs, err := decodeMapIndex(c.Data())
-			if err != nil {
-				return Entry{}, err
-			}
 			found := false
-			for _, r := range refs {
+			for _, r := range n.refs {
 				if i < r.count {
 					id = r.id
 					found = true
@@ -49,7 +42,7 @@ func (t *Tree) At(i uint64) (Entry, error) {
 				return Entry{}, ErrOutOfRange
 			}
 		default:
-			return Entry{}, fmt.Errorf("pos: unexpected chunk %s in map tree", c.Type())
+			return Entry{}, fmt.Errorf("pos: unexpected chunk %s in map tree", n.typ)
 		}
 	}
 }
@@ -65,25 +58,19 @@ func (t *Tree) Rank(key []byte) (uint64, error) {
 	var rank uint64
 	id := t.root
 	for {
-		c, err := t.st.Get(id)
+		n, err := t.src.load(id)
 		if err != nil {
 			return 0, fmt.Errorf("pos: rank: %w", err)
 		}
-		switch c.Type() {
+		switch n.typ {
 		case chunk.TypeMapLeaf:
-			entries, err := decodeMapLeaf(c.Data())
-			if err != nil {
-				return 0, err
-			}
+			entries := n.entries
 			i := sort.Search(len(entries), func(i int) bool {
 				return bytes.Compare(entries[i].Key, key) >= 0
 			})
 			return rank + uint64(i), nil
 		case chunk.TypeMapIndex:
-			_, refs, err := decodeMapIndex(c.Data())
-			if err != nil {
-				return 0, err
-			}
+			refs := n.refs
 			i := sort.Search(len(refs), func(i int) bool {
 				return bytes.Compare(refs[i].splitKey, key) >= 0
 			})
@@ -95,7 +82,7 @@ func (t *Tree) Rank(key []byte) (uint64, error) {
 			}
 			id = refs[i].id
 		default:
-			return 0, fmt.Errorf("pos: unexpected chunk %s in map tree", c.Type())
+			return 0, fmt.Errorf("pos: unexpected chunk %s in map tree", n.typ)
 		}
 	}
 }

@@ -16,7 +16,7 @@ import (
 // instead of split keys; everything else (pattern-split boundaries, Merkle
 // hashing, structural invariance) matches the map variant.
 type Seq struct {
-	st    store.Store
+	src   nodeSource
 	cfg   chunker.Config
 	root  hash.Hash
 	count uint64
@@ -27,36 +27,28 @@ var ErrOutOfRange = errors.New("pos: position out of range")
 
 // NewEmptySeq returns the empty sequence.
 func NewEmptySeq(st store.Store, cfg chunker.Config) *Seq {
-	return &Seq{st: st, cfg: cfg}
+	return &Seq{src: sourceFor(st), cfg: cfg}
 }
 
 // LoadSeq attaches to an existing sequence by root hash.
 func LoadSeq(st store.Store, cfg chunker.Config, root hash.Hash) (*Seq, error) {
-	s := &Seq{st: st, cfg: cfg, root: root}
+	s := &Seq{src: sourceFor(st), cfg: cfg, root: root}
 	if root.IsZero() {
 		return s, nil
 	}
-	c, err := st.Get(root)
+	n, err := s.src.load(root)
 	if err != nil {
 		return nil, fmt.Errorf("pos: loading seq root: %w", err)
 	}
-	switch c.Type() {
+	switch n.typ {
 	case chunk.TypeSeqLeaf:
-		items, err := decodeSeqLeaf(c.Data())
-		if err != nil {
-			return nil, err
-		}
-		s.count = uint64(len(items))
+		s.count = uint64(len(n.items))
 	case chunk.TypeSeqIndex:
-		_, refs, err := decodeSeqIndex(c.Data())
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range refs {
+		for _, r := range n.refs {
 			s.count += r.count
 		}
 	default:
-		return nil, fmt.Errorf("pos: seq root %s is a %s", root.Short(), c.Type())
+		return nil, fmt.Errorf("pos: seq root %s is a %s", root.Short(), n.typ)
 	}
 	return s, nil
 }
@@ -80,7 +72,7 @@ func BuildSeq(st store.Store, cfg chunker.Config, items [][]byte) (*Seq, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Seq{st: st, cfg: cfg, root: root.id, count: root.count}, nil
+	return &Seq{src: sourceFor(st), cfg: cfg, root: root.id, count: root.count}, nil
 }
 
 // Root returns the root hash (zero for empty).
@@ -89,34 +81,27 @@ func (s *Seq) Root() hash.Hash { return s.root }
 // Len returns the number of items.
 func (s *Seq) Len() uint64 { return s.count }
 
-// Get returns item i.
+// Get returns item i.  The returned slice aliases shared decoded node data;
+// callers must not modify it.
 func (s *Seq) Get(i uint64) ([]byte, error) {
 	if i >= s.count {
 		return nil, ErrOutOfRange
 	}
 	id := s.root
 	for {
-		c, err := s.st.Get(id)
+		n, err := s.src.load(id)
 		if err != nil {
 			return nil, fmt.Errorf("pos: seq get: %w", err)
 		}
-		switch c.Type() {
+		switch n.typ {
 		case chunk.TypeSeqLeaf:
-			items, err := decodeSeqLeaf(c.Data())
-			if err != nil {
-				return nil, err
-			}
-			if i >= uint64(len(items)) {
+			if i >= uint64(len(n.items)) {
 				return nil, ErrOutOfRange
 			}
-			return items[i], nil
+			return n.items[i], nil
 		case chunk.TypeSeqIndex:
-			_, refs, err := decodeSeqIndex(c.Data())
-			if err != nil {
-				return nil, err
-			}
 			found := false
-			for _, r := range refs {
+			for _, r := range n.refs {
 				if i < r.count {
 					id = r.id
 					found = true
@@ -128,7 +113,7 @@ func (s *Seq) Get(i uint64) ([]byte, error) {
 				return nil, ErrOutOfRange
 			}
 		default:
-			return nil, fmt.Errorf("pos: unexpected chunk %s in seq", c.Type())
+			return nil, fmt.Errorf("pos: unexpected chunk %s in seq", n.typ)
 		}
 	}
 }
@@ -150,31 +135,23 @@ func (s *Seq) walkLeaves(fn func(items [][]byte)) error {
 	}
 	var walk func(id hash.Hash) error
 	walk = func(id hash.Hash) error {
-		c, err := s.st.Get(id)
+		n, err := s.src.load(id)
 		if err != nil {
 			return err
 		}
-		switch c.Type() {
+		switch n.typ {
 		case chunk.TypeSeqLeaf:
-			items, err := decodeSeqLeaf(c.Data())
-			if err != nil {
-				return err
-			}
-			fn(items)
+			fn(n.items)
 			return nil
 		case chunk.TypeSeqIndex:
-			_, refs, err := decodeSeqIndex(c.Data())
-			if err != nil {
-				return err
-			}
-			for _, r := range refs {
+			for _, r := range n.refs {
 				if err := walk(r.id); err != nil {
 					return err
 				}
 			}
 			return nil
 		default:
-			return fmt.Errorf("pos: unexpected chunk %s in seq", c.Type())
+			return fmt.Errorf("pos: unexpected chunk %s in seq", n.typ)
 		}
 	}
 	return walk(s.root)
@@ -183,11 +160,11 @@ func (s *Seq) walkLeaves(fn func(items [][]byte)) error {
 // seqLevels materialises index levels bottom-up (like materializeLevels but
 // count-routed).
 func (s *Seq) seqLevels() ([]levelInfo, error) {
-	rootChunk, err := s.st.Get(s.root)
+	rootNode, err := s.src.load(s.root)
 	if err != nil {
 		return nil, fmt.Errorf("pos: seq: %w", err)
 	}
-	if rootChunk.Type() == chunk.TypeSeqLeaf {
+	if rootNode.typ == chunk.TypeSeqLeaf {
 		return []levelInfo{{refs: []childRef{{id: s.root, count: s.count}}}}, nil
 	}
 	var topDown []levelInfo
@@ -199,21 +176,17 @@ func (s *Seq) seqLevels() ([]levelInfo, error) {
 		leaf := false
 		for i, r := range cur {
 			starts[i] = len(lower)
-			c, err := s.st.Get(r.id)
+			n, err := s.src.load(r.id)
 			if err != nil {
 				return nil, err
 			}
-			switch c.Type() {
+			switch n.typ {
 			case chunk.TypeSeqIndex:
-				_, refs, err := decodeSeqIndex(c.Data())
-				if err != nil {
-					return nil, err
-				}
-				lower = append(lower, refs...)
+				lower = append(lower, n.refs...)
 			case chunk.TypeSeqLeaf, chunk.TypeBlobLeaf:
 				leaf = true
 			default:
-				return nil, fmt.Errorf("pos: unexpected chunk %s", c.Type())
+				return nil, fmt.Errorf("pos: unexpected chunk %s", n.typ)
 			}
 		}
 		if leaf {
@@ -244,7 +217,7 @@ func (s *Seq) Splice(at, del uint64, ins [][]byte) (*Seq, error) {
 		return s, nil
 	}
 	if s.root.IsZero() {
-		return BuildSeq(s.st, s.cfg, ins)
+		return BuildSeq(s.src.st, s.cfg, ins)
 	}
 
 	levels, err := s.seqLevels()
@@ -261,7 +234,7 @@ func (s *Seq) Splice(at, del uint64, ins [][]byte) (*Seq, error) {
 		lo++
 	}
 
-	lb := newLevelBuilder(s.st, s.cfg, 0, false)
+	lb := newLevelBuilder(s.src.st, s.cfg, 0, false)
 	var enc []byte
 	feed := func(item []byte) error {
 		enc = enc[:0]
@@ -280,14 +253,14 @@ func (s *Seq) Splice(at, del uint64, ins [][]byte) (*Seq, error) {
 				return nil, false, nil
 			}
 			if !loaded {
-				c, err := s.st.Get(leafRefs[oldLeaf].id)
+				n, err := s.src.load(leafRefs[oldLeaf].id)
 				if err != nil {
 					return nil, false, err
 				}
-				oldItems, err = decodeSeqLeaf(c.Data())
-				if err != nil {
-					return nil, false, err
+				if n.typ != chunk.TypeSeqLeaf {
+					return nil, false, fmt.Errorf("pos: expected seq leaf, got %s", n.typ)
 				}
+				oldItems = n.items
 				loaded = true
 				oldPos = 0
 			}
@@ -358,24 +331,24 @@ done:
 		level := levels[h]
 		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
 		if total == 0 {
-			return &Seq{st: s.st, cfg: s.cfg}, nil
+			return &Seq{src: s.src, cfg: s.cfg}, nil
 		}
 		if total == 1 {
 			root := singleSurvivor(level.refs, cur)
-			return &Seq{st: s.st, cfg: s.cfg, root: root.id, count: newCount}, nil
+			return &Seq{src: s.src, cfg: s.cfg, root: root.id, count: newCount}, nil
 		}
 		if h == len(levels)-1 {
 			full := make([]childRef, 0, total)
 			full = append(full, level.refs[:cur.lo]...)
 			full = append(full, cur.refs...)
 			full = append(full, level.refs[cur.hi:]...)
-			root, err := buildLevels(s.st, s.cfg, full, uint8(h+1), false)
+			root, err := buildLevels(s.src.st, s.cfg, full, uint8(h+1), false)
 			if err != nil {
 				return nil, err
 			}
-			return &Seq{st: s.st, cfg: s.cfg, root: root.id, count: newCount}, nil
+			return &Seq{src: s.src, cfg: s.cfg, root: root.id, count: newCount}, nil
 		}
-		cur, err = seqSpliceLevel(s.st, s.cfg, levels[h+1], level.refs, cur, uint8(h+1))
+		cur, err = seqSpliceLevel(s.src.st, s.cfg, levels[h+1], level.refs, cur, uint8(h+1))
 		if err != nil {
 			return nil, err
 		}
@@ -461,18 +434,14 @@ func (s *Seq) ChunkIDs() ([]hash.Hash, error) {
 	var walk func(id hash.Hash) error
 	walk = func(id hash.Hash) error {
 		out = append(out, id)
-		c, err := s.st.Get(id)
+		n, err := s.src.load(id)
 		if err != nil {
 			return err
 		}
-		if c.Type() != chunk.TypeSeqIndex {
+		if n.typ != chunk.TypeSeqIndex {
 			return nil
 		}
-		_, refs, err := decodeSeqIndex(c.Data())
-		if err != nil {
-			return err
-		}
-		for _, r := range refs {
+		for _, r := range n.refs {
 			if err := walk(r.id); err != nil {
 				return err
 			}

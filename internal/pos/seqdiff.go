@@ -3,7 +3,6 @@ package pos
 import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
-	"forkbase/internal/store"
 )
 
 // SeqRange describes one differing region between two sequences (or blobs):
@@ -26,11 +25,11 @@ func DiffSeq(a, b *Seq) ([]SeqRange, error) {
 	if a.Root() == b.Root() {
 		return nil, nil
 	}
-	al, err := flattenSeqLeaves(a.st, a.root)
+	al, err := flattenSeqLeaves(a.src, a.root)
 	if err != nil {
 		return nil, err
 	}
-	bl, err := flattenSeqLeaves(b.st, b.root)
+	bl, err := flattenSeqLeaves(b.src, b.root)
 	if err != nil {
 		return nil, err
 	}
@@ -42,11 +41,11 @@ func DiffBlob(a, b *Blob) ([]SeqRange, error) {
 	if a.Root() == b.Root() {
 		return nil, nil
 	}
-	al, err := flattenSeqLeaves(a.st, a.root)
+	al, err := flattenSeqLeaves(a.src, a.root)
 	if err != nil {
 		return nil, err
 	}
-	bl, err := flattenSeqLeaves(b.st, b.root)
+	bl, err := flattenSeqLeaves(b.src, b.root)
 	if err != nil {
 		return nil, err
 	}
@@ -54,27 +53,23 @@ func DiffBlob(a, b *Blob) ([]SeqRange, error) {
 }
 
 // flattenSeqLeaves lists the leaf refs of a sequence/blob tree in order.
-func flattenSeqLeaves(st store.Store, root hash.Hash) ([]childRef, error) {
+func flattenSeqLeaves(src nodeSource, root hash.Hash) ([]childRef, error) {
 	if root.IsZero() {
 		return nil, nil
 	}
 	var out []childRef
 	var walk func(id hash.Hash, count uint64) error
 	walk = func(id hash.Hash, count uint64) error {
-		c, err := st.Get(id)
+		n, err := src.load(id)
 		if err != nil {
 			return err
 		}
-		switch c.Type() {
+		switch n.typ {
 		case chunk.TypeSeqLeaf, chunk.TypeBlobLeaf:
 			out = append(out, childRef{id: id, count: count})
 			return nil
 		case chunk.TypeSeqIndex:
-			_, refs, err := decodeSeqIndex(c.Data())
-			if err != nil {
-				return err
-			}
-			for _, r := range refs {
+			for _, r := range n.refs {
 				if err := walk(r.id, r.count); err != nil {
 					return err
 				}
@@ -86,19 +81,15 @@ func flattenSeqLeaves(st store.Store, root hash.Hash) ([]childRef, error) {
 	}
 	// Root count is unknown here; recompute from node if needed.  For the
 	// leaf case the count argument is only used for positions, so load it.
-	c, err := st.Get(root)
+	n, err := src.load(root)
 	if err != nil {
 		return nil, err
 	}
-	switch c.Type() {
+	switch n.typ {
 	case chunk.TypeSeqLeaf:
-		items, err := decodeSeqLeaf(c.Data())
-		if err != nil {
-			return nil, err
-		}
-		return []childRef{{id: root, count: uint64(len(items))}}, nil
+		return []childRef{{id: root, count: uint64(len(n.items))}}, nil
 	case chunk.TypeBlobLeaf:
-		return []childRef{{id: root, count: uint64(len(c.Data()))}}, nil
+		return []childRef{{id: root, count: uint64(len(n.blob))}}, nil
 	default:
 		if err := walk(root, 0); err != nil {
 			return nil, err

@@ -14,11 +14,13 @@ import (
 
 // Tree is an immutable map POS-Tree rooted at a chunk hash.
 //
-// A Tree value is a lightweight handle (store + root id + cached count);
-// all operations that "modify" the tree return a new Tree sharing unchanged
-// chunks with the old one.
+// A Tree value is a lightweight handle (node source + root id + cached
+// count); all operations that "modify" the tree return a new Tree sharing
+// unchanged chunks with the old one.  All reads go through the tree's
+// nodeSource, so a store with an attached decoded-node cache serves hot
+// nodes without re-fetching or re-decoding them.
 type Tree struct {
-	st    store.Store
+	src   nodeSource
 	cfg   chunker.Config
 	root  hash.Hash
 	count uint64
@@ -29,37 +31,29 @@ var ErrKeyNotFound = errors.New("pos: key not found")
 
 // NewEmptyTree returns the empty map tree (zero root).
 func NewEmptyTree(st store.Store, cfg chunker.Config) *Tree {
-	return &Tree{st: st, cfg: cfg}
+	return &Tree{src: sourceFor(st), cfg: cfg}
 }
 
 // LoadTree attaches to an existing tree by root hash.  A zero root is the
 // empty tree.  The root node is read to recover the entry count.
 func LoadTree(st store.Store, cfg chunker.Config, root hash.Hash) (*Tree, error) {
-	t := &Tree{st: st, cfg: cfg, root: root}
+	t := &Tree{src: sourceFor(st), cfg: cfg, root: root}
 	if root.IsZero() {
 		return t, nil
 	}
-	c, err := st.Get(root)
+	n, err := t.src.load(root)
 	if err != nil {
 		return nil, fmt.Errorf("pos: loading root: %w", err)
 	}
-	switch c.Type() {
+	switch n.typ {
 	case chunk.TypeMapLeaf:
-		entries, err := decodeMapLeaf(c.Data())
-		if err != nil {
-			return nil, err
-		}
-		t.count = uint64(len(entries))
+		t.count = uint64(len(n.entries))
 	case chunk.TypeMapIndex:
-		_, refs, err := decodeMapIndex(c.Data())
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range refs {
+		for _, r := range n.refs {
 			t.count += r.count
 		}
 	default:
-		return nil, fmt.Errorf("pos: root %s is a %s, not a map node", root.Short(), c.Type())
+		return nil, fmt.Errorf("pos: root %s is a %s, not a map node", root.Short(), n.typ)
 	}
 	return t, nil
 }
@@ -74,28 +68,29 @@ func (t *Tree) Root() hash.Hash { return t.root }
 func (t *Tree) Len() uint64 { return t.count }
 
 // Store returns the backing chunk store.
-func (t *Tree) Store() store.Store { return t.st }
+func (t *Tree) Store() store.Store { return t.src.st }
 
 // Config returns the chunking configuration.
 func (t *Tree) Config() chunker.Config { return t.cfg }
 
 // Get returns the value stored under key, or ErrKeyNotFound.
+//
+// The returned slice aliases shared decoded node data (like Iter.Entry and
+// chunk.Data): callers must not modify it, and should copy before holding
+// it long-term.
 func (t *Tree) Get(key []byte) ([]byte, error) {
 	if t.root.IsZero() {
 		return nil, ErrKeyNotFound
 	}
 	id := t.root
 	for {
-		c, err := t.st.Get(id)
+		n, err := t.src.load(id)
 		if err != nil {
 			return nil, fmt.Errorf("pos: get: %w", err)
 		}
-		switch c.Type() {
+		switch n.typ {
 		case chunk.TypeMapLeaf:
-			entries, err := decodeMapLeaf(c.Data())
-			if err != nil {
-				return nil, err
-			}
+			entries := n.entries
 			i := sort.Search(len(entries), func(i int) bool {
 				return bytes.Compare(entries[i].Key, key) >= 0
 			})
@@ -104,10 +99,7 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 			}
 			return nil, ErrKeyNotFound
 		case chunk.TypeMapIndex:
-			_, refs, err := decodeMapIndex(c.Data())
-			if err != nil {
-				return nil, err
-			}
+			refs := n.refs
 			// Descend into the first child whose split key (greatest key in
 			// subtree) is >= key — the B+-tree routing rule from the paper.
 			i := sort.Search(len(refs), func(i int) bool {
@@ -118,7 +110,7 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 			}
 			id = refs[i].id
 		default:
-			return nil, fmt.Errorf("pos: unexpected chunk type %s in map tree", c.Type())
+			return nil, fmt.Errorf("pos: unexpected chunk type %s in map tree", n.typ)
 		}
 	}
 }
@@ -192,12 +184,12 @@ func (t *Tree) ComputeStats() (Stats, error) {
 	}
 	var walk func(id hash.Hash, depth int) error
 	walk = func(id hash.Hash, depth int) error {
-		c, err := t.st.Get(id)
+		n, err := t.src.load(id)
 		if err != nil {
 			return err
 		}
 		st.Nodes++
-		sz := c.Size()
+		sz := n.encSize
 		st.Bytes += int64(sz)
 		if sz < st.MinNode {
 			st.MinNode = sz
@@ -208,22 +200,13 @@ func (t *Tree) ComputeStats() (Stats, error) {
 		if depth+1 > st.Height {
 			st.Height = depth + 1
 		}
-		if c.Type() == chunk.TypeMapLeaf || c.Type() == chunk.TypeSeqLeaf || c.Type() == chunk.TypeBlobLeaf {
+		if n.isLeaf() {
 			st.LeafNodes++
 			st.LeafBytes += int64(sz)
 			return nil
 		}
 		st.IndexNodes++
-		var refs []childRef
-		if c.Type() == chunk.TypeMapIndex {
-			_, refs, err = decodeMapIndex(c.Data())
-		} else {
-			_, refs, err = decodeSeqIndex(c.Data())
-		}
-		if err != nil {
-			return err
-		}
-		for _, r := range refs {
+		for _, r := range n.refs {
 			if err := walk(r.id, depth+1); err != nil {
 				return err
 			}
@@ -246,23 +229,16 @@ func (t *Tree) ChunkIDs() ([]hash.Hash, error) {
 	var walk func(id hash.Hash) error
 	walk = func(id hash.Hash) error {
 		out = append(out, id)
-		c, err := t.st.Get(id)
+		n, err := t.src.load(id)
 		if err != nil {
 			return err
 		}
-		var refs []childRef
-		switch c.Type() {
-		case chunk.TypeMapIndex:
-			_, refs, err = decodeMapIndex(c.Data())
-		case chunk.TypeSeqIndex:
-			_, refs, err = decodeSeqIndex(c.Data())
+		switch n.typ {
+		case chunk.TypeMapIndex, chunk.TypeSeqIndex:
 		default:
 			return nil
 		}
-		if err != nil {
-			return err
-		}
-		for _, r := range refs {
+		for _, r := range n.refs {
 			if err := walk(r.id); err != nil {
 				return err
 			}
@@ -273,30 +249,4 @@ func (t *Tree) ChunkIDs() ([]hash.Hash, error) {
 		return nil, err
 	}
 	return out, nil
-}
-
-// loadChildRefs reads a map node and returns (level, refs) where leaves are
-// presented as level 0 with one synthetic ref per... — index nodes only;
-// callers must not pass leaf ids.
-func (t *Tree) loadIndex(id hash.Hash) (uint8, []childRef, error) {
-	c, err := t.st.Get(id)
-	if err != nil {
-		return 0, nil, err
-	}
-	if c.Type() != chunk.TypeMapIndex {
-		return 0, nil, fmt.Errorf("pos: expected map index, got %s", c.Type())
-	}
-	return decodeMapIndex(c.Data())
-}
-
-// loadLeafEntries reads a map leaf node's entries.
-func (t *Tree) loadLeafEntries(id hash.Hash) ([]Entry, error) {
-	c, err := t.st.Get(id)
-	if err != nil {
-		return nil, err
-	}
-	if c.Type() != chunk.TypeMapLeaf {
-		return nil, fmt.Errorf("pos: expected map leaf, got %s", c.Type())
-	}
-	return decodeMapLeaf(c.Data())
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
@@ -22,19 +23,41 @@ import (
 //
 // Records are immutable; deduplication means a chunk id appears at most once
 // across all segments.  The store is safe for concurrent use.
+//
+// Reads are designed to proceed concurrently: Get takes only a read lock to
+// consult the index, escalating to the write lock solely when the requested
+// record may still sit in the active segment's write buffer (tracked by a
+// flushed-bytes watermark).  Segment files are read through persistent
+// read-only handles with positioned reads, so concurrent Gets on the same
+// segment never contend on a shared file offset.
 type FileStore struct {
 	dir        string
 	maxSegment int64
 
-	mu      sync.RWMutex
-	index   map[hash.Hash]recordLoc
-	active  *os.File
-	actBuf  *bufio.Writer
-	actSeg  int
-	actSize int64
-	stats   Stats
-	closed  bool
+	mu         sync.RWMutex
+	index      map[hash.Hash]recordLoc
+	active     *os.File
+	actBuf     *bufio.Writer
+	actSeg     int
+	actSize    int64
+	actFlushed int64 // bytes of the active segment known to be on disk
+	stats      Stats // Gets excluded; tracked in gets
+	closed     bool
+
+	gets atomic.Int64
+
+	// readersMu guards the read-handle table.  Positioned reads hold it
+	// shared for the duration of the ReadAt, so Close (which takes it
+	// exclusively) can never close a handle out from under a reader.
+	readersMu     sync.RWMutex
+	readers       map[int]*os.File // per-segment read-only handles
+	readersClosed bool
 }
+
+// maxReadHandles bounds the persistent read-handle table so a store with
+// many segments cannot exhaust the process fd limit; excess handles are
+// evicted (closed) on insert.
+const maxReadHandles = 64
 
 type recordLoc struct {
 	segment int
@@ -70,6 +93,7 @@ func OpenFileStoreSegmented(dir string, segSize int64) (*FileStore, error) {
 		dir:        dir,
 		maxSegment: segSize,
 		index:      make(map[hash.Hash]recordLoc),
+		readers:    make(map[int]*os.File),
 	}
 	if err := fs.recover(); err != nil {
 		return nil, err
@@ -170,6 +194,7 @@ func (f *FileStore) openActive() error {
 	f.active = file
 	f.actBuf = bufio.NewWriterSize(file, 1<<20)
 	f.actSize = fi.Size()
+	f.actFlushed = fi.Size() // everything already on disk is flushed
 	return nil
 }
 
@@ -219,38 +244,89 @@ func (f *FileStore) rotate() error {
 	return f.openActive()
 }
 
-// Get implements Store.
+// Get implements Store.  The common case — a record fully flushed to its
+// segment — needs only the shared read lock; the write lock is taken just
+// long enough to flush when the record may still be buffered.
 func (f *FileStore) Get(id hash.Hash) (*chunk.Chunk, error) {
-	f.mu.Lock()
+	f.mu.RLock()
 	loc, ok := f.index[id]
-	if ok {
-		f.stats.Gets++
-		// Reads may hit the active segment; flush buffered writes first.
-		if loc.segment == f.actSeg {
+	needFlush := ok && loc.segment == f.actSeg &&
+		loc.offset+int64(recordHeader)+int64(loc.length) > f.actFlushed
+	f.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	f.gets.Add(1)
+	if needFlush {
+		f.mu.Lock()
+		if !f.closed && loc.segment == f.actSeg {
 			if err := f.actBuf.Flush(); err != nil {
 				f.mu.Unlock()
 				return nil, fmt.Errorf("filestore: %w", err)
 			}
+			f.actFlushed = f.actSize
 		}
+		f.mu.Unlock()
 	}
-	f.mu.Unlock()
-	if !ok {
-		return nil, ErrNotFound
-	}
-	file, err := os.Open(f.segmentPath(loc.segment))
-	if err != nil {
-		return nil, fmt.Errorf("filestore: %w", err)
-	}
-	defer file.Close()
 	payload := make([]byte, loc.length)
-	if _, err := file.ReadAt(payload, loc.offset+recordHeader); err != nil {
-		return nil, fmt.Errorf("filestore: %w", err)
+	if err := f.readRecord(loc.segment, loc.offset+recordHeader, payload); err != nil {
+		return nil, err
 	}
 	c := chunk.New(loc.typ, payload)
 	if err := c.Verify(id); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// readRecord fills payload from a segment via a persistent read-only handle,
+// opening it on first use.  The read executes under the shared reader lock,
+// so handles are never closed (by Close or eviction) mid-read; positioned
+// reads make one handle safe for any number of concurrent Gets.
+func (f *FileStore) readRecord(seg int, off int64, payload []byte) error {
+	for {
+		f.readersMu.RLock()
+		if f.readersClosed {
+			f.readersMu.RUnlock()
+			return fmt.Errorf("filestore: closed")
+		}
+		file, ok := f.readers[seg]
+		if ok {
+			_, err := file.ReadAt(payload, off)
+			f.readersMu.RUnlock()
+			if err != nil {
+				return fmt.Errorf("filestore: %w", err)
+			}
+			return nil
+		}
+		f.readersMu.RUnlock()
+
+		// Miss: open and insert under the exclusive lock, then retry the
+		// read path (another goroutine may have won the race; that's fine).
+		f.readersMu.Lock()
+		if f.readersClosed {
+			f.readersMu.Unlock()
+			return fmt.Errorf("filestore: closed")
+		}
+		if _, ok := f.readers[seg]; !ok {
+			file, err := os.Open(f.segmentPath(seg))
+			if err != nil {
+				f.readersMu.Unlock()
+				return fmt.Errorf("filestore: %w", err)
+			}
+			// Bound the table: evict an arbitrary other handle.  No reader
+			// is mid-ReadAt here (we hold the lock exclusively).
+			for evict, h := range f.readers {
+				if len(f.readers) < maxReadHandles {
+					break
+				}
+				h.Close()
+				delete(f.readers, evict)
+			}
+			f.readers[seg] = file
+		}
+		f.readersMu.Unlock()
+	}
 }
 
 // Has implements Store.
@@ -264,15 +340,21 @@ func (f *FileStore) Has(id hash.Hash) (bool, error) {
 // Stats implements Store.
 func (f *FileStore) Stats() Stats {
 	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.stats
+	s := f.stats
+	f.mu.RUnlock()
+	s.Gets = f.gets.Load()
+	return s
 }
 
 // Flush forces buffered appends to the OS.
 func (f *FileStore) Flush() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.actBuf.Flush()
+	if err := f.actBuf.Flush(); err != nil {
+		return err
+	}
+	f.actFlushed = f.actSize
+	return nil
 }
 
 // Sync flushes and fsyncs the active segment.
@@ -282,6 +364,7 @@ func (f *FileStore) Sync() error {
 	if err := f.actBuf.Flush(); err != nil {
 		return err
 	}
+	f.actFlushed = f.actSize
 	return f.active.Sync()
 }
 
@@ -293,6 +376,13 @@ func (f *FileStore) Close() error {
 		return nil
 	}
 	f.closed = true
+	f.readersMu.Lock()
+	f.readersClosed = true
+	for _, r := range f.readers {
+		r.Close()
+	}
+	f.readers = nil
+	f.readersMu.Unlock()
 	if err := f.actBuf.Flush(); err != nil {
 		return err
 	}

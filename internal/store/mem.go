@@ -2,6 +2,7 @@ package store
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
@@ -9,10 +10,16 @@ import (
 
 // MemStore is an in-memory content-addressed chunk store.
 // It is safe for concurrent use.
+//
+// The read path is deliberately cheap: Get takes only a read lock on the
+// chunk map and bumps the retrieval counter atomically, so concurrent
+// readers never serialize on each other — the property the paper's "reads
+// scale with cores" traffic model depends on.
 type MemStore struct {
 	mu     sync.RWMutex
 	chunks map[hash.Hash]*chunk.Chunk
-	stats  Stats
+	stats  Stats // Gets excluded; tracked in gets
+	gets   atomic.Int64
 }
 
 var _ Store = (*MemStore)(nil)
@@ -37,12 +44,13 @@ func (m *MemStore) Put(c *chunk.Chunk) (bool, error) {
 	return true, nil
 }
 
-// Get implements Store.
+// Get implements Store.  Concurrent Gets proceed in parallel under a shared
+// read lock; the stats counter is atomic so no writer lock is needed.
 func (m *MemStore) Get(id hash.Hash) (*chunk.Chunk, error) {
-	m.mu.Lock()
+	m.mu.RLock()
 	c, ok := m.chunks[id]
-	m.stats.Gets++
-	m.mu.Unlock()
+	m.mu.RUnlock()
+	m.gets.Add(1)
 	if !ok {
 		return nil, ErrNotFound
 	}
@@ -60,8 +68,10 @@ func (m *MemStore) Has(id hash.Hash) (bool, error) {
 // Stats implements Store.
 func (m *MemStore) Stats() Stats {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats
+	s := m.stats
+	m.mu.RUnlock()
+	s.Gets = m.gets.Load()
+	return s
 }
 
 // Len returns the number of distinct chunks.

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"forkbase/internal/nodecache"
+)
+
+// NodeCacheProvider is the optional capability by which a store advertises a
+// decoded-node cache to higher layers (package pos).  The cache is keyed by
+// chunk id, and because chunks are immutable and content-addressed the cache
+// never needs invalidation — only GC deletion needs to call Remove.
+//
+// Attaching the cache to the store handle (rather than threading it through
+// every tree constructor) means every POS-Tree, sequence and blob opened
+// over the same store shares one cache, which is exactly the sharing the
+// paper's structural invariance promises: hot nodes common to many versions
+// and branches are decoded once.
+type NodeCacheProvider interface {
+	NodeCache() *nodecache.Cache
+}
+
+// nodeCachedStore attaches a decoded-node cache to an inner store.  All
+// Store methods delegate; only the NodeCacheProvider capability is added.
+type nodeCachedStore struct {
+	Store
+	cache *nodecache.Cache
+}
+
+// WithNodeCache returns a store that carries cache for the read path to
+// discover.  A nil cache returns inner unchanged.
+func WithNodeCache(inner Store, cache *nodecache.Cache) Store {
+	if cache == nil {
+		return inner
+	}
+	return &nodeCachedStore{Store: inner, cache: cache}
+}
+
+// NodeCache implements NodeCacheProvider.
+func (s *nodeCachedStore) NodeCache() *nodecache.Cache { return s.cache }
+
+// Unwrap exposes the inner store (GC capability discovery).
+func (s *nodeCachedStore) Unwrap() Store { return s.Store }
+
+// NodeCacheOf returns the decoded-node cache attached to st, or nil.
+func NodeCacheOf(st Store) *nodecache.Cache {
+	if p, ok := st.(NodeCacheProvider); ok {
+		return p.NodeCache()
+	}
+	return nil
+}
+
+// NodeCache forwards the capability through the verifying wrapper, so a
+// cache attached below verification is still discoverable.  Note the
+// converse layering — WithNodeCache(NewVerifyingStore(raw), c) — is the one
+// core.Open uses: nodes enter the cache only after passing verification.
+func (v *VerifyingStore) NodeCache() *nodecache.Cache { return NodeCacheOf(v.Inner) }
+
+// NodeCache forwards the capability through the counting wrapper.
+func (c *CountingStore) NodeCache() *nodecache.Cache { return NodeCacheOf(c.Inner) }
+
+var (
+	_ NodeCacheProvider = (*nodeCachedStore)(nil)
+	_ NodeCacheProvider = (*VerifyingStore)(nil)
+	_ NodeCacheProvider = (*CountingStore)(nil)
+)

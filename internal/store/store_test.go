@@ -392,3 +392,41 @@ func TestMustPutPanicsOnClosedStore(t *testing.T) {
 	}()
 	MustPut(s, mkChunk(1))
 }
+
+func TestFileStoreReadHandleBoundAndClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStoreSegmented(dir, 256) // force many segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []hash.Hash
+	for i := 0; i < 400; i++ {
+		c := chunk.New(chunk.TypeBlobLeaf, bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 100))
+		if _, err := s.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	if s.actSeg <= maxReadHandles {
+		t.Fatalf("want more segments than the handle bound, got %d", s.actSeg)
+	}
+	// Reading every chunk cycles far more segments than the handle table
+	// admits; eviction must keep it bounded while reads stay correct.
+	for _, id := range ids {
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+	if got := len(s.readers); got > maxReadHandles {
+		t.Fatalf("read handles unbounded: %d > %d", got, maxReadHandles)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ids[0]); err == nil {
+		t.Fatal("Get after Close succeeded")
+	}
+	if s.readers != nil {
+		t.Fatal("Close left read handles behind")
+	}
+}
