@@ -9,8 +9,11 @@
 //	bench -exp fig5         differential query
 //	bench -exp fig6         tamper evidence
 //	bench -exp a1|a2|a3     ablations
+//	bench -exp perf         write/read-path perf suite (median of 5)
 //
-// Use -quick for smaller workloads (CI-sized).
+// Use -quick for smaller workloads (CI-sized).  With -json FILE the perf
+// suite also writes a machine-readable report (BENCH_N.json artifacts track
+// the repository's performance trajectory across PRs).
 package main
 
 import (
@@ -22,8 +25,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf")
 	quick := flag.Bool("quick", false, "smaller workloads")
+	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -156,6 +160,21 @@ func main() {
 			return err
 		}
 		experiments.PrintA3(out, rows, entries)
+		return nil
+	})
+
+	run("perf", func() error {
+		rep, err := experiments.RunPerf(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPerf(out, rep)
+		if *jsonPath != "" {
+			if err := experiments.WritePerfJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
 		return nil
 	})
 }

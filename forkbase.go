@@ -244,6 +244,18 @@ func (db *DB) Put(key, branch string, v Value, meta map[string]string) (Version,
 	return db.eng.Put(key, branch, v, meta)
 }
 
+// WriteOp is one object write of a WriteBatch.
+type WriteOp = core.WriteOp
+
+// WriteBatch writes new versions of many objects in one batched store round:
+// all version chunks land with a single lock acquisition (and one
+// group-commit flush on file-backed stores, one round trip per node on
+// clusters).  Ops on the same key@branch chain like sequential Puts.  See
+// core.DB.WriteBatch for the per-op failure contract.
+func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
+	return db.eng.WriteBatch(ops)
+}
+
 // PutString is Put with a string value.
 func (db *DB) PutString(key, branch, s string, meta map[string]string) (Version, error) {
 	return db.eng.Put(key, branch, value.String(s), meta)

@@ -68,6 +68,11 @@ type Chunk struct {
 	typ  Type
 	data []byte
 	id   hash.Hash
+	// claimed marks a chunk whose id was asserted by an untrusted party
+	// (a network peer, a batch file) rather than computed from the data.
+	// Recheck verifies the claim; the verifying store's write path rejects
+	// claimed chunks whose content does not hash to their id.
+	claimed bool
 }
 
 // ErrCorrupt is returned when a chunk's bytes do not match its claimed id.
@@ -84,6 +89,44 @@ func New(t Type, data []byte) *Chunk {
 	c := &Chunk{typ: t, data: data}
 	c.id = hash.OfParts([]byte{byte(t)}, data)
 	return c
+}
+
+// NewPrehashed creates a chunk whose id the caller has already computed as
+// SHA-256(type || data) — the batched write path hashes node encodings on a
+// worker pool and over a contiguous [type][payload] buffer, so recomputing
+// here would double the hashing cost.  The id is trusted; callers that
+// received the id from an untrusted party must use NewClaimed instead.
+func NewPrehashed(t Type, data []byte, id hash.Hash) *Chunk {
+	if !t.Valid() {
+		panic(fmt.Sprintf("chunk: invalid type %d", t))
+	}
+	return &Chunk{typ: t, data: data, id: id}
+}
+
+// NewClaimed creates a chunk from data plus an id *claimed* by an untrusted
+// source (a network peer handing over a batch, a replicated log).  The claim
+// is not checked here; Recheck — called by the verifying store before any
+// batched write — recomputes the hash and rejects forgeries.
+func NewClaimed(t Type, data []byte, id hash.Hash) *Chunk {
+	if !t.Valid() {
+		panic(fmt.Sprintf("chunk: invalid type %d", t))
+	}
+	return &Chunk{typ: t, data: data, id: id, claimed: true}
+}
+
+// Recheck verifies a claimed chunk's content against its claimed id,
+// returning ErrCorrupt on mismatch.  Chunks constructed by New (id computed
+// from the data) or NewPrehashed (id computed by a trusted hasher) pass
+// without rehashing.
+func (c *Chunk) Recheck() error {
+	if !c.claimed {
+		return nil
+	}
+	actual := hash.OfParts([]byte{byte(c.typ)}, c.data)
+	if actual != c.id {
+		return fmt.Errorf("%w: claimed %s actual %s", ErrCorrupt, c.id.Short(), actual.Short())
+	}
+	return nil
 }
 
 // Type returns the chunk's type tag.

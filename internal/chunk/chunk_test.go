@@ -2,6 +2,7 @@ package chunk
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -99,4 +100,33 @@ func TestNewPanicsOnInvalidType(t *testing.T) {
 		}
 	}()
 	New(TypeInvalid, nil)
+}
+
+func TestNewPrehashedTrusted(t *testing.T) {
+	ref := New(TypeBlobLeaf, []byte("payload"))
+	c := NewPrehashed(TypeBlobLeaf, []byte("payload"), ref.ID())
+	if c.ID() != ref.ID() || c.Type() != ref.Type() {
+		t.Fatal("prehashed chunk differs from New")
+	}
+	if err := c.Recheck(); err != nil {
+		t.Fatalf("trusted chunk failed recheck: %v", err)
+	}
+}
+
+func TestNewClaimedRecheck(t *testing.T) {
+	honest := New(TypeBlobLeaf, []byte("payload"))
+	ok := NewClaimed(TypeBlobLeaf, []byte("payload"), honest.ID())
+	if err := ok.Recheck(); err != nil {
+		t.Fatalf("honest claim rejected: %v", err)
+	}
+	forged := NewClaimed(TypeBlobLeaf, []byte("evil"), honest.ID())
+	if err := forged.Recheck(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("forged claim recheck = %v, want ErrCorrupt", err)
+	}
+	// The claimed type participates in the hash: same payload under a
+	// different type tag is a forgery too.
+	wrongType := NewClaimed(TypeMapLeaf, []byte("payload"), honest.ID())
+	if err := wrongType.Recheck(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-type claim recheck = %v, want ErrCorrupt", err)
+	}
 }

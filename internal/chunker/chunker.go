@@ -44,6 +44,11 @@ func SmallConfig() Config {
 	return Config{Q: 8, Window: rolling.DefaultWindow, MinSize: 1 << 5, MaxSize: 1 << 12}
 }
 
+// Normalized returns the config with zero or inconsistent fields replaced by
+// the same defaults the chunkers apply internally, so callers that read the
+// bounds directly (the bulk-scanning node builders) agree with the chunkers.
+func (c Config) Normalized() Config { return c.validate() }
+
 func (c Config) validate() Config {
 	if c.Q == 0 {
 		c.Q = 12

@@ -91,7 +91,7 @@ var commandHelp = map[string]string{
 	"rename":  "rename KEY OLD NEW                          rename a branch",
 	"stat":    "stat KEY [-branch B]                        dataset statistics",
 	"export":  "export KEY [-branch B]                      dataset as CSV to stdout",
-	"import":  "import KEY CSVFILE [-branch B] [-key COL]   CSV file as dataset",
+	"import":  "import KEY CSVFILE [-branch B] [-key COL] [-append]  CSV file as dataset (-append bulk-upserts into the existing one)",
 	"history": "history KEY [-branch B] [-n N]              version chain",
 	"verify":  "verify KEY [-uid UID] [-deep]               tamper validation",
 	"stats":   "stats                                       store dedup accounting",
@@ -392,6 +392,7 @@ func cmdImport(db *forkbase.DB, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("import", flag.ContinueOnError)
 	branch := fs.String("branch", "", "branch")
 	keyCol := fs.String("key", "id", "primary key column")
+	appendRows := fs.Bool("append", false, "bulk-upsert rows into the existing dataset instead of creating a fresh version from scratch")
 	pos, err := parseArgs(fs, args, 2)
 	if err != nil {
 		return err
@@ -401,6 +402,23 @@ func cmdImport(db *forkbase.DB, args []string, out io.Writer) error {
 		return err
 	}
 	defer f.Close()
+	if *appendRows {
+		keySet := false
+		fs.Visit(func(f *flag.Flag) { keySet = keySet || f.Name == "key" })
+		if keySet {
+			return errors.New("-key applies only to fresh imports; -append keys rows by the existing dataset schema")
+		}
+		cur, err := db.OpenDataset(pos[0], *branch)
+		if err != nil {
+			return err
+		}
+		ds, err := cur.AppendCSV(f, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "appended to %d rows as %s\n", ds.Rows(), ds.Version().UID)
+		return nil
+	}
 	ds, err := db.LoadCSVDataset(pos[0], *branch, *keyCol, f, nil)
 	if err != nil {
 		return err

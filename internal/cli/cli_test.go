@@ -156,3 +156,36 @@ func TestErrorExitCodes(t *testing.T) {
 		t.Fatalf("no usage text: %q", errb.String())
 	}
 }
+
+func TestImportAppend(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(csvPath, []byte("id,name\n1,ann\n2,bo\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errs, code := run(t, dir, "import", "people", csvPath)
+	if code != 0 {
+		t.Fatalf("import: %q", errs)
+	}
+	// Bulk-upsert a delta into the existing dataset.
+	if err := os.WriteFile(csvPath, []byte("id,name\n2,bobby\n3,cy\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errs, code := run(t, dir, "import", "people", csvPath, "-append")
+	if code != 0 || !strings.Contains(out, "appended to 3 rows") {
+		t.Fatalf("append: %q %q", out, errs)
+	}
+	out, _, code = run(t, dir, "export", "people")
+	if code != 0 || !strings.Contains(out, "bobby") || !strings.Contains(out, "3,cy") {
+		t.Fatalf("export after append: %q", out)
+	}
+	// Two versions in history now.
+	out, _, code = run(t, dir, "history", "people")
+	if code != 0 || strings.Count(out, "\n") < 2 {
+		t.Fatalf("history: %q", out)
+	}
+	// Appending to a missing dataset fails with a nonzero exit.
+	if _, _, code := run(t, dir, "import", "ghost", csvPath, "-append"); code == 0 {
+		t.Fatal("append to missing dataset succeeded")
+	}
+}

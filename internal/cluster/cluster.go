@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
@@ -57,9 +58,16 @@ func (c *Cluster) Close() error {
 // Nodes returns the number of nodes.
 func (c *Cluster) Nodes() int { return len(c.stores) }
 
+// shardIndex is the placement function: every read and write path must
+// derive placement from it, or batched writes could land where reads do not
+// look.
+func (c *Cluster) shardIndex(id hash.Hash) int {
+	return int(id[0]) % len(c.stores)
+}
+
 // shard maps a chunk id to a node.
 func (c *Cluster) shard(id hash.Hash) *server.RemoteStore {
-	return c.stores[int(id[0])%len(c.stores)]
+	return c.stores[c.shardIndex(id)]
 }
 
 // Store returns a store.Store view of the cluster.
@@ -71,13 +79,54 @@ func (c *Cluster) BranchTable() core.BranchTable { return c.heads }
 // shardedStore implements store.Store over the shards.
 type shardedStore Cluster
 
-var _ store.Store = (*shardedStore)(nil)
+var _ store.BatchStore = (*shardedStore)(nil)
 
 func (s *shardedStore) cluster() *Cluster { return (*Cluster)(s) }
 
 // Put implements store.Store.
 func (s *shardedStore) Put(ch *chunk.Chunk) (bool, error) {
 	return s.cluster().shard(ch.ID()).Put(ch)
+}
+
+// PutBatch implements store.BatchStore: the batch is split by placement and
+// each node receives its share as one OpPutChunks request, all shards in
+// parallel — a B-chunk batch over N nodes costs one round-trip time instead
+// of B.
+func (s *shardedStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
+	c := s.cluster()
+	groups := make(map[int][]int) // node index -> positions in cs
+	for i, ch := range cs {
+		n := c.shardIndex(ch.ID())
+		groups[n] = append(groups[n], i)
+	}
+	fresh := make([]bool, len(cs))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.stores))
+	for n, idxs := range groups {
+		part := make([]*chunk.Chunk, len(idxs))
+		for j, i := range idxs {
+			part[j] = cs[i]
+		}
+		wg.Add(1)
+		go func(n int, idxs []int, part []*chunk.Chunk) {
+			defer wg.Done()
+			partFresh, err := c.stores[n].PutBatch(part)
+			if err != nil {
+				errs[n] = err
+				return
+			}
+			for j, i := range idxs {
+				fresh[i] = partFresh[j]
+			}
+		}(n, idxs, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fresh, err
+		}
+	}
+	return fresh, nil
 }
 
 // Get implements store.Store.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -106,8 +107,13 @@ type Version struct {
 }
 
 // Put writes a new version of key on branch, deriving from the current
-// branch head, and advances the head.  It retries on concurrent head moves
-// is NOT performed: callers see ErrStaleHead and decide.
+// branch head, and advances the head.  Retrying on concurrent head moves is
+// NOT performed: if another writer advances the head between the read and
+// the compare-and-set, Put returns ErrStaleHead (wrapped, so errors.Is
+// matches) without writing the head, and the caller decides whether to
+// reload and retry, branch, or give up.  The version chunk itself is already
+// stored at that point; it is unreachable garbage unless the caller reuses
+// it.
 func (db *DB) Put(key, branch string, v value.Value, meta map[string]string) (Version, error) {
 	if branch == "" {
 		branch = DefaultBranch
@@ -141,6 +147,105 @@ func (db *DB) Put(key, branch string, v value.Value, meta map[string]string) (Ve
 		return Version{}, fmt.Errorf("%w: %s@%s", ErrStaleHead, key, branch)
 	}
 	return Version{UID: uid, Seq: seq, Bases: bases, Value: v, Meta: meta, Key: key}, nil
+}
+
+// WriteOp is one object write of a WriteBatch.
+type WriteOp struct {
+	Key    string
+	Branch string // "" = DefaultBranch
+	Value  value.Value
+	Meta   map[string]string
+}
+
+// WriteBatch writes a new version of every op's object in one batched round:
+// heads are read first, all FNodes are stored with a single fnode.SaveAll
+// (one store lock acquisition and, on a FileStore, one group-commit flush),
+// and only then are the branch heads advanced.  Later ops targeting the same
+// key@branch derive from earlier ops in the batch, so a batch behaves like
+// the equivalent Put sequence.
+//
+// Head advances use the same no-retry contract as Put: a concurrent head
+// move fails that op with ErrStaleHead.  Versions are returned positionally;
+// a failed op leaves a zero Version at its slot and its error joined into
+// the returned error.  Ops after a failed op still commit — chunks are
+// content-addressed and heads are independent, so there is nothing to roll
+// back.
+func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
+	type slot struct {
+		branch string
+		head   hash.Hash // expected old head for the CAS
+		seq    uint64
+		f      *fnode.FNode
+		err    error
+	}
+	slots := make([]slot, len(ops))
+	// Phase 1: resolve parents, chaining ops on the same key@branch.
+	pending := make(map[string]*slot, len(ops))
+	fnodes := make([]*fnode.FNode, 0, len(ops))
+	for i, op := range ops {
+		s := &slots[i]
+		s.branch = op.Branch
+		if s.branch == "" {
+			s.branch = DefaultBranch
+		}
+		ref := op.Key + "\x00" + s.branch
+		if prev, ok := pending[ref]; ok {
+			s.head = prev.f.UID()
+			s.seq = prev.seq + 1
+			s.f = fnode.New([]byte(op.Key), op.Value, []hash.Hash{s.head}, s.seq, op.Meta)
+		} else {
+			head, ok, err := db.heads.Head(op.Key, s.branch)
+			if err != nil {
+				s.err = err
+				continue
+			}
+			var bases []hash.Hash
+			s.seq = 1
+			if ok {
+				parent, err := fnode.Load(db.st, head)
+				if err != nil {
+					s.err = fmt.Errorf("core: loading head of %s@%s: %w", op.Key, s.branch, err)
+					continue
+				}
+				s.head = head
+				s.seq = parent.Seq + 1
+				bases = []hash.Hash{head}
+			}
+			s.f = fnode.New([]byte(op.Key), op.Value, bases, s.seq, op.Meta)
+		}
+		pending[ref] = s
+		fnodes = append(fnodes, s.f)
+	}
+	// Phase 2: one batched write for every version object.
+	if len(fnodes) > 0 {
+		if _, err := fnode.SaveAll(db.st, fnodes); err != nil {
+			return make([]Version, len(ops)), err
+		}
+	}
+	// Phase 3: advance heads in op order.  An op chained behind a failed op
+	// of the same key@branch fails its CAS naturally (the expected head was
+	// never installed).
+	out := make([]Version, len(ops))
+	var errs []error
+	for i, op := range ops {
+		s := &slots[i]
+		if s.err != nil {
+			errs = append(errs, fmt.Errorf("op %d (%s@%s): %w", i, op.Key, s.branch, s.err))
+			continue
+		}
+		uid := s.f.UID()
+		okCAS, err := db.heads.CompareAndSet(op.Key, s.branch, s.head, uid)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("op %d (%s@%s): %w", i, op.Key, s.branch, err))
+			continue
+		}
+		if !okCAS {
+			errs = append(errs, fmt.Errorf("op %d: %w: %s@%s", i, ErrStaleHead, op.Key, s.branch))
+			continue
+		}
+		out[i] = Version{UID: uid, Seq: s.seq, Bases: s.f.Bases, Value: op.Value, Meta: op.Meta, Key: op.Key}
+	}
+	return out, errors.Join(errs...)
 }
 
 // Get returns the current value of key on branch.
@@ -281,23 +386,29 @@ func (db *DB) ListBranches(key string) ([]string, error) {
 func (db *DB) ListKeys() ([]string, error) { return db.heads.Keys() }
 
 // History returns up to limit versions of key@branch, newest first,
-// following first parents.
+// following first parents.  The walk returns its loaded FNodes, so each
+// version chunk is fetched and decoded exactly once (the walk itself needs
+// them to follow parent links; re-loading via GetVersion would double the
+// work).
 func (db *DB) History(key, branch string, limit int) ([]Version, error) {
 	head, err := db.Head(key, branch)
 	if err != nil {
 		return nil, err
 	}
-	uids, err := fnode.History(db.st, head, limit)
+	uids, nodes, err := fnode.HistoryNodes(db.st, head, limit)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Version, 0, len(uids))
-	for _, uid := range uids {
-		v, err := db.GetVersion(key, uid)
+	for i, f := range nodes {
+		if string(f.Key) != key {
+			return nil, fmt.Errorf("core: version %s belongs to key %q, not %q", uids[i].Short(), f.Key, key)
+		}
+		v, err := f.DecodedValue()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, v)
+		out = append(out, Version{UID: uids[i], Seq: f.Seq, Bases: f.Bases, Value: v, Meta: f.Meta, Key: key})
 	}
 	return out, nil
 }

@@ -528,3 +528,135 @@ func TestBranchTableRenameDeleteErrors(t *testing.T) {
 		t.Fatalf("branches of missing key: %v", err)
 	}
 }
+
+func TestWriteBatchMultiKey(t *testing.T) {
+	db := newTestDB()
+	ops := []WriteOp{
+		{Key: "a", Value: value.String("va")},
+		{Key: "b", Branch: "dev", Value: value.String("vb"), Meta: map[string]string{"m": "1"}},
+		{Key: "c", Value: value.Int(7)},
+	}
+	vers, err := db.WriteBatch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 3 {
+		t.Fatalf("versions = %d", len(vers))
+	}
+	for i, v := range vers {
+		if v.Seq != 1 {
+			t.Fatalf("op %d seq = %d", i, v.Seq)
+		}
+	}
+	got, err := db.Get("b", "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID != vers[1].UID || got.Meta["m"] != "1" {
+		t.Fatalf("b@dev = %+v", got)
+	}
+	if s, _ := got.Value.AsString(); s != "vb" {
+		t.Fatalf("b@dev value = %q", s)
+	}
+}
+
+func TestWriteBatchChainsSameKey(t *testing.T) {
+	db := newTestDB()
+	vers, err := db.WriteBatch([]WriteOp{
+		{Key: "k", Value: value.String("one")},
+		{Key: "k", Value: value.String("two")},
+		{Key: "k", Value: value.String("three")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vers[0].Seq != 1 || vers[1].Seq != 2 || vers[2].Seq != 3 {
+		t.Fatalf("seqs = %d %d %d", vers[0].Seq, vers[1].Seq, vers[2].Seq)
+	}
+	if vers[1].Bases[0] != vers[0].UID || vers[2].Bases[0] != vers[1].UID {
+		t.Fatal("batch ops on one key not chained")
+	}
+	head, err := db.Head("k", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != vers[2].UID {
+		t.Fatal("head is not the last batch op")
+	}
+	hist, err := db.History("k", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history = %d versions", len(hist))
+	}
+}
+
+// racingBranchTable moves a head between WriteBatch's read and CAS phases.
+type racingBranchTable struct {
+	BranchTable
+	moved bool
+}
+
+func (r *racingBranchTable) CompareAndSet(key, branch string, old, new hash.Hash) (bool, error) {
+	if !r.moved && key == "victim" {
+		r.moved = true
+		// Simulate a concurrent writer: advance the head underneath.
+		r.BranchTable.CompareAndSet(key, branch, old, hash.Of([]byte("interloper")))
+	}
+	return r.BranchTable.CompareAndSet(key, branch, old, new)
+}
+
+func TestWriteBatchPartialFailure(t *testing.T) {
+	inner := NewMemBranchTable()
+	db := Open(Options{Branches: &racingBranchTable{BranchTable: inner}, Chunking: chunker.SmallConfig()})
+	vers, err := db.WriteBatch([]WriteOp{
+		{Key: "victim", Value: value.String("lost race")},
+		{Key: "ok", Value: value.String("fine")},
+	})
+	if !errors.Is(err, ErrStaleHead) {
+		t.Fatalf("err = %v, want ErrStaleHead", err)
+	}
+	if vers[0].Seq != 0 {
+		t.Fatal("raced op reported success")
+	}
+	if vers[1].Seq != 1 {
+		t.Fatalf("independent op did not commit: %+v", vers[1])
+	}
+	if _, err := db.Get("ok", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryDecodesOnce pins the satellite fix: History loads each FNode
+// exactly once (walk + materialize share the loads).
+func TestHistoryDecodesOnce(t *testing.T) {
+	ms := store.NewMemStore()
+	db := Open(Options{Store: ms, Chunking: chunker.SmallConfig()})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := db.Put("k", "", value.String(fmt.Sprintf("v%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := ms.Stats().Gets
+	hist, err := db.History("k", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != n {
+		t.Fatalf("history = %d", len(hist))
+	}
+	gets := ms.Stats().Gets - before
+	// One store Get per version (head lookup is branch-table only).  The old
+	// implementation needed 2n-1.
+	if gets > int64(n) {
+		t.Fatalf("history cost %d store gets for %d versions, want <= %d", gets, n, n)
+	}
+	for i, v := range hist {
+		want := fmt.Sprintf("v%d", n-1-i)
+		if s, _ := v.Value.AsString(); s != want {
+			t.Fatalf("hist[%d] = %q, want %q", i, s, want)
+		}
+	}
+}

@@ -272,6 +272,40 @@ func (d *Dataset) UpdateRows(upserts []Row, deleteKeys []string, meta map[string
 	return open(d.db, d.Name, d.Branch, ver)
 }
 
+// AppendCSV bulk-upserts the rows of a CSV stream (header first, columns
+// matching the dataset schema) as one new version — the incremental
+// counterpart of CreateFromCSV for ongoing ingest.  Only the affected
+// POS-Tree region is re-chunked, and the write flows through the batched
+// sink with its dedup pre-check, so appending a delta to a large dataset
+// costs O(delta · log N) index lookups and writes.
+func (d *Dataset) AppendCSV(r io.Reader, meta map[string]string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != len(d.Schema.Columns) {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d", len(header), len(d.Schema.Columns))
+	}
+	for i, c := range header {
+		if c != d.Schema.Columns[i] {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema says %q", i, c, d.Schema.Columns[i])
+		}
+	}
+	var rows []Row
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+		rows = append(rows, Row(rec))
+	}
+	return d.UpdateRows(rows, nil, meta)
+}
+
 // Stat summarises the dataset (the Stat operation of paper Fig 1).
 type Stat struct {
 	Name     string

@@ -326,3 +326,44 @@ func TestDiffIdenticalDatasets(t *testing.T) {
 		t.Fatalf("identical branches diff = %+v", res)
 	}
 }
+
+func TestAppendCSV(t *testing.T) {
+	db := newDB()
+	ds, err := Create(db, "people", "", sampleSchema(), sampleRows(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := "id,name,city\nid-00005,renamed,city-5\nid-9999,newrow,nowhere\n"
+	ds2, err := ds.AppendCSV(strings.NewReader(delta), map[string]string{"source": "delta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Rows() != 21 {
+		t.Fatalf("rows = %d", ds2.Rows())
+	}
+	row, err := ds2.Get("id-00005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1] != "renamed" {
+		t.Fatalf("upsert lost: %v", row)
+	}
+	if _, err := ds2.Get("id-9999"); err != nil {
+		t.Fatalf("appended row missing: %v", err)
+	}
+	if ds2.Version().Meta["source"] != "delta" {
+		t.Fatal("meta lost")
+	}
+	// The new version derives from the old one.
+	if len(ds2.Version().Bases) != 1 || ds2.Version().Bases[0] != ds.Version().UID {
+		t.Fatal("append did not chain versions")
+	}
+
+	// Mismatched headers reject.
+	if _, err := ds2.AppendCSV(strings.NewReader("id,wrong\n1,2\n"), nil); err == nil {
+		t.Fatal("mismatched header accepted")
+	}
+	if _, err := ds2.AppendCSV(strings.NewReader("name,id,city\nx,y,z\n"), nil); err == nil {
+		t.Fatal("reordered header accepted")
+	}
+}

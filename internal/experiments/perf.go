@@ -1,0 +1,337 @@
+// Perf is the machine-readable performance suite behind `bench -exp perf
+// -json FILE`: it measures the write path introduced with the ChunkSink
+// (batched, pipelined ingest) against the preserved per-chunk-Put baseline,
+// plus the read-path numbers carried forward from the decoded-node-cache
+// work, so the repository's perf trajectory is tracked as data (BENCH_N.json
+// artifacts) rather than prose.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/nodecache"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+)
+
+// PerfResult is one measured operation.
+type PerfResult struct {
+	Name string `json:"name"`
+	// MedianNs is the median wall time of Runs runs.
+	MedianNs int64   `json:"median_ns"`
+	AllNs    []int64 `json:"all_ns"`
+	// Bytes is the logical payload per run (0 when not meaningful).
+	Bytes int64 `json:"bytes,omitempty"`
+	// MBPerSec derives from Bytes/MedianNs.
+	MBPerSec float64 `json:"mb_per_s,omitempty"`
+}
+
+// PerfReport is the full suite output.
+type PerfReport struct {
+	Suite      string             `json:"suite"`
+	Quick      bool               `json:"quick"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	GoVersion  string             `json:"go_version"`
+	Entries    int                `json:"entries"`
+	Runs       int                `json:"runs"`
+	Results    []PerfResult       `json:"results"`
+	// Speedups are baseline/new ratios for the paired write-path
+	// measurements (>1 means the batched path is faster).
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// perfRuns is the median-of-N run count.
+const perfRuns = 5
+
+// timeMedian runs fn `perfRuns` times and records the median.
+func timeMedian(name string, bytes int64, fn func() error) (PerfResult, error) {
+	return timeMedianPrepped(name, bytes, func() (func() error, func() error, error) {
+		return fn, nil, nil
+	})
+}
+
+// timeMedianPrepped is timeMedian for operations needing untimed per-run
+// setup and teardown (fresh FileStore directories): prep returns the timed
+// body and an optional cleanup, and only the body is measured.
+func timeMedianPrepped(name string, bytes int64, prep func() (run func() error, cleanup func() error, err error)) (PerfResult, error) {
+	all := make([]int64, 0, perfRuns)
+	for i := 0; i < perfRuns; i++ {
+		run, cleanup, err := prep()
+		if err != nil {
+			return PerfResult{}, fmt.Errorf("%s: setup: %w", name, err)
+		}
+		start := time.Now()
+		err = run()
+		elapsed := time.Since(start).Nanoseconds()
+		if cleanup != nil {
+			if cerr := cleanup(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return PerfResult{}, fmt.Errorf("%s: %w", name, err)
+		}
+		all = append(all, elapsed)
+	}
+	sorted := append([]int64(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res := PerfResult{Name: name, MedianNs: sorted[len(sorted)/2], AllNs: all, Bytes: bytes}
+	if bytes > 0 && res.MedianNs > 0 {
+		res.MBPerSec = float64(bytes) / float64(res.MedianNs) * 1e9 / (1 << 20)
+	}
+	return res, nil
+}
+
+// prepFileStore hands timeMedianPrepped a fresh store per run.
+func prepFileStore(body func(fs *store.FileStore) error) func() (func() error, func() error, error) {
+	return func() (func() error, func() error, error) {
+		dir, err := os.MkdirTemp("", "fbperf")
+		if err != nil {
+			return nil, nil, err
+		}
+		fs, err := store.OpenFileStore(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		run := func() error {
+			if err := body(fs); err != nil {
+				return err
+			}
+			return fs.Flush()
+		}
+		cleanup := func() error {
+			err := fs.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+		return run, cleanup, nil
+	}
+}
+
+// RunPerf executes the suite.  quick shrinks workloads to CI size.
+func RunPerf(quick bool) (*PerfReport, error) {
+	n := 100000
+	if quick {
+		n = 20000
+	}
+	rep := &PerfReport{
+		Suite:      "forkbase-perf",
+		Quick:      quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Entries:    n,
+		Runs:       perfRuns,
+		Speedups:   map[string]float64{},
+	}
+	entries := make([]pos.Entry, n)
+	var logical int64
+	for i := range entries {
+		entries[i] = pos.Entry{
+			Key: []byte(fmt.Sprintf("key-%010d", i)),
+			Val: []byte(fmt.Sprintf("value-%d", i)),
+		}
+		logical += int64(len(entries[i].Key) + len(entries[i].Val))
+	}
+	cfg := chunker.DefaultConfig()
+
+	add := func(r PerfResult, err error) error {
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, r)
+		return nil
+	}
+
+	// --- write path: bulk map build, MemStore ---------------------------
+	if err := add(timeMedian("build_map_perchunk", logical, func() error {
+		_, err := pos.BuildMapPerChunk(store.NewMemStore(), cfg, entries)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+	if err := add(timeMedian("build_map_batched", logical, func() error {
+		_, err := pos.BuildMap(store.NewMemStore(), cfg, entries)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// --- write path: bulk map build onto a FileStore (durable ingest) ---
+	if err := add(timeMedianPrepped("filestore_ingest_perchunk", logical, prepFileStore(func(fs *store.FileStore) error {
+		_, err := pos.BuildMapPerChunk(fs, cfg, entries)
+		return err
+	}))); err != nil {
+		return nil, err
+	}
+	if err := add(timeMedianPrepped("filestore_ingest_batched", logical, prepFileStore(func(fs *store.FileStore) error {
+		_, err := pos.BuildMap(fs, cfg, entries)
+		return err
+	}))); err != nil {
+		return nil, err
+	}
+
+	// --- write path: concurrent ingest, 8 writers into one FileStore ----
+	// Each writer builds its own dataset-sized map into the shared store:
+	// the multi-client bulk-ingest workload.  The per-chunk baseline takes
+	// the store mutex once per node from every writer; the batched path
+	// takes it once per batch and hashes off a pool when cores allow.
+	const writers = 8
+	perWriter := n / writers
+	parts := make([][]pos.Entry, writers)
+	for g := 0; g < writers; g++ {
+		part := make([]pos.Entry, perWriter)
+		for i := range part {
+			part[i] = pos.Entry{
+				Key: []byte(fmt.Sprintf("w%d-key-%010d", g, i)),
+				Val: []byte(fmt.Sprintf("value-%d", i)),
+			}
+		}
+		parts[g] = part
+	}
+	parIngest := func(batched bool) func(fs *store.FileStore) error {
+		return func(fs *store.FileStore) error {
+			var wg sync.WaitGroup
+			errs := make([]error, writers)
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					if batched {
+						_, errs[g] = pos.BuildMap(fs, cfg, parts[g])
+					} else {
+						_, errs[g] = pos.BuildMapPerChunk(fs, cfg, parts[g])
+					}
+				}(g)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := add(timeMedianPrepped("ingest_parallel_perchunk", logical, prepFileStore(parIngest(false)))); err != nil {
+		return nil, err
+	}
+	if err := add(timeMedianPrepped("ingest_parallel_batched", logical, prepFileStore(parIngest(true)))); err != nil {
+		return nil, err
+	}
+
+	// --- write path: incremental edit (dedup pre-check sink) ------------
+	editBase, err := pos.BuildMap(store.NewMemStore(), cfg, entries)
+	if err != nil {
+		return nil, err
+	}
+	editOps := make([]pos.Op, 100)
+	for i := range editOps {
+		editOps[i] = pos.Put([]byte(fmt.Sprintf("key-%010d", i*701%n)), []byte("edited"))
+	}
+	if err := add(timeMedian("edit_100_keys", 0, func() error {
+		_, err := editBase.Edit(editOps)
+		return err
+	})); err != nil {
+		return nil, err
+	}
+
+	// --- read path: carried forward from the node-cache work ------------
+	msRead := store.NewMemStore()
+	cached := store.WithNodeCache(store.NewVerifyingStore(msRead), nodecache.New(256<<20))
+	readTree, err := pos.BuildMap(cached, cfg, entries)
+	if err != nil {
+		return nil, err
+	}
+	warm := func(t *pos.Tree) error {
+		it, err := t.Iter()
+		if err != nil {
+			return err
+		}
+		for it.Next() {
+		}
+		return it.Err()
+	}
+	if err := warm(readTree); err != nil {
+		return nil, err
+	}
+	gets := 10000
+	if err := add(timeMedian("point_get_cached_10k", 0, func() error {
+		for i := 0; i < gets; i++ {
+			if _, err := readTree.Get([]byte(fmt.Sprintf("key-%010d", i*97%n))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})); err != nil {
+		return nil, err
+	}
+	uncachedTree, err := pos.LoadTree(msRead, cfg, readTree.Root())
+	if err != nil {
+		return nil, err
+	}
+	if err := add(timeMedian("point_get_uncached_10k", 0, func() error {
+		for i := 0; i < gets; i++ {
+			if _, err := uncachedTree.Get([]byte(fmt.Sprintf("key-%010d", i*97%n))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})); err != nil {
+		return nil, err
+	}
+	if err := add(timeMedian("scan_cached", logical, func() error {
+		return warm(readTree)
+	})); err != nil {
+		return nil, err
+	}
+
+	byName := map[string]int64{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r.MedianNs
+	}
+	ratio := func(base, opt string) float64 {
+		if byName[opt] == 0 {
+			return 0
+		}
+		return float64(byName[base]) / float64(byName[opt])
+	}
+	rep.Speedups["build_map"] = ratio("build_map_perchunk", "build_map_batched")
+	rep.Speedups["filestore_ingest"] = ratio("filestore_ingest_perchunk", "filestore_ingest_batched")
+	rep.Speedups["ingest_parallel"] = ratio("ingest_parallel_perchunk", "ingest_parallel_batched")
+	rep.Speedups["point_get_cache"] = ratio("point_get_uncached_10k", "point_get_cached_10k")
+	return rep, nil
+}
+
+// PrintPerf renders the report for humans.
+func PrintPerf(w io.Writer, rep *PerfReport) {
+	fmt.Fprintf(w, "Perf suite (entries=%d, median of %d, GOMAXPROCS=%d, %s)\n",
+		rep.Entries, rep.Runs, rep.GoMaxProcs, rep.GoVersion)
+	for _, r := range rep.Results {
+		if r.MBPerSec > 0 {
+			fmt.Fprintf(w, "  %-28s %12.2fms  %8.1f MB/s\n", r.Name, float64(r.MedianNs)/1e6, r.MBPerSec)
+		} else {
+			fmt.Fprintf(w, "  %-28s %12.2fms\n", r.Name, float64(r.MedianNs)/1e6)
+		}
+	}
+	for _, k := range []string{"build_map", "filestore_ingest", "ingest_parallel", "point_get_cache"} {
+		fmt.Fprintf(w, "  speedup %-20s %6.2fx\n", k, rep.Speedups[k])
+	}
+}
+
+// WritePerfJSON writes the report to path.
+func WritePerfJSON(path string, rep *PerfReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -170,6 +170,23 @@ func (f *FNode) Save(st store.Store) (hash.Hash, error) {
 	return c.ID(), nil
 }
 
+// SaveAll stores many FNodes in one batched store round and returns their
+// uids in order.  Multi-key ingest (core.DB.WriteBatch) commits all its
+// version objects with a single lock acquisition — and, on a FileStore, a
+// single group-commit flush — instead of one synchronous Put per version.
+func SaveAll(st store.Store, fs []*FNode) ([]hash.Hash, error) {
+	cs := make([]*chunk.Chunk, len(fs))
+	uids := make([]hash.Hash, len(fs))
+	for i, f := range fs {
+		cs[i] = chunk.New(chunk.TypeFNode, f.Encode())
+		uids[i] = cs[i].ID()
+	}
+	if _, err := store.PutBatch(st, cs); err != nil {
+		return nil, fmt.Errorf("fnode: save batch: %w", err)
+	}
+	return uids, nil
+}
+
 // UID computes the uid without storing.
 func (f *FNode) UID() hash.Hash {
 	return chunk.New(chunk.TypeFNode, f.Encode()).ID()
@@ -193,23 +210,35 @@ func Load(st store.Store, uid hash.Hash) (*FNode, error) {
 // History walks the first-parent chain from uid, returning up to limit uids
 // (most recent first).  limit <= 0 walks the full chain.
 func History(st store.Store, uid hash.Hash, limit int) ([]hash.Hash, error) {
-	var out []hash.Hash
+	uids, _, err := HistoryNodes(st, uid, limit)
+	return uids, err
+}
+
+// HistoryNodes walks the first-parent chain from uid and returns both the
+// uids and the loaded FNodes (parallel slices, most recent first).  The walk
+// has to load and decode every FNode anyway to follow its parent link, so
+// callers that also need the versions' contents (core.DB.History) take the
+// nodes from here instead of fetching and decoding each one a second time.
+func HistoryNodes(st store.Store, uid hash.Hash, limit int) ([]hash.Hash, []*FNode, error) {
+	var uids []hash.Hash
+	var nodes []*FNode
 	cur := uid
 	for !cur.IsZero() {
-		if limit > 0 && len(out) >= limit {
+		if limit > 0 && len(uids) >= limit {
 			break
 		}
-		out = append(out, cur)
 		f, err := Load(st, cur)
 		if err != nil {
-			return out, err
+			return uids, nodes, err
 		}
+		uids = append(uids, cur)
+		nodes = append(nodes, f)
 		if len(f.Bases) == 0 {
 			break
 		}
 		cur = f.Bases[0]
 	}
-	return out, nil
+	return uids, nodes, nil
 }
 
 // LCA returns the lowest common ancestor of two versions in the derivation

@@ -2,6 +2,7 @@ package fnode
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"forkbase/internal/chunker"
@@ -190,3 +191,77 @@ func TestIsAncestor(t *testing.T) {
 }
 
 func cfgSmall() chunker.Config { return chunker.SmallConfig() }
+
+func TestSaveAllMatchesSave(t *testing.T) {
+	ms := store.NewMemStore()
+	var fs []*FNode
+	var want []hash.Hash
+	prev := hash.Hash{}
+	for i := 0; i < 20; i++ {
+		var bases []hash.Hash
+		if !prev.IsZero() {
+			bases = []hash.Hash{prev}
+		}
+		f := New([]byte("k"), value.String(fmt.Sprintf("v%d", i)), bases, uint64(i+1), nil)
+		fs = append(fs, f)
+		want = append(want, f.UID())
+		prev = f.UID()
+	}
+	uids, err := SaveAll(ms, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range uids {
+		if uids[i] != want[i] {
+			t.Fatalf("uid %d mismatch", i)
+		}
+		got, err := Load(ms, uids[i])
+		if err != nil {
+			t.Fatalf("fnode %d not loadable after batch save: %v", i, err)
+		}
+		if got.Seq != uint64(i+1) {
+			t.Fatalf("fnode %d seq = %d", i, got.Seq)
+		}
+	}
+}
+
+func TestHistoryNodesParallelsHistory(t *testing.T) {
+	ms := store.NewMemStore()
+	prev := hash.Hash{}
+	for i := 0; i < 6; i++ {
+		var bases []hash.Hash
+		if !prev.IsZero() {
+			bases = []hash.Hash{prev}
+		}
+		f := New([]byte("k"), value.Int(int64(i)), bases, uint64(i+1), nil)
+		uid, err := f.Save(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = uid
+	}
+	uids, err := History(ms, prev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uids2, nodes, err := HistoryNodes(ms, prev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uids) != 6 || len(uids2) != 6 || len(nodes) != 6 {
+		t.Fatalf("lengths: %d %d %d", len(uids), len(uids2), len(nodes))
+	}
+	for i := range uids {
+		if uids[i] != uids2[i] {
+			t.Fatalf("uid %d differs", i)
+		}
+		if nodes[i].UID() != uids[i] {
+			t.Fatalf("node %d does not match its uid", i)
+		}
+	}
+	// Limit applies to both.
+	uids3, nodes3, err := HistoryNodes(ms, prev, 2)
+	if err != nil || len(uids3) != 2 || len(nodes3) != 2 {
+		t.Fatalf("limited walk: %d %d %v", len(uids3), len(nodes3), err)
+	}
+}

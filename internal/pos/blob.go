@@ -6,6 +6,7 @@ import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/chunker"
 	"forkbase/internal/hash"
+	"forkbase/internal/rolling"
 	"forkbase/internal/store"
 )
 
@@ -49,63 +50,129 @@ func LoadBlob(st store.Store, cfg chunker.Config, root hash.Hash) (*Blob, error)
 	return b, nil
 }
 
-// blobBuilder assembles blob leaves from a byte stream.
+// blobBuilder assembles blob leaves from a byte stream.  Bytes accumulate in
+// a contiguous [type][bytes...] buffer scanned in bulk for split patterns
+// (the byte-granular semantics of chunker.ByteChunker, without per-byte
+// calls); finished leaves are emitted into the write sink.
 type blobBuilder struct {
-	st       store.Store
-	chk      *chunker.ByteChunker
+	sink         *store.ChunkSink
+	cfg          chunker.Config
+	scan         *rolling.Scan
+	begin, check int
+
+	// buf is the builder's single scratch buffer, [1B chunk type][bytes...];
+	// Emit borrows it per call, so it is reused across leaves.
 	buf      []byte
+	scanPos  int
+	scanHash uint64
 	emitted  []childRef
+	ids      []*hash.Hash
 	boundary bool
+	one      [1]byte // scratch for single-byte adds
 }
 
-func newBlobBuilder(st store.Store, cfg chunker.Config) *blobBuilder {
-	return &blobBuilder{st: st, chk: chunker.NewByteChunker(cfg), boundary: true}
+func newBlobBuilder(sink *store.ChunkSink, cfg chunker.Config) *blobBuilder {
+	cfg = cfg.Normalized()
+	scan := rolling.NewScan(cfg.Q, cfg.Window)
+	b := &blobBuilder{
+		sink:     sink,
+		cfg:      cfg,
+		scan:     scan,
+		begin:    scan.SkipStart(cfg.MinSize),
+		check:    cfg.MinSize - 1,
+		boundary: true,
+	}
+	est := 2 << cfg.Q
+	if est > cfg.MaxSize {
+		est = cfg.MaxSize
+	}
+	b.buf = make([]byte, 1, 1+est)
+	b.buf[0] = byte(chunk.TypeBlobLeaf)
+	return b
 }
 
 func (b *blobBuilder) add(by byte) error {
-	b.buf = append(b.buf, by)
-	b.boundary = false
-	if b.chk.Roll(by) {
-		return b.closeLeaf()
-	}
-	return nil
+	b.one[0] = by
+	return b.addAll(b.one[:])
 }
 
+// addAll feeds p, closing leaves at every content-defined or max-size
+// boundary exactly where the byte-wise chunker would have.
 func (b *blobBuilder) addAll(p []byte) error {
-	for _, by := range p {
-		if err := b.add(by); err != nil {
-			return err
+	for {
+		node := b.buf[1:]
+		if len(node) < b.cfg.MaxSize && len(p) > 0 {
+			take := b.cfg.MaxSize - len(node)
+			if take > len(p) {
+				take = len(p)
+			}
+			b.buf = append(b.buf, p[:take]...)
+			p = p[take:]
+			node = b.buf[1:]
+		}
+		if len(node) == 0 {
+			return nil
+		}
+		b.boundary = false
+		hit, h := b.scan.Find(node, b.scanPos, b.scanHash, b.begin, b.check)
+		if hit >= 0 {
+			if err := b.closeLeafAt(hit + 1); err != nil {
+				return err
+			}
+			continue
+		}
+		b.scanHash, b.scanPos = h, len(node)
+		if len(node) >= b.cfg.MaxSize {
+			if err := b.closeLeafAt(len(node)); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(p) == 0 {
+			return nil
 		}
 	}
-	return nil
 }
 
-func (b *blobBuilder) closeLeaf() error {
-	if len(b.buf) == 0 {
-		b.boundary = true
-		return nil
-	}
-	c := chunk.New(chunk.TypeBlobLeaf, append([]byte(nil), b.buf...))
-	if _, err := b.st.Put(c); err != nil {
+// closeLeafAt emits the first cut bytes of the open leaf and shifts the
+// remainder (bytes past a mid-buffer pattern) to the front of the scratch,
+// where the next chunk's scan restarts from zero state — the determinism
+// ByteChunker gets from resetting its hasher at each boundary.
+func (b *blobBuilder) closeLeafAt(cut int) error {
+	region := b.buf[:1+cut]
+	idp, err := b.sink.Emit(chunk.TypeBlobLeaf, region)
+	if err != nil {
 		return err
 	}
-	b.emitted = append(b.emitted, childRef{id: c.ID(), count: uint64(len(b.buf))})
-	b.buf = b.buf[:0]
-	b.chk.Reset()
-	b.boundary = true
+	b.emitted = append(b.emitted, childRef{count: uint64(cut)})
+	b.ids = append(b.ids, idp)
+	rem := copy(b.buf[1:], b.buf[1+cut:])
+	b.buf = b.buf[:1+rem]
+	b.scanPos, b.scanHash = 0, 0
+	b.boundary = rem == 0
 	return nil
 }
 
 func (b *blobBuilder) finish() ([]childRef, error) {
-	if err := b.closeLeaf(); err != nil {
+	if n := len(b.buf) - 1; n > 0 {
+		if err := b.closeLeafAt(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.sink.Barrier(); err != nil {
 		return nil, err
+	}
+	for i := range b.emitted {
+		b.emitted[i].id = *b.ids[i]
 	}
 	return b.emitted, nil
 }
 
 // BuildBlob constructs a blob over data.
 func BuildBlob(st store.Store, cfg chunker.Config, data []byte) (*Blob, error) {
-	bb := newBlobBuilder(st, cfg)
+	sink := buildSink(st)
+	defer sink.Close()
+	bb := newBlobBuilder(sink, cfg)
 	if err := bb.addAll(data); err != nil {
 		return nil, err
 	}
@@ -113,8 +180,11 @@ func BuildBlob(st store.Store, cfg chunker.Config, data []byte) (*Blob, error) {
 	if err != nil {
 		return nil, err
 	}
-	root, err := buildLevels(st, cfg, leaves, 1, false)
+	root, err := buildLevels(sink, cfg, leaves, 1, false)
 	if err != nil {
+		return nil, err
+	}
+	if err := sink.Flush(); err != nil {
 		return nil, err
 	}
 	return &Blob{src: sourceFor(st), cfg: cfg, root: root.id, size: root.count}, nil
@@ -242,7 +312,9 @@ func (b *Blob) Splice(at, del uint64, ins []byte) (*Blob, error) {
 		lo++
 	}
 
-	bb := newBlobBuilder(b.src.st, b.cfg)
+	sink := editSink(b.src.st)
+	defer sink.Close()
+	bb := newBlobBuilder(sink, b.cfg)
 	oldLeaf := lo
 	var oldData []byte
 	oldPos := 0
@@ -323,30 +395,36 @@ done:
 	if err != nil {
 		return nil, err
 	}
+	flushed := func(bl *Blob) (*Blob, error) {
+		if err := sink.Flush(); err != nil {
+			return nil, err
+		}
+		return bl, nil
+	}
 	newSize := b.size - del + uint64(len(ins))
 	cur := splice{lo: lo, hi: hi, refs: newRefs}
 	for h := 0; ; h++ {
 		level := levels[h]
 		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
 		if total == 0 {
-			return &Blob{src: b.src, cfg: b.cfg}, nil
+			return flushed(&Blob{src: b.src, cfg: b.cfg})
 		}
 		if total == 1 {
 			root := singleSurvivor(level.refs, cur)
-			return &Blob{src: b.src, cfg: b.cfg, root: root.id, size: newSize}, nil
+			return flushed(&Blob{src: b.src, cfg: b.cfg, root: root.id, size: newSize})
 		}
 		if h == len(levels)-1 {
 			full := make([]childRef, 0, total)
 			full = append(full, level.refs[:cur.lo]...)
 			full = append(full, cur.refs...)
 			full = append(full, level.refs[cur.hi:]...)
-			root, err := buildLevels(b.src.st, b.cfg, full, uint8(h+1), false)
+			root, err := buildLevels(sink, b.cfg, full, uint8(h+1), false)
 			if err != nil {
 				return nil, err
 			}
-			return &Blob{src: b.src, cfg: b.cfg, root: root.id, size: newSize}, nil
+			return flushed(&Blob{src: b.src, cfg: b.cfg, root: root.id, size: newSize})
 		}
-		cur, err = seqSpliceLevel(b.src.st, b.cfg, levels[h+1], level.refs, cur, uint8(h+1))
+		cur, err = seqSpliceLevel(sink, b.cfg, levels[h+1], level.refs, cur, uint8(h+1))
 		if err != nil {
 			return nil, err
 		}

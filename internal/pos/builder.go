@@ -2,64 +2,128 @@ package pos
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/rolling"
 	"forkbase/internal/store"
 )
 
-// levelBuilder assembles one level of a POS-Tree.  Encoded entries are fed in
-// order; the entry chunker decides node boundaries; finished nodes are
-// written to the store and summarised as childRefs for the level above.
-type levelBuilder struct {
-	st    store.Store
-	cfg   chunker.Config
-	chk   chunker.Boundary
-	level uint8
-	isMap bool // map variant (split keys) vs sequence variant
+// nodeHeadroom reserves space at the front of a node buffer for the chunk
+// type byte, the node level byte and the entry-count varint, so the finished
+// node is a contiguous [type][level][uvarint n][entries] run that can be
+// hashed and stored in place — no per-node payload copy.
+const nodeHeadroom = 2 + binary.MaxVarintLen64
 
-	buf      []byte // concatenated encoded entries of the open node
+// levelBuilder assembles one level of a POS-Tree.  Entries are encoded
+// directly into the open node's buffer; the chunker decides boundaries; each
+// finished node is emitted into the write sink, which hashes it (possibly on
+// a worker pool) and lands it in a batched store write.  Child ids therefore
+// resolve asynchronously: emitted refs carry pending id pointers that finish
+// fills in after a sink barrier.
+type levelBuilder struct {
+	sink  *store.ChunkSink
+	cfg   chunker.Config
+	level uint8
+	isMap bool
+
+	// Leaf levels (0) detect boundaries with a contiguous bulk scan over the
+	// node buffer — the same byte-granular pattern as chunker.EntryChunker,
+	// minus the per-byte call and ring-buffer bookkeeping, plus the min-size
+	// skip (bytes that no checkable window can reach are never hashed).
+	// Index levels keep the entry-granular IndexChunker.
+	scan         *rolling.Scan
+	begin, check int // scan constants: hash start index, first checkable index
+	scanPos      int
+	scanHash     uint64
+	idx          *chunker.IndexChunker
+
+	// buf is the builder's single scratch buffer, [nodeHeadroom][entries...].
+	// Emit borrows it only for the duration of the call (the sink copies the
+	// surviving payload), so one buffer serves every node of the level.
+	buf      []byte
 	n        int    // entries in the open node
 	lastKey  []byte // greatest key seen in the open node (map only)
 	count    uint64 // leaf entries below the open node
 	emitted  []childRef
-	boundary bool // true when positioned exactly at a node boundary
+	ids      []*hash.Hash // pending chunk ids, parallel to emitted
+	boundary bool         // true when positioned exactly at a node boundary
 }
 
-func newLevelBuilder(st store.Store, cfg chunker.Config, level uint8, isMap bool) *levelBuilder {
-	// Leaves split on byte-granular patterns (that is the dedup unit);
-	// index levels split on entry-granular patterns, which guarantees
-	// geometric reduction towards the root (see chunker.IndexChunker).
-	var chk chunker.Boundary
-	if level == 0 {
-		chk = chunker.NewEntryChunker(cfg)
-	} else {
-		chk = chunker.NewIndexChunker(cfg)
-	}
-	return &levelBuilder{
-		st:       st,
+func newLevelBuilder(sink *store.ChunkSink, cfg chunker.Config, level uint8, isMap bool) *levelBuilder {
+	cfg = cfg.Normalized()
+	b := &levelBuilder{
+		sink:     sink,
 		cfg:      cfg,
-		chk:      chk,
 		level:    level,
 		isMap:    isMap,
 		boundary: true,
 	}
+	if level == 0 {
+		b.scan = rolling.NewScan(cfg.Q, cfg.Window)
+		b.begin = b.scan.SkipStart(cfg.MinSize)
+		b.check = cfg.MinSize - 1
+	} else {
+		b.idx = chunker.NewIndexChunker(cfg)
+	}
+	est := 2 << cfg.Q
+	if est > cfg.MaxSize {
+		est = cfg.MaxSize
+	}
+	b.buf = make([]byte, nodeHeadroom, nodeHeadroom+est)
+	return b
 }
 
-// add feeds one encoded entry covering `below` leaf entries, whose greatest
-// key is key (map variant only).  It returns an error only on store failure.
-func (b *levelBuilder) add(encoded []byte, key []byte, below uint64) error {
-	b.buf = append(b.buf, encoded...)
+// afterAppend runs the boundary decision for the entry just encoded at
+// b.buf[encStart:].
+func (b *levelBuilder) afterAppend(encStart int, key []byte, below uint64) error {
 	b.n++
 	b.lastKey = key
 	b.count += below
 	b.boundary = false
-	if b.chk.Add(encoded) {
+	if b.level == 0 {
+		node := b.buf[nodeHeadroom:]
+		hit, h := b.scan.Find(node, b.scanPos, b.scanHash, b.begin, b.check)
+		b.scanHash = h
+		b.scanPos = len(node)
+		if hit >= 0 || len(node) >= b.cfg.MaxSize {
+			return b.closeNode()
+		}
+		return nil
+	}
+	if b.idx.Add(b.buf[encStart:]) {
 		return b.closeNode()
 	}
 	return nil
+}
+
+// addEntry feeds one map entry (leaf level of the map variant).
+func (b *levelBuilder) addEntry(e Entry) error {
+	s := len(b.buf)
+	b.buf = encodeEntry(b.buf, e)
+	return b.afterAppend(s, e.Key, 1)
+}
+
+// addItem feeds one sequence item (leaf level of the seq variant).
+func (b *levelBuilder) addItem(item []byte) error {
+	s := len(b.buf)
+	b.buf = encodeSeqItem(b.buf, item)
+	return b.afterAppend(s, nil, 1)
+}
+
+// addRef feeds one child reference (index levels).
+func (b *levelBuilder) addRef(r childRef) error {
+	s := len(b.buf)
+	if b.isMap {
+		b.buf = encodeChildRef(b.buf, r)
+	} else {
+		b.buf = encodeSeqChildRef(b.buf, r)
+	}
+	return b.afterAppend(s, r.splitKey, r.count)
 }
 
 // atBoundary reports whether the builder sits exactly at a node boundary
@@ -67,48 +131,66 @@ func (b *levelBuilder) add(encoded []byte, key []byte, below uint64) error {
 // with the old chunking.
 func (b *levelBuilder) atBoundary() bool { return b.boundary }
 
-// closeNode finalises the open node, stores its chunk, and records its ref.
+// closeNode finalises the open node in place and emits it into the sink;
+// its id resolves at the next barrier (finish).
 func (b *levelBuilder) closeNode() error {
 	if b.n == 0 {
 		b.boundary = true
 		return nil
 	}
-	var c *chunk.Chunk
+	var t chunk.Type
 	if b.isMap {
-		t := chunk.TypeMapLeaf
+		t = chunk.TypeMapLeaf
 		if b.level > 0 {
 			t = chunk.TypeMapIndex
 		}
-		c = chunk.New(t, encodeNodePayload(b.level, b.n, b.buf))
 	} else {
-		t := chunk.TypeSeqLeaf
+		t = chunk.TypeSeqLeaf
 		if b.level > 0 {
 			t = chunk.TypeSeqIndex
 		}
-		c = chunk.New(t, encodeNodePayload(b.level, b.n, b.buf))
 	}
-	if _, err := b.st.Put(c); err != nil {
+	var tmp [binary.MaxVarintLen64]byte
+	nlen := binary.PutUvarint(tmp[:], uint64(b.n))
+	rs := nodeHeadroom - 2 - nlen
+	region := b.buf[rs:]
+	region[0] = byte(t)
+	region[1] = b.level
+	copy(region[2:], tmp[:nlen])
+	idp, err := b.sink.Emit(t, region)
+	if err != nil {
 		return fmt.Errorf("pos: storing node: %w", err)
 	}
-	ref := childRef{id: c.ID(), count: b.count}
+	ref := childRef{count: b.count}
 	if b.isMap {
 		ref.splitKey = append([]byte(nil), b.lastKey...)
 	}
 	b.emitted = append(b.emitted, ref)
-	b.buf = b.buf[:0]
+	b.ids = append(b.ids, idp)
+	b.buf = b.buf[:nodeHeadroom]
 	b.n = 0
 	b.lastKey = nil
 	b.count = 0
-	b.chk.Reset()
+	b.scanPos, b.scanHash = 0, 0
+	if b.idx != nil {
+		b.idx.Reset()
+	}
 	b.boundary = true
 	return nil
 }
 
 // finish closes any trailing node (the "last node of a level", which the
-// paper allows to end without a pattern) and returns the refs of this level.
+// paper allows to end without a pattern), waits for the sink to resolve every
+// pending id, and returns the refs of this level.
 func (b *levelBuilder) finish() ([]childRef, error) {
 	if err := b.closeNode(); err != nil {
 		return nil, err
+	}
+	if err := b.sink.Barrier(); err != nil {
+		return nil, err
+	}
+	for i := range b.emitted {
+		b.emitted[i].id = *b.ids[i]
 	}
 	return b.emitted, nil
 }
@@ -116,18 +198,11 @@ func (b *levelBuilder) finish() ([]childRef, error) {
 // buildLevels stacks index levels over refs until a single root remains.
 // Used both by from-scratch builds and to cap incremental edits whose top
 // level ended up with more than one node.
-func buildLevels(st store.Store, cfg chunker.Config, refs []childRef, level uint8, isMap bool) (childRef, error) {
+func buildLevels(sink *store.ChunkSink, cfg chunker.Config, refs []childRef, level uint8, isMap bool) (childRef, error) {
 	for len(refs) > 1 {
-		lb := newLevelBuilder(st, cfg, level, isMap)
-		var enc []byte
+		lb := newLevelBuilder(sink, cfg, level, isMap)
 		for _, r := range refs {
-			enc = enc[:0]
-			if isMap {
-				enc = encodeChildRef(enc, r)
-			} else {
-				enc = encodeSeqChildRef(enc, r)
-			}
-			if err := lb.add(enc, r.splitKey, r.count); err != nil {
+			if err := lb.addRef(r); err != nil {
 				return childRef{}, err
 			}
 		}
@@ -144,18 +219,31 @@ func buildLevels(st store.Store, cfg chunker.Config, refs []childRef, level uint
 	return refs[0], nil
 }
 
+// buildSink returns the write sink for a from-scratch build over st.
+func buildSink(st store.Store) *store.ChunkSink {
+	return store.NewChunkSink(st, store.SinkOptions{})
+}
+
+// editSink returns the write sink for incremental edits and merges: the
+// dedup pre-check is on, so re-emitting shared subtrees costs read-locked
+// index lookups instead of writes.
+func editSink(st store.Store) *store.ChunkSink {
+	return store.NewChunkSink(st, store.SinkOptions{Dedup: true})
+}
+
 // BuildMap constructs a map POS-Tree over entries (which need not be sorted;
 // duplicate keys keep the last value) and returns the tree.  The build is a
 // pure function of the final record set — the SIRI structural-invariance
 // property — because node boundaries depend only on the sorted entry stream.
+// Nodes flow to the store through a batched sink; the tree is fully landed
+// when BuildMap returns.
 func BuildMap(st store.Store, cfg chunker.Config, entries []Entry) (*Tree, error) {
 	sorted := normalizeEntries(entries)
-	lb := newLevelBuilder(st, cfg, 0, true)
-	var enc []byte
+	sink := buildSink(st)
+	defer sink.Close()
+	lb := newLevelBuilder(sink, cfg, 0, true)
 	for _, e := range sorted {
-		enc = enc[:0]
-		enc = encodeEntry(enc, e)
-		if err := lb.add(enc, e.Key, 1); err != nil {
+		if err := lb.addEntry(e); err != nil {
 			return nil, err
 		}
 	}
@@ -163,20 +251,36 @@ func BuildMap(st store.Store, cfg chunker.Config, entries []Entry) (*Tree, error
 	if err != nil {
 		return nil, err
 	}
-	root, err := buildLevels(st, cfg, leaves, 1, true)
+	root, err := buildLevels(sink, cfg, leaves, 1, true)
 	if err != nil {
+		return nil, err
+	}
+	if err := sink.Flush(); err != nil {
 		return nil, err
 	}
 	return &Tree{src: sourceFor(st), cfg: cfg, root: root.id, count: root.count}, nil
 }
 
 // normalizeEntries sorts entries by key, keeping the last occurrence of
-// duplicate keys, and drops nil-key entries.
+// duplicate keys.  Bulk ingest commonly arrives already sorted and unique
+// (CSV keyed by primary key, export/import round-trips), so that case is
+// detected with one linear scan and returns the input slice untouched — no
+// copy, no sort.
 func normalizeEntries(entries []Entry) []Entry {
+	presorted := true
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+			presorted = false
+			break
+		}
+	}
+	if presorted {
+		return entries
+	}
 	sorted := make([]Entry, len(entries))
 	copy(sorted, entries)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
+	slices.SortStableFunc(sorted, func(a, b Entry) int {
+		return bytes.Compare(a.Key, b.Key)
 	})
 	out := sorted[:0]
 	for i, e := range sorted {

@@ -1,0 +1,197 @@
+package pos
+
+import (
+	"bytes"
+	"sort"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/store"
+)
+
+// This file preserves the pre-sink write path — one chunk.New and one
+// synchronous store.Put per node, boundary detection through the byte-wise
+// chunker — verbatim.  It serves two purposes:
+//
+//  1. Oracle: the batched sink path must produce byte-identical trees; the
+//     differential tests in builder_test.go compare roots against this
+//     implementation over randomized inputs.
+//  2. Baseline: the per-chunk-Put baseline of the write-path benchmarks
+//     (BenchmarkBuildMapPerChunk, the bench -exp perf suite) is this code,
+//     so the measured speedup is the end-to-end write-path delta rather than
+//     a synthetic reconstruction.
+//
+// It intentionally mirrors builder.go's structure; do not "fix" it to share
+// code with the new path, or the comparison stops measuring anything.
+
+// legacyLevelBuilder assembles one level of a POS-Tree with a synchronous
+// Put per finished node.
+type legacyLevelBuilder struct {
+	st    store.Store
+	cfg   chunker.Config
+	chk   chunker.Boundary
+	level uint8
+	isMap bool
+
+	buf      []byte
+	n        int
+	lastKey  []byte
+	count    uint64
+	emitted  []childRef
+	boundary bool
+}
+
+func newLegacyLevelBuilder(st store.Store, cfg chunker.Config, level uint8, isMap bool) *legacyLevelBuilder {
+	var chk chunker.Boundary
+	if level == 0 {
+		chk = chunker.NewEntryChunker(cfg)
+	} else {
+		chk = chunker.NewIndexChunker(cfg)
+	}
+	return &legacyLevelBuilder{
+		st:       st,
+		cfg:      cfg,
+		chk:      chk,
+		level:    level,
+		isMap:    isMap,
+		boundary: true,
+	}
+}
+
+func (b *legacyLevelBuilder) add(encoded []byte, key []byte, below uint64) error {
+	b.buf = append(b.buf, encoded...)
+	b.n++
+	b.lastKey = key
+	b.count += below
+	b.boundary = false
+	if b.chk.Add(encoded) {
+		return b.closeNode()
+	}
+	return nil
+}
+
+func (b *legacyLevelBuilder) closeNode() error {
+	if b.n == 0 {
+		b.boundary = true
+		return nil
+	}
+	var c *chunk.Chunk
+	if b.isMap {
+		t := chunk.TypeMapLeaf
+		if b.level > 0 {
+			t = chunk.TypeMapIndex
+		}
+		c = chunk.New(t, encodeNodePayload(b.level, b.n, b.buf))
+	} else {
+		t := chunk.TypeSeqLeaf
+		if b.level > 0 {
+			t = chunk.TypeSeqIndex
+		}
+		c = chunk.New(t, encodeNodePayload(b.level, b.n, b.buf))
+	}
+	if _, err := b.st.Put(c); err != nil {
+		return err
+	}
+	ref := childRef{id: c.ID(), count: b.count}
+	if b.isMap {
+		ref.splitKey = append([]byte(nil), b.lastKey...)
+	}
+	b.emitted = append(b.emitted, ref)
+	b.buf = b.buf[:0]
+	b.n = 0
+	b.lastKey = nil
+	b.count = 0
+	b.chk.Reset()
+	b.boundary = true
+	return nil
+}
+
+func (b *legacyLevelBuilder) finish() ([]childRef, error) {
+	if err := b.closeNode(); err != nil {
+		return nil, err
+	}
+	return b.emitted, nil
+}
+
+func legacyBuildLevels(st store.Store, cfg chunker.Config, refs []childRef, level uint8, isMap bool) (childRef, error) {
+	for len(refs) > 1 {
+		lb := newLegacyLevelBuilder(st, cfg, level, isMap)
+		var enc []byte
+		for _, r := range refs {
+			enc = enc[:0]
+			if isMap {
+				enc = encodeChildRef(enc, r)
+			} else {
+				enc = encodeSeqChildRef(enc, r)
+			}
+			if err := lb.add(enc, r.splitKey, r.count); err != nil {
+				return childRef{}, err
+			}
+		}
+		var err error
+		refs, err = lb.finish()
+		if err != nil {
+			return childRef{}, err
+		}
+		level++
+	}
+	if len(refs) == 0 {
+		return childRef{}, nil
+	}
+	return refs[0], nil
+}
+
+// legacyNormalizeEntries is the pre-sink normalization: unconditional copy
+// plus reflective stable sort, kept so the baseline measures the old path's
+// full cost.
+func legacyNormalizeEntries(entries []Entry) []Entry {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
+	})
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i+1 < len(sorted) && bytes.Equal(e.Key, sorted[i+1].Key) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// BuildMapPerChunk builds a map POS-Tree through the pre-sink write path:
+// every node is materialised with an individual synchronous store.Put.  It
+// must produce a tree byte-identical to BuildMap — structural invariance is a
+// property of the record set, not of the write path that stored it.
+func BuildMapPerChunk(st store.Store, cfg chunker.Config, entries []Entry) (*Tree, error) {
+	sorted := legacyNormalizeEntries(entries)
+	lb := newLegacyLevelBuilder(st, cfg, 0, true)
+	var enc []byte
+	for _, e := range sorted {
+		enc = enc[:0]
+		enc = encodeEntry(enc, e)
+		if err := lb.add(enc, e.Key, 1); err != nil {
+			return nil, err
+		}
+	}
+	leaves, err := lb.finish()
+	if err != nil {
+		return nil, err
+	}
+	root, err := legacyBuildLevels(st, cfg, leaves, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{src: sourceFor(st), cfg: cfg, root: root.id, count: root.count}, nil
+}
+
+// encodeNodePayload renders the canonical node payload; kept here with the
+// legacy path (the sink path assembles the same layout in place).
+func encodeNodePayload(level uint8, n int, entries []byte) []byte {
+	out := make([]byte, 0, 1+10+len(entries))
+	out = append(out, level)
+	out = appendUvarint(out, uint64(n))
+	out = append(out, entries...)
+	return out
+}

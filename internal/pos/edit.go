@@ -7,6 +7,7 @@ import (
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
+	"forkbase/internal/store"
 )
 
 // Op is a single mutation in an edit batch: a put (Delete=false) or a
@@ -130,7 +131,20 @@ func (t *Tree) Edit(ops []Op) (*Tree, error) {
 	}
 	leafRefs := levels[0].refs
 
-	lo, hi, newRefs, delta, err := t.editLeaves(leafRefs, ops)
+	// Edits write through a dedup-checking sink: nodes whose bytes already
+	// exist (identity rewrites, shared subtrees) cost an index lookup, not a
+	// write.  The deferred Close lands stray emissions on the no-new-tree
+	// return paths; paths that return a new tree flush explicitly first.
+	sink := editSink(t.src.st)
+	defer sink.Close()
+	done := func(tr *Tree) (*Tree, error) {
+		if err := sink.Flush(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+
+	lo, hi, newRefs, delta, err := t.editLeaves(sink, leafRefs, ops)
 	if err != nil {
 		return nil, err
 	}
@@ -158,11 +172,11 @@ func (t *Tree) Edit(ops []Op) (*Tree, error) {
 		level := levels[h]
 		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
 		if total == 0 {
-			return &Tree{src: t.src, cfg: t.cfg}, nil // tree emptied
+			return done(&Tree{src: t.src, cfg: t.cfg}) // tree emptied
 		}
 		if total == 1 {
 			root := singleSurvivor(level.refs, cur)
-			return &Tree{src: t.src, cfg: t.cfg, root: root.id, count: newCount}, nil
+			return done(&Tree{src: t.src, cfg: t.cfg, root: root.id, count: newCount})
 		}
 		if h == len(levels)-1 {
 			// Top existing level still has multiple nodes: stack fresh
@@ -171,13 +185,13 @@ func (t *Tree) Edit(ops []Op) (*Tree, error) {
 			full = append(full, level.refs[:cur.lo]...)
 			full = append(full, cur.refs...)
 			full = append(full, level.refs[cur.hi:]...)
-			root, err := buildLevels(t.src.st, t.cfg, full, uint8(h+1), true)
+			root, err := buildLevels(sink, t.cfg, full, uint8(h+1), true)
 			if err != nil {
 				return nil, err
 			}
-			return &Tree{src: t.src, cfg: t.cfg, root: root.id, count: newCount}, nil
+			return done(&Tree{src: t.src, cfg: t.cfg, root: root.id, count: newCount})
 		}
-		cur, err = t.spliceLevel(levels[h+1], level.refs, cur, uint8(h+1))
+		cur, err = t.spliceLevel(sink, levels[h+1], level.refs, cur, uint8(h+1))
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +217,7 @@ func singleSurvivor(old []childRef, s splice) childRef {
 // editLeaves re-chunks the leaf level across the affected key range.
 // It returns the replaced leaf range [lo, hi), the replacement refs, and the
 // entry-count delta.
-func (t *Tree) editLeaves(leafRefs []childRef, ops []Op) (lo, hi int, out []childRef, delta int64, err error) {
+func (t *Tree) editLeaves(sink *store.ChunkSink, leafRefs []childRef, ops []Op) (lo, hi int, out []childRef, delta int64, err error) {
 	firstKey := ops[0].Key
 	lo = sort.Search(len(leafRefs), func(i int) bool {
 		return bytes.Compare(leafRefs[i].splitKey, firstKey) >= 0
@@ -212,7 +226,7 @@ func (t *Tree) editLeaves(leafRefs []childRef, ops []Op) (lo, hi int, out []chil
 		lo = len(leafRefs) - 1
 	}
 
-	lb := newLevelBuilder(t.src.st, t.cfg, 0, true)
+	lb := newLevelBuilder(sink, t.cfg, 0, true)
 	oldLeaf := lo
 	var oldEntries []Entry
 	oldPos := 0
@@ -241,14 +255,11 @@ func (t *Tree) editLeaves(leafRefs []childRef, ops []Op) (lo, hi int, out []chil
 		}
 	}
 	advanceOld := func() { oldPos++ }
-	var enc []byte
 	feed := func(e Entry, isNew bool) error {
-		enc = enc[:0]
-		enc = encodeEntry(enc, e)
 		if isNew {
 			delta++
 		}
-		return lb.add(enc, e.Key, 1)
+		return lb.addEntry(e)
 	}
 
 	opIdx := 0
@@ -313,7 +324,7 @@ func (t *Tree) editLeaves(leafRefs []childRef, ops []Op) (lo, hi int, out []chil
 // (whose nodes' children are lowerOld).  It re-chunks index entries from the
 // first affected node until re-synchronisation and returns the splice to
 // apply one level up.
-func (t *Tree) spliceLevel(level levelInfo, lowerOld []childRef, s splice, levelNo uint8) (splice, error) {
+func (t *Tree) spliceLevel(sink *store.ChunkSink, level levelInfo, lowerOld []childRef, s splice, levelNo uint8) (splice, error) {
 	starts := level.childStart
 	// Node a: the last node whose first child is <= s.lo.
 	a := sort.Search(len(starts), func(i int) bool { return starts[i] > s.lo }) - 1
@@ -321,12 +332,9 @@ func (t *Tree) spliceLevel(level levelInfo, lowerOld []childRef, s splice, level
 		a = 0
 	}
 
-	lb := newLevelBuilder(t.src.st, t.cfg, levelNo, true)
-	var enc []byte
+	lb := newLevelBuilder(sink, t.cfg, levelNo, true)
 	feed := func(r childRef) error {
-		enc = enc[:0]
-		enc = encodeChildRef(enc, r)
-		return lb.add(enc, r.splitKey, r.count)
+		return lb.addRef(r)
 	}
 
 	pos := starts[a]
@@ -392,12 +400,14 @@ func (t *Tree) EditRebuild(ops []Op) (*Tree, error) {
 	if len(ops) == 0 {
 		return t, nil
 	}
-	lb := newLevelBuilder(t.src.st, t.cfg, 0, true)
-	var enc []byte
+	// The rebuild re-emits the entire record set, almost all of which chunks
+	// identically to the existing tree — exactly the case the sink's dedup
+	// pre-check turns into index lookups instead of writes.
+	sink := editSink(t.src.st)
+	defer sink.Close()
+	lb := newLevelBuilder(sink, t.cfg, 0, true)
 	feed := func(e Entry) error {
-		enc = enc[:0]
-		enc = encodeEntry(enc, e)
-		return lb.add(enc, e.Key, 1)
+		return lb.addEntry(e)
 	}
 	it, err := t.Iter()
 	if err != nil {
@@ -454,8 +464,11 @@ func (t *Tree) EditRebuild(ops []Op) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	root, err := buildLevels(t.src.st, t.cfg, leaves, 1, true)
+	root, err := buildLevels(sink, t.cfg, leaves, 1, true)
 	if err != nil {
+		return nil, err
+	}
+	if err := sink.Flush(); err != nil {
 		return nil, err
 	}
 	return &Tree{src: t.src, cfg: t.cfg, root: root.id, count: root.count}, nil

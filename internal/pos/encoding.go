@@ -39,8 +39,13 @@ type childRef struct {
 	count    uint64 // leaf entries (or bytes/items, for sequences) below
 }
 
-// appendUvarint appends x in unsigned varint form.
+// appendUvarint appends x in unsigned varint form.  The single-byte case is
+// the write path's hottest encode (key/value lengths are almost always
+// < 128), so it skips the scratch-array round trip.
 func appendUvarint(dst []byte, x uint64) []byte {
+	if x < 0x80 {
+		return append(dst, byte(x))
+	}
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], x)
 	return append(dst, tmp[:n]...)
@@ -87,15 +92,9 @@ func encodeSeqChildRef(dst []byte, r childRef) []byte {
 //	[1B level][uvarint n][n encoded entries]
 //
 // level 0 = leaf; ≥1 = index.  The level byte lets Diff align subtrees of
-// trees with different heights without external metadata.
-
-func encodeNodePayload(level uint8, n int, entries []byte) []byte {
-	out := make([]byte, 0, 1+binary.MaxVarintLen64+len(entries))
-	out = append(out, level)
-	out = appendUvarint(out, uint64(n))
-	out = append(out, entries...)
-	return out
-}
+// trees with different heights without external metadata.  The legacy
+// builder materialises the layout with encodeNodePayload (builder_legacy.go);
+// the sink builder assembles it in place inside its node buffer.
 
 func errTrunc(what string) error { return fmt.Errorf("pos: truncated %s payload", what) }
 

@@ -55,12 +55,11 @@ func LoadSeq(st store.Store, cfg chunker.Config, root hash.Hash) (*Seq, error) {
 
 // BuildSeq constructs a sequence over items.
 func BuildSeq(st store.Store, cfg chunker.Config, items [][]byte) (*Seq, error) {
-	lb := newLevelBuilder(st, cfg, 0, false)
-	var enc []byte
+	sink := buildSink(st)
+	defer sink.Close()
+	lb := newLevelBuilder(sink, cfg, 0, false)
 	for _, it := range items {
-		enc = enc[:0]
-		enc = encodeSeqItem(enc, it)
-		if err := lb.add(enc, nil, 1); err != nil {
+		if err := lb.addItem(it); err != nil {
 			return nil, err
 		}
 	}
@@ -68,8 +67,11 @@ func BuildSeq(st store.Store, cfg chunker.Config, items [][]byte) (*Seq, error) 
 	if err != nil {
 		return nil, err
 	}
-	root, err := buildLevels(st, cfg, leaves, 1, false)
+	root, err := buildLevels(sink, cfg, leaves, 1, false)
 	if err != nil {
+		return nil, err
+	}
+	if err := sink.Flush(); err != nil {
 		return nil, err
 	}
 	return &Seq{src: sourceFor(st), cfg: cfg, root: root.id, count: root.count}, nil
@@ -234,12 +236,11 @@ func (s *Seq) Splice(at, del uint64, ins [][]byte) (*Seq, error) {
 		lo++
 	}
 
-	lb := newLevelBuilder(s.src.st, s.cfg, 0, false)
-	var enc []byte
+	sink := editSink(s.src.st)
+	defer sink.Close()
+	lb := newLevelBuilder(sink, s.cfg, 0, false)
 	feed := func(item []byte) error {
-		enc = enc[:0]
-		enc = encodeSeqItem(enc, item)
-		return lb.add(enc, nil, 1)
+		return lb.addItem(item)
 	}
 
 	oldLeaf := lo
@@ -325,30 +326,36 @@ done:
 	if err != nil {
 		return nil, err
 	}
+	flushed := func(sq *Seq) (*Seq, error) {
+		if err := sink.Flush(); err != nil {
+			return nil, err
+		}
+		return sq, nil
+	}
 	newCount := s.count - del + uint64(len(ins))
 	cur := splice{lo: lo, hi: hi, refs: newRefs}
 	for h := 0; ; h++ {
 		level := levels[h]
 		total := len(level.refs) - (cur.hi - cur.lo) + len(cur.refs)
 		if total == 0 {
-			return &Seq{src: s.src, cfg: s.cfg}, nil
+			return flushed(&Seq{src: s.src, cfg: s.cfg})
 		}
 		if total == 1 {
 			root := singleSurvivor(level.refs, cur)
-			return &Seq{src: s.src, cfg: s.cfg, root: root.id, count: newCount}, nil
+			return flushed(&Seq{src: s.src, cfg: s.cfg, root: root.id, count: newCount})
 		}
 		if h == len(levels)-1 {
 			full := make([]childRef, 0, total)
 			full = append(full, level.refs[:cur.lo]...)
 			full = append(full, cur.refs...)
 			full = append(full, level.refs[cur.hi:]...)
-			root, err := buildLevels(s.src.st, s.cfg, full, uint8(h+1), false)
+			root, err := buildLevels(sink, s.cfg, full, uint8(h+1), false)
 			if err != nil {
 				return nil, err
 			}
-			return &Seq{src: s.src, cfg: s.cfg, root: root.id, count: newCount}, nil
+			return flushed(&Seq{src: s.src, cfg: s.cfg, root: root.id, count: newCount})
 		}
-		cur, err = seqSpliceLevel(s.src.st, s.cfg, levels[h+1], level.refs, cur, uint8(h+1))
+		cur, err = seqSpliceLevel(sink, s.cfg, levels[h+1], level.refs, cur, uint8(h+1))
 		if err != nil {
 			return nil, err
 		}
@@ -356,18 +363,15 @@ done:
 }
 
 // seqSpliceLevel propagates a splice through a sequence index level.
-func seqSpliceLevel(st store.Store, cfg chunker.Config, level levelInfo, lowerOld []childRef, s splice, levelNo uint8) (splice, error) {
+func seqSpliceLevel(sink *store.ChunkSink, cfg chunker.Config, level levelInfo, lowerOld []childRef, s splice, levelNo uint8) (splice, error) {
 	starts := level.childStart
 	a := sort.Search(len(starts), func(i int) bool { return starts[i] > s.lo }) - 1
 	if a < 0 {
 		a = 0
 	}
-	lb := newLevelBuilder(st, cfg, levelNo, false)
-	var enc []byte
+	lb := newLevelBuilder(sink, cfg, levelNo, false)
 	feed := func(r childRef) error {
-		enc = enc[:0]
-		enc = encodeSeqChildRef(enc, r)
-		return lb.add(enc, nil, r.count)
+		return lb.addRef(r)
 	}
 	pos := starts[a]
 	newIdx := 0

@@ -9,6 +9,9 @@ import (
 // Dataset routes (registered under /v1/dataset/):
 //
 //	POST /v1/dataset/{name}?branch=B&key=COL    import CSV (request body)
+//	POST /v1/dataset/{name}?branch=B&append=1   bulk-upsert CSV rows into the
+//	                                            existing dataset (batched
+//	                                            incremental write path)
 //	GET  /v1/dataset/{name}?branch=B            export CSV
 //	GET  /v1/dataset/{name}/stat?branch=B       dataset statistics
 //	GET  /v1/dataset/{name}/diff?from=B1&to=B2  cell-level differential query
@@ -53,6 +56,24 @@ func cut(s string, sep byte) (before, after string, found bool) {
 }
 
 func (h *Handler) importCSV(w http.ResponseWriter, r *http.Request, name string) {
+	if r.URL.Query().Get("append") == "1" {
+		cur, err := dataset.Open(h.db, name, branchParam(r))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		ds, err := cur.AppendCSV(r.Body, nil)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dataset": name,
+			"rows":    ds.Rows(),
+			"uid":     ds.Version().UID.String(),
+		})
+		return
+	}
 	keyCol := r.URL.Query().Get("key")
 	if keyCol == "" {
 		keyCol = "id"

@@ -1,6 +1,8 @@
 package rest
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -105,5 +107,59 @@ func TestDatasetRESTErrors(t *testing.T) {
 	code, _ = doJSON(t, http.MethodGet, srv.URL+"/v1/dataset/ghost/diff", nil)
 	if code != http.StatusBadRequest {
 		t.Fatalf("diff without branches: %d", code)
+	}
+}
+
+func TestDatasetAppendREST(t *testing.T) {
+	srv, _, _ := newServer(t)
+	csv1 := "id,name\n1,ann\n2,bob\n"
+	resp, err := http.Post(srv.URL+"/v1/dataset/people?key=id", "text/csv", strings.NewReader(csv1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import code = %d", resp.StatusCode)
+	}
+
+	// Bulk-upsert two rows (one new, one changed) through the append path.
+	csv2 := "id,name\n2,bobby\n3,cho\n"
+	resp, err = http.Post(srv.URL+"/v1/dataset/people?append=1", "text/csv", strings.NewReader(csv2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append code = %d body = %v", resp.StatusCode, out)
+	}
+	if rows := out["rows"].(float64); rows != 3 {
+		t.Fatalf("rows after append = %v", rows)
+	}
+
+	// Export reflects the upsert.
+	resp, err = http.Get(srv.URL + "/v1/dataset/people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := new(bytes.Buffer)
+	b.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := b.String()
+	if !strings.Contains(body, "bobby") || !strings.Contains(body, "cho") {
+		t.Fatalf("export after append = %q", body)
+	}
+
+	// Appending to a missing dataset 404s.
+	resp, err = http.Post(srv.URL+"/v1/dataset/ghost?append=1", "text/csv", strings.NewReader(csv2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("append to ghost code = %d", resp.StatusCode)
 	}
 }

@@ -10,6 +10,7 @@
 //	POST   /v1/obj/{key}/merge                    merge branches (JSON body)
 //	GET    /v1/obj/{key}/diff?from=B1&to=B2       differential query
 //	GET    /v1/obj/{key}/verify?uid=U&deep=1      tamper validation
+//	POST   /v1/batch                              multi-key bulk write (JSON)
 //	GET    /v1/stats                              store dedup accounting
 package rest
 
@@ -39,6 +40,7 @@ func New(db *core.DB) *Handler {
 	h.mux.HandleFunc("/v1/keys", h.keys)
 	h.mux.HandleFunc("/v1/stats", h.stats)
 	h.mux.HandleFunc("/v1/obj/", h.object)
+	h.mux.HandleFunc("/v1/batch", h.batch)
 	h.registerDatasets()
 	return h
 }
@@ -272,6 +274,85 @@ func (h *Handler) buildValue(body putBody) (value.Value, error) {
 	default:
 		return value.Value{}, fmt.Errorf("unknown kind %q", body.Kind)
 	}
+}
+
+// batchOpBody is one write of POST /v1/batch.
+type batchOpBody struct {
+	Key    string `json:"key"`
+	Branch string `json:"branch,omitempty"`
+	putBody
+}
+
+// batch handles POST /v1/batch: the ops' version objects are committed
+// through the engine's batched write path (one store round for all FNodes),
+// the bulk-ingest entry point for REST clients.
+func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var body struct {
+		Ops []batchOpBody `json:"ops"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if len(body.Ops) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need ops"})
+		return
+	}
+	ops := make([]core.WriteOp, len(body.Ops))
+	for i, op := range body.Ops {
+		if op.Key == "" {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("op %d: missing key", i)})
+			return
+		}
+		v, err := h.buildValue(op.putBody)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("op %d: %v", i, err)})
+			return
+		}
+		ops[i] = core.WriteOp{Key: op.Key, Branch: op.Branch, Value: v, Meta: op.Meta}
+	}
+	vers, err := h.db.WriteBatch(ops)
+	out := make([]any, len(vers))
+	for i, v := range vers {
+		if v.UID.IsZero() {
+			out[i] = nil
+			continue
+		}
+		out[i] = renderVersion(v, ops[i].Branch)
+	}
+	resp := map[string]any{"versions": out}
+	if err != nil {
+		// Per-op failures: the versions array always ships, so clients can
+		// see which ops committed and retry only the rest.  A batch whose
+		// only failures are lost head races is the caller's retry contract
+		// (409); any other failure is a server-side fault (500).
+		resp["error"] = err.Error()
+		code := http.StatusInternalServerError
+		if allStaleHead(err) {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, resp)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// allStaleHead reports whether every leaf of a (possibly joined) WriteBatch
+// error is a stale-head CAS failure.
+func allStaleHead(err error) bool {
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			if !allStaleHead(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return errors.Is(err, core.ErrStaleHead)
 }
 
 func (h *Handler) history(w http.ResponseWriter, r *http.Request, key string) {

@@ -274,3 +274,47 @@ func TestErrorPaths(t *testing.T) {
 		t.Fatalf("diff without branches: %d", code)
 	}
 }
+
+func TestBatchWriteREST(t *testing.T) {
+	srv, db, _ := newServer(t)
+	code, body := doJSON(t, "POST", srv.URL+"/v1/batch", map[string]any{
+		"ops": []map[string]any{
+			{"key": "a", "kind": "string", "value": "va"},
+			{"key": "b", "branch": "dev", "kind": "int", "value": "7"},
+			{"key": "a", "kind": "string", "value": "va2"},
+		},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("code = %d body = %v", code, body)
+	}
+	vers, ok := body["versions"].([]any)
+	if !ok || len(vers) != 3 {
+		t.Fatalf("versions = %v", body["versions"])
+	}
+	got, err := db.Get("a", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := got.Value.AsString(); s != "va2" {
+		t.Fatalf("a = %q (chained batch op lost)", s)
+	}
+	if got.Seq != 2 {
+		t.Fatalf("a seq = %d", got.Seq)
+	}
+	if _, err := db.Get("b", "dev"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad requests reject cleanly.
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/batch", map[string]any{"ops": []map[string]any{}}); code != http.StatusBadRequest {
+		t.Fatalf("empty ops code = %d", code)
+	}
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/batch", map[string]any{
+		"ops": []map[string]any{{"kind": "string", "value": "x"}},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("missing key code = %d", code)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/batch", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET code = %d", code)
+	}
+}

@@ -112,6 +112,117 @@ func (h *Hasher) OnPattern() bool {
 	return h.n == h.window && h.hash&h.mask == 0
 }
 
+// Scan finds split patterns over a *contiguous* chunk buffer, computing the
+// exact same per-byte hash values as feeding the buffer through Hasher.Roll —
+// the bulk-ingest property tests enforce the equivalence — but without any
+// ring-buffer bookkeeping: in steady state the byte leaving the window is
+// read straight from the buffer at index i-window.  POS-Tree builders hold
+// each open node's encoded bytes contiguously anyway, which makes this the
+// natural fit for the write path: no per-byte function call, no ring stores,
+// and the state carried between calls is just (position, hash).
+//
+// Scan is immutable after New and therefore safe to share between goroutines.
+type Scan struct {
+	q      uint
+	mask   uint64
+	window int
+	table  [256]uint64
+	shiftK [256]uint64
+}
+
+// NewScan returns a scanner with the same pattern semantics as New(q, window).
+func NewScan(q uint, window int) *Scan {
+	if q < 1 || q > 63 {
+		panic("rolling: q out of range [1,63]")
+	}
+	if window <= 0 {
+		panic("rolling: window must be positive")
+	}
+	s := &Scan{q: q, mask: (uint64(1) << q) - 1, window: window}
+	s.table = gamma(q)
+	for b := 0; b < 256; b++ {
+		s.shiftK[b] = rotQ(s.table[b], uint(window%int(q)), q)
+	}
+	return s
+}
+
+// Window returns the window size in bytes.
+func (s *Scan) Window() int { return s.window }
+
+// Find resumes scanning node[pos:] for the first split pattern, where node is
+// the full byte run of the open chunk.  Hashing started at index begin
+// (bytes before begin were skipped, legal because no boundary may fire until
+// the window no longer overlaps them); a pattern only counts at indexes
+// >= check (the min-size rule, 0-based: byte i is the (i+1)-th byte of the
+// chunk).  It returns the index of the first boundary byte or -1, plus the
+// hash state to pass back in when more bytes arrive.
+//
+// Callers must keep begin <= check-window+1 so that every checkable index
+// has a full window of hashed bytes behind it; begin = max(0, minSize-window)
+// with check = minSize-1 satisfies this exactly.
+func (s *Scan) Find(node []byte, pos int, h uint64, begin, check int) (int, uint64) {
+	n := len(node)
+	i := pos
+	if i < begin {
+		i = begin
+	}
+	qmask := s.mask
+	q := s.q
+	// Fill phase: the window is not yet full, so no byte leaves it.  At most
+	// `window` bytes per chunk run here; pattern checks are possible only on
+	// the byte that completes the window.
+	fillEnd := begin + s.window
+	if fillEnd > n {
+		fillEnd = n
+	}
+	for ; i < fillEnd; i++ {
+		v := h << 1
+		v |= (v >> q) & 1
+		h = (v & qmask) ^ s.table[node[i]]
+		if h&qmask == 0 && i >= check && i-begin+1 >= s.window {
+			return i, h
+		}
+	}
+	// Steady state: no ring buffer — the departing byte is node[i-window].
+	// Indexes below check cannot fire, so they roll without the pattern
+	// test; from check on, lead/trail subslices of equal length let the
+	// compiler drop both bounds checks in the hot loop.
+	w := s.window
+	stopA := check
+	if stopA > n {
+		stopA = n
+	}
+	for ; i < stopA; i++ {
+		v := h << 1
+		v |= (v >> q) & 1
+		h = (v & qmask) ^ s.shiftK[node[i-w]] ^ s.table[node[i]]
+	}
+	if i >= n {
+		return -1, h
+	}
+	lead := node[i:n]
+	trail := node[i-w : n-w]
+	for k := range lead {
+		v := h << 1
+		v |= (v >> q) & 1
+		h = (v & qmask) ^ s.shiftK[trail[k]] ^ s.table[lead[k]]
+		if h&qmask == 0 {
+			return i + k, h
+		}
+	}
+	return -1, h
+}
+
+// SkipStart returns the index at which hashing may begin for a chunk whose
+// first boundary check happens at index minSize-1: the preceding bytes can
+// never be inside a checked window, so scanning them is pure waste.
+func (s *Scan) SkipStart(minSize int) int {
+	if minSize > s.window {
+		return minSize - s.window
+	}
+	return 0
+}
+
 // rot1 rotates v left by one bit within q bits: the q-th bit is pushed back
 // to the lowest position (δ in the paper).
 func rot1(v uint64, q uint) uint64 {

@@ -161,3 +161,93 @@ func BenchmarkRoll(b *testing.B) {
 		h.Write(data)
 	}
 }
+
+// TestScanMatchesHasher proves the bulk scanner computes the exact boundary
+// decisions of the byte-wise Hasher over contiguous chunk runs: for every
+// (minSize, chunk split) the first pattern index at or past the min-size
+// check must agree, including across incremental Find resumptions and the
+// min-size hash skip.
+func TestScanMatchesHasher(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cfg := range []struct {
+		q       uint
+		window  int
+		minSize int
+	}{
+		{12, 48, 512}, // default config shape: minSize > window, skip active
+		{8, 48, 32},   // small config shape: minSize < window, no skip
+		{10, 16, 16},  // minSize == window
+	} {
+		scan := NewScan(cfg.q, cfg.window)
+		begin := scan.SkipStart(cfg.minSize)
+		check := cfg.minSize - 1
+
+		for trial := 0; trial < 30; trial++ {
+			n := 200 + rng.Intn(8000)
+			data := make([]byte, n)
+			rng.Read(data)
+
+			// Reference: byte-wise Hasher, fresh from a boundary.
+			h := New(cfg.q, cfg.window)
+			wantHit := -1
+			for i, b := range data {
+				h.Roll(b)
+				if i+1 >= cfg.minSize && h.OnPattern() {
+					wantHit = i
+					break
+				}
+			}
+
+			// Bulk: resume Find across random slice steps, like a builder
+			// appending entries.
+			gotHit := -1
+			pos, hash := 0, uint64(0)
+			for end := 0; end < n && gotHit < 0; {
+				end += 1 + rng.Intn(97)
+				if end > n {
+					end = n
+				}
+				var hit int
+				hit, hash = scan.Find(data[:end], pos, hash, begin, check)
+				pos = end
+				if hit >= 0 {
+					gotHit = hit
+				}
+			}
+			if gotHit != wantHit {
+				t.Fatalf("q=%d w=%d min=%d trial %d: scan hit %d, hasher hit %d",
+					cfg.q, cfg.window, cfg.minSize, trial, gotHit, wantHit)
+			}
+		}
+	}
+}
+
+// TestScanSkipStart pins the min-size skip arithmetic.
+func TestScanSkipStart(t *testing.T) {
+	s := NewScan(12, 48)
+	if got := s.SkipStart(512); got != 512-48 {
+		t.Fatalf("SkipStart(512) = %d", got)
+	}
+	if got := s.SkipStart(32); got != 0 {
+		t.Fatalf("SkipStart(32) = %d", got)
+	}
+}
+
+func BenchmarkScanFind(b *testing.B) {
+	data := make([]byte, 1<<16)
+	rand.New(rand.NewSource(7)).Read(data)
+	s := NewScan(12, 48)
+	b.SetBytes(int64(len(data)))
+	begin := s.SkipStart(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := 0
+		for start < len(data) {
+			hit, _ := s.Find(data[start:], 0, 0, begin, 511)
+			if hit < 0 {
+				break
+			}
+			start += hit + 1
+		}
+	}
+}

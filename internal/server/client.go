@@ -95,7 +95,7 @@ type RemoteStore struct {
 	c *Client
 }
 
-var _ store.Store = (*RemoteStore)(nil)
+var _ store.BatchStore = (*RemoteStore)(nil)
 
 // NewRemoteStore wraps a client as a chunk store.
 func NewRemoteStore(c *Client) *RemoteStore { return &RemoteStore{c: c} }
@@ -113,6 +113,25 @@ func (r *RemoteStore) Put(ch *chunk.Chunk) (bool, error) {
 		return false, err
 	}
 	return resp.OK, nil
+}
+
+// PutBatch implements store.BatchStore: the whole batch travels in one
+// request and lands on the server in one store round, collapsing N network
+// round trips into one — the dominant cost of remote bulk ingest.
+func (r *RemoteStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
+	wire := make([]WireChunk, len(cs))
+	for i, c := range cs {
+		wire[i] = WireChunk{ID: c.ID(), Type: byte(c.Type()), Data: c.Data()}
+	}
+	var resp Response
+	if err := r.c.roundTrip(&Request{Op: OpPutChunks, Chunks: wire}, &resp); err != nil {
+		return make([]bool, len(cs)), err
+	}
+	fresh := resp.Fresh
+	if len(fresh) != len(cs) {
+		return make([]bool, len(cs)), fmt.Errorf("client: server returned %d freshness flags for %d chunks", len(fresh), len(cs))
+	}
+	return fresh, nil
 }
 
 // Get implements store.Store; the chunk is verified client-side.

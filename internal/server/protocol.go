@@ -29,7 +29,19 @@ const (
 	OpBranches
 	OpKeys
 	OpPing
+	// OpPutChunks ingests a whole batch of chunks in one round trip; the
+	// server verifies every claimed id and lands the batch with one
+	// store.PutBatch (group commit on file-backed stores).
+	OpPutChunks
 )
+
+// WireChunk is one chunk of a batched put.  The id is a *claim* until the
+// receiving side rehashes the data; mislabelled chunks reject the batch.
+type WireChunk struct {
+	ID   hash.Hash
+	Type byte
+	Data []byte
+}
 
 // Request is the single wire request shape (fields used depend on Op).
 type Request struct {
@@ -39,6 +51,7 @@ type Request struct {
 	ID        hash.Hash
 	ChunkType byte
 	Data      []byte
+	Chunks    []WireChunk // OpPutChunks
 
 	// Branch operations.
 	Key      string
@@ -55,6 +68,7 @@ type Response struct {
 
 	ChunkType byte
 	Data      []byte
+	Fresh     []bool // OpPutChunks: per-chunk freshness
 
 	UID   hash.Hash
 	Heads map[string]string // branch -> uid (Base32)

@@ -122,6 +122,28 @@ func (s *Server) handle(req *Request) *Response {
 			return fail(err)
 		}
 		resp.OK = fresh
+	case OpPutChunks:
+		// Batched ingest: verify every claimed id up front (content
+		// addressing is the integrity contract in both directions), then
+		// land the whole batch in one store round.
+		cs := make([]*chunk.Chunk, len(req.Chunks))
+		for i, w := range req.Chunks {
+			t := chunk.Type(w.Type)
+			if !t.Valid() {
+				return fail(fmt.Errorf("invalid chunk type %d at %d", w.Type, i))
+			}
+			c := chunk.NewClaimed(t, w.Data, w.ID)
+			if err := c.Recheck(); err != nil {
+				return fail(fmt.Errorf("chunk %d: %w", i, err))
+			}
+			cs[i] = c
+		}
+		fresh, err := store.PutBatch(s.st, cs)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Fresh = fresh
+		resp.OK = true
 	case OpGetChunk:
 		c, err := s.st.Get(req.ID)
 		if err != nil {

@@ -206,3 +206,94 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 		t.Fatal("request to closed server succeeded")
 	}
 }
+
+func TestBatchedChunkIngest(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rs := NewRemoteStore(cl)
+	var cs []*chunk.Chunk
+	for i := 0; i < 40; i++ {
+		cs = append(cs, chunk.New(chunk.TypeBlobLeaf, []byte{byte(i), byte(i >> 3), 'x'}))
+	}
+	cs = append(cs, cs[0]) // intra-batch duplicate
+	fresh, err := rs.PutBatch(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if !fresh[i] {
+			t.Fatalf("chunk %d not fresh", i)
+		}
+	}
+	if fresh[40] {
+		t.Fatal("duplicate reported fresh")
+	}
+	for _, c := range cs {
+		got, err := rs.Get(c.ID())
+		if err != nil {
+			t.Fatalf("get after batch: %v", err)
+		}
+		if got.ID() != c.ID() {
+			t.Fatal("wrong chunk back")
+		}
+	}
+}
+
+func TestBatchedIngestRejectsForgery(t *testing.T) {
+	srv, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	honest := chunk.New(chunk.TypeBlobLeaf, []byte("honest"))
+	var resp Response
+	err = cl.roundTrip(&Request{Op: OpPutChunks, Chunks: []WireChunk{
+		{ID: honest.ID(), Type: byte(honest.Type()), Data: honest.Data()},
+		{ID: honest.ID(), Type: byte(chunk.TypeBlobLeaf), Data: []byte("forged payload")},
+	}}, &resp)
+	if err == nil {
+		t.Fatal("forged batch accepted")
+	}
+	// Nothing from the rejected batch landed.
+	if ok, _ := srv.st.Has(honest.ID()); ok {
+		t.Fatal("partial batch landed despite forgery")
+	}
+}
+
+// TestWriteBatchOverWire drives core.DB.WriteBatch against a remote store:
+// the version chunks travel as one OpPutChunks batch.
+func TestWriteBatchOverWire(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	db := core.Open(core.Options{Store: NewRemoteStore(cl), Branches: NewRemoteBranchTable(cl)})
+	vers, err := db.WriteBatch([]core.WriteOp{
+		{Key: "x", Value: value.String("1")},
+		{Key: "y", Value: value.String("2")},
+		{Key: "x", Value: value.String("3")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vers[2].Seq != 2 {
+		t.Fatalf("chained remote seq = %d", vers[2].Seq)
+	}
+	got, err := db.Get("x", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := got.Value.AsString(); s != "3" {
+		t.Fatalf("x = %q", s)
+	}
+}

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"forkbase/internal/chunk"
+)
+
+// benchChunks builds n distinct size-byte chunks (pre-hashed, so these
+// benchmarks isolate the store layer).
+func benchChunks(n, size int) []*chunk.Chunk {
+	cs := make([]*chunk.Chunk, n)
+	for i := range cs {
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(i*131 + j*7)
+		}
+		copy(data, fmt.Sprintf("chunk-%d", i))
+		cs[i] = chunk.New(chunk.TypeBlobLeaf, data)
+	}
+	return cs
+}
+
+// BenchmarkFileStoreIngest compares per-chunk Puts against group-committed
+// batches for a serial writer.
+func BenchmarkFileStoreIngest(b *testing.B) {
+	cs := benchChunks(2000, 4096)
+	for _, mode := range []string{"perchunk", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			b.SetBytes(int64(len(cs) * 4096))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fs, err := OpenFileStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if mode == "batched" {
+					for off := 0; off < len(cs); off += DefaultSinkBatch {
+						end := off + DefaultSinkBatch
+						if end > len(cs) {
+							end = len(cs)
+						}
+						if _, err := fs.PutBatch(cs[off:end]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					for _, c := range cs {
+						if _, err := fs.Put(c); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := fs.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				fs.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkFileStorePutParallel measures concurrent raw-chunk ingest into
+// one shared FileStore: 8 writers land disjoint pre-hashed chunk sets.  With
+// per-chunk Puts every chunk is a mutex acquisition; with batches the lock
+// is taken once per batch.  (Chunks are pre-hashed, so this isolates the
+// store layer; the end-to-end comparison is pos.BenchmarkIngestParallel.)
+func BenchmarkFileStorePutParallel(b *testing.B) {
+	const writers = 8
+	const perWriter = 1000
+	cs := benchChunks(writers*perWriter, 1024)
+	for _, mode := range []string{"perchunk", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			b.SetBytes(int64(len(cs) * 1024))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fs, err := OpenFileStore(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < writers; g++ {
+					wg.Add(1)
+					go func(part []*chunk.Chunk) {
+						defer wg.Done()
+						if mode == "batched" {
+							for off := 0; off < len(part); off += DefaultSinkBatch {
+								end := off + DefaultSinkBatch
+								if end > len(part) {
+									end = len(part)
+								}
+								if _, err := fs.PutBatch(part[off:end]); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						} else {
+							for _, c := range part {
+								if _, err := fs.Put(c); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}
+					}(cs[g*perWriter : (g+1)*perWriter])
+				}
+				wg.Wait()
+				b.StopTimer()
+				fs.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkChunkSink measures the full sink pipeline (hash + batch + store)
+// over a MemStore.
+func BenchmarkChunkSink(b *testing.B) {
+	payloads := make([][]byte, 2000)
+	for i := range payloads {
+		p := make([]byte, 0, 4097)
+		p = append(p, byte(chunk.TypeBlobLeaf))
+		body := make([]byte, 4096)
+		for j := range body {
+			body[j] = byte(i*37 + j)
+		}
+		copy(body, fmt.Sprintf("p-%d", i))
+		payloads[i] = append(p, body...)
+	}
+	b.SetBytes(int64(len(payloads) * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := NewMemStore()
+		sink := NewChunkSink(ms, SinkOptions{})
+		for _, p := range payloads {
+			if _, err := sink.Emit(chunk.TypeBlobLeaf, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

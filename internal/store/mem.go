@@ -22,7 +22,7 @@ type MemStore struct {
 	gets   atomic.Int64
 }
 
-var _ Store = (*MemStore)(nil)
+var _ BatchStore = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
@@ -42,6 +42,27 @@ func (m *MemStore) Put(c *chunk.Chunk) (bool, error) {
 	m.stats.UniqueChunks++
 	m.stats.PhysicalBytes += int64(c.Size())
 	return true, nil
+}
+
+// PutBatch implements BatchStore: the whole batch is applied under one
+// write-lock acquisition instead of one per chunk, so bulk ingest does not
+// convoy concurrent readers on the mutex.
+func (m *MemStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
+	fresh := make([]bool, len(cs))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, c := range cs {
+		m.stats.LogicalBytes += int64(c.Size())
+		if _, ok := m.chunks[c.ID()]; ok {
+			m.stats.DedupHits++
+			continue
+		}
+		m.chunks[c.ID()] = c
+		m.stats.UniqueChunks++
+		m.stats.PhysicalBytes += int64(c.Size())
+		fresh[i] = true
+	}
+	return fresh, nil
 }
 
 // Get implements Store.  Concurrent Gets proceed in parallel under a shared

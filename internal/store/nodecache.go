@@ -1,6 +1,7 @@
 package store
 
 import (
+	"forkbase/internal/chunk"
 	"forkbase/internal/nodecache"
 )
 
@@ -37,6 +38,11 @@ func WithNodeCache(inner Store, cache *nodecache.Cache) Store {
 // NodeCache implements NodeCacheProvider.
 func (s *nodeCachedStore) NodeCache() *nodecache.Cache { return s.cache }
 
+// PutBatch forwards the batch capability through the cache wrapper (the
+// embedded Store interface would otherwise hide the inner store's native
+// batch path from the BatchStore type assertion).
+func (s *nodeCachedStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) { return PutBatch(s.Store, cs) }
+
 // Unwrap exposes the inner store (GC capability discovery).
 func (s *nodeCachedStore) Unwrap() Store { return s.Store }
 
@@ -61,4 +67,8 @@ var (
 	_ NodeCacheProvider = (*nodeCachedStore)(nil)
 	_ NodeCacheProvider = (*VerifyingStore)(nil)
 	_ NodeCacheProvider = (*CountingStore)(nil)
+	_ BatchStore        = (*nodeCachedStore)(nil)
+	_ BatchStore        = (*VerifyingStore)(nil)
+	_ BatchStore        = (*CountingStore)(nil)
+	_ BatchStore        = (*MaliciousStore)(nil)
 )

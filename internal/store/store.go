@@ -78,3 +78,37 @@ func MustPut(s Store, c *chunk.Chunk) {
 		panic(fmt.Sprintf("store: put failed: %v", err))
 	}
 }
+
+// BatchStore is the optional capability of stores that can ingest a batch of
+// chunks in one locking round: MemStore takes its write lock once for the
+// whole batch, FileStore group-commits the batch with a single index pass,
+// one buffered write sequence and one flush.  Wrappers (verifying, counting,
+// malicious, node-cached) forward the capability so a batch put composes with
+// the same layering as a single put.
+type BatchStore interface {
+	Store
+	// PutBatch stores every chunk of cs that is absent.  fresh[i] reports
+	// whether cs[i] was new (false = dedup hit).  Implementations must
+	// either apply the whole batch or return an error having applied a
+	// prefix; they never skip chunks silently.
+	PutBatch(cs []*chunk.Chunk) (fresh []bool, err error)
+}
+
+// PutBatch stores cs into s, using the native batch path when s implements
+// BatchStore and falling back to per-chunk Puts otherwise.  It is the one
+// entry point batch producers (the chunk sink, fnode.SaveAll, the network
+// server) should use, so a store lacking the capability still works.
+func PutBatch(s Store, cs []*chunk.Chunk) ([]bool, error) {
+	if bs, ok := s.(BatchStore); ok {
+		return bs.PutBatch(cs)
+	}
+	fresh := make([]bool, len(cs))
+	for i, c := range cs {
+		f, err := s.Put(c)
+		if err != nil {
+			return fresh, err
+		}
+		fresh[i] = f
+	}
+	return fresh, nil
+}

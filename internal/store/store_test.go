@@ -251,6 +251,179 @@ func TestFileStoreTornTailRecovery(t *testing.T) {
 	}
 }
 
+func TestMemStorePutBatch(t *testing.T) {
+	s := NewMemStore()
+	c1, c2 := mkChunk(1), mkChunk(2)
+	fresh, err := s.PutBatch([]*chunk.Chunk{c1, c2, c1}) // intra-batch dup
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh[0] || !fresh[1] || fresh[2] {
+		t.Fatalf("fresh = %v", fresh)
+	}
+	// Stats must match what three per-chunk Puts would have produced.
+	ref := NewMemStore()
+	ref.Put(c1)
+	ref.Put(c2)
+	ref.Put(c1)
+	if s.Stats() != ref.Stats() {
+		t.Fatalf("batch stats %+v != per-chunk stats %+v", s.Stats(), ref.Stats())
+	}
+}
+
+func TestPutBatchFallback(t *testing.T) {
+	// A store without the BatchStore capability still works through the
+	// generic helper.
+	type plain struct{ Store }
+	s := plain{NewMemStore()}
+	c := mkChunk(3)
+	fresh, err := PutBatch(s, []*chunk.Chunk{c, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh[0] || fresh[1] {
+		t.Fatalf("fresh = %v", fresh)
+	}
+}
+
+func TestFileStorePutBatchGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []*chunk.Chunk
+	for i := 0; i < 50; i++ {
+		cs = append(cs, mkChunk(i))
+	}
+	fresh, err := s.PutBatch(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fresh {
+		if !f {
+			t.Fatalf("chunk %d not fresh", i)
+		}
+	}
+	// Group commit flushed the batch: the records are on disk even before
+	// Close, so a reopen from a copy taken now would see them.  Verify via
+	// reopen after Close and via duplicate suppression.
+	fresh, err = s.PutBatch(cs[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fresh {
+		if f {
+			t.Fatalf("chunk %d re-added", i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, c := range cs {
+		if _, err := s2.Get(c.ID()); err != nil {
+			t.Fatalf("chunk %d lost after reopen: %v", i, err)
+		}
+	}
+}
+
+// TestFileStorePutBatchTornTailRecovery simulates a crash that tears the
+// tail of a group-committed batch: the segment ends mid-record.  Reopen must
+// truncate the torn record cleanly and recover every fully-written one.
+func TestFileStorePutBatchTornTailRecovery(t *testing.T) {
+	for name, chop := range map[string]int{
+		"torn-payload": 5,  // cut inside the last record's payload
+		"torn-header":  70, // 64B payload + part of the 37B header gone
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cs []*chunk.Chunk
+			for i := 0; i < 10; i++ {
+				cs = append(cs, chunk.New(chunk.TypeBlobLeaf, bytes.Repeat([]byte{byte(i + 1)}, 64)))
+			}
+			if _, err := s.PutBatch(cs); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Tear the batch: drop the last `chop` bytes of the segment, so
+			// the final record (and for torn-header, part of its header) is
+			// incomplete — exactly what an OS crash mid-batch leaves behind.
+			path := filepath.Join(dir, "seg-000000.log")
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, fi.Size()-int64(chop)); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := OpenFileStore(dir)
+			if err != nil {
+				t.Fatalf("reopen after torn batch: %v", err)
+			}
+			defer s2.Close()
+			// Every fully-written record survives; the torn one is gone.
+			for i, c := range cs[:9] {
+				got, err := s2.Get(c.ID())
+				if err != nil {
+					t.Fatalf("fully-written chunk %d lost: %v", i, err)
+				}
+				if err := got.Verify(c.ID()); err != nil {
+					t.Fatalf("chunk %d corrupt after recovery: %v", i, err)
+				}
+			}
+			if _, err := s2.Get(cs[9].ID()); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("torn chunk resurrected: err=%v", err)
+			}
+			// The truncated store accepts and persists fresh batches.
+			if _, err := s2.PutBatch([]*chunk.Chunk{cs[9], mkChunk(99)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s2.Get(cs[9].ID()); err != nil {
+				t.Fatalf("re-ingest after truncation: %v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyingStorePutBatchRejectsForged: a chunk whose claimed id does not
+// match its content — a malicious peer slipping a forgery into a batch —
+// rejects the whole batch at the verifying layer; nothing lands below.
+func TestVerifyingStorePutBatchRejectsForged(t *testing.T) {
+	inner := NewMemStore()
+	v := NewVerifyingStore(inner)
+	honest := mkChunk(1)
+	forged := chunk.NewClaimed(chunk.TypeBlobLeaf, []byte("evil payload"), mkChunk(2).ID())
+	_, err := v.PutBatch([]*chunk.Chunk{honest, forged})
+	if !errors.Is(err, chunk.ErrCorrupt) {
+		t.Fatalf("forged batch err = %v, want ErrCorrupt", err)
+	}
+	if inner.Len() != 0 {
+		t.Fatalf("forged batch landed %d chunks below the verifier", inner.Len())
+	}
+	// Per-chunk writes reject the same way.
+	if _, err := v.Put(forged); !errors.Is(err, chunk.ErrCorrupt) {
+		t.Fatalf("forged put err = %v", err)
+	}
+	// An honestly-claimed chunk (id matches) passes.
+	claimed := chunk.NewClaimed(honest.Type(), honest.Data(), honest.ID())
+	if _, err := v.Put(claimed); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFileStoreConcurrent(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenFileStore(dir)

@@ -28,6 +28,11 @@ func NewCountingStore(inner Store) *CountingStore {
 // Put implements Store.
 func (c *CountingStore) Put(ch *chunk.Chunk) (bool, error) { return c.Inner.Put(ch) }
 
+// PutBatch implements BatchStore by delegating, so batched ingest stays
+// visible to the phase accounting (the inner store's counters move exactly as
+// they would for per-chunk Puts).
+func (c *CountingStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) { return PutBatch(c.Inner, cs) }
+
 // Get implements Store.
 func (c *CountingStore) Get(id hash.Hash) (*chunk.Chunk, error) { return c.Inner.Get(id) }
 
@@ -100,6 +105,9 @@ func NewMaliciousStore(inner Store) *MaliciousStore {
 
 // Put implements Store.
 func (m *MaliciousStore) Put(ch *chunk.Chunk) (bool, error) { return m.Inner.Put(ch) }
+
+// PutBatch implements BatchStore by delegating.
+func (m *MaliciousStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) { return PutBatch(m.Inner, cs) }
 
 // Has implements Store.
 func (m *MaliciousStore) Has(id hash.Hash) (bool, error) { return m.Inner.Has(id) }
@@ -182,8 +190,28 @@ var _ Store = (*VerifyingStore)(nil)
 // NewVerifyingStore wraps inner.
 func NewVerifyingStore(inner Store) *VerifyingStore { return &VerifyingStore{Inner: inner} }
 
-// Put implements Store.
-func (v *VerifyingStore) Put(ch *chunk.Chunk) (bool, error) { return v.Inner.Put(ch) }
+// Put implements Store.  Chunks whose id was merely *claimed* by an
+// untrusted party (chunk.NewClaimed) are rehashed and rejected on mismatch,
+// so forged content cannot enter the store under a genuine id.
+func (v *VerifyingStore) Put(ch *chunk.Chunk) (bool, error) {
+	if err := ch.Recheck(); err != nil {
+		return false, err
+	}
+	return v.Inner.Put(ch)
+}
+
+// PutBatch implements BatchStore.  Every claimed chunk in the batch is
+// rehashed before anything is written: a single forged chunk rejects the
+// whole batch, keeping batched ingest exactly as tamper-evident as the
+// per-chunk path.
+func (v *VerifyingStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
+	for _, ch := range cs {
+		if err := ch.Recheck(); err != nil {
+			return make([]bool, len(cs)), err
+		}
+	}
+	return PutBatch(v.Inner, cs)
+}
 
 // Has implements Store.
 func (v *VerifyingStore) Has(id hash.Hash) (bool, error) { return v.Inner.Has(id) }
