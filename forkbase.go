@@ -22,6 +22,7 @@ package forkbase
 
 import (
 	"io"
+	"time"
 
 	"forkbase/internal/access"
 	"forkbase/internal/chunker"
@@ -58,6 +59,8 @@ type (
 	Resolver = pos.Resolver
 	// MergeResult is the outcome of DB.Merge.
 	MergeResult = core.MergeResult
+	// GCStats reports a garbage-collection / compaction run.
+	GCStats = core.GCStats
 	// StoreStats is chunk-store dedup accounting.
 	StoreStats = store.Stats
 	// NodeCacheStats is decoded-node cache effectiveness accounting.
@@ -131,6 +134,8 @@ type options struct {
 	st             store.Store
 	branches       core.BranchTable
 	nodeCacheBytes int64
+	compactEvery   time.Duration
+	compactRatio   float64
 }
 
 // InMemory keeps everything in RAM (default).
@@ -171,6 +176,29 @@ func WithNodeCache(bytes int64) Option {
 	}
 }
 
+// WithAutoCompact starts a background compactor: every interval the engine
+// runs a garbage-collection pass whose log-segment rewriting is gated by a
+// dead-byte ratio (core.DefaultCompactRatio unless WithCompactRatio says
+// otherwise), so long-running servers reclaim churned space without anyone
+// calling GC.  Stop it with Close.
+//
+// Every write path in this package builds values under the engine's GC
+// write fence, so a background pass can never collect a version mid-commit.
+// On file-backed stores, online passes additionally never collect chunks
+// written since the previous pass (generational grace), covering values
+// staged out-of-band (BuildMapValue + Session.Put) for up to one interval.
+// In-memory stores have no grace: out-of-band staging combined with
+// WithAutoCompact must commit before the next tick.
+func WithAutoCompact(every time.Duration) Option {
+	return func(o *options) { o.compactEvery = every }
+}
+
+// WithCompactRatio overrides the dead-byte fraction a log segment needs
+// before a Compact pass (background or explicit) rewrites it.
+func WithCompactRatio(ratio float64) Option {
+	return func(o *options) { o.compactRatio = ratio }
+}
+
 // Open creates or opens a ForkBase instance.
 func Open(opts ...Option) (*DB, error) {
 	var o options
@@ -206,6 +234,8 @@ func Open(opts ...Option) (*DB, error) {
 		Branches:       o.branches,
 		Chunking:       o.chunking,
 		NodeCacheBytes: o.nodeCacheBytes,
+		CompactEvery:   o.compactEvery,
+		CompactRatio:   o.compactRatio,
 	})
 	return db, nil
 }
@@ -219,10 +249,14 @@ func MustOpen(opts ...Option) *DB {
 	return db
 }
 
-// Close releases file handles and network connections.  The decoded-node
-// cache is purged so post-close reads fail at the store uniformly instead of
-// succeeding whenever a node happens to be cached.
+// Close stops the background compactor, releases file handles and network
+// connections, and purges the decoded-node cache so post-close reads fail at
+// the store uniformly instead of succeeding whenever a node happens to be
+// cached.  For file-backed instances, closing also invalidates the zero-copy
+// payloads the storage engine handed out (their segment mappings are
+// released); copy anything that must outlive the handle.
 func (db *DB) Close() error {
+	_ = db.eng.Close()                        // stop the compactor before the store goes away
 	store.NodeCacheOf(db.eng.Store()).Purge() // nil-safe; covers injected caches too
 	if db.fileStore != nil {
 		return db.fileStore.Close()
@@ -261,49 +295,47 @@ func (db *DB) PutString(key, branch, s string, meta map[string]string) (Version,
 	return db.eng.Put(key, branch, value.String(s), meta)
 }
 
-// PutMap builds a map value from entries and Puts it.
+// PutMap builds a map value from entries and Puts it.  Construction and
+// commit run under the engine's GC write fence, so a concurrent collection
+// cannot sweep the freshly built chunks before the head publishes them.
 func (db *DB) PutMap(key, branch string, entries []Entry, meta map[string]string) (Version, error) {
-	v, err := value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
-	if err != nil {
-		return Version{}, err
-	}
-	return db.eng.Put(key, branch, v, meta)
+	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
+		return value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
+	})
 }
 
-// PutBlob builds a blob value from data and Puts it.
+// PutBlob builds a blob value from data and Puts it (fenced; see PutMap).
 func (db *DB) PutBlob(key, branch string, data []byte, meta map[string]string) (Version, error) {
-	v, err := value.NewBlob(db.eng.Store(), db.eng.Chunking(), data)
-	if err != nil {
-		return Version{}, err
-	}
-	return db.eng.Put(key, branch, v, meta)
+	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
+		return value.NewBlob(db.eng.Store(), db.eng.Chunking(), data)
+	})
 }
 
-// PutSet builds a set value from elements and Puts it.
+// PutSet builds a set value from elements and Puts it (fenced; see PutMap).
 func (db *DB) PutSet(key, branch string, elems [][]byte, meta map[string]string) (Version, error) {
-	v, err := value.NewSet(db.eng.Store(), db.eng.Chunking(), elems)
-	if err != nil {
-		return Version{}, err
-	}
-	return db.eng.Put(key, branch, v, meta)
+	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
+		return value.NewSet(db.eng.Store(), db.eng.Chunking(), elems)
+	})
 }
 
-// PutList builds a list value from items and Puts it.
+// PutList builds a list value from items and Puts it (fenced; see PutMap).
 func (db *DB) PutList(key, branch string, items [][]byte, meta map[string]string) (Version, error) {
-	v, err := value.NewList(db.eng.Store(), db.eng.Chunking(), items)
-	if err != nil {
-		return Version{}, err
-	}
-	return db.eng.Put(key, branch, v, meta)
+	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
+		return value.NewList(db.eng.Store(), db.eng.Chunking(), items)
+	})
 }
 
 // BuildMapValue constructs a map value in db's store without committing a
 // version; pair it with Session.Put when access control must gate the write.
+// A value staged this way is unreachable until its Put: commit it promptly —
+// a full GC() running in between may collect it (online compaction passes
+// grant staged chunks a one-pass grace on file-backed stores).
 func BuildMapValue(db *DB, entries []Entry) (Value, error) {
 	return value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
 }
 
-// BuildBlobValue constructs a blob value without committing a version.
+// BuildBlobValue constructs a blob value without committing a version; the
+// staging caveat on BuildMapValue applies.
 func BuildBlobValue(db *DB, data []byte) (Value, error) {
 	return value.NewBlob(db.eng.Store(), db.eng.Chunking(), data)
 }
@@ -402,9 +434,19 @@ func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta ma
 	return db.eng.SpliceBlob(key, branch, at, del, ins, meta)
 }
 
-// GC removes chunks unreachable from any branch head.  Supported on
-// in-memory stores; file-backed stores are append-only and return an error.
-func (db *DB) GC() (core.GCStats, error) { return db.eng.GC() }
+// GC removes chunks unreachable from any branch head and reclaims their
+// storage.  In-memory stores free the swept chunks directly; file-backed
+// stores compact their log — live records of garbage-heavy segments are
+// rewritten into fresh segments and the old files unlinked, so the on-disk
+// footprint shrinks to the live set.  Only injected stores that implement
+// neither collection capability return core.ErrNotCollectable.
+func (db *DB) GC() (GCStats, error) { return db.eng.GC() }
+
+// Compact is the online variant of GC: identical mark and sweep, but only
+// segments whose dead-byte ratio reaches the compaction threshold are
+// rewritten, bounding write amplification.  This is what the background
+// compactor (WithAutoCompact) runs.
+func (db *DB) Compact() (GCStats, error) { return db.eng.Compact() }
 
 // Verify validates the object graph reachable from uid; deep extends the
 // walk through the full derivation history.

@@ -491,8 +491,12 @@ func cmdGC(db *forkbase.DB, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "live chunks:  %d\nswept chunks: %d\nreclaimed:    %d bytes\n",
-		stats.Live, stats.Swept, stats.SweptBytes)
+	fmt.Fprintf(out, "live chunks:  %d\nswept chunks: %d\nswept bytes:  %d\nreclaimed:    %d bytes\n",
+		stats.Live, stats.Swept, stats.SweptBytes, stats.ReclaimedBytes)
+	if stats.CompactedSegments > 0 {
+		fmt.Fprintf(out, "compacted:    %d segments (%d live chunks rewritten)\n",
+			stats.CompactedSegments, stats.Relocated)
+	}
 	return nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"forkbase"
 )
 
 // run executes the CLI against a shared file-backed directory so state
@@ -188,4 +190,47 @@ func TestImportAppend(t *testing.T) {
 	if _, _, code := run(t, dir, "import", "ghost", csvPath, "-append"); code == 0 {
 		t.Fatal("append to missing dataset succeeded")
 	}
+}
+
+func TestGCCommand(t *testing.T) {
+	dir := t.TempDir()
+	run(t, dir, "put", "keep", "survivor")
+	// Churn: data reachable only from a branch, then the branch goes away.
+	if _, errs, code := run(t, dir, "put", "churn", strings.Repeat("garbage ", 200), "-branch", "tmp"); code != 0 {
+		t.Fatalf("churn put: %s", errs)
+	}
+	out, errs, code := run(t, dir, "gc")
+	if code != 0 {
+		t.Fatalf("gc on file-backed store failed: %s", errs)
+	}
+	if !strings.Contains(out, "swept chunks: 0") {
+		t.Fatalf("gc swept reachable data:\n%s", out)
+	}
+	// Deleting the only branch of churn orphans its chunks.
+	db := openTestDB(t, dir)
+	if err := db.DeleteBranch("churn", "tmp"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	out, errs, code = run(t, dir, "gc")
+	if code != 0 {
+		t.Fatalf("gc failed: %s", errs)
+	}
+	if strings.Contains(out, "swept chunks: 0") || !strings.Contains(out, "reclaimed:") {
+		t.Fatalf("gc reclaimed nothing after branch delete:\n%s", out)
+	}
+	if got, _, code := run(t, dir, "get", "keep"); code != 0 || strings.TrimSpace(got) != "survivor" {
+		t.Fatalf("live data lost after gc: %q (%d)", got, code)
+	}
+}
+
+// openTestDB opens the CLI's file-backed store directly, for state the
+// command surface cannot reach (branch deletion).
+func openTestDB(t *testing.T, dir string) *forkbase.DB {
+	t.Helper()
+	db, err := forkbase.Open(forkbase.FileBacked(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"forkbase/internal/chunker"
 	"forkbase/internal/fnode"
@@ -30,6 +33,19 @@ type DB struct {
 	cfg    chunker.Config
 	heads  BranchTable
 	noCopy noCopy
+
+	compactRatio  float64
+	stopCompactor chan struct{}
+	compactorWG   sync.WaitGroup
+	closeOnce     sync.Once
+	compactPasses atomic.Int64
+
+	// writeMu fences garbage collection against in-flight engine writes:
+	// every operation that stores chunks and then publishes them via a head
+	// CAS holds the read side across that window, and gc holds the write
+	// side across mark and sweep — so a version can never be swept between
+	// its chunks landing and its head advancing.  Readers are unaffected.
+	writeMu sync.RWMutex
 }
 
 type noCopy struct{}
@@ -51,7 +67,24 @@ type Options struct {
 	// ids it sweeps.  The cache is layered *above* the verifying store, so
 	// only nodes that passed tamper verification are ever cached.
 	NodeCacheBytes int64
+	// CompactEvery, when positive, starts a background compactor: every
+	// interval the DB runs a mark-and-sweep pass whose segment rewriting is
+	// gated by CompactRatio, so long-running servers reclaim churned space
+	// without anyone calling GC.  Stop it with Close.  A DB whose store is
+	// not collectable quietly never compacts.
+	CompactEvery time.Duration
+	// CompactRatio is the minimum dead-byte fraction a sealed log segment
+	// needs before the background compactor (or an explicit Compact call)
+	// rewrites it; 0 selects DefaultCompactRatio.  Explicit GC always uses
+	// ratio 0 — it reclaims everything.
+	CompactRatio float64
 }
+
+// DefaultCompactRatio is the background compactor's segment-rewrite
+// threshold: a sealed segment is rewritten once a quarter of its bytes are
+// garbage.  Low enough to keep disk amplification near 1.33x, high enough
+// that a segment is not rewritten over trace amounts of churn.
+const DefaultCompactRatio = 0.25
 
 // Open assembles a DB from options.
 func Open(opts Options) *DB {
@@ -74,7 +107,52 @@ func Open(opts Options) *DB {
 		db.ncache = nodecache.New(opts.NodeCacheBytes)
 		db.st = store.WithNodeCache(db.st, db.ncache)
 	}
+	db.compactRatio = opts.CompactRatio
+	if db.compactRatio <= 0 {
+		db.compactRatio = DefaultCompactRatio
+	}
+	if opts.CompactEvery > 0 {
+		db.stopCompactor = make(chan struct{})
+		db.compactorWG.Add(1)
+		go db.compactLoop(opts.CompactEvery)
+	}
 	return db
+}
+
+// compactLoop is the background compactor: a ratio-gated GC pass per tick.
+func (db *DB) compactLoop(every time.Duration) {
+	defer db.compactorWG.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-db.stopCompactor:
+			return
+		case <-ticker.C:
+			if _, err := db.Compact(); err != nil {
+				if errors.Is(err, ErrNotCollectable) {
+					return // store will never become collectable; stop ticking
+				}
+				// Transient (e.g. store closed mid-shutdown): keep trying;
+				// the loop exits via stopCompactor.
+			}
+			db.compactPasses.Add(1)
+		}
+	}
+}
+
+// Close stops the background compactor (if any) and waits for an in-flight
+// pass to finish.  The store and branch table are owned by the caller and
+// are not closed here.  Close is idempotent and safe on a DB opened without
+// a compactor.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		if db.stopCompactor != nil {
+			close(db.stopCompactor)
+			db.compactorWG.Wait()
+		}
+	})
+	return nil
 }
 
 // Store returns the verifying chunk store (reads are tamper-checked).
@@ -115,6 +193,14 @@ type Version struct {
 // stored at that point; it is unreachable garbage unless the caller reuses
 // it.
 func (db *DB) Put(key, branch string, v value.Value, meta map[string]string) (Version, error) {
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
+	return db.put(key, branch, v, meta)
+}
+
+// put is Put without the GC write fence, for compound write operations that
+// already hold it (the fence is not reentrant).
+func (db *DB) put(key, branch string, v value.Value, meta map[string]string) (Version, error) {
 	if branch == "" {
 		branch = DefaultBranch
 	}
@@ -171,6 +257,41 @@ type WriteOp struct {
 // content-addressed and heads are independent, so there is nothing to roll
 // back.
 func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
+	return db.writeBatch(ops)
+}
+
+// BuildAndPut runs build — which typically stores chunks, e.g. the value
+// constructors — and commits the resulting value, all under the GC write
+// fence: a concurrent collection can never sweep the freshly built chunks
+// before the head CAS publishes them.  build must not call other fenced DB
+// write methods (the fence is not reentrant); plain reads are fine.
+func (db *DB) BuildAndPut(key, branch string, meta map[string]string, build func() (value.Value, error)) (Version, error) {
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
+	v, err := build()
+	if err != nil {
+		return Version{}, err
+	}
+	return db.put(key, branch, v, meta)
+}
+
+// BuildAndWriteBatch is BuildAndPut for batched writes: build assembles the
+// ops (storing their values' chunks) inside the fence.
+func (db *DB) BuildAndWriteBatch(build func() ([]WriteOp, error)) ([]Version, error) {
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
+	ops, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return db.writeBatch(ops)
+}
+
+// writeBatch is WriteBatch without the GC write fence, for callers that
+// already hold it.
+func (db *DB) writeBatch(ops []WriteOp) ([]Version, error) {
 	type slot struct {
 		branch string
 		head   hash.Hash // expected old head for the CAS
@@ -480,6 +601,10 @@ type MergeResult struct {
 // both heads as bases, making the merge itself part of the tamper-evident
 // history.  resolve handles conflicting keys (nil = fail on conflict).
 func (db *DB) Merge(key, dst, src string, resolve pos.Resolver, meta map[string]string) (MergeResult, error) {
+	// Fence the whole merge: the merged value's chunks are written well
+	// before the head CAS publishes them.
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
 	dstHead, err := db.Head(key, dst)
 	if err != nil {
 		return MergeResult{}, err

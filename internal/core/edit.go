@@ -15,6 +15,8 @@ func (db *DB) EditMap(key, branch string, puts []pos.Entry, deletes [][]byte, me
 	if branch == "" {
 		branch = DefaultBranch
 	}
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
 	cur, err := db.Get(key, branch)
 	if err != nil {
 		return Version{}, err
@@ -48,7 +50,7 @@ func (db *DB) EditMap(key, branch string, puts []pos.Entry, deletes [][]byte, me
 	} else {
 		v = value.FromMapTree(edited)
 	}
-	return db.Put(key, branch, v, meta)
+	return db.put(key, branch, v, meta)
 }
 
 // AppendList writes a new version of a list-valued object with items
@@ -57,6 +59,8 @@ func (db *DB) AppendList(key, branch string, items [][]byte, meta map[string]str
 	if branch == "" {
 		branch = DefaultBranch
 	}
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
 	cur, err := db.Get(key, branch)
 	if err != nil {
 		return Version{}, err
@@ -69,7 +73,7 @@ func (db *DB) AppendList(key, branch string, items [][]byte, meta map[string]str
 	if err != nil {
 		return Version{}, err
 	}
-	return db.Put(key, branch, value.FromSeq(appended), meta)
+	return db.put(key, branch, value.FromSeq(appended), meta)
 }
 
 // SpliceBlob writes a new version of a blob-valued object with bytes
@@ -78,6 +82,8 @@ func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta ma
 	if branch == "" {
 		branch = DefaultBranch
 	}
+	db.writeMu.RLock()
+	defer db.writeMu.RUnlock()
 	cur, err := db.Get(key, branch)
 	if err != nil {
 		return Version{}, err
@@ -90,5 +96,5 @@ func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta ma
 	if err != nil {
 		return Version{}, err
 	}
-	return db.Put(key, branch, value.FromBlob(spliced), meta)
+	return db.put(key, branch, value.FromBlob(spliced), meta)
 }

@@ -16,25 +16,40 @@ type GCStats struct {
 	Live int
 	// Swept is the number of unreachable chunks deleted.
 	Swept int
-	// SweptBytes is the physical space reclaimed.
+	// SweptBytes is the encoded size of the chunks deleted.
 	SweptBytes int64
+	// ReclaimedBytes is the physical storage returned: equal to SweptBytes
+	// for memory stores, and the on-disk footprint of compacted-away log
+	// segments (net of rewritten live records) for file stores.
+	ReclaimedBytes int64
+	// CompactedSegments counts log segments the sweep rewrote and unlinked
+	// (file stores only).
+	CompactedSegments int
+	// Relocated counts live chunks compaction physically moved.
+	Relocated int
 }
 
-// Collectable is the optional store capability GC needs: enumeration and
-// deletion of chunks.  MemStore implements it; append-only FileStore does
-// not (compaction there means rewriting segments, deliberately out of
-// scope), so GC on a file-backed DB returns ErrNotCollectable.
+// Collectable is the legacy per-chunk collection capability, kept so
+// third-party stores that enumerate and delete chunks individually remain
+// collectable.  Both built-in stores now implement the preferred bulk
+// capability, store.Collector — MemStore sweeps under one lock round, and
+// FileStore compacts its log segments (rewriting live records, unlinking
+// garbage-heavy segments) — so ErrNotCollectable is only reachable for
+// injected stores that implement neither interface.
 type Collectable interface {
 	IDs() []hash.Hash
 	Delete(id hash.Hash)
 	Get(id hash.Hash) (*chunk.Chunk, error)
 }
 
-// ErrNotCollectable is returned when the backing store cannot enumerate and
-// delete chunks.
+// ErrNotCollectable is returned when the backing store supports neither
+// store.Collector nor the legacy Collectable surface, so unreachable chunks
+// cannot be enumerated and deleted.
 var ErrNotCollectable = fmt.Errorf("core: store does not support garbage collection")
 
-// GC removes every chunk not reachable from any branch head of any key.
+// GC removes every chunk not reachable from any branch head of any key and
+// reclaims the underlying storage — on file-backed stores this compacts the
+// log, so the on-disk footprint shrinks to the live set.
 //
 // Immutability makes this safe and simple: the reachable set is the closure
 // of {branch heads} over FNode bases and POS-Tree child pointers.  Note that
@@ -44,64 +59,138 @@ var ErrNotCollectable = fmt.Errorf("core: store does not support garbage collect
 // Readers concurrent with GC that hold roots of *collected* objects may
 // observe ErrNotFound mid-traversal (as before this cache existed); they can
 // never permanently resurrect swept data through the decoded-node cache —
-// the cache purge below runs after each store delete, and the read path
+// the cache purge below follows the store sweep, and the read path
 // revalidates cache inserts against the store (nodeSource.load).
-func (db *DB) GC() (GCStats, error) {
-	col, ok := collectable(db.raw)
+func (db *DB) GC() (GCStats, error) { return db.gc(0) }
+
+// Compact is the online variant of GC: the same mark and sweep, but segment
+// rewriting is gated by the configured compaction ratio (CompactRatio), so
+// lightly-fragmented segments are left alone.  The background compactor
+// (Options.CompactEvery) runs exactly this.
+func (db *DB) Compact() (GCStats, error) { return db.gc(db.compactRatio) }
+
+func (db *DB) gc(minDeadRatio float64) (GCStats, error) {
+	col, ok := findCollector(db.raw)
 	if !ok {
 		return GCStats{}, ErrNotCollectable
 	}
+	// Writers must be fenced so a version mid-commit (chunks stored, head
+	// not yet advanced) can never be collected; readers proceed throughout.
+	// An online pass (ratio > 0) on a store with generational grace can
+	// mark *without* the fence — anything staged while the mark runs is
+	// younger than the previous sweep and therefore exempt — and exclude
+	// writers only for the sweep itself.  A full pass (explicit GC, or a
+	// store without grace) fences mark and sweep both.  Chunks staged
+	// outside the engine's fenced operations (a value built now, Put much
+	// later) are likewise protected only by grace: commit staged values
+	// promptly (or use the BuildAnd* helpers), and run full GC at quiesced
+	// moments.
+	_, hasGrace := col.(store.GenerationalCollector)
+	fenceMark := !(minDeadRatio > 0 && hasGrace)
+	if fenceMark {
+		db.writeMu.Lock()
+		defer db.writeMu.Unlock()
+	}
+	live, err := db.mark()
+	if err != nil {
+		return GCStats{}, err
+	}
+	if !fenceMark {
+		db.writeMu.Lock()
+		defer db.writeMu.Unlock()
+	}
+	res, err := col.Sweep(func(id hash.Hash) bool { return live[id] }, minDeadRatio)
+	if err != nil {
+		return GCStats{}, err
+	}
+	// Purge swept ids from whichever decoded-node cache the read path uses:
+	// db.ncache when core created it, or one the caller attached to the
+	// injected store.  Either way it is discoverable on db.st (nil-safe).
+	// Relocated chunks are purged too: their content is unchanged, but a
+	// cached decode may alias storage the compaction retired.
+	ncache := store.NodeCacheOf(db.st)
+	for _, id := range res.SweptIDs {
+		ncache.Remove(id)
+	}
+	for _, id := range res.MovedIDs {
+		ncache.Remove(id)
+	}
+	return GCStats{
+		Live:              len(live),
+		Swept:             res.Swept,
+		SweptBytes:        res.SweptBytes,
+		ReclaimedBytes:    res.ReclaimedBytes,
+		CompactedSegments: res.CompactedSegments,
+		Relocated:         len(res.MovedIDs),
+	}, nil
+}
+
+// mark computes the live set: the closure of every branch head over FNode
+// bases and POS-Tree child pointers.
+func (db *DB) mark() (map[hash.Hash]bool, error) {
 	live := make(map[hash.Hash]bool)
 	keys, err := db.heads.Keys()
 	if err != nil {
-		return GCStats{}, err
+		return nil, err
 	}
 	for _, key := range keys {
 		branches, err := db.heads.Branches(key)
 		if err != nil {
-			return GCStats{}, err
+			return nil, err
 		}
 		for _, head := range branches {
 			if err := db.markFrom(head, live); err != nil {
-				return GCStats{}, err
+				return nil, err
 			}
 		}
 	}
-	var stats GCStats
-	stats.Live = len(live)
-	// Purge swept ids from whichever decoded-node cache the read path uses:
-	// db.ncache when core created it, or one the caller attached to the
-	// injected store.  Either way it is discoverable on db.st (nil-safe).
-	ncache := store.NodeCacheOf(db.st)
-	for _, id := range col.IDs() {
-		if live[id] {
-			continue
-		}
-		if c, err := col.Get(id); err == nil {
-			stats.SweptBytes += int64(c.Size())
-		}
-		col.Delete(id)
-		ncache.Remove(id)
-		stats.Swept++
-	}
-	return stats, nil
+	return live, nil
 }
 
-func collectable(st store.Store) (Collectable, bool) {
-	switch s := st.(type) {
-	case Collectable:
-		return s, true
-	case *store.CountingStore:
-		return collectable(s.Inner)
-	case *store.VerifyingStore:
-		return collectable(s.Inner)
-	case *store.MaliciousStore:
-		return collectable(s.Inner)
-	case interface{ Unwrap() store.Store }:
-		return collectable(s.Unwrap())
-	default:
-		return nil, false
+// findCollector unwraps the store stack until it finds the bulk sweep
+// capability, falling back to an adapter over the legacy per-chunk surface.
+func findCollector(st store.Store) (store.Collector, bool) {
+	for {
+		if c, ok := st.(store.Collector); ok {
+			return c, true
+		}
+		switch s := st.(type) {
+		case *store.CountingStore:
+			st = s.Inner
+		case *store.VerifyingStore:
+			st = s.Inner
+		case *store.MaliciousStore:
+			st = s.Inner
+		case interface{ Unwrap() store.Store }:
+			st = s.Unwrap()
+		default:
+			if l, ok := st.(Collectable); ok {
+				return legacyCollector{l}, true
+			}
+			return nil, false
+		}
 	}
+}
+
+// legacyCollector adapts the per-chunk Collectable surface to the bulk
+// Sweep contract (no compaction; reclaimed = swept).
+type legacyCollector struct{ col Collectable }
+
+func (lc legacyCollector) Sweep(keep func(hash.Hash) bool, _ float64) (store.SweepStats, error) {
+	var res store.SweepStats
+	for _, id := range lc.col.IDs() {
+		if keep(id) {
+			continue
+		}
+		if c, err := lc.col.Get(id); err == nil {
+			res.SweptBytes += int64(c.Size())
+		}
+		lc.col.Delete(id)
+		res.Swept++
+		res.SweptIDs = append(res.SweptIDs, id)
+	}
+	res.ReclaimedBytes = res.SweptBytes
+	return res, nil
 }
 
 // markFrom adds every chunk reachable from a version uid to live: the FNode

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"forkbase/internal/chunk"
 	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
 	"forkbase/internal/nodecache"
 	"forkbase/internal/pos"
 	"forkbase/internal/store"
@@ -139,16 +142,194 @@ func TestGCOnWrappedStores(t *testing.T) {
 	}
 }
 
+// opaqueStore hides every collection capability of its backing store — the
+// shape of a third-party store that implements only the base interface.
+type opaqueStore struct{ mem *store.MemStore }
+
+func (o opaqueStore) Put(c *chunk.Chunk) (bool, error)       { return o.mem.Put(c) }
+func (o opaqueStore) Get(id hash.Hash) (*chunk.Chunk, error) { return o.mem.Get(id) }
+func (o opaqueStore) Has(id hash.Hash) (bool, error)         { return o.mem.Has(id) }
+func (o opaqueStore) Stats() store.Stats                     { return o.mem.Stats() }
+
 func TestGCNotCollectable(t *testing.T) {
+	db := Open(Options{Store: opaqueStore{store.NewMemStore()}, Chunking: chunker.SmallConfig()})
+	if _, err := db.GC(); !errors.Is(err, ErrNotCollectable) {
+		t.Fatalf("opaque store GC err = %v", err)
+	}
+}
+
+// TestGCLegacyCollectable pins the adapter: a third-party store exposing
+// only the per-chunk IDs/Delete/Get surface is still collectable.
+// hideSweep wraps a MemStore so only the legacy Collectable surface shows.
+type hideSweep struct{ mem *store.MemStore }
+
+func (h hideSweep) Put(c *chunk.Chunk) (bool, error)       { return h.mem.Put(c) }
+func (h hideSweep) Get(id hash.Hash) (*chunk.Chunk, error) { return h.mem.Get(id) }
+func (h hideSweep) Has(id hash.Hash) (bool, error)         { return h.mem.Has(id) }
+func (h hideSweep) Stats() store.Stats                     { return h.mem.Stats() }
+func (h hideSweep) IDs() []hash.Hash                       { return h.mem.IDs() }
+func (h hideSweep) Delete(id hash.Hash)                    { h.mem.Delete(id) }
+
+func TestGCLegacyCollectable(t *testing.T) {
+	db := Open(Options{Store: hideSweep{store.NewMemStore()}, Chunking: chunker.SmallConfig()})
+	db.Put("keep", "", bigMap(t, db, 200, "keep"), nil)
+	db.Put("drop", "", bigMap(t, db, 200, "drop"), nil)
+	if err := db.DeleteBranch("drop", "master"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db.GC()
+	if err != nil {
+		t.Fatalf("legacy collectable GC: %v", err)
+	}
+	if stats.Swept == 0 || stats.ReclaimedBytes == 0 {
+		t.Fatalf("legacy sweep reclaimed nothing: %+v", stats)
+	}
+	if _, err := db.Get("keep", "master"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCFileBacked is the headline capability of this change: GC on a
+// file-backed DB sweeps unreachable chunks AND returns the disk space, and
+// the compacted store survives a reopen.
+func TestGCFileBacked(t *testing.T) {
 	dir := t.TempDir()
-	fs, err := store.OpenFileStore(dir)
+	fs, err := store.OpenFileStoreSegmented(dir, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(Options{Store: fs, Chunking: chunker.SmallConfig()})
+	db.Put("keep", "", bigMap(t, db, 800, "keep"), nil)
+	for round := 0; round < 4; round++ {
+		br := fmt.Sprintf("tmp-%d", round)
+		if _, err := db.Put("churn", br, bigMap(t, db, 800, br), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.DeleteBranch("churn", br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diskBefore := fs.DiskBytes()
+
+	stats, err := db.GC()
+	if err != nil {
+		t.Fatalf("file-backed GC: %v", err)
+	}
+	if stats.Swept == 0 || stats.ReclaimedBytes <= 0 || stats.CompactedSegments == 0 {
+		t.Fatalf("file-backed GC reclaimed nothing: %+v", stats)
+	}
+	diskAfter := fs.DiskBytes()
+	if diskAfter >= diskBefore {
+		t.Fatalf("disk did not shrink: %d -> %d", diskBefore, diskAfter)
+	}
+	v, err := db.Get("keep", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.VerifyVersion("keep", v.UID, true); err != nil {
+		t.Fatalf("survivor corrupted by compaction: %v", err)
+	}
+	fs.Close()
+
+	// The compacted layout must round-trip a restart.
+	fs2, err := store.OpenFileStoreSegmented(dir, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	db2 := Open(Options{Store: fs2, Branches: db.heads, Chunking: chunker.SmallConfig()})
+	v2, err := db2.Get("keep", "master")
+	if err != nil {
+		t.Fatalf("reopen after GC: %v", err)
+	}
+	if _, err := db2.VerifyVersion("keep", v2.UID, true); err != nil {
+		t.Fatalf("reopened survivor fails verification: %v", err)
+	}
+}
+
+// TestGCPurgesNodeCacheFileBacked mirrors the MemStore cache-purge test on
+// the file-backed path: swept ids must leave the decoded-node cache even
+// though the store reclaims them via compaction rather than deletion.
+func TestGCPurgesNodeCacheFileBacked(t *testing.T) {
+	fs, err := store.OpenFileStoreSegmented(t.TempDir(), 8<<10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer fs.Close()
-	db := Open(Options{Store: fs, Chunking: chunker.SmallConfig()})
-	if _, err := db.GC(); !errors.Is(err, ErrNotCollectable) {
-		t.Fatalf("file store GC err = %v", err)
+	db := Open(Options{Store: fs, Chunking: chunker.SmallConfig(), NodeCacheBytes: 16 << 20})
+	v, err := db.Put("data", "", bigMapValue(t, db, 2000, "v1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := pos.LoadTree(db.Store(), db.Chunking(), v.Value.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Get([]byte("row-00000")); err != nil {
+		t.Fatal(err)
+	}
+	if db.NodeCache().Len() == 0 {
+		t.Fatal("cache not populated")
+	}
+	if err := db.DeleteBranch("data", "master"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.NodeCache().Len(); n != 0 {
+		t.Fatalf("GC left %d swept nodes in the cache", n)
+	}
+	if _, err := tree.Get([]byte("row-00000")); err == nil {
+		t.Fatal("read of collected data succeeded via cache")
+	}
+}
+
+// TestBackgroundCompactor pins Options.CompactEvery: churned garbage is
+// reclaimed without anyone calling GC, and Close stops the loop.
+func TestBackgroundCompactor(t *testing.T) {
+	fs, err := store.OpenFileStoreSegmented(t.TempDir(), 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	db := Open(Options{
+		Store:        fs,
+		Chunking:     chunker.SmallConfig(),
+		CompactEvery: 2 * time.Millisecond,
+		CompactRatio: 0.01,
+	})
+	defer db.Close()
+	db.Put("keep", "", bigMap(t, db, 400, "keep"), nil)
+	if _, err := db.Put("churn", "tmp", bigMap(t, db, 800, "tmp"), nil); err != nil {
+		t.Fatal(err)
+	}
+	chunksBefore := db.Stats().UniqueChunks
+	if err := db.DeleteBranch("churn", "tmp"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Stats().UniqueChunks >= chunksBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compactor never swept (chunks=%d)", db.Stats().UniqueChunks)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := db.Get("keep", "master"); err != nil {
+		t.Fatalf("live data harmed by background compactor: %v", err)
+	}
+	passes := db.compactPasses.Load()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if passes == 0 {
+		t.Fatal("compactor ran but recorded no passes")
+	}
+	// After Close the loop must be gone: no further passes accumulate.
+	settled := db.compactPasses.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := db.compactPasses.Load(); got != settled {
+		t.Fatalf("compactor still running after Close: %d -> %d", settled, got)
 	}
 }
 

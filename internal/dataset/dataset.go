@@ -136,15 +136,15 @@ func Create(db *core.DB, name, branch string, schema Schema, rows []Row, meta ma
 	if err != nil {
 		return nil, err
 	}
-	v, err := value.NewMap(db.Store(), db.Chunking(), entries)
-	if err != nil {
-		return nil, err
-	}
 	if meta == nil {
 		meta = map[string]string{}
 	}
 	meta[metaSchema] = schema.Encode()
-	ver, err := db.Put(name, branch, v, meta)
+	// Build + commit under the GC write fence so a concurrent collection
+	// cannot sweep the freshly built row chunks before the head publishes.
+	ver, err := db.BuildAndPut(name, branch, meta, func() (value.Value, error) {
+		return value.NewMap(db.Store(), db.Chunking(), entries)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -257,15 +257,18 @@ func (d *Dataset) UpdateRows(upserts []Row, deleteKeys []string, meta map[string
 	for _, k := range deleteKeys {
 		ops = append(ops, pos.Del([]byte(k)))
 	}
-	newTree, err := d.tree.Edit(ops)
-	if err != nil {
-		return nil, err
-	}
 	if meta == nil {
 		meta = map[string]string{}
 	}
 	meta[metaSchema] = d.Schema.Encode()
-	ver, err := d.db.Put(d.Name, d.Branch, value.FromMapTree(newTree), meta)
+	// The edit writes the new tree chunks; fence them with the commit.
+	ver, err := d.db.BuildAndPut(d.Name, d.Branch, meta, func() (value.Value, error) {
+		newTree, err := d.tree.Edit(ops)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.FromMapTree(newTree), nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"forkbase/internal/chunker"
+	"forkbase/internal/core"
 	"forkbase/internal/nodecache"
 	"forkbase/internal/pos"
 	"forkbase/internal/store"
+	"forkbase/internal/value"
 )
 
 // PerfResult is one measured operation.
@@ -36,16 +38,18 @@ type PerfResult struct {
 
 // PerfReport is the full suite output.
 type PerfReport struct {
-	Suite      string             `json:"suite"`
-	Quick      bool               `json:"quick"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	GoVersion  string             `json:"go_version"`
-	Entries    int                `json:"entries"`
-	Runs       int                `json:"runs"`
-	Results    []PerfResult       `json:"results"`
-	// Speedups are baseline/new ratios for the paired write-path
-	// measurements (>1 means the batched path is faster).
+	Suite      string       `json:"suite"`
+	Quick      bool         `json:"quick"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"go_version"`
+	Entries    int          `json:"entries"`
+	Runs       int          `json:"runs"`
+	Results    []PerfResult `json:"results"`
+	// Speedups are baseline/new ratios for the paired measurements
+	// (>1 means the optimized path is faster).
 	Speedups map[string]float64 `json:"speedups"`
+	// DiskBytes records on-disk footprints of the churn/GC experiment.
+	DiskBytes map[string]int64 `json:"disk_bytes,omitempty"`
 }
 
 // perfRuns is the median-of-N run count.
@@ -131,6 +135,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		Entries:    n,
 		Runs:       perfRuns,
 		Speedups:   map[string]float64{},
+		DiskBytes:  map[string]int64{},
 	}
 	entries := make([]pos.Entry, n)
 	var logical int64
@@ -294,6 +299,16 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		return nil, err
 	}
 
+	// --- read path: FileStore cold gets, mmap vs positioned reads --------
+	if err := runFileStoreColdReads(rep, entries, cfg, add); err != nil {
+		return nil, err
+	}
+
+	// --- churn + GC: does compaction give the space and speed back? ------
+	if err := runChurnGC(rep, quick, cfg, add); err != nil {
+		return nil, err
+	}
+
 	byName := map[string]int64{}
 	for _, r := range rep.Results {
 		byName[r.Name] = r.MedianNs
@@ -308,7 +323,261 @@ func RunPerf(quick bool) (*PerfReport, error) {
 	rep.Speedups["filestore_ingest"] = ratio("filestore_ingest_perchunk", "filestore_ingest_batched")
 	rep.Speedups["ingest_parallel"] = ratio("ingest_parallel_perchunk", "ingest_parallel_batched")
 	rep.Speedups["point_get_cache"] = ratio("point_get_uncached_10k", "point_get_cached_10k")
+	rep.Speedups["filestore_cold_get"] = ratio("filestore_get_cold_pread_10k", "filestore_get_cold_mmap_10k")
+	rep.Speedups["filestore_tree_get"] = ratio("filestore_tree_get_pread_10k", "filestore_tree_get_mmap_10k")
+	// ≥1 means the churned-then-collected store scans no slower than a
+	// freshly written store of the same live content — the GC acceptance.
+	rep.Speedups["churned_vs_fresh_scan"] = ratio("fresh_scan", "churn_scan_after_gc")
 	return rep, nil
+}
+
+// coldSegSize forces multi-segment layouts so cold reads exercise sealed
+// (mmap-served) segments, the steady state of any store larger than one
+// segment.  Small enough that even the quick dataset spans many segments
+// and only a sliver stays in the (slower, locked) active tail.
+const coldSegSize = 128 << 10
+
+// runFileStoreColdReads measures the uncached FileStore read path: raw
+// store-level point gets and tree-level point gets, each on the mmap path
+// and on the positioned-read fallback (the pre-mmap implementation, kept as
+// the baseline), plus the concurrency curve of raw gets from 1 to 8
+// goroutines — flat per-op latency means no lock convoy.
+func runFileStoreColdReads(rep *PerfReport, entries []pos.Entry, cfg chunker.Config, add func(PerfResult, error) error) error {
+	dir, err := os.MkdirTemp("", "fbcold")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	builder, err := store.OpenFileStoreSegmented(dir, coldSegSize)
+	if err != nil {
+		return err
+	}
+	root, err := pos.BuildMap(builder, cfg, entries)
+	if err != nil {
+		builder.Close()
+		return err
+	}
+	rootID := root.Root()
+	ids := builder.IDs()
+	if err := builder.Sync(); err != nil {
+		builder.Close()
+		return err
+	}
+	builder.Close()
+
+	const gets = 10000
+	n := len(entries)
+	for _, mode := range []struct {
+		tag    string
+		noMmap bool
+	}{{"mmap", false}, {"pread", true}} {
+		fs, err := store.OpenFileStoreWith(dir, store.FileStoreOptions{SegmentSize: coldSegSize, NoMmap: mode.noMmap})
+		if err != nil {
+			return err
+		}
+		// Raw store-level gets: the unit the storage engine optimizes.
+		if err := add(timeMedian("filestore_get_cold_"+mode.tag+"_10k", 0, func() error {
+			for i := 0; i < gets; i++ {
+				if _, err := fs.Get(ids[i*7919%len(ids)]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})); err != nil {
+			fs.Close()
+			return err
+		}
+		// Tree-level point gets through the verifying layer: what the
+		// engine's uncached read path actually costs end to end.
+		tree, err := pos.LoadTree(store.NewVerifyingStore(fs), cfg, rootID)
+		if err != nil {
+			fs.Close()
+			return err
+		}
+		if err := add(timeMedian("filestore_tree_get_"+mode.tag+"_10k", 0, func() error {
+			for i := 0; i < gets; i++ {
+				if _, err := tree.Get([]byte(fmt.Sprintf("key-%010d", i*97%n))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})); err != nil {
+			fs.Close()
+			return err
+		}
+		if !mode.noMmap {
+			// Concurrency curve on the mmap path: same total volume of gets
+			// split across the workers, so flat medians mean flat per-op
+			// latency (no convoy on a shared mutex).
+			for _, workers := range []int{1, 2, 4, 8} {
+				w := workers
+				if err := add(timeMedian(fmt.Sprintf("filestore_get_cold_par%d", w), 0, func() error {
+					var wg sync.WaitGroup
+					errs := make([]error, w)
+					per := gets / w
+					for g := 0; g < w; g++ {
+						wg.Add(1)
+						go func(g int) {
+							defer wg.Done()
+							for i := 0; i < per; i++ {
+								if _, err := fs.Get(ids[(g*per+i)*7919%len(ids)]); err != nil {
+									errs[g] = err
+									return
+								}
+							}
+						}(g)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							return err
+						}
+					}
+					return nil
+				})); err != nil {
+					fs.Close()
+					return err
+				}
+			}
+		}
+		fs.Close()
+	}
+	return nil
+}
+
+// runChurnGC runs the write/delete/overwrite workload the compaction work
+// exists for: after churning several branch generations into garbage, GC
+// must shrink the on-disk footprint back toward a freshly-written store of
+// the same live content, and a full scan of the survivor must be no slower
+// than on the fresh store.
+func runChurnGC(rep *PerfReport, quick bool, cfg chunker.Config, add func(PerfResult, error) error) error {
+	liveN, rounds := 50000, 6
+	if quick {
+		liveN, rounds = 10000, 4
+	}
+	mkEntries := func(tag string, n int) []pos.Entry {
+		out := make([]pos.Entry, n)
+		for i := range out {
+			out[i] = pos.Entry{
+				Key: []byte(fmt.Sprintf("%s-%010d", tag, i)),
+				Val: []byte(fmt.Sprintf("val-%s-%d", tag, i)),
+			}
+		}
+		return out
+	}
+	scan := func(db *core.DB, key string) (int, error) {
+		v, err := db.Get(key, "")
+		if err != nil {
+			return 0, err
+		}
+		tree, err := v.Value.MapTree(db.Store(), db.Chunking())
+		if err != nil {
+			return 0, err
+		}
+		it, err := tree.Iter()
+		if err != nil {
+			return 0, err
+		}
+		count := 0
+		for it.Next() {
+			count++
+		}
+		return count, it.Err()
+	}
+
+	dir, err := os.MkdirTemp("", "fbchurn")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := store.OpenFileStoreSegmented(dir, coldSegSize)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+	db := core.Open(core.Options{Store: fs, Chunking: cfg})
+	liveVal, err := value.NewMap(db.Store(), cfg, mkEntries("live", liveN))
+	if err != nil {
+		return err
+	}
+	if _, err := db.Put("live", "", liveVal, nil); err != nil {
+		return err
+	}
+	for r := 0; r < rounds; r++ {
+		branch := fmt.Sprintf("tmp-%d", r)
+		churnVal, err := value.NewMap(db.Store(), cfg, mkEntries(fmt.Sprintf("churn%d", r), liveN))
+		if err != nil {
+			return err
+		}
+		if _, err := db.Put("churn", branch, churnVal, nil); err != nil {
+			return err
+		}
+		if err := db.DeleteBranch("churn", branch); err != nil {
+			return err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return err
+	}
+	rep.DiskBytes["churn_disk_before_gc"] = fs.DiskBytes()
+
+	if err := add(timeMedian("churn_scan_before_gc", 0, func() error {
+		_, err := scan(db, "live")
+		return err
+	})); err != nil {
+		return err
+	}
+	var gcStats core.GCStats
+	if err := add(timeMedian("churn_gc_pass", 0, func() error {
+		// The first run does the real sweep; repeats measure the no-garbage
+		// fixed cost and leave the median honest about a warm store.
+		s, err := db.GC()
+		if err != nil {
+			return err
+		}
+		if s.Swept > 0 {
+			gcStats = s
+		}
+		return nil
+	})); err != nil {
+		return err
+	}
+	rep.DiskBytes["churn_disk_after_gc"] = fs.DiskBytes()
+	rep.DiskBytes["churn_reclaimed"] = gcStats.ReclaimedBytes
+	if err := add(timeMedian("churn_scan_after_gc", 0, func() error {
+		_, err := scan(db, "live")
+		return err
+	})); err != nil {
+		return err
+	}
+
+	// Fresh baseline: the same live content written once, never churned.
+	freshDir, err := os.MkdirTemp("", "fbfresh")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(freshDir)
+	ffs, err := store.OpenFileStoreSegmented(freshDir, coldSegSize)
+	if err != nil {
+		return err
+	}
+	defer ffs.Close()
+	fdb := core.Open(core.Options{Store: ffs, Chunking: cfg})
+	freshVal, err := value.NewMap(fdb.Store(), cfg, mkEntries("live", liveN))
+	if err != nil {
+		return err
+	}
+	if _, err := fdb.Put("live", "", freshVal, nil); err != nil {
+		return err
+	}
+	if err := ffs.Sync(); err != nil {
+		return err
+	}
+	rep.DiskBytes["fresh_disk"] = ffs.DiskBytes()
+	return add(timeMedian("fresh_scan", 0, func() error {
+		_, err := scan(fdb, "live")
+		return err
+	}))
 }
 
 // PrintPerf renders the report for humans.
@@ -322,8 +591,14 @@ func PrintPerf(w io.Writer, rep *PerfReport) {
 			fmt.Fprintf(w, "  %-28s %12.2fms\n", r.Name, float64(r.MedianNs)/1e6)
 		}
 	}
-	for _, k := range []string{"build_map", "filestore_ingest", "ingest_parallel", "point_get_cache"} {
+	for _, k := range []string{"build_map", "filestore_ingest", "ingest_parallel", "point_get_cache",
+		"filestore_cold_get", "filestore_tree_get", "churned_vs_fresh_scan"} {
 		fmt.Fprintf(w, "  speedup %-20s %6.2fx\n", k, rep.Speedups[k])
+	}
+	for _, k := range []string{"churn_disk_before_gc", "churn_disk_after_gc", "churn_reclaimed", "fresh_disk"} {
+		if v, ok := rep.DiskBytes[k]; ok {
+			fmt.Fprintf(w, "  disk    %-20s %10.2f MB\n", k, float64(v)/(1<<20))
+		}
 	}
 }
 

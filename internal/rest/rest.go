@@ -11,6 +11,7 @@
 //	GET    /v1/obj/{key}/diff?from=B1&to=B2       differential query
 //	GET    /v1/obj/{key}/verify?uid=U&deep=1      tamper validation
 //	POST   /v1/batch                              multi-key bulk write (JSON)
+//	POST   /v1/gc                                 collect unreachable chunks
 //	GET    /v1/stats                              store dedup accounting
 package rest
 
@@ -41,6 +42,7 @@ func New(db *core.DB) *Handler {
 	h.mux.HandleFunc("/v1/stats", h.stats)
 	h.mux.HandleFunc("/v1/obj/", h.object)
 	h.mux.HandleFunc("/v1/batch", h.batch)
+	h.mux.HandleFunc("/v1/gc", h.gc)
 	h.registerDatasets()
 	return h
 }
@@ -216,12 +218,20 @@ func (h *Handler) putObject(w http.ResponseWriter, r *http.Request, key string) 
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	v, err := h.buildValue(body)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	// Build + commit under the GC write fence: a concurrent POST /v1/gc
+	// cannot sweep the value's chunks before the head publishes them.
+	var badReq error
+	ver, err := h.db.BuildAndPut(key, branchParam(r), body.Meta, func() (value.Value, error) {
+		v, err := h.buildValue(body)
+		if err != nil {
+			badReq = err
+		}
+		return v, err
+	})
+	if badReq != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: badReq.Error()})
 		return
 	}
-	ver, err := h.db.Put(key, branchParam(r), v, body.Meta)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -302,20 +312,31 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need ops"})
 		return
 	}
-	ops := make([]core.WriteOp, len(body.Ops))
 	for i, op := range body.Ops {
 		if op.Key == "" {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("op %d: missing key", i)})
 			return
 		}
-		v, err := h.buildValue(op.putBody)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("op %d: %v", i, err)})
-			return
-		}
-		ops[i] = core.WriteOp{Key: op.Key, Branch: op.Branch, Value: v, Meta: op.Meta}
 	}
-	vers, err := h.db.WriteBatch(ops)
+	// Values are built inside the GC write fence along with the commit, so
+	// a concurrent collection cannot sweep them mid-batch.
+	var badReq error
+	ops := make([]core.WriteOp, len(body.Ops))
+	vers, err := h.db.BuildAndWriteBatch(func() ([]core.WriteOp, error) {
+		for i, op := range body.Ops {
+			v, err := h.buildValue(op.putBody)
+			if err != nil {
+				badReq = fmt.Errorf("op %d: %w", i, err)
+				return nil, badReq
+			}
+			ops[i] = core.WriteOp{Key: op.Key, Branch: op.Branch, Value: v, Meta: op.Meta}
+		}
+		return ops, nil
+	})
+	if badReq != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: badReq.Error()})
+		return
+	}
 	out := make([]any, len(vers))
 	for i, v := range vers {
 		if v.UID.IsZero() {
@@ -353,6 +374,33 @@ func allStaleHead(err error) bool {
 		return true
 	}
 	return errors.Is(err, core.ErrStaleHead)
+}
+
+// gc handles POST /v1/gc: a full mark-and-sweep over the engine's store,
+// with log compaction on file-backed stores.  Stores without a collection
+// capability answer 501.
+func (h *Handler) gc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	stats, err := h.db.GC()
+	if err != nil {
+		if errors.Is(err, core.ErrNotCollectable) {
+			writeJSON(w, http.StatusNotImplemented, errorBody{Error: err.Error()})
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"live":               stats.Live,
+		"swept":              stats.Swept,
+		"swept_bytes":        stats.SweptBytes,
+		"reclaimed_bytes":    stats.ReclaimedBytes,
+		"compacted_segments": stats.CompactedSegments,
+		"relocated":          stats.Relocated,
+	})
 }
 
 func (h *Handler) history(w http.ResponseWriter, r *http.Request, key string) {

@@ -9,8 +9,10 @@ import (
 	"strings"
 	"testing"
 
+	"forkbase/internal/chunk"
 	"forkbase/internal/chunker"
 	"forkbase/internal/core"
+	"forkbase/internal/hash"
 	"forkbase/internal/store"
 )
 
@@ -316,5 +318,70 @@ func TestBatchWriteREST(t *testing.T) {
 	}
 	if code, _ := doJSON(t, "GET", srv.URL+"/v1/batch", nil); code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET code = %d", code)
+	}
+}
+
+// TestGCEndpoint drives POST /v1/gc against a file-backed engine: churned
+// garbage is swept, disk space is reclaimed, and live data survives.
+func TestGCEndpoint(t *testing.T) {
+	fs, err := store.OpenFileStoreSegmented(t.TempDir(), 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	db := core.Open(core.Options{Store: fs, Chunking: chunker.SmallConfig()})
+	srv := httptest.NewServer(New(db))
+	t.Cleanup(srv.Close)
+
+	mkEntries := func(tag string) map[string]string {
+		entries := map[string]string{}
+		for i := 0; i < 400; i++ {
+			entries[fmt.Sprintf("k-%05d", i)] = tag
+		}
+		return entries
+	}
+	if code, body := doJSON(t, "PUT", srv.URL+"/v1/obj/keep", putBody{Kind: "map", Entries: mkEntries("keep")}); code != http.StatusCreated {
+		t.Fatalf("put keep: %d %v", code, body)
+	}
+	if code, body := doJSON(t, "PUT", srv.URL+"/v1/obj/churn?branch=tmp", putBody{Kind: "map", Entries: mkEntries("churn")}); code != http.StatusCreated {
+		t.Fatalf("put churn: %d %v", code, body)
+	}
+	if err := db.DeleteBranch("churn", "tmp"); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := doJSON(t, "POST", srv.URL+"/v1/gc", nil)
+	if code != http.StatusOK {
+		t.Fatalf("gc code %d: %v", code, body)
+	}
+	if swept, _ := body["swept"].(float64); swept == 0 {
+		t.Fatalf("gc swept nothing: %v", body)
+	}
+	if reclaimed, _ := body["reclaimed_bytes"].(float64); reclaimed <= 0 {
+		t.Fatalf("gc reclaimed no disk: %v", body)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/obj/keep", nil); code != http.StatusOK {
+		t.Fatalf("live object unreadable after gc: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", srv.URL+"/v1/gc", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET gc code = %d", code)
+	}
+}
+
+// TestGCEndpointNotCollectable answers 501 when the store has no collection
+// capability.
+type opaqueStore struct{ inner store.Store }
+
+func (o opaqueStore) Put(c *chunk.Chunk) (bool, error)       { return o.inner.Put(c) }
+func (o opaqueStore) Get(id hash.Hash) (*chunk.Chunk, error) { return o.inner.Get(id) }
+func (o opaqueStore) Has(id hash.Hash) (bool, error)         { return o.inner.Has(id) }
+func (o opaqueStore) Stats() store.Stats                     { return o.inner.Stats() }
+
+func TestGCEndpointNotCollectable(t *testing.T) {
+	db := core.Open(core.Options{Store: opaqueStore{store.NewMemStore()}, Chunking: chunker.SmallConfig()})
+	srv := httptest.NewServer(New(db))
+	t.Cleanup(srv.Close)
+	if code, _ := doJSON(t, "POST", srv.URL+"/v1/gc", nil); code != http.StatusNotImplemented {
+		t.Fatalf("not-collectable gc code = %d", code)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
 )
 
 // benchChunks builds n distinct size-byte chunks (pre-hashed, so these
@@ -148,5 +149,101 @@ func BenchmarkChunkSink(b *testing.B) {
 		if err := sink.Close(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// coldStore builds a multi-segment store and reopens it in the given mode,
+// returning the store and its chunk ids.
+func coldStore(b *testing.B, noMmap bool) (*FileStore, []*chunk.Chunk) {
+	b.Helper()
+	dir := b.TempDir()
+	cs := benchChunks(2000, 4096)
+	builder, err := OpenFileStoreSegmented(dir, 256<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := builder.PutBatch(cs); err != nil {
+		b.Fatal(err)
+	}
+	builder.Close()
+	fs, err := OpenFileStoreWith(dir, FileStoreOptions{SegmentSize: 256 << 10, NoMmap: noMmap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fs.Close() })
+	return fs, cs
+}
+
+// BenchmarkFileStoreGetCold measures uncached point gets on sealed
+// segments: the mmap path (zero-copy, claimed ids) against the positioned-
+// read baseline (syscall + copy + hash per get).
+func BenchmarkFileStoreGetCold(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noMmap bool
+	}{{"mmap", false}, {"pread", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			fs, cs := coldStore(b, mode.noMmap)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fs.Get(cs[i*7919%len(cs)].ID()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFileStoreGetColdParallel drives concurrent uncached gets through
+// the sharded index and per-segment mappings; per-op latency should stay
+// flat as workers increase (no lock convoy).
+func BenchmarkFileStoreGetColdParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines-%d", workers), func(b *testing.B) {
+			fs, cs := coldStore(b, false)
+			b.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					if _, err := fs.Get(cs[i*7919%len(cs)].ID()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFileStoreSweep measures a full sweep-and-compact pass over a
+// store whose chunks are half garbage.
+func BenchmarkFileStoreSweep(b *testing.B) {
+	cs := benchChunks(2000, 4096)
+	keep := make(map[hash.Hash]bool, len(cs))
+	for i, c := range cs {
+		if i%2 == 0 {
+			keep[c.ID()] = true
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fs, err := OpenFileStoreSegmented(b.TempDir(), 256<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.PutBatch(cs); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := fs.Sweep(func(id hash.Hash) bool { return keep[id] }, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		fs.Close()
 	}
 }

@@ -7,6 +7,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -22,42 +25,136 @@ import (
 //	[32B id][4B payload length][1B type][payload]
 //
 // Records are immutable; deduplication means a chunk id appears at most once
-// across all segments.  The store is safe for concurrent use.
+// in the index (compaction may briefly leave a duplicate copy on disk after
+// a crash; recovery collapses it).  The store is safe for concurrent use.
 //
-// Reads are designed to proceed concurrently: Get takes only a read lock to
-// consult the index, escalating to the write lock solely when the requested
-// record may still sit in the active segment's write buffer (tracked by a
-// flushed-bytes watermark).  Segment files are read through persistent
-// read-only handles with positioned reads, so concurrent Gets on the same
-// segment never contend on a shared file offset.
+// Segment lifecycle:
+//
+//	active  — the tail segment; appends go through a buffered writer, reads
+//	          take the write lock just long enough to flush the buffer.
+//	sealed  — a segment the tail rotated past (or found on open).  Sealed
+//	          segments are immutable, fsynced, and memory-mapped: Get serves
+//	          a zero-copy slice of the mapping without a syscall, a copy, or
+//	          a hash (the id comes from the index; the chunk is marked
+//	          *claimed* so the engine's verifying layer rehashes it).
+//	retired — a sealed segment rewritten by compaction.  Its file is
+//	          unlinked, but the mapping is parked so zero-copy slices
+//	          handed out earlier stay valid: at least until the *next*
+//	          sweep, and until Close while at most maxRetiredMaps retired
+//	          mappings exist (older ones are released at sweep starts).
+//
+// The index is sharded indexShards ways, so concurrent readers of different
+// chunks never contend on one mutex; only the active tail keeps a single
+// write lock.
+//
+// Zero-copy contract: payloads returned by Get for sealed segments alias
+// the segment mapping.  They are valid until Close, except that data whose
+// segment was compacted away is only guaranteed through the sweep *after*
+// the one that retired it — callers holding chunk data across multiple GC
+// cycles (or past Close) must copy.  On platforms without mmap (and with
+// the NoMmap option) every read falls back to positioned reads through
+// persistent per-segment handles, which copy and verify as before.
 type FileStore struct {
 	dir        string
 	maxSegment int64
+	noMmap     bool
 
-	mu         sync.RWMutex
-	index      map[hash.Hash]recordLoc
+	shards [indexShards]indexShard
+
+	// mu guards the write path: the active segment, stats, per-segment disk
+	// accounting, and compaction.  Reads of sealed segments never take it.
+	mu         sync.Mutex
 	active     *os.File
 	actBuf     *bufio.Writer
-	actSeg     int
 	actSize    int64
 	actFlushed int64 // bytes of the active segment known to be on disk
 	stats      Stats // Gets excluded; tracked in gets
+	segUse     map[int]*segUsage
+	graceSeg   int // first segment of the young generation (see Sweep)
 	closed     bool
+
+	actSeg atomic.Int64 // current active segment number (lock-free read path)
+
+	// segMu guards the sealed-segment table and the retired list.
+	segMu   sync.RWMutex
+	sealed  map[int]*mseg
+	retired []*mseg // parked mappings of compacted segments (munmap at Close)
 
 	gets atomic.Int64
 
-	// readersMu guards the read-handle table.  Positioned reads hold it
-	// shared for the duration of the ReadAt, so Close (which takes it
-	// exclusively) can never close a handle out from under a reader.
+	// readersMu guards the read-handle table used by the active tail and the
+	// no-mmap fallback.  Positioned reads hold it shared for the duration of
+	// the ReadAt, so Close (which takes it exclusively) can never close a
+	// handle out from under a reader.
 	readersMu     sync.RWMutex
-	readers       map[int]*os.File // per-segment read-only handles
+	readers       map[int]*os.File
 	readersClosed bool
+
+	// testBeforeUnlink, when set, runs after compaction's durability barrier
+	// (new copies flushed + fsynced) and before each victim segment is
+	// unlinked — the crash point torn-compaction recovery tests exercise.
+	testBeforeUnlink func(seg int)
+}
+
+// indexShards is the sharding factor of the in-memory index.  Shard choice
+// uses the top byte of the (uniform) chunk id, so load is even.
+const indexShards = 16
+
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[hash.Hash]recordLoc
+}
+
+// segUsage is the per-segment disk accounting compaction decides from.
+type segUsage struct {
+	total int64 // bytes of records written to the segment
+	dead  int64 // bytes of records no longer referenced by the index
+}
+
+// mseg is a sealed segment's memory mapping.  refs starts at 1 (the store's
+// own reference); Get acquires it around each zero-copy read, and Close
+// drops the store reference — the mapping is released when the count drains,
+// so an in-flight read can never fault.  Compacted segments keep the store
+// reference until Close (their file is already unlinked), which is what
+// keeps previously returned zero-copy slices valid.
+type mseg struct {
+	seg  int
+	data []byte
+	refs atomic.Int64
+}
+
+func (m *mseg) acquire() bool {
+	for {
+		r := m.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if m.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+func (m *mseg) release() {
+	if m.refs.Add(-1) == 0 {
+		_ = munmapFile(m.data)
+	}
 }
 
 // maxReadHandles bounds the persistent read-handle table so a store with
 // many segments cannot exhaust the process fd limit; excess handles are
 // evicted (closed) on insert.
 const maxReadHandles = 64
+
+// maxRetiredMaps bounds the parked mappings of compacted segments so a
+// long-running store with a background compactor does not accumulate
+// address space without bound: the most recent retirements stay mapped
+// (keeping recently handed-out zero-copy slices valid), and older ones are
+// released — by then their relocated chunks have long been re-served from
+// their new homes and their cache entries purged.  Callers holding
+// zero-copy data across many GC cycles must copy (the documented
+// long-term-hold rule).
+const maxRetiredMaps = 8
 
 type recordLoc struct {
 	segment int
@@ -66,34 +163,65 @@ type recordLoc struct {
 	typ     chunk.Type
 }
 
+// diskBytes is the on-disk footprint of the record at loc.
+func (l recordLoc) diskBytes() int64 { return int64(recordHeader) + int64(l.length) }
+
 const recordHeader = hash.Size + 4 + 1
 
 // DefaultSegmentSize is the size at which a new log segment is started.
 const DefaultSegmentSize = 64 << 20
 
-var _ BatchStore = (*FileStore)(nil)
+// FileStoreOptions tune OpenFileStoreWith.
+type FileStoreOptions struct {
+	// SegmentSize is the size at which the active segment rotates
+	// (0 = DefaultSegmentSize).
+	SegmentSize int64
+	// NoMmap disables memory-mapping of sealed segments; all reads use
+	// positioned pread through persistent handles (the pre-mmap behavior,
+	// kept as the portability fallback and as the benchmark baseline).
+	NoMmap bool
+}
+
+var (
+	_ BatchStore            = (*FileStore)(nil)
+	_ GenerationalCollector = (*FileStore)(nil)
+)
+
+// GraceGenerations marks the online-sweep grace capability (see
+// store.GenerationalCollector); Sweep documents the semantics.
+func (f *FileStore) GraceGenerations() {}
 
 // OpenFileStore opens (creating if needed) a file store rooted at dir.
 // Existing segments are scanned to rebuild the index, so reopening a store
 // recovers all previously written chunks.
 func OpenFileStore(dir string) (*FileStore, error) {
-	return OpenFileStoreSegmented(dir, DefaultSegmentSize)
+	return OpenFileStoreWith(dir, FileStoreOptions{})
 }
 
 // OpenFileStoreSegmented is OpenFileStore with a custom segment size,
 // exposed so tests can force multi-segment layouts cheaply.
 func OpenFileStoreSegmented(dir string, segSize int64) (*FileStore, error) {
-	if segSize <= 0 {
-		segSize = DefaultSegmentSize
+	return OpenFileStoreWith(dir, FileStoreOptions{SegmentSize: segSize})
+}
+
+// OpenFileStoreWith opens a file store with explicit options.
+func OpenFileStoreWith(dir string, opts FileStoreOptions) (*FileStore, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("filestore: %w", err)
 	}
 	fs := &FileStore{
 		dir:        dir,
-		maxSegment: segSize,
-		index:      make(map[hash.Hash]recordLoc),
+		maxSegment: opts.SegmentSize,
+		noMmap:     opts.NoMmap || !mmapSupported,
+		segUse:     make(map[int]*segUsage),
+		sealed:     make(map[int]*mseg),
 		readers:    make(map[int]*os.File),
+	}
+	for i := range fs.shards {
+		fs.shards[i].m = make(map[hash.Hash]recordLoc)
 	}
 	if err := fs.recover(); err != nil {
 		return nil, err
@@ -101,6 +229,9 @@ func OpenFileStoreSegmented(dir string, segSize int64) (*FileStore, error) {
 	if err := fs.openActive(); err != nil {
 		return nil, err
 	}
+	// Everything sealed before this open is old; the resumed tail is of
+	// unknown age and stays in the young generation until the first sweep.
+	fs.graceSeg = int(fs.actSeg.Load())
 	return fs, nil
 }
 
@@ -108,19 +239,51 @@ func (f *FileStore) segmentPath(n int) string {
 	return filepath.Join(f.dir, fmt.Sprintf("seg-%06d.log", n))
 }
 
-// recover scans all existing segments in order and rebuilds the index.
-// Truncated trailing records (from a crash mid-append) are discarded.
-func (f *FileStore) recover() error {
-	for seg := 0; ; seg++ {
-		path := f.segmentPath(seg)
-		fi, err := os.Stat(path)
-		if os.IsNotExist(err) {
-			f.actSeg = seg
-			if seg > 0 {
-				f.actSeg = seg - 1
-			}
-			return nil
+func (f *FileStore) shard(id hash.Hash) *indexShard {
+	return &f.shards[id[0]&(indexShards-1)]
+}
+
+func (f *FileStore) lookup(id hash.Hash) (recordLoc, bool) {
+	sh := f.shard(id)
+	sh.mu.RLock()
+	loc, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return loc, ok
+}
+
+// listSegments returns the numbers of existing segment files, sorted.
+// Compaction leaves gaps in the numbering, so the directory is globbed
+// rather than probed sequentially.
+func (f *FileStore) listSegments() ([]int, error) {
+	names, err := filepath.Glob(filepath.Join(f.dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	segs := make([]int, 0, len(names))
+	for _, name := range names {
+		base := filepath.Base(name)
+		numStr := strings.TrimSuffix(strings.TrimPrefix(base, "seg-"), ".log")
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue // foreign file matching the glob; ignore
 		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// recover scans all existing segments in ascending order and rebuilds the
+// index (first occurrence of an id wins, which collapses the duplicate a
+// crash mid-compaction can leave).  Truncated trailing records are
+// discarded.  Every segment except the highest-numbered is sealed.
+func (f *FileStore) recover() error {
+	segs, err := f.listSegments()
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		fi, err := os.Stat(f.segmentPath(seg))
 		if err != nil {
 			return fmt.Errorf("filestore: %w", err)
 		}
@@ -128,6 +291,17 @@ func (f *FileStore) recover() error {
 			return err
 		}
 	}
+	act := 0
+	if len(segs) > 0 {
+		act = segs[len(segs)-1]
+		for _, seg := range segs[:len(segs)-1] {
+			if err := f.seal(seg); err != nil {
+				return err
+			}
+		}
+	}
+	f.actSeg.Store(int64(act))
+	return nil
 }
 
 func (f *FileStore) scanSegment(seg int, size int64) error {
@@ -136,52 +310,100 @@ func (f *FileStore) scanSegment(seg int, size int64) error {
 		return fmt.Errorf("filestore: %w", err)
 	}
 	defer file.Close()
+	use := f.useOf(seg)
 	r := bufio.NewReaderSize(file, 1<<20)
 	var off int64
 	hdr := make([]byte, recordHeader)
 	for off < size {
 		if _, err := io.ReadFull(r, hdr); err != nil {
 			// Torn header at the tail: truncate logically and stop.
-			return f.truncate(seg, off)
+			return f.truncate(seg, off, use)
 		}
 		var id hash.Hash
 		copy(id[:], hdr[:hash.Size])
 		plen := int32(binary.LittleEndian.Uint32(hdr[hash.Size : hash.Size+4]))
 		typ := chunk.Type(hdr[hash.Size+4])
 		if plen < 0 || !typ.Valid() {
-			return f.truncate(seg, off)
+			return f.truncate(seg, off, use)
 		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return f.truncate(seg, off)
+			return f.truncate(seg, off, use)
 		}
+		rec := int64(recordHeader) + int64(plen)
+		use.total += rec
 		c := chunk.New(typ, payload)
-		if c.ID() != id {
+		sh := f.shard(id)
+		_, dup := sh.m[id]
+		switch {
+		case c.ID() != id:
 			// Bit rot inside a record: refuse to index it but keep going;
 			// readers will get ErrNotFound rather than corrupt data.
-			off += int64(recordHeader) + int64(plen)
-			continue
-		}
-		if _, dup := f.index[id]; !dup {
-			f.index[id] = recordLoc{segment: seg, offset: off, length: plen, typ: typ}
+			use.dead += rec
+		case dup:
+			// Duplicate copy (crash between compaction's rewrite and its
+			// unlink): the first occurrence won, this one is garbage.
+			use.dead += rec
+		default:
+			sh.m[id] = recordLoc{segment: seg, offset: off, length: plen, typ: typ}
 			f.stats.UniqueChunks++
 			f.stats.PhysicalBytes += int64(c.Size())
 		}
-		off += int64(recordHeader) + int64(plen)
+		off += rec
 	}
 	return nil
 }
 
 // truncate drops a torn tail produced by a crash mid-write.
-func (f *FileStore) truncate(seg int, off int64) error {
+func (f *FileStore) truncate(seg int, off int64, use *segUsage) error {
 	if err := os.Truncate(f.segmentPath(seg), off); err != nil {
 		return fmt.Errorf("filestore: truncating torn tail: %w", err)
 	}
+	use.total = off
+	return nil
+}
+
+// useOf returns (creating if needed) the disk accounting of a segment.
+// Callers hold f.mu, except during single-goroutine recovery.
+func (f *FileStore) useOf(seg int) *segUsage {
+	u, ok := f.segUse[seg]
+	if !ok {
+		u = &segUsage{}
+		f.segUse[seg] = u
+	}
+	return u
+}
+
+// seal registers a finished segment for the mmap read path.  In no-mmap
+// mode sealing is a no-op: reads keep going through positioned handles.
+func (f *FileStore) seal(seg int) error {
+	if f.noMmap {
+		return nil
+	}
+	file, err := os.Open(f.segmentPath(seg))
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	defer file.Close()
+	fi, err := file.Stat()
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	data, err := mmapFile(file, fi.Size())
+	if err != nil {
+		return fmt.Errorf("filestore: mmap seg %d: %w", seg, err)
+	}
+	m := &mseg{seg: seg, data: data}
+	m.refs.Store(1)
+	f.segMu.Lock()
+	f.sealed[seg] = m
+	f.segMu.Unlock()
 	return nil
 }
 
 func (f *FileStore) openActive() error {
-	path := f.segmentPath(f.actSeg)
+	seg := int(f.actSeg.Load())
+	path := f.segmentPath(seg)
 	file, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("filestore: %w", err)
@@ -195,6 +417,7 @@ func (f *FileStore) openActive() error {
 	f.actBuf = bufio.NewWriterSize(file, 1<<20)
 	f.actSize = fi.Size()
 	f.actFlushed = fi.Size() // everything already on disk is flushed
+	f.useOf(seg).total = fi.Size()
 	return nil
 }
 
@@ -209,10 +432,15 @@ func (f *FileStore) Put(c *chunk.Chunk) (bool, error) {
 }
 
 // appendLocked performs the dedup check and buffered append of one chunk.
-// Callers hold f.mu exclusively.
+// Callers hold f.mu.
 func (f *FileStore) appendLocked(c *chunk.Chunk) (bool, error) {
 	f.stats.LogicalBytes += int64(c.Size())
-	if _, ok := f.index[c.ID()]; ok {
+	id := c.ID()
+	sh := f.shard(id)
+	sh.mu.RLock()
+	_, dup := sh.m[id]
+	sh.mu.RUnlock()
+	if dup {
 		f.stats.DedupHits++
 		return false, nil
 	}
@@ -222,7 +450,6 @@ func (f *FileStore) appendLocked(c *chunk.Chunk) (bool, error) {
 		}
 	}
 	var hdr [recordHeader]byte
-	id := c.ID()
 	copy(hdr[:hash.Size], id[:])
 	binary.LittleEndian.PutUint32(hdr[hash.Size:hash.Size+4], uint32(len(c.Data())))
 	hdr[hash.Size+4] = byte(c.Type())
@@ -232,8 +459,13 @@ func (f *FileStore) appendLocked(c *chunk.Chunk) (bool, error) {
 	if _, err := f.actBuf.Write(c.Data()); err != nil {
 		return false, fmt.Errorf("filestore: %w", err)
 	}
-	f.index[id] = recordLoc{segment: f.actSeg, offset: f.actSize, length: int32(len(c.Data())), typ: c.Type()}
-	f.actSize += int64(recordHeader) + int64(len(c.Data()))
+	seg := int(f.actSeg.Load())
+	loc := recordLoc{segment: seg, offset: f.actSize, length: int32(len(c.Data())), typ: c.Type()}
+	sh.mu.Lock()
+	sh.m[id] = loc
+	sh.mu.Unlock()
+	f.actSize += loc.diskBytes()
+	f.useOf(seg).total = f.actSize
 	f.stats.UniqueChunks++
 	f.stats.PhysicalBytes += int64(c.Size())
 	return true, nil
@@ -268,41 +500,135 @@ func (f *FileStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
 	return fresh, nil
 }
 
+// rotate seals the active segment and starts the next one.  The sealed
+// segment is flushed and fsynced first — sealed segments are always durable,
+// which is what lets compaction unlink a victim as soon as its live records
+// land in (or beyond) the new active segment.
 func (f *FileStore) rotate() error {
 	if err := f.actBuf.Flush(); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	if err := f.active.Sync(); err != nil {
 		return fmt.Errorf("filestore: %w", err)
 	}
 	if err := f.active.Close(); err != nil {
 		return fmt.Errorf("filestore: %w", err)
 	}
-	f.actSeg++
+	seg := int(f.actSeg.Load())
+	if err := f.seal(seg); err != nil {
+		return err
+	}
+	f.actSeg.Store(int64(seg + 1))
 	return f.openActive()
 }
 
-// Get implements Store.  The common case — a record fully flushed to its
-// segment — needs only the shared read lock; the write lock is taken just
-// long enough to flush when the record may still be buffered.
+// Get implements Store.
+//
+// Sealed segments (the common case for any store bigger than one segment)
+// are served from their memory mapping: no syscall, no copy, no lock shared
+// with other chunks — just a sharded index lookup and a refcount bump.  The
+// returned chunk's payload aliases the mapping (valid until Close) and its
+// id is *claimed* from the index rather than recomputed; the engine always
+// reads through a VerifyingStore, which rehashes claimed chunks, so
+// end-to-end tamper evidence is unchanged.  Raw callers that need integrity
+// without the verifying layer can call Recheck themselves.
+//
+// Records still in the active tail take the write lock just long enough to
+// flush the append buffer, then are read, copied and verified as before.
 func (f *FileStore) Get(id hash.Hash) (*chunk.Chunk, error) {
-	f.mu.RLock()
-	loc, ok := f.index[id]
-	needFlush := ok && loc.segment == f.actSeg &&
-		loc.offset+int64(recordHeader)+int64(loc.length) > f.actFlushed
-	f.mu.RUnlock()
-	if !ok {
-		return nil, ErrNotFound
-	}
 	f.gets.Add(1)
-	if needFlush {
-		f.mu.Lock()
-		if !f.closed && loc.segment == f.actSeg {
-			if err := f.actBuf.Flush(); err != nil {
-				f.mu.Unlock()
-				return nil, fmt.Errorf("filestore: %w", err)
-			}
-			f.actFlushed = f.actSize
+	// Rotation or compaction can move a record between the index lookup and
+	// the segment access; re-looking up and retrying converges because moves
+	// are rare and forward-only.
+	for attempt := 0; attempt < 8; attempt++ {
+		loc, ok := f.lookup(id)
+		if !ok {
+			return nil, ErrNotFound
 		}
-		f.mu.Unlock()
+		if int64(loc.segment) == f.actSeg.Load() {
+			c, retry, err := f.getActive(id)
+			if retry {
+				continue
+			}
+			return c, err
+		}
+		if !f.noMmap {
+			f.segMu.RLock()
+			m := f.sealed[loc.segment]
+			f.segMu.RUnlock()
+			if m == nil || !m.acquire() {
+				continue // sealing in progress, retired, or closing: retry
+			}
+			start := loc.offset + recordHeader
+			end := start + int64(loc.length)
+			if end > int64(len(m.data)) {
+				m.release()
+				return nil, fmt.Errorf("filestore: index points past seg %d mapping", loc.segment)
+			}
+			c := chunk.NewClaimed(loc.typ, m.data[start:end:end], id)
+			m.release()
+			return c, nil
+		}
+		c, err := f.getPread(id, loc)
+		if err == nil {
+			return c, nil
+		}
+		// Compaction may have relocated the record and unlinked its segment
+		// mid-read; if the index moved it, retry at the new home.
+		cur, ok := f.lookup(id)
+		if !ok {
+			return nil, ErrNotFound // swept concurrently
+		}
+		if cur != loc {
+			continue
+		}
+		return nil, err
 	}
+	return nil, fmt.Errorf("filestore: get %s: segment moved too many times", id.Short())
+}
+
+// getActive reads a record that the index places in the active tail.  retry
+// is true when the record moved (rotation/compaction) before the lock was
+// acquired.
+func (f *FileStore) getActive(id hash.Hash) (*chunk.Chunk, bool, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, false, fmt.Errorf("filestore: closed")
+	}
+	loc, ok := f.lookup(id) // re-read under mu: compaction cannot run here
+	if !ok {
+		f.mu.Unlock()
+		return nil, false, ErrNotFound
+	}
+	if int64(loc.segment) != f.actSeg.Load() {
+		f.mu.Unlock()
+		return nil, true, nil
+	}
+	if loc.offset+loc.diskBytes() > f.actFlushed {
+		if err := f.actBuf.Flush(); err != nil {
+			f.mu.Unlock()
+			return nil, false, fmt.Errorf("filestore: %w", err)
+		}
+		f.actFlushed = f.actSize
+	}
+	f.mu.Unlock()
+	c, err := f.getPread(id, loc)
+	if err != nil {
+		// The tail may have sealed and been compacted away between the
+		// unlock and the read; if the record moved (or vanished), have the
+		// caller re-resolve rather than surfacing a spurious error.
+		if cur, ok := f.lookup(id); !ok || cur != loc {
+			return nil, true, nil
+		}
+	}
+	return c, false, err
+}
+
+// getPread is the copying read path: positioned read through a persistent
+// handle, then hash verification — the pre-mmap behavior, used for the
+// active tail and in no-mmap mode.
+func (f *FileStore) getPread(id hash.Hash, loc recordLoc) (*chunk.Chunk, error) {
 	payload := make([]byte, loc.length)
 	if err := f.readRecord(loc.segment, loc.offset+recordHeader, payload); err != nil {
 		return nil, err
@@ -364,21 +690,289 @@ func (f *FileStore) readRecord(seg int, off int64, payload []byte) error {
 	}
 }
 
+// dropReader closes and forgets the persistent handle of a segment (used
+// when compaction retires it).
+func (f *FileStore) dropReader(seg int) {
+	f.readersMu.Lock()
+	if h, ok := f.readers[seg]; ok {
+		h.Close()
+		delete(f.readers, seg)
+	}
+	f.readersMu.Unlock()
+}
+
 // Has implements Store.
 func (f *FileStore) Has(id hash.Hash) (bool, error) {
-	f.mu.RLock()
-	_, ok := f.index[id]
-	f.mu.RUnlock()
+	_, ok := f.lookup(id)
 	return ok, nil
+}
+
+// IDs returns the ids of all indexed chunks (order unspecified); used by
+// tests and diagnostics.
+func (f *FileStore) IDs() []hash.Hash {
+	var out []hash.Hash
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Len returns the number of distinct indexed chunks.
+func (f *FileStore) Len() int {
+	n := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats implements Store.
 func (f *FileStore) Stats() Stats {
-	f.mu.RLock()
+	f.mu.Lock()
 	s := f.stats
-	f.mu.RUnlock()
+	f.mu.Unlock()
 	s.Gets = f.gets.Load()
 	return s
+}
+
+// DiskBytes returns the summed size of all live segment files — the store's
+// physical footprint on disk (compacted segments stop counting the moment
+// they are unlinked).
+func (f *FileStore) DiskBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, u := range f.segUse {
+		n += u.total
+	}
+	return n
+}
+
+// Sweep implements Collector: it removes every chunk for which keep returns
+// false from the index, then compacts sealed segments whose dead-byte ratio
+// reaches minDeadRatio (0 = any garbage) by rewriting their live records
+// into the active tail and unlinking the victims.
+//
+// Generational grace: an *online* sweep (minDeadRatio > 0, the mode the
+// background compactor uses) never removes records written since the
+// previous sweep — the caller's reachability view necessarily predates
+// those writes, so freshly staged chunks whose references have not been
+// published yet are exempt until the next pass.  A full sweep (ratio 0)
+// collects everything the caller rejects; run it when writers are fenced
+// or quiesced.
+//
+// Crash safety: victims are unlinked only after every rewritten record is
+// flushed and fsynced (sealed segments are fsynced at rotation; the active
+// tail is fsynced explicitly), so a crash at any point loses nothing — at
+// worst a reopened store sees a duplicate copy (collapsed by recovery) or
+// resurrects not-yet-compacted garbage (removed again by the next sweep).
+//
+// keep is called with the index locks held and must not call back into the
+// store.  Writers are blocked for the duration; readers of sealed segments
+// proceed throughout, and zero-copy slices already handed out stay valid —
+// retired mappings are parked until Close (the oldest are released once
+// more than maxRetiredMaps accumulate).
+func (f *FileStore) Sweep(keep func(hash.Hash) bool, minDeadRatio float64) (SweepStats, error) {
+	var res SweepStats
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return res, fmt.Errorf("filestore: closed")
+	}
+	// Age out mappings parked by *previous* sweeps beyond the retention
+	// window.  Doing this at the start of a pass (rather than when a
+	// mapping is parked) guarantees a retired mapping survives at least
+	// until the next sweep, so slices handed out just before its
+	// compaction stay valid well past the pass that moved the data.
+	f.segMu.Lock()
+	for len(f.retired) > maxRetiredMaps {
+		f.retired[0].release()
+		f.retired = f.retired[1:]
+	}
+	f.segMu.Unlock()
+	young := -1 // full sweep: no generation is exempt
+	if minDeadRatio > 0 {
+		young = f.graceSeg
+	}
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for id, loc := range sh.m {
+			if keep(id) {
+				continue
+			}
+			if young >= 0 && loc.segment >= young {
+				continue // grace: written since the previous sweep
+			}
+			delete(sh.m, id)
+			res.Swept++
+			res.SweptBytes += int64(1 + loc.length)
+			res.SweptIDs = append(res.SweptIDs, id)
+			f.stats.UniqueChunks--
+			f.stats.PhysicalBytes -= int64(1 + loc.length)
+			f.useOf(loc.segment).dead += loc.diskBytes()
+		}
+		sh.mu.Unlock()
+	}
+	if err := f.compactLocked(minDeadRatio, &res); err != nil {
+		return res, err
+	}
+	// Everything on disk now predates this sweep; the generation boundary
+	// moves to the (possibly fresh) tail.
+	f.graceSeg = int(f.actSeg.Load())
+	return res, nil
+}
+
+// compactLocked rewrites the live records of garbage-heavy segments into the
+// active tail and unlinks the victims.  Callers hold f.mu.
+func (f *FileStore) compactLocked(minDeadRatio float64, res *SweepStats) error {
+	// Garbage in the active tail can only be reclaimed once the tail seals;
+	// rotate it out of the way so a full sweep really returns the space.
+	act := int(f.actSeg.Load())
+	if u := f.segUse[act]; u != nil && u.dead > 0 && f.actSize > 0 {
+		if err := f.actBuf.Flush(); err != nil {
+			return fmt.Errorf("filestore: %w", err)
+		}
+		f.actFlushed = f.actSize
+		if err := f.rotate(); err != nil {
+			return err
+		}
+	}
+	var victims []int
+	for seg, u := range f.segUse {
+		if seg == int(f.actSeg.Load()) || u.dead == 0 || u.total == 0 {
+			continue
+		}
+		if float64(u.dead)/float64(u.total) >= minDeadRatio {
+			victims = append(victims, seg)
+		}
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	sort.Ints(victims)
+	for _, seg := range victims {
+		if err := f.rewriteLive(seg, res); err != nil {
+			return err
+		}
+	}
+	// Durability barrier: every rewritten record is on disk before any
+	// victim disappears.  Records that landed in segments sealed during the
+	// rewrite were fsynced by rotate; the tail needs an explicit sync.
+	if err := f.actBuf.Flush(); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	f.actFlushed = f.actSize
+	if err := f.active.Sync(); err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	for _, seg := range victims {
+		if f.testBeforeUnlink != nil {
+			f.testBeforeUnlink(seg)
+		}
+		if err := os.Remove(f.segmentPath(seg)); err != nil {
+			return fmt.Errorf("filestore: unlinking compacted seg %d: %w", seg, err)
+		}
+		res.ReclaimedBytes += f.segUse[seg].total
+		delete(f.segUse, seg)
+		f.dropReader(seg)
+		f.segMu.Lock()
+		if m := f.sealed[seg]; m != nil {
+			delete(f.sealed, seg)
+			// Park the mapping: zero-copy slices alias it until Close or
+			// until it ages out of the retention window at a *later* sweep
+			// (never this one — see the trim in Sweep).
+			f.retired = append(f.retired, m)
+		}
+		f.segMu.Unlock()
+		res.CompactedSegments++
+	}
+	res.ReclaimedBytes -= res.MovedBytes
+	// Relocated records sit in the tail, where reads pay the locked
+	// positioned-read path; seal it so they are served from a mapping like
+	// the sealed data they replaced.
+	if res.MovedBytes > 0 && f.actSize > 0 {
+		if err := f.rotate(); err != nil {
+			return err
+		}
+	}
+	f.syncDir()
+	return nil
+}
+
+// rewriteLive appends every still-indexed record of seg to the active tail
+// and repoints the index.  Callers hold f.mu.
+func (f *FileStore) rewriteLive(seg int, res *SweepStats) error {
+	var data []byte
+	f.segMu.RLock()
+	if m := f.sealed[seg]; m != nil {
+		data = m.data
+	}
+	f.segMu.RUnlock()
+	if data == nil { // no-mmap mode: one buffered read of the victim
+		b, err := os.ReadFile(f.segmentPath(seg))
+		if err != nil {
+			return fmt.Errorf("filestore: %w", err)
+		}
+		data = b
+	}
+	for off := int64(0); off < int64(len(data)); {
+		if off+recordHeader > int64(len(data)) {
+			break // torn tail already truncated logically at scan time
+		}
+		var id hash.Hash
+		copy(id[:], data[off:off+hash.Size])
+		plen := int64(int32(binary.LittleEndian.Uint32(data[off+hash.Size : off+hash.Size+4])))
+		typ := chunk.Type(data[off+hash.Size+4])
+		rec := int64(recordHeader) + plen
+		if plen < 0 || !typ.Valid() || off+rec > int64(len(data)) {
+			break
+		}
+		sh := f.shard(id)
+		sh.mu.RLock()
+		loc, ok := sh.m[id]
+		sh.mu.RUnlock()
+		if !ok || loc.segment != seg || loc.offset != off {
+			off += rec // dead, or a duplicate whose other copy won
+			continue
+		}
+		if f.actSize >= f.maxSegment {
+			if err := f.rotate(); err != nil {
+				return err
+			}
+		}
+		if _, err := f.actBuf.Write(data[off : off+rec]); err != nil {
+			return fmt.Errorf("filestore: %w", err)
+		}
+		dst := int(f.actSeg.Load())
+		newLoc := recordLoc{segment: dst, offset: f.actSize, length: int32(plen), typ: typ}
+		sh.mu.Lock()
+		sh.m[id] = newLoc
+		sh.mu.Unlock()
+		f.actSize += rec
+		f.useOf(dst).total = f.actSize
+		res.MovedIDs = append(res.MovedIDs, id)
+		res.MovedBytes += rec
+		off += rec
+	}
+	return nil
+}
+
+// syncDir fsyncs the store directory so unlinks and creates survive a crash
+// (best-effort: some platforms cannot fsync directories).
+func (f *FileStore) syncDir() {
+	if d, err := os.Open(f.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
 }
 
 // Flush forces buffered appends to the OS.
@@ -403,7 +997,9 @@ func (f *FileStore) Sync() error {
 	return f.active.Sync()
 }
 
-// Close flushes and closes the store.  Further operations fail.
+// Close flushes and closes the store.  Further operations fail, and
+// zero-copy payloads returned by Get become invalid: each segment mapping is
+// released once its in-flight readers drain.
 func (f *FileStore) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -418,6 +1014,16 @@ func (f *FileStore) Close() error {
 	}
 	f.readers = nil
 	f.readersMu.Unlock()
+	f.segMu.Lock()
+	for _, m := range f.sealed {
+		m.release() // drop the store reference; munmap when readers drain
+	}
+	f.sealed = map[int]*mseg{}
+	for _, m := range f.retired {
+		m.release()
+	}
+	f.retired = nil
+	f.segMu.Unlock()
 	if err := f.actBuf.Flush(); err != nil {
 		return err
 	}

@@ -114,6 +114,33 @@ func (m *MemStore) IDs() []hash.Hash {
 	return out
 }
 
+// Sweep implements Collector: every chunk keep rejects is removed under a
+// single lock round.  The ratio is meaningless for a map-backed store and is
+// ignored; reclaimed bytes equal swept bytes.  MemStore has no generational
+// grace (it is not a GenerationalCollector): callers must compute keep with
+// writers fenced — core.DB.GC does — and chunks staged outside fenced
+// engine operations are collectable until their head publishes them.
+func (m *MemStore) Sweep(keep func(hash.Hash) bool, _ float64) (SweepStats, error) {
+	var res SweepStats
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, c := range m.chunks {
+		if keep(id) {
+			continue
+		}
+		delete(m.chunks, id)
+		res.Swept++
+		res.SweptBytes += int64(c.Size())
+		res.SweptIDs = append(res.SweptIDs, id)
+		m.stats.UniqueChunks--
+		m.stats.PhysicalBytes -= int64(c.Size())
+	}
+	res.ReclaimedBytes = res.SweptBytes
+	return res, nil
+}
+
+var _ Collector = (*MemStore)(nil)
+
 // Delete removes a chunk (used by GC); it is a no-op if absent.
 func (m *MemStore) Delete(id hash.Hash) {
 	m.mu.Lock()

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can memory-map sealed segments.
+// Without mmap the FileStore falls back to positioned reads through
+// persistent handles for every segment, sealed or active.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("filestore: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map sealed segments.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared.  A zero-length file
+// maps to a nil slice (mmap of length 0 is an error on most unices, and a
+// sealed empty segment has nothing to read anyway).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -94,6 +94,56 @@ type BatchStore interface {
 	PutBatch(cs []*chunk.Chunk) (fresh []bool, err error)
 }
 
+// SweepStats reports what a Collector's Sweep removed and reclaimed.
+type SweepStats struct {
+	// Swept is the number of chunks removed.
+	Swept int
+	// SweptBytes is the summed encoded size of removed chunks.
+	SweptBytes int64
+	// ReclaimedBytes is the physical storage returned: for memory stores it
+	// equals SweptBytes; for file stores it is the on-disk footprint of
+	// compacted-away segments net of the live bytes rewritten out of them.
+	ReclaimedBytes int64
+	// CompactedSegments counts log segments rewritten and unlinked.
+	CompactedSegments int
+	// MovedBytes is the on-disk volume of live records compaction rewrote.
+	MovedBytes int64
+	// SweptIDs lists the removed chunk ids, so callers can purge caches
+	// layered above the store.
+	SweptIDs []hash.Hash
+	// MovedIDs lists live chunks that compaction physically relocated.
+	// Their content is unchanged (content addressing guarantees it), but
+	// caches holding decoded forms that alias old storage should purge them.
+	MovedIDs []hash.Hash
+}
+
+// Collector is the optional capability garbage collection needs: a bulk
+// sweep that removes every chunk the caller does not keep and reclaims the
+// underlying storage.  Both built-in stores implement it — MemStore deletes
+// map entries under one lock round; FileStore additionally compacts log
+// segments whose dead-byte ratio reaches minDeadRatio (0 compacts any
+// garbage; memory stores ignore the ratio).
+//
+// keep may be called with internal locks held and must not call back into
+// the store.  Stores without this capability (and without the legacy
+// per-chunk core.Collectable surface) are not collectable: core.DB.GC
+// returns ErrNotCollectable for them.
+type Collector interface {
+	Sweep(keep func(hash.Hash) bool, minDeadRatio float64) (SweepStats, error)
+}
+
+// GenerationalCollector marks a Collector whose *online* sweeps
+// (minDeadRatio > 0) exempt every chunk written since the previous sweep.
+// With that guarantee a garbage collector may compute its reachability view
+// concurrently with writers — anything staged during the (unfenced) mark is
+// too young to collect — and needs to exclude writers only for the sweep
+// itself.  FileStore implements it via its segment-generation watermark.
+type GenerationalCollector interface {
+	Collector
+	// GraceGenerations is a marker; it performs no work.
+	GraceGenerations()
+}
+
 // PutBatch stores cs into s, using the native batch path when s implements
 // BatchStore and falling back to per-chunk Puts otherwise.  It is the one
 // entry point batch producers (the chunk sink, fnode.SaveAll, the network

@@ -197,7 +197,7 @@ func TestFileStoreSegmentRotation(t *testing.T) {
 		}
 		ids = append(ids, c.ID())
 	}
-	if s.actSeg == 0 {
+	if s.actSeg.Load() == 0 {
 		t.Fatal("no segment rotation happened")
 	}
 	for _, id := range ids {
@@ -568,7 +568,9 @@ func TestMustPutPanicsOnClosedStore(t *testing.T) {
 
 func TestFileStoreReadHandleBoundAndClose(t *testing.T) {
 	dir := t.TempDir()
-	s, err := OpenFileStoreSegmented(dir, 256) // force many segments
+	// NoMmap keeps every read on the positioned-read path, which is what
+	// the handle table serves.
+	s, err := OpenFileStoreWith(dir, FileStoreOptions{SegmentSize: 256, NoMmap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -580,8 +582,8 @@ func TestFileStoreReadHandleBoundAndClose(t *testing.T) {
 		}
 		ids = append(ids, c.ID())
 	}
-	if s.actSeg <= maxReadHandles {
-		t.Fatalf("want more segments than the handle bound, got %d", s.actSeg)
+	if s.actSeg.Load() <= maxReadHandles {
+		t.Fatalf("want more segments than the handle bound, got %d", s.actSeg.Load())
 	}
 	// Reading every chunk cycles far more segments than the handle table
 	// admits; eviction must keep it bounded while reads stay correct.

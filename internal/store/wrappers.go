@@ -219,10 +219,16 @@ func (v *VerifyingStore) Has(id hash.Hash) (bool, error) { return v.Inner.Has(id
 // Stats implements Store.
 func (v *VerifyingStore) Stats() Stats { return v.Inner.Stats() }
 
-// Get implements Store, verifying content against id.
+// Get implements Store, verifying content against id.  Chunks whose id was
+// merely claimed by the inner store (FileStore's zero-copy mmap path trusts
+// its own index) are rehashed here, so the one-hash-per-read contract holds
+// no matter which store sits below.
 func (v *VerifyingStore) Get(id hash.Hash) (*chunk.Chunk, error) {
 	c, err := v.Inner.Get(id)
 	if err != nil {
+		return nil, err
+	}
+	if err := c.Recheck(); err != nil {
 		return nil, err
 	}
 	if err := c.Verify(id); err != nil {
