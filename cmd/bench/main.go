@@ -10,6 +10,7 @@
 //	bench -exp fig6         tamper evidence
 //	bench -exp a1|a2|a3     ablations
 //	bench -exp perf         write/read-path perf suite (median of 5)
+//	bench -exp repl         Merkle-delta replication vs full copy
 //
 // Use -quick for smaller workloads (CI-sized).  With -json FILE the perf
 // suite also writes a machine-readable report (BENCH_N.json artifacts track
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
@@ -171,6 +172,21 @@ func main() {
 		experiments.PrintPerf(out, rep)
 		if *jsonPath != "" {
 			if err := experiments.WritePerfJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	})
+
+	run("repl", func() error {
+		rep, err := experiments.RunRepl(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.PrintRepl(out, rep)
+		if *jsonPath != "" {
+			if err := experiments.WriteReplJSON(*jsonPath, rep); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *jsonPath)

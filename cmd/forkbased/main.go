@@ -2,7 +2,15 @@
 // service (for forkbase -remote and cluster deployments) and, optionally,
 // the REST API.
 //
+// A primary publishes its change feed over the same TCP port, so replicas
+// can follow it:
+//
 //	forkbased -listen 127.0.0.1:7450 -dir ./node0 -http 127.0.0.1:8080
+//
+// A replica follows a primary and serves reads (its own TCP service is
+// read-only; its REST API exposes GET /v1/repl/status):
+//
+//	forkbased -listen 127.0.0.1:7451 -dir ./replica0 -follow 127.0.0.1:7450 -http 127.0.0.1:8081
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"syscall"
 
 	"forkbase/internal/core"
+	"forkbase/internal/repl"
 	"forkbase/internal/rest"
 	"forkbase/internal/server"
 	"forkbase/internal/store"
@@ -24,12 +33,13 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7450", "TCP address for the chunk/branch service")
 	httpAddr := flag.String("http", "", "optional HTTP address for the REST API")
 	dir := flag.String("dir", "", "data directory (default: in-memory)")
+	follow := flag.String("follow", "", "run as a read replica of the primary at this address")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "forkbased: ", log.LstdFlags)
 
 	var st store.Store
-	var heads core.BranchTable
+	var rawHeads core.BranchTable
 	if *dir != "" {
 		fs, err := store.OpenFileStore(*dir)
 		if err != nil {
@@ -40,23 +50,59 @@ func main() {
 		if err != nil {
 			logger.Fatalf("opening branch table: %v", err)
 		}
-		st, heads = fs, bt
+		st, rawHeads = fs, bt
 	} else {
-		st, heads = store.NewMemStore(), core.NewMemBranchTable()
+		st, rawHeads = store.NewMemStore(), core.NewMemBranchTable()
 	}
 
+	// One feed serves every write path on this node: head moves through the
+	// TCP service (client CAS), through the REST engine, and — on replicas —
+	// through the follower all land in the same sequence, so downstream
+	// replicas can follow this node no matter how it is written to.
+	feed := core.NewFeed(0)
+	heads := core.WithFeed(rawHeads, feed)
+	eng := core.Open(core.Options{Store: st, Branches: heads})
+	defer eng.Close()
+
 	srv := server.New(st, heads, logger)
+	srv.AttachFeed(feed)
+
+	var follower *repl.Follower
+	if *follow != "" {
+		cli, err := server.Dial(*follow)
+		if err != nil {
+			logger.Fatalf("dialing primary %s: %v", *follow, err)
+		}
+		defer cli.Close()
+		// The follower writes through the engine's verifying store so every
+		// replicated chunk is integrity-checked; the local TCP service goes
+		// read-only — replica state moves only through replication.
+		follower = repl.NewFollower(repl.NewRemoteSource(cli), eng.Store(), eng.BranchTable(), repl.Options{})
+		follower.Start()
+		defer follower.Close()
+		srv.SetReadOnly(true)
+		eng.SetReadOnly(true) // backstop: any engine-level write path rejects too
+		logger.Printf("following primary %s", *follow)
+	}
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		logger.Fatalf("listen: %v", err)
 	}
-	logger.Printf("chunk/branch service on %s", addr)
+	role := "primary"
+	if *follow != "" {
+		role = "replica"
+	}
+	logger.Printf("%s chunk/branch service on %s", role, addr)
 
 	if *httpAddr != "" {
-		db := core.Open(core.Options{Store: st, Branches: heads})
+		h := rest.New(eng)
+		if follower != nil {
+			h.WithReplStatus(follower.Stats).SetReadOnly(true)
+		}
 		go func() {
 			logger.Printf("REST API on %s", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, rest.New(db)); err != nil {
+			if err := http.ListenAndServe(*httpAddr, h); err != nil {
 				logger.Fatalf("http: %v", err)
 			}
 		}()

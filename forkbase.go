@@ -21,6 +21,7 @@
 package forkbase
 
 import (
+	"errors"
 	"io"
 	"time"
 
@@ -32,6 +33,8 @@ import (
 	"forkbase/internal/hash"
 	"forkbase/internal/nodecache"
 	"forkbase/internal/pos"
+	"forkbase/internal/repl"
+	"forkbase/internal/server"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
 )
@@ -65,6 +68,9 @@ type (
 	StoreStats = store.Stats
 	// NodeCacheStats is decoded-node cache effectiveness accounting.
 	NodeCacheStats = nodecache.Stats
+	// ReplStats instruments a replica's sync progress (cursor, chunks and
+	// bytes fetched, subtrees pruned, snapshots, errors).
+	ReplStats = repl.Stats
 	// VerifyReport summarises a tamper-evidence validation.
 	VerifyReport = core.VerifyReport
 	// Schema describes dataset columns.
@@ -91,6 +97,12 @@ var (
 	ErrKeyNotFound = pos.ErrKeyNotFound
 	// ErrDenied is returned when access control rejects an operation.
 	ErrDenied = access.ErrDenied
+	// ErrReadOnlyReplica is returned by every mutating operation on a DB
+	// opened as a read replica (WithFollow / OpenReplica): replica state
+	// moves only through replication; writes go to the primary.  It is the
+	// engine-level gate (core.ErrReadOnly), so paths that reach the engine
+	// directly — dataset handles, REST — reject writes identically.
+	ErrReadOnlyReplica = core.ErrReadOnly
 )
 
 // DefaultBranch is the branch used when none is named.
@@ -122,6 +134,11 @@ type DB struct {
 
 	fileStore *store.FileStore // non-nil for file-backed instances
 	clust     *cluster.Cluster // non-nil for cluster-backed instances
+
+	// Replica state (WithFollow / OpenReplica).
+	readOnly  bool
+	follower  *repl.Follower
+	followCli *server.Client
 }
 
 // Option configures Open.
@@ -130,6 +147,7 @@ type Option func(*options)
 type options struct {
 	dir            string
 	addrs          []string
+	followAddr     string
 	chunking       chunker.Config
 	st             store.Store
 	branches       core.BranchTable
@@ -147,6 +165,21 @@ func FileBacked(dir string) Option { return func(o *options) { o.dir = dir } }
 // Remote connects to a cluster of forkbased servers; addrs[0] is the
 // metadata master.
 func Remote(addrs ...string) Option { return func(o *options) { o.addrs = addrs } }
+
+// WithFollow opens the DB as a read replica of the forkbased primary at
+// addr: a follower goroutine tails the primary's change feed and converges
+// the local store by Merkle-delta sync (only chunks the replica is missing
+// cross the wire).  The DB serves reads throughout — every published head
+// is a complete, tamper-verified version — and every mutating operation
+// returns ErrReadOnlyReplica.  Combine with FileBacked for a durable
+// replica or WithNodeCache for a hot read tier.
+func WithFollow(addr string) Option { return func(o *options) { o.followAddr = addr } }
+
+// OpenReplica is Open(WithFollow(primaryAddr), opts...): a read replica
+// that scales read traffic horizontally off one primary.
+func OpenReplica(primaryAddr string, opts ...Option) (*DB, error) {
+	return Open(append([]Option{WithFollow(primaryAddr)}, opts...)...)
+}
 
 // WithChunking overrides the content-defined chunking parameters.
 func WithChunking(q uint, minSize, maxSize int) Option {
@@ -229,14 +262,40 @@ func Open(opts ...Option) (*DB, error) {
 		o.st = fs
 		o.branches = bt
 	}
+	compactEvery := o.compactEvery
+	if o.followAddr != "" {
+		// A replica's store is written only by the follower, which does not
+		// run under the engine's GC write fence — background compaction
+		// could sweep chunks landed for a head not yet published.  Replicas
+		// therefore never self-compact.
+		compactEvery = 0
+	}
 	db.eng = core.Open(core.Options{
 		Store:          o.st,
 		Branches:       o.branches,
 		Chunking:       o.chunking,
 		NodeCacheBytes: o.nodeCacheBytes,
-		CompactEvery:   o.compactEvery,
+		CompactEvery:   compactEvery,
 		CompactRatio:   o.compactRatio,
 	})
+	if o.followAddr != "" {
+		if db.clust != nil {
+			db.Close()
+			return nil, errors.New("forkbase: WithFollow cannot be combined with Remote")
+		}
+		cli, err := server.Dial(o.followAddr)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		db.readOnly = true
+		db.eng.SetReadOnly(true) // gate every path that reaches the engine
+		db.followCli = cli
+		// The follower writes through the engine's verifying store, so every
+		// replicated chunk is integrity-checked before it lands.
+		db.follower = repl.NewFollower(repl.NewRemoteSource(cli), db.eng.Store(), db.eng.BranchTable(), repl.Options{})
+		db.follower.Start()
+	}
 	return db, nil
 }
 
@@ -256,6 +315,12 @@ func MustOpen(opts ...Option) *DB {
 // payloads the storage engine handed out (their segment mappings are
 // released); copy anything that must outlive the handle.
 func (db *DB) Close() error {
+	if db.follower != nil {
+		_ = db.follower.Close() // stop pulling before the store goes away
+	}
+	if db.followCli != nil {
+		_ = db.followCli.Close()
+	}
 	_ = db.eng.Close()                        // stop the compactor before the store goes away
 	store.NodeCacheOf(db.eng.Store()).Purge() // nil-safe; covers injected caches too
 	if db.fileStore != nil {
@@ -263,6 +328,36 @@ func (db *DB) Close() error {
 	}
 	if db.clust != nil {
 		return db.clust.Close()
+	}
+	return nil
+}
+
+// Following reports whether this DB is a read replica.
+func (db *DB) Following() bool { return db.readOnly }
+
+// ReplStats snapshots replication progress (zeros when not following).
+func (db *DB) ReplStats() ReplStats {
+	if db.follower == nil {
+		return ReplStats{}
+	}
+	return db.follower.Stats()
+}
+
+// WaitSynced blocks until the replica has applied every commit the primary
+// had at the moment of the call, or the timeout elapses.  It is the
+// read-your-writes fence: write to the primary, WaitSynced on the replica,
+// then read.  On a non-replica it returns nil immediately.
+func (db *DB) WaitSynced(timeout time.Duration) error {
+	if db.follower == nil {
+		return nil
+	}
+	return db.follower.WaitCaughtUp(timeout)
+}
+
+// writeGuard rejects mutations on read replicas.
+func (db *DB) writeGuard() error {
+	if db.readOnly {
+		return ErrReadOnlyReplica
 	}
 	return nil
 }
@@ -275,6 +370,9 @@ func (db *DB) Engine() *core.DB { return db.eng }
 
 // Put writes a new version of key on branch and returns it.
 func (db *DB) Put(key, branch string, v Value, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.Put(key, branch, v, meta)
 }
 
@@ -287,11 +385,17 @@ type WriteOp = core.WriteOp
 // clusters).  Ops on the same key@branch chain like sequential Puts.  See
 // core.DB.WriteBatch for the per-op failure contract.
 func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return nil, err
+	}
 	return db.eng.WriteBatch(ops)
 }
 
 // PutString is Put with a string value.
 func (db *DB) PutString(key, branch, s string, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.Put(key, branch, value.String(s), meta)
 }
 
@@ -299,6 +403,9 @@ func (db *DB) PutString(key, branch, s string, meta map[string]string) (Version,
 // commit run under the engine's GC write fence, so a concurrent collection
 // cannot sweep the freshly built chunks before the head publishes them.
 func (db *DB) PutMap(key, branch string, entries []Entry, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
 		return value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
 	})
@@ -306,6 +413,9 @@ func (db *DB) PutMap(key, branch string, entries []Entry, meta map[string]string
 
 // PutBlob builds a blob value from data and Puts it (fenced; see PutMap).
 func (db *DB) PutBlob(key, branch string, data []byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
 		return value.NewBlob(db.eng.Store(), db.eng.Chunking(), data)
 	})
@@ -313,6 +423,9 @@ func (db *DB) PutBlob(key, branch string, data []byte, meta map[string]string) (
 
 // PutSet builds a set value from elements and Puts it (fenced; see PutMap).
 func (db *DB) PutSet(key, branch string, elems [][]byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
 		return value.NewSet(db.eng.Store(), db.eng.Chunking(), elems)
 	})
@@ -320,6 +433,9 @@ func (db *DB) PutSet(key, branch string, elems [][]byte, meta map[string]string)
 
 // PutList builds a list value from items and Puts it (fenced; see PutMap).
 func (db *DB) PutList(key, branch string, items [][]byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
 		return value.NewList(db.eng.Store(), db.eng.Chunking(), items)
 	})
@@ -380,19 +496,35 @@ func (db *DB) History(key, branch string, limit int) ([]Version, error) {
 
 // Branch forks newBranch from fromBranch's head.
 func (db *DB) Branch(key, newBranch, fromBranch string) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
 	return db.eng.Branch(key, newBranch, fromBranch)
 }
 
 // BranchFromVersion forks newBranch from a historical version.
 func (db *DB) BranchFromVersion(key, newBranch string, uid Hash) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
 	return db.eng.BranchFromVersion(key, newBranch, uid)
 }
 
 // DeleteBranch removes a branch head.
-func (db *DB) DeleteBranch(key, branch string) error { return db.eng.DeleteBranch(key, branch) }
+func (db *DB) DeleteBranch(key, branch string) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	return db.eng.DeleteBranch(key, branch)
+}
 
 // RenameBranch renames a branch.
-func (db *DB) RenameBranch(key, from, to string) error { return db.eng.RenameBranch(key, from, to) }
+func (db *DB) RenameBranch(key, from, to string) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
+	return db.eng.RenameBranch(key, from, to)
+}
 
 // ListBranches lists key's branches, sorted.
 func (db *DB) ListBranches(key string) ([]string, error) { return db.eng.ListBranches(key) }
@@ -412,6 +544,9 @@ func (db *DB) DiffBranches(key, fromBranch, toBranch string) ([]Delta, DiffStats
 
 // Merge three-way-merges branch src into dst.
 func (db *DB) Merge(key, dst, src string, resolve Resolver, meta map[string]string) (MergeResult, error) {
+	if err := db.writeGuard(); err != nil {
+		return MergeResult{}, err
+	}
 	return db.eng.Merge(key, dst, src, resolve, meta)
 }
 
@@ -419,18 +554,27 @@ func (db *DB) Merge(key, dst, src string, resolve Resolver, meta map[string]stri
 // puts and deletes incrementally to the current head: cost is
 // O(changes·log N) and untouched pages are shared with the previous version.
 func (db *DB) EditMap(key, branch string, puts []Entry, deletes [][]byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.EditMap(key, branch, puts, deletes, meta)
 }
 
 // AppendList writes a new version of a list-valued object with items
 // appended.
 func (db *DB) AppendList(key, branch string, items [][]byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.AppendList(key, branch, items, meta)
 }
 
 // SpliceBlob writes a new version of a blob-valued object with bytes
 // [at, at+del) replaced by ins.
 func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	return db.eng.SpliceBlob(key, branch, at, del, ins, meta)
 }
 
@@ -440,13 +584,23 @@ func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta ma
 // rewritten into fresh segments and the old files unlinked, so the on-disk
 // footprint shrinks to the live set.  Only injected stores that implement
 // neither collection capability return core.ErrNotCollectable.
-func (db *DB) GC() (GCStats, error) { return db.eng.GC() }
+func (db *DB) GC() (GCStats, error) {
+	if err := db.writeGuard(); err != nil {
+		return GCStats{}, err
+	}
+	return db.eng.GC()
+}
 
 // Compact is the online variant of GC: identical mark and sweep, but only
 // segments whose dead-byte ratio reaches the compaction threshold are
 // rewritten, bounding write amplification.  This is what the background
 // compactor (WithAutoCompact) runs.
-func (db *DB) Compact() (GCStats, error) { return db.eng.Compact() }
+func (db *DB) Compact() (GCStats, error) {
+	if err := db.writeGuard(); err != nil {
+		return GCStats{}, err
+	}
+	return db.eng.Compact()
+}
 
 // Verify validates the object graph reachable from uid; deep extends the
 // walk through the full derivation history.
@@ -465,11 +619,17 @@ func (db *DB) CacheStats() NodeCacheStats { return db.eng.NodeCacheStats() }
 
 // CreateDataset writes rows as a new dataset.
 func (db *DB) CreateDataset(name, branch string, schema Schema, rows []Row, meta map[string]string) (*Dataset, error) {
+	if err := db.writeGuard(); err != nil {
+		return nil, err
+	}
 	return dataset.Create(db.eng, name, branch, schema, rows, meta)
 }
 
 // LoadCSVDataset loads a CSV stream (header first) as a dataset.
 func (db *DB) LoadCSVDataset(name, branch, keyColumn string, r io.Reader, meta map[string]string) (*Dataset, error) {
+	if err := db.writeGuard(); err != nil {
+		return nil, err
+	}
 	return dataset.CreateFromCSV(db.eng, name, branch, keyColumn, r, meta)
 }
 

@@ -79,7 +79,10 @@ func (c *Cluster) BranchTable() core.BranchTable { return c.heads }
 // shardedStore implements store.Store over the shards.
 type shardedStore Cluster
 
-var _ store.BatchStore = (*shardedStore)(nil)
+var (
+	_ store.BatchStore     = (*shardedStore)(nil)
+	_ store.BatchReadStore = (*shardedStore)(nil)
+)
 
 func (s *shardedStore) cluster() *Cluster { return (*Cluster)(s) }
 
@@ -137,6 +140,74 @@ func (s *shardedStore) Get(id hash.Hash) (*chunk.Chunk, error) {
 // Has implements store.Store.
 func (s *shardedStore) Has(id hash.Hash) (bool, error) {
 	return s.cluster().shard(id).Has(id)
+}
+
+// scatter partitions ids by placement, runs fn once per involved node in
+// parallel, and lets fn write results back through the position lists —
+// the shared skeleton of the batched read paths.
+func (s *shardedStore) scatter(ids []hash.Hash, fn func(node int, idxs []int, part []hash.Hash) error) error {
+	c := s.cluster()
+	groups := make(map[int][]int)
+	for i, id := range ids {
+		n := c.shardIndex(id)
+		groups[n] = append(groups[n], i)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.stores))
+	for n, idxs := range groups {
+		part := make([]hash.Hash, len(idxs))
+		for j, i := range idxs {
+			part[j] = ids[i]
+		}
+		wg.Add(1)
+		go func(n int, idxs []int, part []hash.Hash) {
+			defer wg.Done()
+			errs[n] = fn(n, idxs, part)
+		}(n, idxs, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetBatch implements store.BatchReadStore: ids are split by placement and
+// fetched from all involved nodes in parallel, one OpGetChunks round trip
+// per node — a whole sync-frontier level costs one RTT regardless of size.
+func (s *shardedStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	c := s.cluster()
+	out := make([]*chunk.Chunk, len(ids))
+	err := s.scatter(ids, func(n int, idxs []int, part []hash.Hash) error {
+		partOut, err := c.stores[n].GetBatch(part)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			out[i] = partOut[j]
+		}
+		return nil
+	})
+	return out, err
+}
+
+// HasBatch implements store.BatchReadStore with the same scatter/gather.
+func (s *shardedStore) HasBatch(ids []hash.Hash) ([]bool, error) {
+	c := s.cluster()
+	out := make([]bool, len(ids))
+	err := s.scatter(ids, func(n int, idxs []int, part []hash.Hash) error {
+		partOut, err := c.stores[n].HasBatch(part)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			out[i] = partOut[j]
+		}
+		return nil
+	})
+	return out, err
 }
 
 // Stats implements store.Store by aggregating all shards.

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"forkbase/internal/chunk"
 	"forkbase/internal/core"
+	"forkbase/internal/hash"
 	"forkbase/internal/pos"
 	"forkbase/internal/server"
 	"forkbase/internal/store"
@@ -125,5 +127,51 @@ func TestConnectFailure(t *testing.T) {
 	}
 	if _, err := Connect(nil); err == nil {
 		t.Fatal("connected to empty address list")
+	}
+}
+
+func TestClusterBatchReads(t *testing.T) {
+	c, _ := startCluster(t, 3)
+	st := c.Store()
+
+	// Spread a batch of chunks across shards, then read them back in one
+	// scatter/gather round with gaps.
+	var ids []hash.Hash
+	var cs []*chunk.Chunk
+	for i := 0; i < 64; i++ {
+		ch := chunk.New(chunk.TypeBlobLeaf, []byte(fmt.Sprintf("payload-%d", i)))
+		cs = append(cs, ch)
+		ids = append(ids, ch.ID())
+	}
+	if _, err := store.PutBatch(st, cs); err != nil {
+		t.Fatal(err)
+	}
+	query := append([]hash.Hash(nil), ids...)
+	query = append(query, hash.Of([]byte("absent")))
+
+	got, err := store.GetBatch(st, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if got[i] == nil || got[i].ID() != ids[i] {
+			t.Fatalf("slot %d wrong: %v", i, got[i])
+		}
+	}
+	if got[len(ids)] != nil {
+		t.Fatal("absent id must yield nil")
+	}
+
+	has, err := store.HasBatch(st, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if !has[i] {
+			t.Fatalf("HasBatch missed stored id %d", i)
+		}
+	}
+	if has[len(ids)] {
+		t.Fatal("HasBatch claimed the absent id")
 	}
 }

@@ -32,6 +32,7 @@ type DB struct {
 	ncache *nodecache.Cache
 	cfg    chunker.Config
 	heads  BranchTable
+	feed   *Feed
 	noCopy noCopy
 
 	compactRatio  float64
@@ -39,6 +40,7 @@ type DB struct {
 	compactorWG   sync.WaitGroup
 	closeOnce     sync.Once
 	compactPasses atomic.Int64
+	readOnly      atomic.Bool
 
 	// writeMu fences garbage collection against in-flight engine writes:
 	// every operation that stores chunks and then publishes them via a head
@@ -78,6 +80,9 @@ type Options struct {
 	// rewrites it; 0 selects DefaultCompactRatio.  Explicit GC always uses
 	// ratio 0 — it reclaims everything.
 	CompactRatio float64
+	// FeedCapacity bounds the change feed's retained window (0 selects
+	// DefaultFeedCapacity).  Ignored when Branches is already feed-wrapped.
+	FeedCapacity int
 }
 
 // DefaultCompactRatio is the background compactor's segment-rewrite
@@ -98,11 +103,20 @@ func Open(opts Options) *DB {
 		opts.Chunking = chunker.DefaultConfig()
 	}
 	db := &DB{
-		raw:   opts.Store,
-		st:    store.NewVerifyingStore(opts.Store),
-		cfg:   opts.Chunking,
-		heads: opts.Branches,
+		raw: opts.Store,
+		st:  store.NewVerifyingStore(opts.Store),
+		cfg: opts.Chunking,
 	}
+	// Every head movement is journaled into the change feed (the replication
+	// source).  A caller that already wrapped its table — cmd/forkbased
+	// shares one feed between the TCP server and this engine — keeps its
+	// feed; otherwise the DB owns a fresh one.
+	ft, ok := opts.Branches.(*FeedTable)
+	if !ok {
+		ft = WithFeed(opts.Branches, NewFeed(opts.FeedCapacity))
+	}
+	db.heads = ft
+	db.feed = ft.Feed()
 	if opts.NodeCacheBytes > 0 {
 		db.ncache = nodecache.New(opts.NodeCacheBytes)
 		db.st = store.WithNodeCache(db.st, db.ncache)
@@ -174,6 +188,29 @@ func (db *DB) NodeCacheStats() nodecache.Stats { return db.ncache.Stats() }
 // Branches returns the branch table.
 func (db *DB) BranchTable() BranchTable { return db.heads }
 
+// Feed returns the change feed: the sequenced journal of head movements
+// replication consumes.  It is always non-nil.
+func (db *DB) Feed() *Feed { return db.feed }
+
+// ErrReadOnly is returned by every mutating engine operation on a read-only
+// engine (a replica: its state moves only through replication).
+var ErrReadOnly = errors.New("core: engine is read-only (replica)")
+
+// SetReadOnly turns the engine-level write gate on or off.  Replicas set it
+// so every mutation path — including layers that reach the engine directly,
+// like dataset handles — is rejected, not just the public API wrappers.
+// The replication follower is unaffected: it writes through the store and
+// branch table, not through engine operations.
+func (db *DB) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
+
+// writeGuard rejects engine mutations when read-only.
+func (db *DB) writeGuard() error {
+	if db.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return nil
+}
+
 // Version describes one version of an object.
 type Version struct {
 	UID   hash.Hash
@@ -193,6 +230,9 @@ type Version struct {
 // stored at that point; it is unreachable garbage unless the caller reuses
 // it.
 func (db *DB) Put(key, branch string, v value.Value, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
 	return db.put(key, branch, v, meta)
@@ -257,6 +297,9 @@ type WriteOp struct {
 // content-addressed and heads are independent, so there is nothing to roll
 // back.
 func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return nil, err
+	}
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
 	return db.writeBatch(ops)
@@ -268,6 +311,9 @@ func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
 // before the head CAS publishes them.  build must not call other fenced DB
 // write methods (the fence is not reentrant); plain reads are fine.
 func (db *DB) BuildAndPut(key, branch string, meta map[string]string, build func() (value.Value, error)) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
 	v, err := build()
@@ -280,6 +326,9 @@ func (db *DB) BuildAndPut(key, branch string, meta map[string]string, build func
 // BuildAndWriteBatch is BuildAndPut for batched writes: build assembles the
 // ops (storing their values' chunks) inside the fence.
 func (db *DB) BuildAndWriteBatch(build func() ([]WriteOp, error)) ([]Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return nil, err
+	}
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
 	ops, err := build()
@@ -447,6 +496,9 @@ func (db *DB) Latest(key string) (string, Version, error) {
 // metadata operation: no data is copied, the new branch simply shares every
 // chunk with its origin.
 func (db *DB) Branch(key, newBranch, fromBranch string) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
 	if fromBranch == "" {
 		fromBranch = DefaultBranch
 	}
@@ -462,6 +514,9 @@ func (db *DB) Branch(key, newBranch, fromBranch string) error {
 
 // BranchFromVersion forks a new branch from an arbitrary historical version.
 func (db *DB) BranchFromVersion(key, newBranch string, uid hash.Hash) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
 	if _, err := db.GetVersion(key, uid); err != nil {
 		return err
 	}
@@ -481,11 +536,17 @@ func (db *DB) branchAt(key, newBranch string, uid hash.Hash) error {
 
 // DeleteBranch removes a branch head (chunks remain; they may be shared).
 func (db *DB) DeleteBranch(key, branch string) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
 	return db.heads.Delete(key, branch)
 }
 
 // RenameBranch renames a branch.
 func (db *DB) RenameBranch(key, from, to string) error {
+	if err := db.writeGuard(); err != nil {
+		return err
+	}
 	return db.heads.Rename(key, from, to)
 }
 
@@ -601,6 +662,9 @@ type MergeResult struct {
 // both heads as bases, making the merge itself part of the tamper-evident
 // history.  resolve handles conflicting keys (nil = fail on conflict).
 func (db *DB) Merge(key, dst, src string, resolve pos.Resolver, meta map[string]string) (MergeResult, error) {
+	if err := db.writeGuard(); err != nil {
+		return MergeResult{}, err
+	}
 	// Fence the whole merge: the merged value's chunks are written well
 	// before the head CAS publishes them.
 	db.writeMu.RLock()

@@ -12,6 +12,9 @@ import (
 // POS-Tree region is re-chunked, so the cost is O(changes · log N) rather
 // than O(N), and all untouched pages are shared with the previous version.
 func (db *DB) EditMap(key, branch string, puts []pos.Entry, deletes [][]byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	if branch == "" {
 		branch = DefaultBranch
 	}
@@ -56,6 +59,9 @@ func (db *DB) EditMap(key, branch string, puts []pos.Entry, deletes [][]byte, me
 // AppendList writes a new version of a list-valued object with items
 // appended, reusing the existing sequence chunks.
 func (db *DB) AppendList(key, branch string, items [][]byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	if branch == "" {
 		branch = DefaultBranch
 	}
@@ -79,6 +85,9 @@ func (db *DB) AppendList(key, branch string, items [][]byte, meta map[string]str
 // SpliceBlob writes a new version of a blob-valued object with bytes
 // [at, at+del) replaced by ins, re-chunking only the affected region.
 func (db *DB) SpliceBlob(key, branch string, at, del uint64, ins []byte, meta map[string]string) (Version, error) {
+	if err := db.writeGuard(); err != nil {
+		return Version{}, err
+	}
 	if branch == "" {
 		branch = DefaultBranch
 	}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"forkbase/internal/hash"
+)
+
+// FeedEntry is one sequenced head movement of the primary's change feed.
+// Replication consumes these: each entry names the branch that moved and the
+// uid it moved to, and the uid — being a Merkle root — is everything a
+// replica needs to pull exactly the chunks it is missing.
+type FeedEntry struct {
+	// Seq is the entry's position in the feed: strictly monotonic, starting
+	// at 1, assigned under the same critical section that records the entry,
+	// so feed order is a total order over head movements.
+	Seq uint64
+	// Key and Branch name the head that moved.
+	Key    string
+	Branch string
+	// Old is the head before the movement (zero for branch creation).  It is
+	// advisory — replicas converge on New alone.
+	Old hash.Hash
+	// New is the head after the movement; zero means the branch was deleted.
+	New hash.Hash
+}
+
+// IsDelete reports whether the entry records a branch deletion.
+func (e FeedEntry) IsDelete() bool { return e.New.IsZero() }
+
+// DefaultFeedCapacity is the number of head movements the feed retains —
+// the replay window for replica cursors (a cursor older than the window
+// forces a snapshot catch-up).
+const DefaultFeedCapacity = 4096
+
+// DefaultPinLease is how long a replica's pin on a head survives without
+// being refreshed.  Pins protect in-flight syncs from the collector; the
+// lease bounds the damage of a replica that vanished mid-sync — its pins
+// expire instead of holding garbage live forever.
+const DefaultPinLease = time.Minute
+
+// Feed is the primary-side change feed: a bounded, sequence-numbered ring of
+// head movements with blocking tail reads.  It is safe for concurrent use.
+type Feed struct {
+	epoch   uint64 // identifies this feed incarnation; see Epoch
+	mu      sync.Mutex
+	entries []FeedEntry // ring contents, entries[0].Seq == start
+	start   uint64      // seq of the oldest retained entry (0 when empty)
+	next    uint64      // seq the next Append will assign
+	cap     int
+	wake    chan struct{}      // closed and replaced on every Append
+	pins    map[hash.Hash]*pin // heads replicas are actively pulling
+}
+
+// FeedCursor is a replica's resumable position: a sequence number *within a
+// specific feed incarnation*.  Sequences restart from 1 when a primary
+// restarts, so a bare seq from a previous life could silently alias into
+// the new feed; the epoch disambiguates, and an epoch mismatch is treated
+// exactly like ring truncation — snapshot and resume.
+type FeedCursor struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// pin is a refcounted, leased GC root.  A replica pins each head before
+// pulling its chunks and unpins after the local head advances; the deadline
+// covers replicas that die mid-sync.
+type pin struct {
+	count    int
+	deadline time.Time
+}
+
+// NewFeed returns an empty feed retaining up to capacity entries
+// (0 selects DefaultFeedCapacity).
+func NewFeed(capacity int) *Feed {
+	if capacity <= 0 {
+		capacity = DefaultFeedCapacity
+	}
+	return &Feed{
+		epoch: uint64(time.Now().UnixNano()),
+		next:  1,
+		cap:   capacity,
+		wake:  make(chan struct{}),
+		pins:  make(map[hash.Hash]*pin),
+	}
+}
+
+// Epoch identifies this feed incarnation (stable for the feed's lifetime,
+// different across restarts with overwhelming probability).
+func (f *Feed) Epoch() uint64 { return f.epoch }
+
+// Append records a head movement and returns its sequence number.
+func (f *Feed) Append(key, branch string, old, new hash.Hash) uint64 {
+	f.mu.Lock()
+	seq := f.next
+	f.next++
+	if len(f.entries) == 0 {
+		f.start = seq
+	}
+	f.entries = append(f.entries, FeedEntry{Seq: seq, Key: key, Branch: branch, Old: old, New: new})
+	if len(f.entries) > f.cap {
+		drop := len(f.entries) - f.cap
+		f.entries = append(f.entries[:0], f.entries[drop:]...)
+		f.start += uint64(drop)
+	}
+	wake := f.wake
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+	close(wake) // release blocked tail readers
+	return seq
+}
+
+// Seq returns the sequence number of the newest entry (0 when nothing has
+// ever been appended).
+func (f *Feed) Seq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next - 1
+}
+
+// Since returns up to limit entries with Seq > cursor (limit <= 0 means all
+// retained), plus the cursor the caller should resume from.  truncated
+// reports that entries between cursor and the returned batch have been
+// evicted from the ring: the caller's incremental view has a hole and it
+// must fall back to a snapshot catch-up.
+func (f *Feed) Since(cursor uint64, limit int) (entries []FeedEntry, next uint64, truncated bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next = cursor
+	if len(f.entries) == 0 {
+		// An empty ring truncates any cursor from before the retained window
+		// (e.g. a primary restart reset the feed).
+		return nil, cursor, cursor > f.next-1
+	}
+	if cursor+1 < f.start {
+		return nil, cursor, true
+	}
+	first := int(cursor + 1 - f.start) // index of the first wanted entry
+	if first >= len(f.entries) {
+		return nil, cursor, cursor > f.next-1
+	}
+	batch := f.entries[first:]
+	if limit > 0 && len(batch) > limit {
+		batch = batch[:limit]
+	}
+	entries = append([]FeedEntry(nil), batch...)
+	return entries, entries[len(entries)-1].Seq, false
+}
+
+// Wait blocks until the feed's newest sequence exceeds cursor or the timeout
+// elapses, and reports whether new entries are available.  A zero or
+// negative timeout polls without blocking.
+func (f *Feed) Wait(cursor uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		f.mu.Lock()
+		newest := f.next - 1
+		wake := f.wake
+		f.mu.Unlock()
+		if newest > cursor {
+			return true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+			return false
+		}
+	}
+}
+
+// Pin registers root as a temporary GC root for at most lease (0 selects
+// DefaultPinLease).  Pins are refcounted: each Pin needs a matching Unpin,
+// and a fresh Pin extends the deadline of an existing one.  The garbage
+// collector keeps every pinned head's chunk graph alive, so a replica
+// pulling a head it learned from the feed can never have the ground
+// collected from under an in-flight sync.
+func (f *Feed) Pin(root hash.Hash, lease time.Duration) {
+	if root.IsZero() {
+		return
+	}
+	if lease <= 0 {
+		lease = DefaultPinLease
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.pins[root]
+	if p == nil {
+		p = &pin{}
+		f.pins[root] = p
+	}
+	p.count++
+	if d := time.Now().Add(lease); d.After(p.deadline) {
+		p.deadline = d
+	}
+}
+
+// Unpin releases one Pin of root; the last release (or an expired lease)
+// makes the head collectable again.
+func (f *Feed) Unpin(root hash.Hash) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.pins[root]
+	if p == nil {
+		return
+	}
+	p.count--
+	if p.count <= 0 {
+		delete(f.pins, root)
+	}
+}
+
+// PinnedHeads returns the heads currently pinned by replicas (expired
+// leases are dropped).  The garbage collector treats these as additional,
+// advisory roots.
+func (f *Feed) PinnedHeads() []hash.Hash {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	out := make([]hash.Hash, 0, len(f.pins))
+	for root, p := range f.pins {
+		if now.After(p.deadline) {
+			delete(f.pins, root)
+			continue
+		}
+		out = append(out, root)
+	}
+	return out
+}
+
+// FeedTable wraps a BranchTable and journals every successful head movement
+// into a Feed.  The wrap happens once, at the point writes enter the system:
+// core.Open wraps its branch table automatically, and a network primary
+// (cmd/forkbased) wraps before handing the table to both the TCP server and
+// the REST engine, so local commits and remote CAS calls share one sequence.
+//
+// Every mutation holds mu across the table operation AND its journal
+// append.  This is load-bearing: replicas converge by applying the *last*
+// feed entry per branch, so feed order must equal mutation order — two
+// concurrent CAS wins appended in the opposite order would permanently
+// park replicas on the older head.  The same lock makes Rename's
+// read-head→rename→journal sequence atomic.  Branch-table mutations are
+// tiny metadata operations (the file-backed table already serializes on a
+// persist lock), so the serialization is not a throughput concern.
+type FeedTable struct {
+	inner BranchTable
+	feed  *Feed
+	mu    sync.Mutex
+}
+
+var _ BranchTable = (*FeedTable)(nil)
+
+// WithFeed wraps table so head movements are journaled into feed.  A table
+// that is already feed-wrapped is returned unchanged (its existing feed
+// keeps the sequence; double-journaling would fork it).
+func WithFeed(table BranchTable, feed *Feed) *FeedTable {
+	if ft, ok := table.(*FeedTable); ok {
+		return ft
+	}
+	return &FeedTable{inner: table, feed: feed}
+}
+
+// Feed returns the journal.
+func (t *FeedTable) Feed() *Feed { return t.feed }
+
+// Unwrap returns the wrapped table.
+func (t *FeedTable) Unwrap() BranchTable { return t.inner }
+
+// Head implements BranchTable.
+func (t *FeedTable) Head(key, branch string) (hash.Hash, bool, error) {
+	return t.inner.Head(key, branch)
+}
+
+// CompareAndSet implements BranchTable; a successful swap is journaled,
+// atomically with the swap (see the type comment).
+func (t *FeedTable) CompareAndSet(key, branch string, old, new hash.Hash) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ok, err := t.inner.CompareAndSet(key, branch, old, new)
+	if ok && err == nil {
+		t.feed.Append(key, branch, old, new)
+	}
+	return ok, err
+}
+
+// Delete implements BranchTable; a successful delete is journaled with a
+// zero New, atomically with the delete.
+func (t *FeedTable) Delete(key, branch string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, _, _ := t.inner.Head(key, branch)
+	if err := t.inner.Delete(key, branch); err != nil {
+		return err
+	}
+	t.feed.Append(key, branch, old, hash.Hash{})
+	return nil
+}
+
+// Rename implements BranchTable; a successful rename journals as a deletion
+// of the old name followed by a creation of the new one, so replicas that
+// know nothing of renames still converge.  The head read, the rename, and
+// both journal entries share one critical section: journaling a stale uid
+// as the new branch's creation would park replicas on it permanently.
+func (t *FeedTable) Rename(key, from, to string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	uid, _, _ := t.inner.Head(key, from)
+	if err := t.inner.Rename(key, from, to); err != nil {
+		return err
+	}
+	t.feed.Append(key, from, uid, hash.Hash{})
+	t.feed.Append(key, to, hash.Hash{}, uid)
+	return nil
+}
+
+// Branches implements BranchTable.
+func (t *FeedTable) Branches(key string) (map[string]hash.Hash, error) {
+	return t.inner.Branches(key)
+}
+
+// Keys implements BranchTable.
+func (t *FeedTable) Keys() ([]string, error) { return t.inner.Keys() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"forkbase/internal/chunk"
@@ -70,6 +71,9 @@ func (db *DB) GC() (GCStats, error) { return db.gc(0) }
 func (db *DB) Compact() (GCStats, error) { return db.gc(db.compactRatio) }
 
 func (db *DB) gc(minDeadRatio float64) (GCStats, error) {
+	if err := db.writeGuard(); err != nil {
+		return GCStats{}, err
+	}
 	col, ok := findCollector(db.raw)
 	if !ok {
 		return GCStats{}, ErrNotCollectable
@@ -144,6 +148,20 @@ func (db *DB) mark() (map[hash.Hash]bool, error) {
 			}
 		}
 	}
+	// Feed pins: heads replicas are actively pulling stay fully reachable,
+	// so a concurrent collection can never break an in-flight sync — the
+	// replication analogue of the segment-generation sweep grace.  Pinned
+	// roots may legitimately be gone already (a replica pinned a head it
+	// learned just before the branch was deleted and an earlier pass
+	// collected it between lease refreshes), so this walk tolerates missing
+	// chunks instead of failing the pass.
+	if db.feed != nil {
+		for _, head := range db.feed.PinnedHeads() {
+			if err := db.markFromTolerant(head, live); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return live, nil
 }
 
@@ -196,6 +214,16 @@ func (lc legacyCollector) Sweep(keep func(hash.Hash) bool, _ float64) (store.Swe
 // markFrom adds every chunk reachable from a version uid to live: the FNode
 // chain (all bases, transitively) and each version's value tree.
 func (db *DB) markFrom(uid hash.Hash, live map[hash.Hash]bool) error {
+	return db.markFromOpt(uid, live, false)
+}
+
+// markFromTolerant is markFrom for advisory roots (feed pins): a missing
+// chunk prunes the walk instead of failing it.
+func (db *DB) markFromTolerant(uid hash.Hash, live map[hash.Hash]bool) error {
+	return db.markFromOpt(uid, live, true)
+}
+
+func (db *DB) markFromOpt(uid hash.Hash, live map[hash.Hash]bool, tolerant bool) error {
 	queue := []hash.Hash{uid}
 	for len(queue) > 0 {
 		cur := queue[0]
@@ -205,6 +233,9 @@ func (db *DB) markFrom(uid hash.Hash, live map[hash.Hash]bool) error {
 		}
 		f, err := fnode.Load(db.st, cur)
 		if err != nil {
+			if tolerant && errors.Is(err, store.ErrNotFound) {
+				continue
+			}
 			return fmt.Errorf("core: gc mark %s: %w", cur.Short(), err)
 		}
 		live[cur] = true
@@ -214,7 +245,7 @@ func (db *DB) markFrom(uid hash.Hash, live map[hash.Hash]bool) error {
 			return err
 		}
 		if v.Kind().Composite() && !v.Root().IsZero() {
-			if err := db.markValue(v.Root(), live); err != nil {
+			if err := db.markValue(v.Root(), live, tolerant); err != nil {
 				return err
 			}
 		}
@@ -222,12 +253,15 @@ func (db *DB) markFrom(uid hash.Hash, live map[hash.Hash]bool) error {
 	return nil
 }
 
-func (db *DB) markValue(root hash.Hash, live map[hash.Hash]bool) error {
+func (db *DB) markValue(root hash.Hash, live map[hash.Hash]bool, tolerant bool) error {
 	if live[root] {
 		return nil
 	}
 	c, err := db.st.Get(root)
 	if err != nil {
+		if tolerant && errors.Is(err, store.ErrNotFound) {
+			return nil
+		}
 		return fmt.Errorf("core: gc mark value %s: %w", root.Short(), err)
 	}
 	live[root] = true
@@ -236,7 +270,7 @@ func (db *DB) markValue(root hash.Hash, live map[hash.Hash]bool) error {
 		return err
 	}
 	for _, child := range children {
-		if err := db.markValue(child, live); err != nil {
+		if err := db.markValue(child, live, tolerant); err != nil {
 			return err
 		}
 	}

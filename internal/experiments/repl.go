@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"forkbase/internal/core"
+	"forkbase/internal/pos"
+	"forkbase/internal/repl"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+// ReplReport measures Merkle-delta replication against naive full-copy
+// shipping (BENCH_4): the transfer savings of syncing a 1%-delta update of
+// a large map, and the safety of primary-side GC during an in-flight sync.
+type ReplReport struct {
+	Suite      string `json:"suite"`
+	Quick      bool   `json:"quick"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// Entries is the map size; DeltaEntries is how many were updated (1%).
+	Entries      int `json:"entries"`
+	DeltaEntries int `json:"delta_entries"`
+
+	// ColdSync is a fresh replica's snapshot catch-up of v1 (it doubles as
+	// the full-copy cost of v1: the replica starts empty).
+	ColdSyncBytes  uint64 `json:"cold_sync_bytes"`
+	ColdSyncChunks uint64 `json:"cold_sync_chunks"`
+	ColdSyncNs     int64  `json:"cold_sync_ns"`
+
+	// FullCopy is the naive baseline for shipping v2: every chunk reachable
+	// from the updated head, as a non-deduplicating replica would transfer.
+	FullCopyBytes  uint64 `json:"full_copy_bytes"`
+	FullCopyChunks uint64 `json:"full_copy_chunks"`
+
+	// DeltaSync is what the following replica actually transferred for the
+	// same v2: the touched leaf pages plus the index spine.
+	DeltaSyncBytes  uint64 `json:"delta_sync_bytes"`
+	DeltaSyncChunks uint64 `json:"delta_sync_chunks"`
+	DeltaSyncNs     int64  `json:"delta_sync_ns"`
+
+	// SavingsRatio is FullCopyBytes / DeltaSyncBytes (the ≥10x criterion).
+	SavingsRatio float64 `json:"savings_ratio"`
+
+	// GC-during-sync safety: GCPasses ran on the primary while the replica
+	// pulled a churn stream; the pass requires convergence with zero
+	// follower errors.
+	GCPasses         int    `json:"gc_passes"`
+	ChurnCommits     int    `json:"churn_commits"`
+	FollowerErrors   uint64 `json:"follower_errors"`
+	ConvergedHeads   bool   `json:"converged_heads"`
+	GCDuringSyncSafe bool   `json:"gc_during_sync_safe"`
+}
+
+// RunRepl executes the replication experiment.
+func RunRepl(quick bool) (*ReplReport, error) {
+	entries := 100000
+	if quick {
+		entries = 20000
+	}
+	delta := entries / 100 // the 1% update
+	rep := &ReplReport{
+		Suite:        "forkbase-repl",
+		Quick:        quick,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		GoVersion:    runtime.Version(),
+		Entries:      entries,
+		DeltaEntries: delta,
+	}
+
+	// Primary with a large map at v1.
+	primary := core.Open(core.Options{})
+	rows := make([]pos.Entry, entries)
+	for i := range rows {
+		rows[i] = pos.Entry{
+			Key: []byte(fmt.Sprintf("row-%08d", i)),
+			Val: []byte(fmt.Sprintf("value-%d-gen0", i)),
+		}
+	}
+	if _, err := primary.BuildAndPut("table", "master", nil, func() (value.Value, error) {
+		return value.NewMap(primary.Store(), primary.Chunking(), rows)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Cold snapshot catch-up into an empty replica.
+	replicaEng := core.Open(core.Options{})
+	follower := repl.NewFollower(repl.NewLocalSource(primary), replicaEng.Store(), replicaEng.BranchTable(),
+		repl.Options{Poll: 20 * time.Millisecond})
+	follower.Start()
+	defer follower.Close()
+	start := time.Now()
+	if err := follower.WaitCaughtUp(10 * time.Minute); err != nil {
+		return nil, err
+	}
+	rep.ColdSyncNs = time.Since(start).Nanoseconds()
+	st := follower.Stats()
+	rep.ColdSyncBytes, rep.ColdSyncChunks = st.BytesFetched, st.ChunksFetched
+
+	// The 1% update: a contiguous hot range, as a partitioned workload
+	// updates adjacent rows.
+	puts := make([]pos.Entry, delta)
+	base := entries / 2
+	for i := range puts {
+		puts[i] = pos.Entry{
+			Key: []byte(fmt.Sprintf("row-%08d", base+i)),
+			Val: []byte(fmt.Sprintf("value-%d-gen1", base+i)),
+		}
+	}
+	if _, err := primary.EditMap("table", "master", puts, nil, nil); err != nil {
+		return nil, err
+	}
+	head2, err := primary.Head("table", "master")
+	if err != nil {
+		return nil, err
+	}
+
+	// Full-copy baseline for v2: sync its whole graph into an empty store.
+	fullStore := store.NewVerifyingStore(store.NewMemStore())
+	fullChunks, fullBytes, err := repl.SyncRootInto(repl.NewLocalSource(primary), fullStore, head2)
+	if err != nil {
+		return nil, err
+	}
+	rep.FullCopyBytes, rep.FullCopyChunks = fullBytes, fullChunks
+
+	// What the following replica actually pulls for the same update.
+	start = time.Now()
+	if err := follower.WaitCaughtUp(10 * time.Minute); err != nil {
+		return nil, err
+	}
+	rep.DeltaSyncNs = time.Since(start).Nanoseconds()
+	st2 := follower.Stats()
+	rep.DeltaSyncBytes = st2.BytesFetched - rep.ColdSyncBytes
+	rep.DeltaSyncChunks = st2.ChunksFetched - rep.ColdSyncChunks
+	if rep.DeltaSyncBytes > 0 {
+		rep.SavingsRatio = float64(rep.FullCopyBytes) / float64(rep.DeltaSyncBytes)
+	}
+
+	// GC-during-sync: churn short-lived branches (making real garbage) and
+	// run full GC passes on the primary while the replica is pulling.
+	churn := 20
+	if quick {
+		churn = 10
+	}
+	var wg sync.WaitGroup
+	gcDone := make(chan struct{})
+	var gcErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-gcDone:
+				return
+			default:
+			}
+			if _, err := primary.GC(); err != nil {
+				gcErr = err
+				return
+			}
+			rep.GCPasses++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	fail := func(err error) (*ReplReport, error) {
+		close(gcDone)
+		wg.Wait()
+		return nil, err
+	}
+	for i := 0; i < churn; i++ {
+		// Each round: an edit on master, plus a short-lived branch carrying
+		// *distinct* content that is deleted immediately — real garbage the
+		// replica may be pulling exactly when a GC pass runs; the feed pin
+		// decides the race.
+		br := fmt.Sprintf("churn-%d", i)
+		if _, err := primary.EditMap("table", "master",
+			[]pos.Entry{{Key: []byte(fmt.Sprintf("row-%08d", i)), Val: []byte(fmt.Sprintf("churn-%d", i))}},
+			nil, nil); err != nil {
+			return fail(err)
+		}
+		if err := primary.Branch("table", br, "master"); err != nil {
+			return fail(err)
+		}
+		if _, err := primary.EditMap("table", br,
+			[]pos.Entry{{Key: []byte(fmt.Sprintf("row-%08d", i+1)), Val: []byte(fmt.Sprintf("ephemeral-%d", i))}},
+			nil, nil); err != nil {
+			return fail(err)
+		}
+		if err := primary.DeleteBranch("table", br); err != nil {
+			return fail(err)
+		}
+		rep.ChurnCommits++
+	}
+	if err := follower.WaitCaughtUp(10 * time.Minute); err != nil {
+		return fail(err)
+	}
+	close(gcDone)
+	wg.Wait()
+	if gcErr != nil {
+		return nil, gcErr
+	}
+
+	// Convergence: every branch head byte-identical (uid equality) and the
+	// replica's copy decodes end to end.
+	finalHead, err := primary.Head("table", "master")
+	if err != nil {
+		return nil, err
+	}
+	replicaHead, err := replicaEng.Head("table", "master")
+	if err != nil {
+		return nil, err
+	}
+	rep.ConvergedHeads = finalHead == replicaHead
+	if rep.ConvergedHeads {
+		v, err := replicaEng.Get("table", "master")
+		if err != nil {
+			return nil, err
+		}
+		tree, err := v.Value.MapTree(replicaEng.Store(), replicaEng.Chunking())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tree.ComputeStats(); err != nil {
+			rep.ConvergedHeads = false
+		}
+	}
+	final := follower.Stats()
+	rep.FollowerErrors = final.Errors
+	rep.GCDuringSyncSafe = rep.ConvergedHeads && final.Errors == 0
+	return rep, nil
+}
+
+// PrintRepl renders the report.
+func PrintRepl(w io.Writer, rep *ReplReport) {
+	fmt.Fprintf(w, "Replication: Merkle-delta sync vs full copy (entries=%d, delta=%d, GOMAXPROCS=%d, %s)\n",
+		rep.Entries, rep.DeltaEntries, rep.GoMaxProcs, rep.GoVersion)
+	fmt.Fprintf(w, "  cold snapshot catch-up   %10.2f KB  %6d chunks  %8.2fms\n",
+		float64(rep.ColdSyncBytes)/1024, rep.ColdSyncChunks, float64(rep.ColdSyncNs)/1e6)
+	fmt.Fprintf(w, "  full copy of v2 (naive)  %10.2f KB  %6d chunks\n",
+		float64(rep.FullCopyBytes)/1024, rep.FullCopyChunks)
+	fmt.Fprintf(w, "  delta sync of v2 (1%%)    %10.2f KB  %6d chunks  %8.2fms\n",
+		float64(rep.DeltaSyncBytes)/1024, rep.DeltaSyncChunks, float64(rep.DeltaSyncNs)/1e6)
+	fmt.Fprintf(w, "  transfer savings         %10.1fx  (criterion: >= 10x)\n", rep.SavingsRatio)
+	fmt.Fprintf(w, "  gc-during-sync           %d passes over %d churn commits: safe=%v (errors=%d, converged=%v)\n",
+		rep.GCPasses, rep.ChurnCommits, rep.GCDuringSyncSafe, rep.FollowerErrors, rep.ConvergedHeads)
+}
+
+// WriteReplJSON writes the report to path.
+func WriteReplJSON(path string, rep *ReplReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

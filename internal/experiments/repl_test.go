@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestRunReplQuick runs the replication experiment at CI size and enforces
+// the acceptance criteria: ≥10x transfer savings for a 1%-delta update, and
+// GC-during-sync safety (convergence, zero follower errors).
+func TestRunReplQuick(t *testing.T) {
+	rep, err := RunRepl(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeltaSyncBytes == 0 || rep.FullCopyBytes == 0 {
+		t.Fatalf("degenerate measurement: %+v", rep)
+	}
+	if rep.SavingsRatio < 10 {
+		t.Fatalf("delta sync saved only %.1fx over full copy (want >= 10x): delta=%dB full=%dB",
+			rep.SavingsRatio, rep.DeltaSyncBytes, rep.FullCopyBytes)
+	}
+	if !rep.ConvergedHeads {
+		t.Fatal("replica did not converge to the primary's heads")
+	}
+	if !rep.GCDuringSyncSafe {
+		t.Fatalf("GC during in-flight sync was not safe: errors=%d", rep.FollowerErrors)
+	}
+	if rep.GCPasses == 0 {
+		t.Fatal("the GC stressor never ran a pass")
+	}
+}

@@ -1,0 +1,352 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Options tune a Follower.
+type Options struct {
+	// Poll is the long-poll budget per feed read when the feed is idle
+	// (default 2s).  Shorter polls refresh GC pin leases more often;
+	// longer polls cost less chatter.
+	Poll time.Duration
+	// BatchLimit bounds feed entries applied per round (default 256).
+	BatchLimit int
+	// RetryMin / RetryMax bound the exponential backoff after a failed
+	// round (defaults 100ms / 5s).
+	RetryMin, RetryMax time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Second
+	}
+	if o.BatchLimit <= 0 {
+		o.BatchLimit = 256
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = 100 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+}
+
+// Follower is the replica state machine: snapshot catch-up, then an
+// incremental tail off the change feed, with backoff-retry around every
+// failure (transport errors reconnect inside the client; feed truncation
+// falls back to a fresh snapshot).
+//
+//	         ┌──────────────┐ truncated / vanished-head loop ┌───────────┐
+//	start ──▶│ snapshot     │◀────────────────────────────── │ tail      │
+//	         │ (pin, walk,  │ ──────────────────────────────▶│ (feed →   │
+//	         │  all heads)  │  cursor anchored pre-snapshot  │  deltas)  │
+//	         └──────────────┘                                └───────────┘
+type Follower struct {
+	src   Source
+	sync  *syncer
+	heads core.BranchTable
+	opts  Options
+
+	mu      sync.Mutex
+	stats   Stats
+	cursor  core.FeedCursor // fully-applied feed position
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+	// applied broadcasts cursor advancement to WaitCaughtUp waiters.
+	applied *sync.Cond
+}
+
+// NewFollower assembles a follower that pulls from src into the given local
+// store and branch table.  The store should be the replica engine's
+// verifying store, so every replicated chunk is integrity-checked on the
+// way in; the branch table must not have concurrent writers other than the
+// follower.
+func NewFollower(src Source, local store.Store, heads core.BranchTable, opts Options) *Follower {
+	opts.fill()
+	f := &Follower{
+		src:   src,
+		sync:  &syncer{src: src, local: local},
+		heads: heads,
+		opts:  opts,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	f.applied = sync.NewCond(&f.mu)
+	return f
+}
+
+// Start launches the follower loop.  It is a no-op if already running.
+func (f *Follower) Start() {
+	f.mu.Lock()
+	if f.running {
+		f.mu.Unlock()
+		return
+	}
+	f.running = true
+	f.mu.Unlock()
+	go f.run()
+}
+
+// Close stops the loop and waits for it to exit.  Safe to call more than
+// once and before Start.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	select {
+	case <-f.stop:
+		// already closed
+	default:
+		close(f.stop)
+	}
+	running := f.running
+	f.mu.Unlock()
+	if running {
+		<-f.done
+	}
+	return nil
+}
+
+// Stats snapshots replication progress.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	s := f.stats
+	f.mu.Unlock()
+	s.ChunksFetched = f.sync.chunksFetched.Load()
+	s.BytesFetched = f.sync.bytesFetched.Load()
+	s.ChunksSkipped = f.sync.chunksSkipped.Load()
+	return s
+}
+
+// WaitCaughtUp blocks until the replica has applied every feed entry the
+// primary had at the moment of the call (or the timeout elapses).  It is
+// how tests and read-your-writes callers fence: write on the primary, then
+// WaitCaughtUp on the replica, then read.
+func (f *Follower) WaitCaughtUp(timeout time.Duration) error {
+	target, err := f.src.Seq()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	// Wake the waiters loop even if nothing is applied (timeout handling).
+	timer := time.AfterFunc(timeout, func() {
+		f.mu.Lock()
+		f.applied.Broadcast()
+		f.mu.Unlock()
+	})
+	defer timer.Stop()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.cursor.Epoch != target.Epoch || f.cursor.Seq < target.Seq {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("repl: not caught up to %v (at %v) after %v: %s", target, f.cursor, timeout, f.stats.LastError)
+		}
+		f.applied.Wait()
+	}
+	return nil
+}
+
+// setCursor publishes an applied cursor and wakes waiters.
+func (f *Follower) setCursor(c core.FeedCursor) {
+	f.mu.Lock()
+	f.cursor = c
+	f.stats.Cursor = c.Seq
+	f.stats.LastError = ""
+	f.applied.Broadcast()
+	f.mu.Unlock()
+}
+
+func (f *Follower) noteError(err error) {
+	f.mu.Lock()
+	f.stats.Errors++
+	f.stats.LastError = err.Error()
+	f.applied.Broadcast()
+	f.mu.Unlock()
+}
+
+func (f *Follower) bump(fn func(*Stats)) {
+	f.mu.Lock()
+	fn(&f.stats)
+	f.mu.Unlock()
+}
+
+// run is the follower loop.
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := f.opts.RetryMin
+	needSnapshot := true
+	vanished := 0 // consecutive ErrChunkVanished rounds
+	var cursor core.FeedCursor
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		var err error
+		if needSnapshot {
+			cursor, err = f.snapshot()
+			if err == nil {
+				needSnapshot = false
+				f.setCursor(cursor)
+			}
+		} else {
+			var truncated bool
+			cursor, truncated, err = f.tailOnce(cursor)
+			if err == nil {
+				if truncated {
+					needSnapshot = true
+					continue
+				}
+				f.setCursor(cursor)
+			}
+		}
+		if err != nil {
+			f.noteError(err)
+			if errors.Is(err, ErrChunkVanished) {
+				// The head we were pulling was superseded and collected on
+				// the primary.  Usually re-reading the feed yields the
+				// superseding entry — but if that entry lies beyond the
+				// batch limit, the same batch (and the same dead head)
+				// comes back every time.  Backoff below keeps the retry
+				// from spinning, and after a few consecutive failures a
+				// snapshot skips the poisoned window entirely (it mirrors
+				// only *current* heads and re-anchors the cursor).
+				vanished++
+				if vanished >= 3 {
+					vanished = 0
+					needSnapshot = true
+				}
+			} else {
+				vanished = 0
+			}
+			select {
+			case <-f.stop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > f.opts.RetryMax {
+				backoff = f.opts.RetryMax
+			}
+			continue
+		}
+		backoff = f.opts.RetryMin
+		vanished = 0
+	}
+}
+
+// snapshot performs a full catch-up: anchor a cursor, mirror every primary
+// head, and drop local branches the primary no longer has.  It returns the
+// anchored cursor; entries after it will be replayed by the tail, which is
+// idempotent (re-syncing a present head prunes immediately; re-applying a
+// head swap is a no-op).
+func (f *Follower) snapshot() (core.FeedCursor, error) {
+	f.bump(func(s *Stats) { s.Snapshots++; s.Rounds++ })
+	cursor, err := f.src.Seq()
+	if err != nil {
+		return cursor, err
+	}
+	heads, err := f.src.Heads()
+	if err != nil {
+		return cursor, err
+	}
+	for key, branches := range heads {
+		for branch, uid := range branches {
+			select {
+			case <-f.stop:
+				return cursor, errors.New("repl: follower closed mid-snapshot")
+			default:
+			}
+			if err := f.sync.syncHead(f.heads, key, branch, uid); err != nil {
+				return cursor, err
+			}
+			f.bump(func(s *Stats) { s.HeadsApplied++ })
+		}
+	}
+	// Remove local branches that no longer exist on the primary (deletions
+	// that happened beyond the truncated feed window).
+	localKeys, err := f.heads.Keys()
+	if err != nil {
+		return cursor, err
+	}
+	for _, key := range localKeys {
+		branches, err := f.heads.Branches(key)
+		if err != nil {
+			continue
+		}
+		for branch := range branches {
+			if _, ok := heads[key][branch]; ok {
+				continue
+			}
+			if err := f.heads.Delete(key, branch); err != nil && !errors.Is(err, core.ErrBranchNotFound) {
+				return cursor, err
+			}
+			f.bump(func(s *Stats) { s.BranchesDeleted++ })
+		}
+	}
+	return cursor, nil
+}
+
+// tailOnce reads one batch of feed entries and applies them.  Within a
+// batch only the last entry per branch is applied — intermediate versions
+// are skipped exactly as a briefly-lagging replica would skip them; their
+// history chunks still arrive via the final head's base links.
+func (f *Follower) tailOnce(cursor core.FeedCursor) (core.FeedCursor, bool, error) {
+	entries, next, truncated, err := f.src.FeedSince(cursor, f.opts.BatchLimit, f.opts.Poll)
+	if err != nil {
+		return cursor, false, err
+	}
+	if truncated {
+		return cursor, true, nil
+	}
+	if len(entries) == 0 {
+		return cursor, false, nil
+	}
+	f.bump(func(s *Stats) { s.Rounds++ })
+	type ref struct{ key, branch string }
+	last := make(map[ref]int, len(entries))
+	for i, e := range entries {
+		last[ref{e.Key, e.Branch}] = i
+	}
+	for i, e := range entries {
+		if last[ref{e.Key, e.Branch}] != i {
+			continue // superseded later in this batch
+		}
+		select {
+		case <-f.stop:
+			return cursor, false, errors.New("repl: follower closed mid-batch")
+		default:
+		}
+		if e.IsDelete() {
+			if err := f.heads.Delete(e.Key, e.Branch); err != nil && !errors.Is(err, core.ErrBranchNotFound) {
+				return cursor, false, err
+			}
+			f.bump(func(s *Stats) { s.BranchesDeleted++ })
+			continue
+		}
+		if err := f.sync.syncHead(f.heads, e.Key, e.Branch, e.New); err != nil {
+			return cursor, false, err
+		}
+		f.bump(func(s *Stats) { s.HeadsApplied++ })
+	}
+	return next, false, nil
+}
+
+// SyncRootInto is a one-shot Merkle-delta pull of a single version graph —
+// the building block the experiments measure in isolation.  It returns the
+// chunks and bytes fetched.
+func SyncRootInto(src Source, local store.Store, root hash.Hash) (chunks, bytes uint64, err error) {
+	s := &syncer{src: src, local: local}
+	if err := s.syncRoot(root); err != nil {
+		return s.chunksFetched.Load(), s.bytesFetched.Load(), err
+	}
+	return s.chunksFetched.Load(), s.bytesFetched.Load(), nil
+}

@@ -1,0 +1,70 @@
+package repl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/server"
+)
+
+// RemoteSource adapts a server.Client into a Source: the replica's view of
+// a network primary.  Transport failures surface as errors; the client
+// reconnects transparently on the next call and the follower retries with
+// backoff, so a primary restart costs a replica nothing but lag.
+type RemoteSource struct {
+	c *server.Client
+}
+
+// NewRemoteSource wraps an established client connection.
+func NewRemoteSource(c *server.Client) *RemoteSource { return &RemoteSource{c: c} }
+
+// Seq implements Source.
+func (s *RemoteSource) Seq() (core.FeedCursor, error) { return s.c.FeedSeq() }
+
+// FeedSince implements Source.
+func (s *RemoteSource) FeedSince(cursor core.FeedCursor, limit int, wait time.Duration) ([]core.FeedEntry, core.FeedCursor, bool, error) {
+	return s.c.FeedSince(cursor, limit, wait)
+}
+
+// Heads implements Source.  Only a genuinely-vanished key (deleted between
+// Keys and Branches) is skipped; every other failure aborts the snapshot —
+// a transport error mid-listing must NOT yield a truncated head map, or the
+// snapshot's cleanup phase would wrongly delete replica branches as "gone
+// from the primary".
+func (s *RemoteSource) Heads() (map[string]map[string]hash.Hash, error) {
+	bt := server.NewRemoteBranchTable(s.c)
+	keys, err := bt.Keys()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]hash.Hash, len(keys))
+	for _, k := range keys {
+		branches, err := bt.Branches(k)
+		if err != nil {
+			// Errors cross the wire as strings; match the engine's
+			// key-not-found text rather than losing the distinction.
+			if strings.Contains(err.Error(), core.ErrKeyNotFound.Error()) {
+				continue
+			}
+			return nil, fmt.Errorf("repl: listing branches of %q: %w", k, err)
+		}
+		out[k] = branches
+	}
+	return out, nil
+}
+
+// GetChunks implements Source; the client verifies every chunk against its
+// requested id before returning it.
+func (s *RemoteSource) GetChunks(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	return s.c.GetChunks(ids)
+}
+
+// Pin implements Source.
+func (s *RemoteSource) Pin(root hash.Hash) error { return s.c.PinHead(root) }
+
+// Unpin implements Source.
+func (s *RemoteSource) Unpin(root hash.Hash) error { return s.c.UnpinHead(root) }

@@ -1,0 +1,142 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"forkbase/internal/core"
+	"forkbase/internal/pos"
+	"forkbase/internal/server"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+// startPrimaryServer runs a primary the way cmd/forkbased does: one store,
+// one feed-wrapped branch table shared by the TCP server and the engine.
+func startPrimaryServer(t *testing.T) (*core.DB, string) {
+	t.Helper()
+	st := store.NewMemStore()
+	feed := core.NewFeed(0)
+	heads := core.WithFeed(core.NewMemBranchTable(), feed)
+	eng := core.Open(core.Options{Store: st, Branches: heads})
+	srv := server.New(st, heads, nil)
+	srv.AttachFeed(feed)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return eng, addr
+}
+
+func TestFollowerOverTCP(t *testing.T) {
+	primary, addr := startPrimaryServer(t)
+	if _, err := primary.BuildAndPut("obj", "master", nil, func() (value.Value, error) {
+		return value.NewMap(primary.Store(), primary.Chunking(), mapEntries(3000, 0))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	eng, st, bt := mkReplica()
+	f := NewFollower(NewRemoteSource(cl), st, bt, Options{Poll: 50 * time.Millisecond})
+	f.Start()
+	defer f.Close()
+	if err := f.WaitCaughtUp(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	requireConverged(t, primary, eng)
+
+	// Incremental commits over the wire.
+	for i := 0; i < 3; i++ {
+		if _, err := primary.EditMap("obj", "master",
+			[]pos.Entry{{Key: []byte(fmt.Sprintf("key-%06d", i)), Val: []byte("tcp-edit")}},
+			nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WaitCaughtUp(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	requireConverged(t, primary, eng)
+
+	// The wire transfer must show Merkle pruning: far fewer bytes for the
+	// three edits than the cold copy.
+	st2 := f.Stats()
+	if st2.ChunksSkipped == 0 {
+		t.Fatalf("no pruning over TCP: %+v", st2)
+	}
+}
+
+func TestFollowerSurvivesPrimaryRestart(t *testing.T) {
+	// A replica must ride through its primary going away: backoff, then
+	// resume when a new primary appears at the same address.  The restarted
+	// primary has a fresh feed (seq reset), which the follower detects as
+	// truncation and handles with a snapshot.
+	st := store.NewMemStore()
+	feed := core.NewFeed(0)
+	heads := core.WithFeed(core.NewMemBranchTable(), feed)
+	primary := core.Open(core.Options{Store: st, Branches: heads})
+	srv := server.New(st, heads, nil)
+	srv.AttachFeed(feed)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Put("a", "master", value.String("v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	eng, lst, lbt := mkReplica()
+	f := NewFollower(NewRemoteSource(cl), lst, lbt, Options{
+		Poll: 20 * time.Millisecond, RetryMin: 10 * time.Millisecond, RetryMax: 100 * time.Millisecond,
+	})
+	f.Start()
+	defer f.Close()
+	if err := f.WaitCaughtUp(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the primary's listener; the follower starts erroring and backs off.
+	srv.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Errors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never noticed the dead primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// "Restart" the primary at the same address: same store and branches,
+	// fresh feed (as a process restart would have).
+	feed2 := core.NewFeed(0)
+	heads2 := core.WithFeed(heads.Unwrap(), feed2)
+	primary2 := core.Open(core.Options{Store: st, Branches: heads2})
+	srv2 := server.New(st, heads2, nil)
+	srv2.AttachFeed(feed2)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := primary2.Put("b", "master", value.String("v2"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.WaitCaughtUp(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	requireConverged(t, primary2, eng)
+	if f.Stats().Snapshots < 2 {
+		t.Fatalf("restart should force a snapshot catch-up: %+v", f.Stats())
+	}
+}

@@ -1,0 +1,151 @@
+// Package repl implements ForkBase's primary→replica replication: a replica
+// follows the primary's sequenced change feed and converges by Merkle-delta
+// sync.
+//
+// The paper's structural bet — values as content-addressed POS-Trees, uids
+// as Merkle roots — makes replication a pruned graph walk rather than a log
+// shipping problem: to mirror a head, a replica walks the head's chunk graph
+// top-down, asks its *local* store which subtree roots it already has
+// (anything shared with a previous version, a sibling branch, or any other
+// object is pruned wholesale), and fetches only the missing chunks, batched
+// level-by-level over the new read RPCs.  A 1% edit to a 100k-entry map
+// ships kilobytes — the O(D log N) deltas of the paper's diffs, applied to
+// transfer.
+//
+// Consistency model: per-branch prefix consistency.  A replica's head for
+// key@branch is always some committed version of that branch on the
+// primary, and it converges to the primary's latest as the feed drains;
+// cross-branch points-in-time are not atomic, and during a snapshot
+// catch-up a branch may transiently step back before converging forward.
+// Reads are served throughout — chunk immutability means a version, once
+// its head is published locally, is complete and tamper-verified.
+package repl
+
+import (
+	"errors"
+	"time"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Source is the replica's view of a primary: a sequenced change feed, a
+// branch-head snapshot, batched chunk reads, and GC pins bracketing each
+// head pull.  Two implementations ship: LocalSource (in-process, for
+// embedded replicas and the experiments) and RemoteSource (over the TCP
+// protocol's OpFeedSince/OpGetChunks/OpPinHead).
+type Source interface {
+	// Seq returns the primary's current feed position (epoch + sequence).
+	Seq() (core.FeedCursor, error)
+	// FeedSince reads feed entries after cursor (limit 0 = source default),
+	// long-polling up to wait when the feed is idle.  truncated reports the
+	// cursor is unusable — fell out of the feed's retained window, or
+	// belongs to a previous feed incarnation — and the replica must
+	// snapshot.
+	FeedSince(cursor core.FeedCursor, limit int, wait time.Duration) (entries []core.FeedEntry, next core.FeedCursor, truncated bool, err error)
+	// Heads snapshots all branch heads: key -> branch -> uid.
+	Heads() (map[string]map[string]hash.Hash, error)
+	// GetChunks fetches chunks by id; out[i] is nil when ids[i] is absent.
+	// Returned chunks are verified against the requested ids before use.
+	GetChunks(ids []hash.Hash) ([]*chunk.Chunk, error)
+	// Pin and Unpin bracket a head pull: a pinned head survives primary-side
+	// garbage collection (lease-bounded) until released.
+	Pin(root hash.Hash) error
+	Unpin(root hash.Hash) error
+}
+
+// Stats instruments a replica's sync progress.  Counters are cumulative
+// since the follower started.
+type Stats struct {
+	// Cursor is the feed sequence the replica has fully applied.
+	Cursor uint64
+	// Rounds counts sync rounds (one batch of feed entries, or a snapshot).
+	Rounds uint64
+	// Snapshots counts full catch-ups (initial sync and truncation recovery).
+	Snapshots uint64
+	// HeadsApplied counts branch-head advances applied locally.
+	HeadsApplied uint64
+	// BranchesDeleted counts branch deletions applied locally.
+	BranchesDeleted uint64
+	// ChunksFetched / BytesFetched measure what actually crossed the wire.
+	ChunksFetched uint64
+	BytesFetched  uint64
+	// ChunksSkipped counts frontier nodes pruned because the local store
+	// already held them — the Merkle-delta savings.
+	ChunksSkipped uint64
+	// Errors counts failed rounds (each is retried with backoff).
+	Errors uint64
+	// LastError is the most recent failure, "" when the last round was clean.
+	LastError string
+}
+
+// LocalSource adapts an in-process core.DB into a Source — the primary and
+// replica share an address space (embedded replicas, tests, experiments)
+// but replication still moves only chunk bytes, so measurements over a
+// LocalSource reflect wire costs faithfully.
+type LocalSource struct {
+	db *core.DB
+}
+
+// NewLocalSource wraps db.
+func NewLocalSource(db *core.DB) *LocalSource { return &LocalSource{db: db} }
+
+// Seq implements Source.
+func (s *LocalSource) Seq() (core.FeedCursor, error) {
+	f := s.db.Feed()
+	return core.FeedCursor{Epoch: f.Epoch(), Seq: f.Seq()}, nil
+}
+
+// FeedSince implements Source.
+func (s *LocalSource) FeedSince(cursor core.FeedCursor, limit int, wait time.Duration) ([]core.FeedEntry, core.FeedCursor, bool, error) {
+	f := s.db.Feed()
+	if cursor.Epoch != 0 && cursor.Epoch != f.Epoch() {
+		return nil, cursor, true, nil
+	}
+	if wait > 0 {
+		f.Wait(cursor.Seq, wait)
+	}
+	entries, next, truncated := f.Since(cursor.Seq, limit)
+	return entries, core.FeedCursor{Epoch: f.Epoch(), Seq: next}, truncated, nil
+}
+
+// Heads implements Source.
+func (s *LocalSource) Heads() (map[string]map[string]hash.Hash, error) {
+	bt := s.db.BranchTable()
+	keys, err := bt.Keys()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]hash.Hash, len(keys))
+	for _, k := range keys {
+		branches, err := bt.Branches(k)
+		if err != nil {
+			if errors.Is(err, core.ErrKeyNotFound) {
+				continue // deleted between Keys and Branches
+			}
+			return nil, err
+		}
+		out[k] = branches
+	}
+	return out, nil
+}
+
+// GetChunks implements Source; chunks come through the primary's verifying
+// read path.
+func (s *LocalSource) GetChunks(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	return store.GetBatch(s.db.Store(), ids)
+}
+
+// Pin implements Source (default lease, like the server side).
+func (s *LocalSource) Pin(root hash.Hash) error {
+	s.db.Feed().Pin(root, 0)
+	return nil
+}
+
+// Unpin implements Source.
+func (s *LocalSource) Unpin(root hash.Hash) error {
+	s.db.Feed().Unpin(root)
+	return nil
+}

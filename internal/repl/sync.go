@@ -1,0 +1,187 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/fnode"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+)
+
+// ErrChunkVanished is returned when the source no longer has a chunk the
+// walk needs — the head being pulled was superseded and collected on the
+// primary (a pin lease expired, or the head predates the feed's pin
+// window).  The follower treats it as retriable: it re-reads the feed,
+// where a newer entry for the branch supersedes the vanished head.
+var ErrChunkVanished = errors.New("repl: chunk vanished from source mid-sync")
+
+// fetchBatch bounds how many chunk ids travel in one GetChunks request, so
+// a single huge tree level neither builds an unbounded request nor stalls
+// the connection.
+const fetchBatch = 512
+
+// syncer pulls Merkle graphs from a Source into a local store.  It is the
+// mechanism under both catch-up modes: snapshot (walk every head) and
+// incremental (walk one new head, pruning everything shared).
+type syncer struct {
+	src   Source
+	local store.Store // replica store (verifying wrapper: claimed chunks recheck on Put)
+
+	chunksFetched atomic.Uint64
+	bytesFetched  atomic.Uint64
+	chunksSkipped atomic.Uint64
+}
+
+// children returns the chunk ids a chunk references: FNodes link their base
+// versions and their value root; POS-Tree index nodes link their child
+// pages; leaves link nothing.
+func children(c *chunk.Chunk) ([]hash.Hash, error) {
+	if c.Type() == chunk.TypeFNode {
+		f, err := fnode.Decode(c.Data())
+		if err != nil {
+			return nil, fmt.Errorf("repl: decoding fnode %s: %w", c.ID().Short(), err)
+		}
+		out := append([]hash.Hash(nil), f.Bases...)
+		v, err := f.DecodedValue()
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind().Composite() && !v.Root().IsZero() {
+			out = append(out, v.Root())
+		}
+		return out, nil
+	}
+	return pos.IndexChildren(c)
+}
+
+// syncRoot makes every chunk reachable from root present in the local
+// store, fetching only what is missing.
+//
+// The walk is top-down and level-batched: each frontier level is first
+// pruned against the local store with one HasBatch (a present chunk implies
+// its whole subtree is present — the Merkle prune invariant), then the
+// missing chunks are fetched with batched GetChunks and their children
+// become the next frontier.  Chunks land in reverse level order (children
+// before parents), which is what *maintains* the prune invariant across
+// crashes: a torn sync can leave orphaned subtrees (harmless; unreferenced)
+// but never a parent whose descendants are absent.
+//
+// Memory holds the missing byte volume of one root until the landing pass —
+// small for incremental syncs (the delta), but a cold snapshot of a huge
+// object buffers that object's full graph.  Streaming this (e.g. a batched
+// post-order walk landing subtrees as they complete) is future work; the
+// buffering is the price of the child-first landing order that keeps
+// pruning safe across torn syncs.
+func (s *syncer) syncRoot(root hash.Hash) error {
+	if root.IsZero() {
+		return nil
+	}
+	frontier := []hash.Hash{root}
+	visited := map[hash.Hash]bool{root: true}
+	var levels [][]*chunk.Chunk
+	for len(frontier) > 0 {
+		present, err := store.HasBatch(s.local, frontier)
+		if err != nil {
+			return err
+		}
+		missing := frontier[:0:0]
+		for i, id := range frontier {
+			if present[i] {
+				s.chunksSkipped.Add(1)
+				continue
+			}
+			missing = append(missing, id)
+		}
+		var level []*chunk.Chunk
+		for off := 0; off < len(missing); off += fetchBatch {
+			end := off + fetchBatch
+			if end > len(missing) {
+				end = len(missing)
+			}
+			part, err := s.src.GetChunks(missing[off:end])
+			if err != nil {
+				return err
+			}
+			for j, c := range part {
+				if c == nil {
+					return fmt.Errorf("%w: %s", ErrChunkVanished, missing[off+j].Short())
+				}
+				level = append(level, c)
+				s.chunksFetched.Add(1)
+				s.bytesFetched.Add(uint64(c.Size()))
+			}
+		}
+		if len(level) > 0 {
+			levels = append(levels, level)
+		}
+		var next []hash.Hash
+		for _, c := range level {
+			kids, err := children(c)
+			if err != nil {
+				return err
+			}
+			for _, k := range kids {
+				if k.IsZero() || visited[k] {
+					continue
+				}
+				visited[k] = true
+				next = append(next, k)
+			}
+		}
+		frontier = next
+	}
+	// Land children before parents.
+	for i := len(levels) - 1; i >= 0; i-- {
+		if _, err := store.PutBatch(s.local, levels[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncHead pulls root (pinned on the source for the duration) and then
+// publishes it as the local head of key@branch.  Publication is a plain
+// head swap: the follower is the only writer of a replica's branch table.
+func (s *syncer) syncHead(heads branchTable, key, branch string, root hash.Hash) error {
+	if err := s.src.Pin(root); err != nil {
+		return err
+	}
+	defer func() { _ = s.src.Unpin(root) }()
+	if err := s.syncRoot(root); err != nil {
+		return err
+	}
+	return forceSetHead(heads, key, branch, root)
+}
+
+// branchTable is the subset of core.BranchTable the follower writes.
+type branchTable interface {
+	Head(key, branch string) (hash.Hash, bool, error)
+	CompareAndSet(key, branch string, old, new hash.Hash) (bool, error)
+	Delete(key, branch string) error
+}
+
+// forceSetHead moves key@branch to uid regardless of its current value
+// (feed order is the primary's commit order; last writer wins).
+func forceSetHead(heads branchTable, key, branch string, uid hash.Hash) error {
+	for i := 0; i < 16; i++ {
+		cur, _, err := heads.Head(key, branch)
+		if err != nil {
+			return err
+		}
+		if cur == uid {
+			return nil
+		}
+		ok, err := heads.CompareAndSet(key, branch, cur, uid)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("repl: local head of %s@%s would not settle", key, branch)
+}

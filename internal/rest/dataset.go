@@ -1,8 +1,10 @@
 package rest
 
 import (
+	"errors"
 	"net/http"
 
+	"forkbase/internal/core"
 	"forkbase/internal/dataset"
 )
 
@@ -56,6 +58,9 @@ func cut(s string, sep byte) (before, after string, found bool) {
 }
 
 func (h *Handler) importCSV(w http.ResponseWriter, r *http.Request, name string) {
+	if h.denyWrite(w) {
+		return
+	}
 	if r.URL.Query().Get("append") == "1" {
 		cur, err := dataset.Open(h.db, name, branchParam(r))
 		if err != nil {
@@ -64,6 +69,10 @@ func (h *Handler) importCSV(w http.ResponseWriter, r *http.Request, name string)
 		}
 		ds, err := cur.AppendCSV(r.Body, nil)
 		if err != nil {
+			if errors.Is(err, core.ErrStaleHead) {
+				writeErr(w, err) // lost head race is the caller's 409, not a 400
+				return
+			}
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 			return
 		}

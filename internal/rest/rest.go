@@ -13,6 +13,7 @@
 //	POST   /v1/batch                              multi-key bulk write (JSON)
 //	POST   /v1/gc                                 collect unreachable chunks
 //	GET    /v1/stats                              store dedup accounting
+//	GET    /v1/repl/status                        replication progress
 package rest
 
 import (
@@ -26,13 +27,17 @@ import (
 	"forkbase/internal/core"
 	"forkbase/internal/hash"
 	"forkbase/internal/pos"
+	"forkbase/internal/repl"
+	"forkbase/internal/store"
 	"forkbase/internal/value"
 )
 
 // Handler serves the REST API over a core engine.
 type Handler struct {
-	db  *core.DB
-	mux *http.ServeMux
+	db         *core.DB
+	mux        *http.ServeMux
+	replStatus func() repl.Stats // nil on non-replicas
+	readOnly   bool              // replicas reject mutating routes
 }
 
 // New builds the handler.
@@ -43,8 +48,60 @@ func New(db *core.DB) *Handler {
 	h.mux.HandleFunc("/v1/obj/", h.object)
 	h.mux.HandleFunc("/v1/batch", h.batch)
 	h.mux.HandleFunc("/v1/gc", h.gc)
+	h.mux.HandleFunc("/v1/repl/status", h.replStatusHandler)
 	h.registerDatasets()
 	return h
+}
+
+// WithReplStatus publishes replication progress at GET /v1/repl/status;
+// nodes that are not replicas report {"following": false}.  Returns h for
+// chaining.
+func (h *Handler) WithReplStatus(fn func() repl.Stats) *Handler {
+	h.replStatus = fn
+	return h
+}
+
+// SetReadOnly makes every mutating route answer 403: replica state moves
+// only through replication, never through client writes.  Returns h for
+// chaining.
+func (h *Handler) SetReadOnly(ro bool) *Handler {
+	h.readOnly = ro
+	return h
+}
+
+// denyWrite rejects a mutating request on a read-only node and reports
+// whether it did.
+func (h *Handler) denyWrite(w http.ResponseWriter) bool {
+	if !h.readOnly {
+		return false
+	}
+	writeJSON(w, http.StatusForbidden, errorBody{Error: "node is a read-only replica (write to the primary)"})
+	return true
+}
+
+func (h *Handler) replStatusHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	if h.replStatus == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"following": false})
+		return
+	}
+	s := h.replStatus()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"following":        true,
+		"cursor":           s.Cursor,
+		"rounds":           s.Rounds,
+		"snapshots":        s.Snapshots,
+		"heads_applied":    s.HeadsApplied,
+		"branches_deleted": s.BranchesDeleted,
+		"chunks_fetched":   s.ChunksFetched,
+		"bytes_fetched":    s.BytesFetched,
+		"chunks_skipped":   s.ChunksSkipped,
+		"errors":           s.Errors,
+		"last_error":       s.LastError,
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -62,13 +119,25 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeErr is the single engine-error→HTTP-status mapping.  Every handler
+// funnels non-validation errors through here, so a given engine condition
+// surfaces as the same status on every route: absence is 404, lost races
+// and conflicts are 409, a missing store capability is 501, and detected
+// tampering is 502.  Anything unrecognized stays a 500 — a genuine
+// server-side fault.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, core.ErrBranchNotFound), errors.Is(err, core.ErrKeyNotFound):
+	case errors.Is(err, core.ErrBranchNotFound),
+		errors.Is(err, core.ErrKeyNotFound),
+		errors.Is(err, pos.ErrKeyNotFound),
+		errors.Is(err, store.ErrNotFound):
 		code = http.StatusNotFound
-	case errors.Is(err, core.ErrBranchExists):
+	case errors.Is(err, core.ErrBranchExists),
+		errors.Is(err, core.ErrStaleHead):
 		code = http.StatusConflict
+	case errors.Is(err, core.ErrNotCollectable):
+		code = http.StatusNotImplemented
 	case errors.Is(err, core.ErrTampered):
 		code = http.StatusBadGateway // the storage layer is lying to us
 	}
@@ -213,6 +282,9 @@ type putBody struct {
 }
 
 func (h *Handler) putObject(w http.ResponseWriter, r *http.Request, key string) {
+	if h.denyWrite(w) {
+		return
+	}
 	var body putBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
@@ -301,6 +373,9 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
 	}
+	if h.denyWrite(w) {
+		return
+	}
 	var body struct {
 		Ops []batchOpBody `json:"ops"`
 	}
@@ -384,13 +459,12 @@ func (h *Handler) gc(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
 	}
+	if h.denyWrite(w) {
+		return
+	}
 	stats, err := h.db.GC()
 	if err != nil {
-		if errors.Is(err, core.ErrNotCollectable) {
-			writeJSON(w, http.StatusNotImplemented, errorBody{Error: err.Error()})
-			return
-		}
-		writeErr(w, err)
+		writeErr(w, err) // ErrNotCollectable maps to 501 like everywhere else
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -448,6 +522,9 @@ func (h *Handler) branch(w http.ResponseWriter, r *http.Request, key string) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
 		return
 	}
+	if h.denyWrite(w) {
+		return
+	}
 	var body branchBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.New == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need {new, from?}"})
@@ -470,6 +547,9 @@ type mergeBody struct {
 func (h *Handler) merge(w http.ResponseWriter, r *http.Request, key string) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	if h.denyWrite(w) {
 		return
 	}
 	var body mergeBody

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"forkbase/internal/chunk"
+	"forkbase/internal/core"
 	"forkbase/internal/hash"
 	"forkbase/internal/store"
 )
@@ -95,7 +97,10 @@ type RemoteStore struct {
 	c *Client
 }
 
-var _ store.BatchStore = (*RemoteStore)(nil)
+var (
+	_ store.BatchStore     = (*RemoteStore)(nil)
+	_ store.BatchReadStore = (*RemoteStore)(nil)
+)
 
 // NewRemoteStore wraps a client as a chunk store.
 func NewRemoteStore(c *Client) *RemoteStore { return &RemoteStore{c: c} }
@@ -134,6 +139,93 @@ func (r *RemoteStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
 	return fresh, nil
 }
 
+// GetChunks fetches a batch of chunks in one round trip.  out[i] is nil when
+// ids[i] is absent on the server.  Every returned chunk is matched to its
+// requested id and verified client-side, so a malicious server can neither
+// forge content nor satisfy a request with a different (valid) chunk.
+func (c *Client) GetChunks(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	var resp Response
+	if err := c.roundTrip(&Request{Op: OpGetChunks, IDs: ids}, &resp); err != nil {
+		return nil, err
+	}
+	byID := make(map[hash.Hash]*chunk.Chunk, len(resp.Chunks))
+	for _, w := range resp.Chunks {
+		t := chunk.Type(w.Type)
+		if !t.Valid() {
+			return nil, fmt.Errorf("client: server returned invalid chunk type %d", w.Type)
+		}
+		ch := chunk.NewClaimed(t, w.Data, w.ID)
+		if err := ch.Recheck(); err != nil {
+			return nil, err // forged or corrupted in flight
+		}
+		byID[ch.ID()] = ch
+	}
+	out := make([]*chunk.Chunk, len(ids))
+	for i, id := range ids {
+		out[i] = byID[id] // nil when the server omitted it
+	}
+	return out, nil
+}
+
+// HasChunks answers presence for a batch of ids in one round trip.
+func (c *Client) HasChunks(ids []hash.Hash) ([]bool, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	var resp Response
+	if err := c.roundTrip(&Request{Op: OpHasChunks, IDs: ids}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Bools) != len(ids) {
+		return nil, fmt.Errorf("client: server returned %d presence flags for %d ids", len(resp.Bools), len(ids))
+	}
+	return resp.Bools, nil
+}
+
+// FeedSince reads the server's change feed from cursor, long-polling up to
+// wait when the feed is idle.  It returns the entries, the resume cursor,
+// and whether the cursor was truncated — evicted from the feed's retained
+// window, or belonging to a previous feed incarnation (primary restart) —
+// in which case the caller must fall back to a snapshot catch-up.
+func (c *Client) FeedSince(cursor core.FeedCursor, limit int, wait time.Duration) ([]core.FeedEntry, core.FeedCursor, bool, error) {
+	var resp Response
+	req := &Request{Op: OpFeedSince, Cursor: cursor.Seq, FeedEpoch: cursor.Epoch, Limit: limit, WaitMillis: wait.Milliseconds()}
+	if err := c.roundTrip(req, &resp); err != nil {
+		return nil, cursor, false, err
+	}
+	entries := make([]core.FeedEntry, len(resp.Entries))
+	for i, e := range resp.Entries {
+		entries[i] = core.FeedEntry{Seq: e.Seq, Key: e.Key, Branch: e.Branch, Old: e.Old, New: e.New}
+	}
+	return entries, core.FeedCursor{Epoch: resp.FeedEpoch, Seq: resp.Cursor}, resp.Truncated, nil
+}
+
+// FeedSeq probes the server's current feed position without reading entries.
+func (c *Client) FeedSeq() (core.FeedCursor, error) {
+	var resp Response
+	if err := c.roundTrip(&Request{Op: OpFeedSince, Limit: -1}, &resp); err != nil {
+		return core.FeedCursor{}, err
+	}
+	return core.FeedCursor{Epoch: resp.FeedEpoch, Seq: resp.Cursor}, nil
+}
+
+// PinHead pins uid as a GC root on the server for the server's pin lease;
+// UnpinHead releases it.  Replicas bracket each head pull with these so a
+// primary-side collection cannot sweep a graph mid-sync.
+func (c *Client) PinHead(uid hash.Hash) error {
+	var resp Response
+	return c.roundTrip(&Request{Op: OpPinHead, ID: uid}, &resp)
+}
+
+// UnpinHead releases a PinHead.
+func (c *Client) UnpinHead(uid hash.Hash) error {
+	var resp Response
+	return c.roundTrip(&Request{Op: OpUnpinHead, ID: uid}, &resp)
+}
+
 // Get implements store.Store; the chunk is verified client-side.
 func (r *RemoteStore) Get(id hash.Hash) (*chunk.Chunk, error) {
 	var resp Response
@@ -162,6 +254,14 @@ func (r *RemoteStore) Has(id hash.Hash) (bool, error) {
 	}
 	return resp.OK, nil
 }
+
+// GetBatch implements store.BatchReadStore: one round trip for the whole id
+// list, collapsing the per-chunk request latency that made RemoteStore reads
+// pay one RTT per Get.
+func (r *RemoteStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) { return r.c.GetChunks(ids) }
+
+// HasBatch implements store.BatchReadStore.
+func (r *RemoteStore) HasBatch(ids []hash.Hash) ([]bool, error) { return r.c.HasChunks(ids) }
 
 // Stats implements store.Store.
 func (r *RemoteStore) Stats() store.Stats {

@@ -33,6 +33,26 @@ const (
 	// server verifies every claimed id and lands the batch with one
 	// store.PutBatch (group commit on file-backed stores).
 	OpPutChunks
+	// OpGetChunks fetches a batch of chunks in one round trip — the read
+	// half of Merkle-delta sync: a replica resolves a whole frontier level
+	// of missing subtree roots per request.  Absent ids are simply omitted
+	// from the response.
+	OpGetChunks
+	// OpHasChunks answers presence for a batch of ids in one round trip,
+	// letting the sync differ prune shared subtrees without shipping them.
+	OpHasChunks
+	// OpFeedSince reads the primary's change feed from a cursor, optionally
+	// long-polling until new entries arrive.  The response carries the next
+	// cursor and whether the requested range was truncated (evicted from the
+	// feed's retained window), which forces the replica into a snapshot
+	// catch-up.
+	OpFeedSince
+	// OpPinHead / OpUnpinHead bracket a replica's pull of one head: a pinned
+	// head's chunk graph survives primary-side garbage collection until the
+	// pin is released or its lease expires, so an in-flight sync can never
+	// lose the ground under its feet.
+	OpPinHead
+	OpUnpinHead
 )
 
 // WireChunk is one chunk of a batched put.  The id is a *claim* until the
@@ -41,6 +61,13 @@ type WireChunk struct {
 	ID   hash.Hash
 	Type byte
 	Data []byte
+}
+
+// WireFeedEntry is one change-feed entry on the wire.
+type WireFeedEntry struct {
+	Seq         uint64
+	Key, Branch string
+	Old, New    hash.Hash
 }
 
 // Request is the single wire request shape (fields used depend on Op).
@@ -52,12 +79,19 @@ type Request struct {
 	ChunkType byte
 	Data      []byte
 	Chunks    []WireChunk // OpPutChunks
+	IDs       []hash.Hash // OpGetChunks / OpHasChunks
 
 	// Branch operations.
 	Key      string
 	Branch   string
 	ToBranch string
 	Old, New hash.Hash
+
+	// Feed operations.
+	Cursor     uint64 // OpFeedSince: read entries with Seq > Cursor
+	FeedEpoch  uint64 // OpFeedSince: the incarnation Cursor belongs to (0 = none)
+	Limit      int    // OpFeedSince: max entries (0 = server default, <0 = seq probe)
+	WaitMillis int64  // OpFeedSince: long-poll budget when the feed is idle
 }
 
 // Response is the single wire response shape.
@@ -68,10 +102,18 @@ type Response struct {
 
 	ChunkType byte
 	Data      []byte
-	Fresh     []bool // OpPutChunks: per-chunk freshness
+	Fresh     []bool      // OpPutChunks: per-chunk freshness
+	Chunks    []WireChunk // OpGetChunks: the present chunks (absent ids omitted)
+	Bools     []bool      // OpHasChunks: per-id presence
 
 	UID   hash.Hash
 	Heads map[string]string // branch -> uid (Base32)
 	Keys  []string
 	Stats store.Stats
+
+	// Feed results.
+	Entries   []WireFeedEntry // OpFeedSince
+	Cursor    uint64          // OpFeedSince: resume cursor
+	FeedEpoch uint64          // OpFeedSince: the serving feed's incarnation
+	Truncated bool            // OpFeedSince: requested range evicted; re-snapshot
 }

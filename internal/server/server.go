@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
@@ -16,8 +17,10 @@ import (
 
 // Server exposes a chunk store and a branch table over TCP.
 type Server struct {
-	st    store.Store
-	heads core.BranchTable
+	st       store.Store
+	heads    core.BranchTable
+	feed     *core.Feed // non-nil when this node publishes a change feed
+	readOnly bool       // replicas reject mutating ops
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -27,6 +30,14 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// Feed-serving limits: a single OpFeedSince answer is bounded so a lagging
+// replica streams the window in pages, and the long-poll budget is clamped
+// so an idle connection never parks a server goroutine for long.
+const (
+	feedDefaultLimit = 512
+	feedMaxWait      = 30 * time.Second
+)
+
 // New creates a server over the given store and branch table.
 func New(st store.Store, heads core.BranchTable, logger *log.Logger) *Server {
 	if logger == nil {
@@ -34,6 +45,20 @@ func New(st store.Store, heads core.BranchTable, logger *log.Logger) *Server {
 	}
 	return &Server{st: st, heads: heads, conns: make(map[net.Conn]struct{}), logger: logger}
 }
+
+// AttachFeed publishes feed over OpFeedSince (and enables head pinning).
+// Call before Listen.  A primary shares the same feed with its local engine
+// (core.Open adopts a feed-wrapped branch table), so commits made through
+// any path — TCP CAS, REST, embedded — appear in one sequence.
+func (s *Server) AttachFeed(f *core.Feed) { s.feed = f }
+
+// SetReadOnly makes the server reject every mutating op (chunk puts, head
+// CAS, branch delete/rename).  Replicas serve reads this way: their state
+// moves only through replication, never through client writes.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly = ro }
+
+// errReadOnly is what mutating ops receive from a read-only node.
+var errReadOnly = errors.New("server: node is a read-only replica")
 
 // Listen binds addr (e.g. "127.0.0.1:0") and serves until Close.
 // It returns the bound address immediately; serving continues in the
@@ -103,6 +128,12 @@ func (s *Server) handle(req *Request) *Response {
 		resp.Err = err.Error()
 		return resp
 	}
+	if s.readOnly {
+		switch req.Op {
+		case OpPutChunk, OpPutChunks, OpCAS, OpDeleteBranch, OpRenameBranch:
+			return fail(errReadOnly)
+		}
+	}
 	switch req.Op {
 	case OpPing:
 		resp.OK = true
@@ -162,6 +193,78 @@ func (s *Server) handle(req *Request) *Response {
 			return fail(err)
 		}
 		resp.OK = ok
+	case OpGetChunks:
+		cs, err := store.GetBatch(s.st, req.IDs)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Chunks = make([]WireChunk, 0, len(cs))
+		for _, c := range cs {
+			if c == nil {
+				continue // absent ids are omitted; the client notices the gap
+			}
+			resp.Chunks = append(resp.Chunks, WireChunk{ID: c.ID(), Type: byte(c.Type()), Data: c.Data()})
+		}
+		resp.OK = true
+	case OpHasChunks:
+		bools, err := store.HasBatch(s.st, req.IDs)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Bools = bools
+		resp.OK = true
+	case OpFeedSince:
+		if s.feed == nil {
+			return fail(errors.New("server: node does not publish a change feed"))
+		}
+		resp.FeedEpoch = s.feed.Epoch()
+		if req.Limit < 0 {
+			// Sequence probe: report the feed tip without shipping entries.
+			// Replicas take a cursor this way before a snapshot catch-up.
+			resp.Cursor = s.feed.Seq()
+			resp.OK = true
+			return resp
+		}
+		if req.FeedEpoch != 0 && req.FeedEpoch != s.feed.Epoch() {
+			// The cursor belongs to a previous feed incarnation (primary
+			// restart): every retained entry may already be stale relative
+			// to it, so force a snapshot exactly like ring truncation.
+			resp.Cursor = req.Cursor
+			resp.Truncated = true
+			resp.OK = true
+			return resp
+		}
+		limit := req.Limit
+		if limit == 0 || limit > feedDefaultLimit {
+			limit = feedDefaultLimit
+		}
+		if req.WaitMillis > 0 {
+			wait := time.Duration(req.WaitMillis) * time.Millisecond
+			if wait > feedMaxWait {
+				wait = feedMaxWait
+			}
+			s.feed.Wait(req.Cursor, wait)
+		}
+		entries, next, truncated := s.feed.Since(req.Cursor, limit)
+		resp.Entries = make([]WireFeedEntry, len(entries))
+		for i, e := range entries {
+			resp.Entries[i] = WireFeedEntry{Seq: e.Seq, Key: e.Key, Branch: e.Branch, Old: e.Old, New: e.New}
+		}
+		resp.Cursor = next
+		resp.Truncated = truncated
+		resp.OK = true
+	case OpPinHead:
+		if s.feed == nil {
+			return fail(errors.New("server: node does not publish a change feed"))
+		}
+		s.feed.Pin(req.ID, 0) // server-side lease; replicas re-pin per round
+		resp.OK = true
+	case OpUnpinHead:
+		if s.feed == nil {
+			return fail(errors.New("server: node does not publish a change feed"))
+		}
+		s.feed.Unpin(req.ID)
+		resp.OK = true
 	case OpStats:
 		resp.Stats = s.st.Stats()
 	case OpHead:

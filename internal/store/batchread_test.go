@@ -1,0 +1,115 @@
+package store
+
+import (
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+	"forkbase/internal/nodecache"
+)
+
+// plainStore hides every optional capability, exercising the fallbacks.
+type plainStore struct{ inner *MemStore }
+
+func (p plainStore) Put(c *chunk.Chunk) (bool, error)       { return p.inner.Put(c) }
+func (p plainStore) Get(id hash.Hash) (*chunk.Chunk, error) { return p.inner.Get(id) }
+func (p plainStore) Has(id hash.Hash) (bool, error)         { return p.inner.Has(id) }
+func (p plainStore) Stats() Stats                           { return p.inner.Stats() }
+
+func TestBatchReadAcrossImplementations(t *testing.T) {
+	mk := func(s Store) (ids []hash.Hash, missing hash.Hash) {
+		for _, payload := range []string{"alpha", "beta", "gamma"} {
+			c := chunk.New(chunk.TypeBlobLeaf, []byte(payload))
+			if _, err := s.Put(c); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, c.ID())
+		}
+		missing = hash.Of([]byte("not stored"))
+		return ids, missing
+	}
+
+	cases := []struct {
+		name string
+		wrap func(*MemStore) Store
+	}{
+		{"mem", func(m *MemStore) Store { return m }},
+		{"fallback", func(m *MemStore) Store { return plainStore{m} }},
+		{"verifying", func(m *MemStore) Store { return NewVerifyingStore(m) }},
+		{"counting", func(m *MemStore) Store { return NewCountingStore(m) }},
+		{"malicious-honest", func(m *MemStore) Store { return NewMaliciousStore(m) }},
+		{"nodecached", func(m *MemStore) Store {
+			return WithNodeCache(NewVerifyingStore(m), nodecache.New(1<<20))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.wrap(NewMemStore())
+			ids, missing := mk(s)
+			query := []hash.Hash{ids[2], missing, ids[0]}
+
+			got, err := GetBatch(s, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] == nil || got[0].ID() != ids[2] {
+				t.Fatalf("slot 0 = %v, want %s", got[0], ids[2].Short())
+			}
+			if got[1] != nil {
+				t.Fatal("missing id must yield a nil slot, not an error")
+			}
+			if got[2] == nil || got[2].ID() != ids[0] {
+				t.Fatalf("slot 2 = %v, want %s", got[2], ids[0].Short())
+			}
+
+			has, err := HasBatch(s, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !has[0] || has[1] || !has[2] {
+				t.Fatalf("HasBatch = %v, want [true false true]", has)
+			}
+		})
+	}
+}
+
+func TestVerifyingGetBatchCatchesForgery(t *testing.T) {
+	mal := NewMaliciousStore(NewMemStore())
+	v := NewVerifyingStore(mal)
+	c := chunk.New(chunk.TypeBlobLeaf, []byte("genuine"))
+	if _, err := v.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	mal.Forge(c.ID(), chunk.TypeBlobLeaf, []byte("forged"))
+	if _, err := GetBatch(v, []hash.Hash{c.ID()}); err == nil {
+		t.Fatal("verifying GetBatch must reject a forged chunk")
+	}
+	// The raw malicious store serves the forgery without complaint.
+	out, err := GetBatch(Store(mal), []hash.Hash{c.ID()})
+	if err != nil || out[0] == nil {
+		t.Fatalf("malicious store should serve the forgery silently: %v", err)
+	}
+}
+
+func TestFileStoreBatchReadFallback(t *testing.T) {
+	fs, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	c1 := chunk.New(chunk.TypeBlobLeaf, []byte("one"))
+	c2 := chunk.New(chunk.TypeBlobLeaf, []byte("two"))
+	if _, err := PutBatch(fs, []*chunk.Chunk{c1, c2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GetBatch(fs, []hash.Hash{c2.ID(), hash.Of([]byte("nope")), c1.ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == nil || got[1] != nil || got[2] == nil {
+		t.Fatalf("GetBatch over FileStore = [%v %v %v]", got[0], got[1], got[2])
+	}
+	if string(got[0].Data()) != "two" || string(got[2].Data()) != "one" {
+		t.Fatal("wrong payloads")
+	}
+}

@@ -22,7 +22,10 @@ type MemStore struct {
 	gets   atomic.Int64
 }
 
-var _ BatchStore = (*MemStore)(nil)
+var (
+	_ BatchStore     = (*MemStore)(nil)
+	_ BatchReadStore = (*MemStore)(nil)
+)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
@@ -78,12 +81,36 @@ func (m *MemStore) Get(id hash.Hash) (*chunk.Chunk, error) {
 	return c, nil
 }
 
+// GetBatch implements BatchReadStore: one read-lock round for the whole
+// batch; absent ids yield nil slots.
+func (m *MemStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	out := make([]*chunk.Chunk, len(ids))
+	m.mu.RLock()
+	for i, id := range ids {
+		out[i] = m.chunks[id] // nil when absent
+	}
+	m.mu.RUnlock()
+	m.gets.Add(int64(len(ids)))
+	return out, nil
+}
+
 // Has implements Store.
 func (m *MemStore) Has(id hash.Hash) (bool, error) {
 	m.mu.RLock()
 	_, ok := m.chunks[id]
 	m.mu.RUnlock()
 	return ok, nil
+}
+
+// HasBatch implements BatchReadStore under one read-lock round.
+func (m *MemStore) HasBatch(ids []hash.Hash) ([]bool, error) {
+	out := make([]bool, len(ids))
+	m.mu.RLock()
+	for i, id := range ids {
+		_, out[i] = m.chunks[id]
+	}
+	m.mu.RUnlock()
+	return out, nil
 }
 
 // Stats implements Store.

@@ -2,6 +2,7 @@ package store
 
 import (
 	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
 	"forkbase/internal/nodecache"
 )
 
@@ -43,6 +44,14 @@ func (s *nodeCachedStore) NodeCache() *nodecache.Cache { return s.cache }
 // batch path from the BatchStore type assertion).
 func (s *nodeCachedStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) { return PutBatch(s.Store, cs) }
 
+// GetBatch forwards the batch-read capability through the cache wrapper.
+func (s *nodeCachedStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	return GetBatch(s.Store, ids)
+}
+
+// HasBatch forwards the batch-read capability through the cache wrapper.
+func (s *nodeCachedStore) HasBatch(ids []hash.Hash) ([]bool, error) { return HasBatch(s.Store, ids) }
+
 // Unwrap exposes the inner store (GC capability discovery).
 func (s *nodeCachedStore) Unwrap() Store { return s.Store }
 
@@ -71,4 +80,8 @@ var (
 	_ BatchStore        = (*VerifyingStore)(nil)
 	_ BatchStore        = (*CountingStore)(nil)
 	_ BatchStore        = (*MaliciousStore)(nil)
+	_ BatchReadStore    = (*nodeCachedStore)(nil)
+	_ BatchReadStore    = (*VerifyingStore)(nil)
+	_ BatchReadStore    = (*CountingStore)(nil)
+	_ BatchReadStore    = (*MaliciousStore)(nil)
 )

@@ -94,6 +94,59 @@ type BatchStore interface {
 	PutBatch(cs []*chunk.Chunk) (fresh []bool, err error)
 }
 
+// BatchReadStore is the optional capability of stores that can answer many
+// point reads in one round: MemStore holds its read lock once for the whole
+// batch, and RemoteStore ships the whole id list in a single request —
+// the capability Merkle-delta replication's frontier walk is built on (one
+// round trip per tree level instead of one per chunk).
+type BatchReadStore interface {
+	Store
+	// GetBatch retrieves the chunks with the given ids.  out[i] is nil when
+	// ids[i] is absent — absence is not an error, so one batched call
+	// replaces the Get-and-check loop of a sync walk.
+	GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error)
+	// HasBatch reports presence for every id.
+	HasBatch(ids []hash.Hash) ([]bool, error)
+}
+
+// GetBatch reads ids from s, using the native batch path when s implements
+// BatchReadStore and falling back to per-id Gets otherwise.  Missing chunks
+// yield nil slots, never an error.
+func GetBatch(s Store, ids []hash.Hash) ([]*chunk.Chunk, error) {
+	if bs, ok := s.(BatchReadStore); ok {
+		return bs.GetBatch(ids)
+	}
+	out := make([]*chunk.Chunk, len(ids))
+	for i, id := range ids {
+		c, err := s.Get(id)
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// HasBatch reports presence of ids in s, using the native batch path when
+// available.
+func HasBatch(s Store, ids []hash.Hash) ([]bool, error) {
+	if bs, ok := s.(BatchReadStore); ok {
+		return bs.HasBatch(ids)
+	}
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		ok, err := s.Has(id)
+		if err != nil {
+			return out, err
+		}
+		out[i] = ok
+	}
+	return out, nil
+}
+
 // SweepStats reports what a Collector's Sweep removed and reclaimed.
 type SweepStats struct {
 	// Swept is the number of chunks removed.

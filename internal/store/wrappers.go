@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"sync"
 
 	"forkbase/internal/chunk"
@@ -32,6 +33,14 @@ func (c *CountingStore) Put(ch *chunk.Chunk) (bool, error) { return c.Inner.Put(
 // visible to the phase accounting (the inner store's counters move exactly as
 // they would for per-chunk Puts).
 func (c *CountingStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) { return PutBatch(c.Inner, cs) }
+
+// GetBatch implements BatchReadStore by delegating.
+func (c *CountingStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	return GetBatch(c.Inner, ids)
+}
+
+// HasBatch implements BatchReadStore by delegating.
+func (c *CountingStore) HasBatch(ids []hash.Hash) ([]bool, error) { return HasBatch(c.Inner, ids) }
 
 // Get implements Store.
 func (c *CountingStore) Get(id hash.Hash) (*chunk.Chunk, error) { return c.Inner.Get(id) }
@@ -108,6 +117,26 @@ func (m *MaliciousStore) Put(ch *chunk.Chunk) (bool, error) { return m.Inner.Put
 
 // PutBatch implements BatchStore by delegating.
 func (m *MaliciousStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) { return PutBatch(m.Inner, cs) }
+
+// GetBatch implements BatchReadStore: attacked ids are substituted exactly as
+// in Get, so batched readers face the same threat model as point readers.
+func (m *MaliciousStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	out := make([]*chunk.Chunk, len(ids))
+	for i, id := range ids {
+		c, err := m.Get(id)
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return out, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// HasBatch implements BatchReadStore by delegating.
+func (m *MaliciousStore) HasBatch(ids []hash.Hash) ([]bool, error) { return HasBatch(m.Inner, ids) }
 
 // Has implements Store.
 func (m *MaliciousStore) Has(id hash.Hash) (bool, error) { return m.Inner.Has(id) }
@@ -215,6 +244,32 @@ func (v *VerifyingStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
 
 // Has implements Store.
 func (v *VerifyingStore) Has(id hash.Hash) (bool, error) { return v.Inner.Has(id) }
+
+// HasBatch implements BatchReadStore by delegating (presence needs no
+// verification; a forged chunk is caught when it is actually read).
+func (v *VerifyingStore) HasBatch(ids []hash.Hash) ([]bool, error) { return HasBatch(v.Inner, ids) }
+
+// GetBatch implements BatchReadStore: every returned chunk passes the same
+// recheck-and-verify gauntlet as a point Get, so batched sync reads are
+// exactly as tamper-evident as the point path.
+func (v *VerifyingStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	out, err := GetBatch(v.Inner, ids)
+	if err != nil {
+		return out, err
+	}
+	for i, c := range out {
+		if c == nil {
+			continue
+		}
+		if err := c.Recheck(); err != nil {
+			return out, err
+		}
+		if err := c.Verify(ids[i]); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
 
 // Stats implements Store.
 func (v *VerifyingStore) Stats() Stats { return v.Inner.Stats() }

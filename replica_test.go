@@ -1,0 +1,156 @@
+package forkbase
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"forkbase/internal/core"
+	"forkbase/internal/dataset"
+	"forkbase/internal/server"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+// startPrimaryNode runs what `forkbased -listen` runs: a TCP node whose
+// engine and server share one feed-wrapped branch table.
+func startPrimaryNode(t *testing.T) (*core.DB, string) {
+	t.Helper()
+	st := store.NewMemStore()
+	feed := core.NewFeed(0)
+	heads := core.WithFeed(core.NewMemBranchTable(), feed)
+	eng := core.Open(core.Options{Store: st, Branches: heads})
+	srv := server.New(st, heads, nil)
+	srv.AttachFeed(feed)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return eng, addr
+}
+
+func TestOpenReplicaFollowsPrimary(t *testing.T) {
+	primaryEng, addr := startPrimaryNode(t)
+
+	entries := make([]Entry, 1000)
+	for i := range entries {
+		entries[i] = Entry{Key: []byte(fmt.Sprintf("k-%05d", i)), Val: []byte("v")}
+	}
+	if _, err := primaryEng.BuildAndPut("obj", "master", nil, func() (Value, error) {
+		return value.NewMap(primaryEng.Store(), primaryEng.Chunking(), entries)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	replica, err := OpenReplica(addr, WithNodeCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	if !replica.Following() {
+		t.Fatal("replica does not report Following")
+	}
+	if err := replica.WaitSynced(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads converge to the primary's head.
+	pv, err := primaryEng.Get("obj", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := replica.Get("obj", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.UID != pv.UID {
+		t.Fatalf("replica head %s != primary head %s", rv.UID.Short(), pv.UID.Short())
+	}
+	tree, err := replica.MapOf(rv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tree.Get([]byte("k-00042"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("replica map read: %q %v", got, err)
+	}
+
+	// Every mutating method is rejected.
+	writes := map[string]error{
+		"Put":          errOf2(replica.Put("obj", "master", NewString("x"), nil)),
+		"PutString":    errOf2(replica.PutString("obj", "master", "x", nil)),
+		"PutMap":       errOf2(replica.PutMap("obj", "master", entries[:1], nil)),
+		"EditMap":      errOf2(replica.EditMap("obj", "master", entries[:1], nil, nil)),
+		"Branch":       replica.Branch("obj", "b2", "master"),
+		"DeleteBranch": replica.DeleteBranch("obj", "master"),
+		"RenameBranch": replica.RenameBranch("obj", "master", "m2"),
+		"Merge":        errOf2(replica.Merge("obj", "a", "b", nil, nil)),
+		"GC":           errOf2(replica.GC()),
+		"Compact":      errOf2(replica.Compact()),
+		"WriteBatch":   errOf2(replica.WriteBatch([]WriteOp{{Key: "x", Value: NewString("y")}})),
+	}
+	for name, err := range writes {
+		if !errors.Is(err, ErrReadOnlyReplica) {
+			t.Errorf("%s on replica: got %v, want ErrReadOnlyReplica", name, err)
+		}
+	}
+
+	// The engine-level gate also covers layers that bypass the public API:
+	// a dataset handle opened on a replica must refuse to commit.
+	if _, err := dataset.Create(primaryEng, "people", "master",
+		Schema{Columns: []string{"id", "name"}, KeyColumn: 0},
+		[]Row{{"1", "ada"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.WaitSynced(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := replica.OpenDataset("people", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.UpdateRows([]Row{{"9", "rogue"}}, nil, nil); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("dataset write on replica: got %v, want ErrReadOnlyReplica", err)
+	}
+
+	// New primary commits flow through; ReplStats show the delta machinery.
+	if _, err := primaryEng.Put("fresh", "master", NewString("hello"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.WaitSynced(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fv, err := replica.Get("fresh", "master")
+	if err != nil || fv.Value.Display() != "hello" {
+		t.Fatalf("fresh read on replica: %v %v", fv, err)
+	}
+	st := replica.ReplStats()
+	if st.ChunksFetched == 0 || st.HeadsApplied < 2 {
+		t.Fatalf("repl stats: %+v", st)
+	}
+}
+
+// errOf2 collapses (T, error) returns for the rejection table.
+func errOf2[T any](_ T, err error) error { return err }
+
+func TestReplicaCloseIsIdempotentAndConcurrent(t *testing.T) {
+	_, addr := startPrimaryNode(t)
+	replica, err := OpenReplica(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := replica.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
