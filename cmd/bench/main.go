@@ -11,6 +11,7 @@
 //	bench -exp a1|a2|a3     ablations
 //	bench -exp perf         write/read-path perf suite (median of 5)
 //	bench -exp repl         Merkle-delta replication vs full copy
+//	bench -exp siri         POS-Tree vs Merkle Patricia Trie comparison
 //
 // Use -quick for smaller workloads (CI-sized).  With -json FILE the perf
 // suite also writes a machine-readable report (BENCH_N.json artifacts track
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|siri")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
@@ -187,6 +188,21 @@ func main() {
 		experiments.PrintRepl(out, rep)
 		if *jsonPath != "" {
 			if err := experiments.WriteReplJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	})
+
+	run("siri", func() error {
+		rep, err := experiments.RunSiri(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSiri(out, rep)
+		if *jsonPath != "" {
+			if err := experiments.WriteSiriJSON(*jsonPath, rep); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *jsonPath)

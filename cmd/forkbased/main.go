@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"forkbase/internal/core"
+	"forkbase/internal/index"
 	"forkbase/internal/repl"
 	"forkbase/internal/rest"
 	"forkbase/internal/server"
@@ -34,9 +35,15 @@ func main() {
 	httpAddr := flag.String("http", "", "optional HTTP address for the REST API")
 	dir := flag.String("dir", "", "data directory (default: in-memory)")
 	follow := flag.String("follow", "", "run as a read replica of the primary at this address")
+	indexKind := flag.String("index", "", "index structure for new composite values: pos|mpt (default pos)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "forkbased: ", log.LstdFlags)
+
+	idx, err := index.ParseKind(*indexKind)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
 
 	var st store.Store
 	var rawHeads core.BranchTable
@@ -61,7 +68,7 @@ func main() {
 	// replicas can follow this node no matter how it is written to.
 	feed := core.NewFeed(0)
 	heads := core.WithFeed(rawHeads, feed)
-	eng := core.Open(core.Options{Store: st, Branches: heads})
+	eng := core.Open(core.Options{Store: st, Branches: heads, Index: idx})
 	defer eng.Close()
 
 	srv := server.New(st, heads, logger)

@@ -31,6 +31,7 @@ import (
 	"forkbase/internal/core"
 	"forkbase/internal/dataset"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/nodecache"
 	"forkbase/internal/pos"
 	"forkbase/internal/repl"
@@ -73,6 +74,16 @@ type (
 	ReplStats = repl.Stats
 	// VerifyReport summarises a tamper-evidence validation.
 	VerifyReport = core.VerifyReport
+	// IndexKind selects the structure backing composite values (see
+	// WithIndex): IndexPOS or IndexMPT.
+	IndexKind = index.Kind
+	// Index is the structure-agnostic handle to a map/set value's
+	// versioned index (get/iter/rank/diff/apply), whatever structure backs
+	// it; obtained via DB.IndexOf.
+	Index = index.VersionedIndex
+	// IndexStats describes an index's physical shape (height, nodes, node
+	// sizes), comparable across structures.
+	IndexStats = index.Stats
 	// Schema describes dataset columns.
 	Schema = dataset.Schema
 	// Row is one dataset record.
@@ -107,6 +118,16 @@ var (
 
 // DefaultBranch is the branch used when none is named.
 const DefaultBranch = core.DefaultBranch
+
+// Index structures selectable with WithIndex.
+const (
+	// IndexPOS is the Pattern-Oriented-Split Tree (the default): content-
+	// defined node boundaries, page-level deduplication across versions.
+	IndexPOS = index.KindPOS
+	// IndexMPT is the Merkle Patricia Trie: key-prefix-structured nodes,
+	// the paper's main SIRI comparison structure.
+	IndexMPT = index.KindMPT
+)
 
 // ParseHash decodes the Base32 text form of a version uid or chunk id.
 func ParseHash(s string) (Hash, error) { return hash.Parse(s) }
@@ -149,6 +170,7 @@ type options struct {
 	addrs          []string
 	followAddr     string
 	chunking       chunker.Config
+	idxKind        index.Kind
 	st             store.Store
 	branches       core.BranchTable
 	nodeCacheBytes int64
@@ -186,6 +208,16 @@ func WithChunking(q uint, minSize, maxSize int) Option {
 	return func(o *options) {
 		o.chunking = chunker.Config{Q: q, Window: 48, MinSize: minSize, MaxSize: maxSize}
 	}
+}
+
+// WithIndex selects the structure backing new composite (map/set) values:
+// IndexPOS (default) or IndexMPT.  The choice applies to values written
+// through this handle; reading is always self-describing — every stored
+// root chunk and every version object records its structure, so a DB opened
+// with either setting reads data written under the other, and GC,
+// verification, diff, merge and replication work identically for both.
+func WithIndex(k IndexKind) Option {
+	return func(o *options) { o.idxKind = k }
 }
 
 // WithStore injects a custom chunk store (advanced; used by benchmarks).
@@ -238,6 +270,18 @@ func Open(opts ...Option) (*DB, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	// Fail fast on a bad chunking configuration: a nonsensical Q or an
+	// inverted Min/Max surfaces here, at open, instead of as a mis-shaped
+	// tree deep inside the first build.  The zero value means "defaults"
+	// and is always fine.
+	if o.chunking != (chunker.Config{}) {
+		if err := o.chunking.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if !index.Registered(o.idxKind) {
+		return nil, errors.New("forkbase: index kind " + o.idxKind.String() + " is not available")
+	}
 	db := &DB{acl: access.NewController()}
 	switch {
 	case len(o.addrs) > 0:
@@ -274,6 +318,7 @@ func Open(opts ...Option) (*DB, error) {
 		Store:          o.st,
 		Branches:       o.branches,
 		Chunking:       o.chunking,
+		Index:          o.idxKind,
 		NodeCacheBytes: o.nodeCacheBytes,
 		CompactEvery:   compactEvery,
 		CompactRatio:   o.compactRatio,
@@ -399,15 +444,16 @@ func (db *DB) PutString(key, branch, s string, meta map[string]string) (Version,
 	return db.eng.Put(key, branch, value.String(s), meta)
 }
 
-// PutMap builds a map value from entries and Puts it.  Construction and
-// commit run under the engine's GC write fence, so a concurrent collection
-// cannot sweep the freshly built chunks before the head publishes them.
+// PutMap builds a map value from entries — over the structure selected
+// with WithIndex — and Puts it.  Construction and commit run under the
+// engine's GC write fence, so a concurrent collection cannot sweep the
+// freshly built chunks before the head publishes them.
 func (db *DB) PutMap(key, branch string, entries []Entry, meta map[string]string) (Version, error) {
 	if err := db.writeGuard(); err != nil {
 		return Version{}, err
 	}
 	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
-		return value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
+		return db.eng.NewMapValue(entries)
 	})
 }
 
@@ -421,13 +467,14 @@ func (db *DB) PutBlob(key, branch string, data []byte, meta map[string]string) (
 	})
 }
 
-// PutSet builds a set value from elements and Puts it (fenced; see PutMap).
+// PutSet builds a set value from elements (over the structure selected
+// with WithIndex) and Puts it (fenced; see PutMap).
 func (db *DB) PutSet(key, branch string, elems [][]byte, meta map[string]string) (Version, error) {
 	if err := db.writeGuard(); err != nil {
 		return Version{}, err
 	}
 	return db.eng.BuildAndPut(key, branch, meta, func() (Value, error) {
-		return value.NewSet(db.eng.Store(), db.eng.Chunking(), elems)
+		return db.eng.NewSetValue(elems)
 	})
 }
 
@@ -447,7 +494,7 @@ func (db *DB) PutList(key, branch string, items [][]byte, meta map[string]string
 // a full GC() running in between may collect it (online compaction passes
 // grant staged chunks a one-pass grace on file-backed stores).
 func BuildMapValue(db *DB, entries []Entry) (Value, error) {
-	return value.NewMap(db.eng.Store(), db.eng.Chunking(), entries)
+	return db.eng.NewMapValue(entries)
 }
 
 // BuildBlobValue constructs a blob value without committing a version; the
@@ -464,7 +511,9 @@ func (db *DB) GetVersion(key string, uid Hash) (Version, error) {
 	return db.eng.GetVersion(key, uid)
 }
 
-// MapOf loads the map entries interface of a map-valued version.
+// MapOf loads the map entries interface of a POS-Tree-backed map version.
+// For structure-agnostic access — required for MPT-backed versions — use
+// IndexOf.
 //
 // Slices returned by the tree's read methods (Get, At, Iter.Entry) alias
 // shared decoded node data — with the node cache enabled this data is
@@ -473,6 +522,16 @@ func (db *DB) GetVersion(key string, uid Hash) (Version, error) {
 func (db *DB) MapOf(v Version) (*pos.Tree, error) {
 	return v.Value.MapTree(db.eng.Store(), db.eng.Chunking())
 }
+
+// IndexOf loads the versioned index backing a map- or set-valued version,
+// whatever structure it was written with (the root chunk self-describes).
+func (db *DB) IndexOf(v Version) (Index, error) {
+	return db.eng.IndexOf(v)
+}
+
+// IndexKind reports which structure this handle writes composite values
+// with (WithIndex; IndexPOS unless overridden).
+func (db *DB) IndexKind() IndexKind { return db.eng.IndexKind() }
 
 // BlobBytes materialises a blob-valued version's content.
 func (db *DB) BlobBytes(v Version) ([]byte, error) {

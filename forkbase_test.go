@@ -297,3 +297,88 @@ func TestWriteBatchFileBacked(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicOpenRejectsBadChunking(t *testing.T) {
+	// Inverted min/max must fail at Open, not deep inside the first build.
+	if _, err := forkbase.Open(forkbase.WithChunking(12, 1<<16, 1<<9)); err == nil {
+		t.Fatal("Open accepted MinSize > MaxSize")
+	}
+	// Absurd Q likewise.
+	if _, err := forkbase.Open(forkbase.WithChunking(99, 1<<9, 1<<16)); err == nil {
+		t.Fatal("Open accepted Q=99")
+	}
+	// A valid explicit config still opens.
+	db, err := forkbase.Open(forkbase.WithChunking(10, 1<<7, 1<<14))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	db.Close()
+}
+
+func TestPublicWithIndexMPT(t *testing.T) {
+	db := forkbase.MustOpen(forkbase.WithIndex(forkbase.IndexMPT))
+	defer db.Close()
+	if db.IndexKind() != forkbase.IndexMPT {
+		t.Fatalf("IndexKind = %s", db.IndexKind())
+	}
+	entries := make([]forkbase.Entry, 500)
+	for i := range entries {
+		entries[i] = forkbase.Entry{
+			Key: []byte(fmt.Sprintf("k%04d", i)),
+			Val: []byte(fmt.Sprintf("v%d", i)),
+		}
+	}
+	ver, err := db.PutMap("m", "", entries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver.Index != forkbase.IndexMPT {
+		t.Fatalf("version index = %s", ver.Index)
+	}
+	// Structure-agnostic access works; the POS-typed accessor refuses.
+	ix, err := db.IndexOf(ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Kind() != forkbase.IndexMPT || ix.Len() != 500 {
+		t.Fatalf("IndexOf: %s/%d", ix.Kind(), ix.Len())
+	}
+	if got, err := ix.Get([]byte("k0042")); err != nil || string(got) != "v42" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := db.MapOf(ver); err == nil {
+		t.Fatal("MapOf decoded an MPT root as a POS-Tree")
+	}
+	// Branch, edit, diff, merge all flow through the engine generically.
+	if err := db.Branch("m", "fork", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.EditMap("m", "fork", []forkbase.Entry{{Key: []byte("k0042"), Val: []byte("forked")}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	deltas, _, err := db.DiffBranches("m", "", "fork")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	res, err := db.Merge("m", "", "fork", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err = db.IndexOf(res.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ix.Get([]byte("k0042")); string(got) != "forked" {
+		t.Fatalf("merged value = %q", got)
+	}
+	// GC and verify on the MPT-backed public handle.
+	if _, err := db.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Verify("m", res.Version.UID, true); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

@@ -30,7 +30,8 @@ const (
 	TypeFNode    Type = 6 // version commit object
 	TypeCellar   Type = 7 // small inline value (primitive)
 	TypeTag      Type = 8 // named pointer payloads (branch snapshots)
-	maxType      Type = 9
+	TypeMPTNode  Type = 9 // Merkle Patricia Trie node (leaf/extension/branch)
+	maxType      Type = 10
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -52,6 +53,8 @@ func (t Type) String() string {
 		return "cellar"
 	case TypeTag:
 		return "tag"
+	case TypeMPTNode:
+		return "mpt-node"
 	default:
 		return fmt.Sprintf("invalid(%d)", byte(t))
 	}

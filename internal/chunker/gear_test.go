@@ -1,0 +1,156 @@
+package chunker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func gearConfig() Config {
+	return Config{Q: 10, Window: 48, MinSize: 1 << 7, MaxSize: 1 << 13, Algo: AlgoGear}
+}
+
+// TestGearSplitGuards property-tests the min/max guards and the
+// concatenation invariant of gear-mode splitting.
+func TestGearSplitGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cfg := gearConfig()
+	for round := 0; round < 30; round++ {
+		data := make([]byte, rng.Intn(1<<16))
+		rng.Read(data)
+		segs := SplitBytes(data, cfg)
+		var cat []byte
+		for i, s := range segs {
+			cat = append(cat, s...)
+			if len(s) > cfg.MaxSize {
+				t.Fatalf("round %d: segment %d is %d bytes, max %d", round, i, len(s), cfg.MaxSize)
+			}
+			if i < len(segs)-1 && len(s) < cfg.MinSize {
+				t.Fatalf("round %d: non-final segment %d is %d bytes, min %d", round, i, len(s), cfg.MinSize)
+			}
+		}
+		if !bytes.Equal(cat, data) {
+			t.Fatalf("round %d: concatenation does not reproduce input", round)
+		}
+	}
+}
+
+// TestGearSplitDeterministic: same content, same boundaries — twice within
+// one process and independent of how bytes are fed.
+func TestGearSplitDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	data := make([]byte, 1<<15)
+	rng.Read(data)
+	cfg := gearConfig()
+	a := SplitBytes(data, cfg)
+	b := SplitBytes(data, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("two splits disagree: %d vs %d segments", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("segment %d differs between identical splits", i)
+		}
+	}
+	// Byte-at-a-time Roll must cut at the same offsets as Write.
+	c := NewByteChunker(cfg)
+	var rollCuts []int
+	for i, by := range data {
+		if c.Roll(by) {
+			rollCuts = append(rollCuts, i+1)
+		}
+	}
+	c2 := NewByteChunker(cfg)
+	writeCuts := c2.Write(data)
+	if len(rollCuts) != len(writeCuts) {
+		t.Fatalf("Roll found %d cuts, Write %d", len(rollCuts), len(writeCuts))
+	}
+	for i := range rollCuts {
+		if rollCuts[i] != writeCuts[i] {
+			t.Fatalf("cut %d: Roll %d vs Write %d", i, rollCuts[i], writeCuts[i])
+		}
+	}
+}
+
+// TestGearBoundaryStability: boundaries re-synchronise after a local edit —
+// the content-defined property that buys deduplication.
+func TestGearBoundaryStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data := make([]byte, 1<<16)
+	rng.Read(data)
+	cfg := gearConfig()
+	orig := SplitBytes(data, cfg)
+
+	// Prepend a small edit: all but the first few segments should reappear.
+	edited := append([]byte("EDIT---"), data...)
+	segs := SplitBytes(edited, cfg)
+	origSet := map[string]bool{}
+	for _, s := range orig {
+		origSet[string(s)] = true
+	}
+	shared := 0
+	for _, s := range segs {
+		if origSet[string(s)] {
+			shared++
+		}
+	}
+	if shared < len(orig)/2 {
+		t.Fatalf("only %d of %d segments survived a prefix edit — boundaries are not content-defined", shared, len(orig))
+	}
+}
+
+// TestGearEntryChunker: the entry-aligned chunker honours the whole-entry
+// rule and min/max guards in gear mode.
+func TestGearEntryChunker(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	cfg := gearConfig()
+	e := NewEntryChunker(cfg)
+	nodeBytes := 0
+	for i := 0; i < 20000; i++ {
+		entry := make([]byte, 1+rng.Intn(40))
+		rng.Read(entry)
+		nodeBytes += len(entry)
+		if e.Add(entry) {
+			if nodeBytes > cfg.MaxSize+len(entry) {
+				t.Fatalf("node closed at %d bytes, max %d (+1 entry)", nodeBytes, cfg.MaxSize)
+			}
+			nodeBytes = 0
+		} else if nodeBytes >= cfg.MaxSize {
+			t.Fatalf("node open at %d bytes, max %d", nodeBytes, cfg.MaxSize)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"small", SmallConfig(), true},
+		{"gear", gearConfig(), true},
+		{"zero q", Config{Q: 0, Window: 48, MinSize: 1, MaxSize: 2}, false},
+		{"absurd q", Config{Q: 40, Window: 48, MinSize: 1, MaxSize: 2}, false},
+		{"zero window", Config{Q: 12, Window: 0, MinSize: 1, MaxSize: 2}, false},
+		{"absurd window", Config{Q: 12, Window: 1 << 21, MinSize: 1, MaxSize: 2}, false},
+		{"min>=max", Config{Q: 12, Window: 48, MinSize: 64, MaxSize: 64}, false},
+		{"min>max", Config{Q: 12, Window: 48, MinSize: 65, MaxSize: 64}, false},
+		{"zero min", Config{Q: 12, Window: 48, MinSize: 0, MaxSize: 64}, false},
+		{"bad algo", Config{Q: 12, Window: 48, MinSize: 1, MaxSize: 64, Algo: Algorithm(9)}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestValidateGearNoWindow: a gear config with Window left zero (the gear
+// hash has a fixed implicit window) must validate.
+func TestValidateGearNoWindow(t *testing.T) {
+	cfg := Config{Q: 12, MinSize: 1 << 9, MaxSize: 1 << 16, Algo: AlgoGear}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("gear config without Window rejected: %v", err)
+	}
+}

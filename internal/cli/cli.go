@@ -14,7 +14,9 @@ import (
 	"strings"
 
 	"forkbase"
+	"forkbase/internal/index"
 	"forkbase/internal/pos"
+	"forkbase/internal/value"
 )
 
 // Run executes a CLI invocation and returns a process exit code.
@@ -23,6 +25,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", "", "file-backed data directory (default: in-memory)")
 	remote := fs.String("remote", "", "comma-separated server addresses (first is master)")
+	indexKind := fs.String("index", "", "index structure for new composite values: pos|mpt (default pos)")
 	fs.Usage = func() { usage(stderr, fs) }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -39,6 +42,14 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, forkbase.Remote(strings.Split(*remote, ",")...))
 	case *dir != "":
 		opts = append(opts, forkbase.FileBacked(*dir))
+	}
+	if *indexKind != "" {
+		k, err := index.ParseKind(*indexKind)
+		if err != nil {
+			fmt.Fprintf(stderr, "forkbase: %v\n", err)
+			return 2
+		}
+		opts = append(opts, forkbase.WithIndex(k))
 	}
 	db, err := forkbase.Open(opts...)
 	if err != nil {
@@ -327,6 +338,9 @@ func cmdMeta(db *forkbase.DB, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "uid:  %s\nseq:  %d\nkind: %s\n", ver.UID, ver.Seq, ver.Value.Kind())
+	if k := ver.Value.Kind(); k == value.KindMap || k == value.KindSet {
+		fmt.Fprintf(out, "index: %s\n", ver.Index)
+	}
 	for _, b := range ver.Bases {
 		fmt.Fprintf(out, "base: %s\n", b)
 	}
@@ -367,8 +381,8 @@ func cmdStat(db *forkbase.DB, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "dataset:  %s@%s\nrows:     %d\ncolumns:  %d\nversions: %d\n",
-		st.Name, st.Branch, st.Rows, st.Columns, st.Versions)
+	fmt.Fprintf(out, "dataset:  %s@%s\nrows:     %d\ncolumns:  %d\nversions: %d\nindex:    %s\n",
+		st.Name, st.Branch, st.Rows, st.Columns, st.Versions, st.Index)
 	fmt.Fprintf(out, "tree:     height=%d nodes=%d leaf-bytes=%d avg-leaf=%.0f\n",
 		st.Tree.Height, st.Tree.Nodes, st.Tree.LeafBytes, st.Tree.AvgLeaf())
 	return nil
@@ -481,8 +495,8 @@ func cmdVerify(db *forkbase.DB, args []string, out io.Writer) error {
 
 func cmdStats(db *forkbase.DB, args []string, out io.Writer) error {
 	s := db.Stats()
-	fmt.Fprintf(out, "unique chunks:  %d\nphysical bytes: %d\nlogical bytes:  %d\ndedup ratio:    %.2fx\ndedup hits:     %d\n",
-		s.UniqueChunks, s.PhysicalBytes, s.LogicalBytes, s.DedupRatio(), s.DedupHits)
+	fmt.Fprintf(out, "unique chunks:  %d\nphysical bytes: %d\nlogical bytes:  %d\ndedup ratio:    %.2fx\ndedup hits:     %d\nindex:          %s\n",
+		s.UniqueChunks, s.PhysicalBytes, s.LogicalBytes, s.DedupRatio(), s.DedupHits, db.IndexKind())
 	return nil
 }
 

@@ -11,10 +11,16 @@ import (
 	"forkbase/internal/chunker"
 	"forkbase/internal/fnode"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/nodecache"
-	"forkbase/internal/pos"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
+
+	// Link in both first-class index structures so their factories, root
+	// sniffers and Children decoders are registered: the engine dispatches
+	// every structure-dependent operation through the index registry.
+	_ "forkbase/internal/mpt"
+	_ "forkbase/internal/pos"
 )
 
 // DefaultBranch is the branch Put targets when none is named, mirroring the
@@ -27,13 +33,14 @@ const DefaultBranch = "master"
 // All chunk reads go through a verifying wrapper, so any tampering by the
 // storage provider surfaces as chunk.ErrCorrupt.
 type DB struct {
-	raw    store.Store // unwrapped, for Stats
-	st     store.Store // verifying read path (node cache layered on top)
-	ncache *nodecache.Cache
-	cfg    chunker.Config
-	heads  BranchTable
-	feed   *Feed
-	noCopy noCopy
+	raw     store.Store // unwrapped, for Stats
+	st      store.Store // verifying read path (node cache layered on top)
+	ncache  *nodecache.Cache
+	cfg     chunker.Config
+	idxKind index.Kind // structure new composite values are indexed with
+	heads   BranchTable
+	feed    *Feed
+	noCopy  noCopy
 
 	compactRatio  float64
 	stopCompactor chan struct{}
@@ -63,6 +70,12 @@ type Options struct {
 	Branches BranchTable
 	// Chunking overrides the chunker configuration (zero = DefaultConfig).
 	Chunking chunker.Config
+	// Index selects the structure backing new composite (map/set) values:
+	// index.KindPOS (default) or index.KindMPT.  Reading is always
+	// self-describing — every load sniffs the structure from the stored
+	// root chunk and every FNode records its kind — so a DB can open data
+	// written under either setting.
+	Index index.Kind
 	// NodeCacheBytes enables a decoded-node cache with the given byte
 	// budget on the read path (0 = disabled).  Because chunks are immutable
 	// and content-addressed the cache needs no invalidation; GC purges the
@@ -102,10 +115,14 @@ func Open(opts Options) *DB {
 	if opts.Chunking.Q == 0 {
 		opts.Chunking = chunker.DefaultConfig()
 	}
+	if !index.Registered(opts.Index) {
+		panic(fmt.Sprintf("core: index kind %s has no linked-in implementation", opts.Index))
+	}
 	db := &DB{
-		raw: opts.Store,
-		st:  store.NewVerifyingStore(opts.Store),
-		cfg: opts.Chunking,
+		raw:     opts.Store,
+		st:      store.NewVerifyingStore(opts.Store),
+		cfg:     opts.Chunking,
+		idxKind: opts.Index,
 	}
 	// Every head movement is journaled into the change feed (the replication
 	// source).  A caller that already wrapped its table — cmd/forkbased
@@ -178,6 +195,48 @@ func (db *DB) RawStore() store.Store { return db.raw }
 // Chunking returns the chunker configuration.
 func (db *DB) Chunking() chunker.Config { return db.cfg }
 
+// IndexKind returns the structure backing new composite values.
+func (db *DB) IndexKind() index.Kind { return db.idxKind }
+
+// NewMapValue builds a map value over the engine's configured index
+// structure.  All engine-adjacent layers (public API, REST, datasets) build
+// composite values through these helpers so index selection plumbs through
+// uniformly.
+func (db *DB) NewMapValue(entries []index.Entry) (value.Value, error) {
+	return value.NewMapWith(db.st, db.cfg, db.idxKind, entries)
+}
+
+// NewSetValue builds a set value over the engine's configured index
+// structure.
+func (db *DB) NewSetValue(elems [][]byte) (value.Value, error) {
+	return value.NewSetWith(db.st, db.cfg, db.idxKind, elems)
+}
+
+// IndexOf loads the versioned index backing a map- or set-valued version,
+// whatever structure it was written with.
+func (db *DB) IndexOf(v Version) (index.VersionedIndex, error) {
+	return v.Value.Index(db.st, db.cfg, v.Index)
+}
+
+// kindOf resolves which index structure backs a value: known directly for
+// values built through the constructors (no store round trip), sniffed
+// from the root chunk for descriptors decoded from storage, the engine
+// default for empty ones, and the POS zero value for kinds that have no
+// key index at all (primitives, blobs, lists) so their FNode encodings
+// stay byte-identical with pre-index-layer versions.
+func (db *DB) kindOf(v value.Value) (index.Kind, error) {
+	if v.Kind() != value.KindMap && v.Kind() != value.KindSet {
+		return index.KindPOS, nil
+	}
+	if k, ok := v.IndexKind(); ok {
+		return k, nil
+	}
+	if v.Root().IsZero() {
+		return db.idxKind, nil
+	}
+	return index.KindOfRoot(db.st, v.Root())
+}
+
 // NodeCache returns the decoded-node cache, or nil when disabled.
 func (db *DB) NodeCache() *nodecache.Cache { return db.ncache }
 
@@ -219,6 +278,9 @@ type Version struct {
 	Value value.Value
 	Meta  map[string]string
 	Key   string
+	// Index is the structure backing the version's composite value (from
+	// the FNode's self-describing metadata); index.KindPOS for primitives.
+	Index index.Kind
 }
 
 // Put writes a new version of key on branch, deriving from the current
@@ -260,7 +322,12 @@ func (db *DB) put(key, branch string, v value.Value, meta map[string]string) (Ve
 	} else {
 		seq = 1
 	}
+	kind, err := db.kindOf(v)
+	if err != nil {
+		return Version{}, err
+	}
 	f := fnode.New([]byte(key), v, bases, seq, meta)
+	f.Index = kind
 	uid, err := f.Save(db.st)
 	if err != nil {
 		return Version{}, err
@@ -272,7 +339,7 @@ func (db *DB) put(key, branch string, v value.Value, meta map[string]string) (Ve
 	if !okCAS {
 		return Version{}, fmt.Errorf("%w: %s@%s", ErrStaleHead, key, branch)
 	}
-	return Version{UID: uid, Seq: seq, Bases: bases, Value: v, Meta: meta, Key: key}, nil
+	return Version{UID: uid, Seq: seq, Bases: bases, Value: v, Meta: meta, Key: key, Index: kind}, nil
 }
 
 // WriteOp is one object write of a WriteBatch.
@@ -359,10 +426,16 @@ func (db *DB) writeBatch(ops []WriteOp) ([]Version, error) {
 			s.branch = DefaultBranch
 		}
 		ref := op.Key + "\x00" + s.branch
+		kind, err := db.kindOf(op.Value)
+		if err != nil {
+			s.err = err
+			continue
+		}
 		if prev, ok := pending[ref]; ok {
 			s.head = prev.f.UID()
 			s.seq = prev.seq + 1
 			s.f = fnode.New([]byte(op.Key), op.Value, []hash.Hash{s.head}, s.seq, op.Meta)
+			s.f.Index = kind
 		} else {
 			head, ok, err := db.heads.Head(op.Key, s.branch)
 			if err != nil {
@@ -382,6 +455,7 @@ func (db *DB) writeBatch(ops []WriteOp) ([]Version, error) {
 				bases = []hash.Hash{head}
 			}
 			s.f = fnode.New([]byte(op.Key), op.Value, bases, s.seq, op.Meta)
+			s.f.Index = kind
 		}
 		pending[ref] = s
 		fnodes = append(fnodes, s.f)
@@ -413,7 +487,7 @@ func (db *DB) writeBatch(ops []WriteOp) ([]Version, error) {
 			errs = append(errs, fmt.Errorf("op %d: %w: %s@%s", i, ErrStaleHead, op.Key, s.branch))
 			continue
 		}
-		out[i] = Version{UID: uid, Seq: s.seq, Bases: s.f.Bases, Value: op.Value, Meta: op.Meta, Key: op.Key}
+		out[i] = Version{UID: uid, Seq: s.seq, Bases: s.f.Bases, Value: op.Value, Meta: op.Meta, Key: op.Key, Index: s.f.Index}
 	}
 	return out, errors.Join(errs...)
 }
@@ -447,7 +521,11 @@ func (db *DB) GetVersion(key string, uid hash.Hash) (Version, error) {
 	if err != nil {
 		return Version{}, err
 	}
-	return Version{UID: uid, Seq: f.Seq, Bases: f.Bases, Value: v, Meta: f.Meta, Key: key}, nil
+	// Stamp the FNode's recorded structure onto the decoded descriptor:
+	// loads of empty values (no root chunk to sniff) then keep the
+	// branch's structure instead of falling back to the engine default.
+	v = v.WithIndexKind(f.Index)
+	return Version{UID: uid, Seq: f.Seq, Bases: f.Bases, Value: v, Meta: f.Meta, Key: key, Index: f.Index}, nil
 }
 
 // Head returns the head uid of key@branch.
@@ -590,69 +668,67 @@ func (db *DB) History(key, branch string, limit int) ([]Version, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Version{UID: uids[i], Seq: f.Seq, Bases: f.Bases, Value: v, Meta: f.Meta, Key: key})
+		v = v.WithIndexKind(f.Index)
+		out = append(out, Version{UID: uids[i], Seq: f.Seq, Bases: f.Bases, Value: v, Meta: f.Meta, Key: key, Index: f.Index})
 	}
 	return out, nil
 }
 
 // Diff computes key-level deltas between two versions of a map- or
 // set-valued object (the differential query of paper §III-B).
-func (db *DB) Diff(key string, from, to hash.Hash) ([]pos.Delta, pos.DiffStats, error) {
+func (db *DB) Diff(key string, from, to hash.Hash) ([]index.Delta, index.DiffStats, error) {
 	vf, err := db.GetVersion(key, from)
 	if err != nil {
-		return nil, pos.DiffStats{}, err
+		return nil, index.DiffStats{}, err
 	}
 	vt, err := db.GetVersion(key, to)
 	if err != nil {
-		return nil, pos.DiffStats{}, err
+		return nil, index.DiffStats{}, err
 	}
 	return db.DiffValues(vf.Value, vt.Value)
 }
 
 // DiffBranches diffs the heads of two branches of key.
-func (db *DB) DiffBranches(key, fromBranch, toBranch string) ([]pos.Delta, pos.DiffStats, error) {
+func (db *DB) DiffBranches(key, fromBranch, toBranch string) ([]index.Delta, index.DiffStats, error) {
 	from, err := db.Head(key, fromBranch)
 	if err != nil {
-		return nil, pos.DiffStats{}, err
+		return nil, index.DiffStats{}, err
 	}
 	to, err := db.Head(key, toBranch)
 	if err != nil {
-		return nil, pos.DiffStats{}, err
+		return nil, index.DiffStats{}, err
 	}
 	return db.Diff(key, from, to)
 }
 
-// DiffValues diffs two map/set values directly.
-func (db *DB) DiffValues(a, b value.Value) ([]pos.Delta, pos.DiffStats, error) {
+// DiffValues diffs two map/set values directly.  Each side loads through
+// the index registry (the structure is sniffed from its root chunk), so
+// same-structure diffs prune shared subtrees — whatever the structure —
+// and cross-structure diffs fall back to the generic iterator merge.
+func (db *DB) DiffValues(a, b value.Value) ([]index.Delta, index.DiffStats, error) {
 	if a.Kind() != b.Kind() {
-		return nil, pos.DiffStats{}, fmt.Errorf("core: cannot diff %s against %s", a.Kind(), b.Kind())
+		return nil, index.DiffStats{}, fmt.Errorf("core: cannot diff %s against %s", a.Kind(), b.Kind())
 	}
-	var ta, tb *pos.Tree
-	var err error
 	switch a.Kind() {
-	case value.KindMap:
-		if ta, err = a.MapTree(db.st, db.cfg); err != nil {
-			return nil, pos.DiffStats{}, err
-		}
-		tb, err = b.MapTree(db.st, db.cfg)
-	case value.KindSet:
-		if ta, err = a.SetTree(db.st, db.cfg); err != nil {
-			return nil, pos.DiffStats{}, err
-		}
-		tb, err = b.SetTree(db.st, db.cfg)
+	case value.KindMap, value.KindSet:
 	default:
-		return nil, pos.DiffStats{}, fmt.Errorf("core: diff unsupported for %s values", a.Kind())
+		return nil, index.DiffStats{}, fmt.Errorf("core: diff unsupported for %s values", a.Kind())
 	}
+	ia, err := a.Index(db.st, db.cfg, db.idxKind)
 	if err != nil {
-		return nil, pos.DiffStats{}, err
+		return nil, index.DiffStats{}, err
 	}
-	return ta.Diff(tb)
+	ib, err := b.Index(db.st, db.cfg, ia.Kind())
+	if err != nil {
+		return nil, index.DiffStats{}, err
+	}
+	return ia.DiffWith(ib)
 }
 
 // MergeResult reports the outcome of a Merge.
 type MergeResult struct {
 	Version Version
-	Stats   pos.MergeStats
+	Stats   index.MergeStats
 	// FastForward is true when no merge commit was needed.
 	FastForward bool
 }
@@ -661,9 +737,19 @@ type MergeResult struct {
 // The merge base is the LCA in the version DAG.  The merged version carries
 // both heads as bases, making the merge itself part of the tamper-evident
 // history.  resolve handles conflicting keys (nil = fail on conflict).
-func (db *DB) Merge(key, dst, src string, resolve pos.Resolver, meta map[string]string) (MergeResult, error) {
+func (db *DB) Merge(key, dst, src string, resolve index.Resolver, meta map[string]string) (MergeResult, error) {
 	if err := db.writeGuard(); err != nil {
 		return MergeResult{}, err
+	}
+	// Normalize up front: Head defaults empty branch names on the read
+	// side, so the CAS below must target the same (defaulted) branch — an
+	// empty dst used to read master's head but CAS branch "", failing
+	// every merge with a spurious ErrStaleHead.
+	if dst == "" {
+		dst = DefaultBranch
+	}
+	if src == "" {
+		src = DefaultBranch
 	}
 	// Fence the whole merge: the merged value's chunks are written well
 	// before the head CAS publishes them.
@@ -724,7 +810,12 @@ func (db *DB) Merge(key, dst, src string, resolve pos.Resolver, meta map[string]
 	if sv.Seq > seq {
 		seq = sv.Seq
 	}
+	kind, err := db.kindOf(mergedVal)
+	if err != nil {
+		return MergeResult{}, err
+	}
 	f := fnode.New([]byte(key), mergedVal, []hash.Hash{dstHead, srcHead}, seq+1, meta)
+	f.Index = kind
 	uid, err := f.Save(db.st)
 	if err != nil {
 		return MergeResult{}, err
@@ -737,58 +828,61 @@ func (db *DB) Merge(key, dst, src string, resolve pos.Resolver, meta map[string]
 		return MergeResult{}, fmt.Errorf("%w: %s@%s", ErrStaleHead, key, dst)
 	}
 	return MergeResult{
-		Version: Version{UID: uid, Seq: seq + 1, Bases: []hash.Hash{dstHead, srcHead}, Value: mergedVal, Meta: meta, Key: key},
+		Version: Version{UID: uid, Seq: seq + 1, Bases: []hash.Hash{dstHead, srcHead}, Value: mergedVal, Meta: meta, Key: key, Index: kind},
 		Stats:   stats,
 	}, nil
 }
 
-func (db *DB) mergeValues(key string, baseUID hash.Hash, a, b value.Value, resolve pos.Resolver) (value.Value, pos.MergeStats, error) {
+func (db *DB) mergeValues(key string, baseUID hash.Hash, a, b value.Value, resolve index.Resolver) (value.Value, index.MergeStats, error) {
 	if a.Equal(b) {
-		return a, pos.MergeStats{}, nil
+		return a, index.MergeStats{}, nil
 	}
 	if a.Kind() != b.Kind() {
-		return value.Value{}, pos.MergeStats{}, fmt.Errorf("core: cannot merge %s into %s", b.Kind(), a.Kind())
+		return value.Value{}, index.MergeStats{}, fmt.Errorf("core: cannot merge %s into %s", b.Kind(), a.Kind())
 	}
 	switch a.Kind() {
 	case value.KindMap, value.KindSet:
 	default:
-		return value.Value{}, pos.MergeStats{}, fmt.Errorf("core: merge unsupported for diverged %s values", a.Kind())
+		return value.Value{}, index.MergeStats{}, fmt.Errorf("core: merge unsupported for diverged %s values", a.Kind())
 	}
 
 	var baseVal value.Value
 	if !baseUID.IsZero() {
 		bv, err := db.GetVersion(key, baseUID)
 		if err != nil {
-			return value.Value{}, pos.MergeStats{}, err
+			return value.Value{}, index.MergeStats{}, err
 		}
 		baseVal = bv.Value
 	}
-	loadTree := func(v value.Value) (*pos.Tree, error) {
+	// The destination side decides the structure; a missing base loads as
+	// that structure's empty index so the base→a diff can prune.
+	at, err := a.Index(db.st, db.cfg, db.idxKind)
+	if err != nil {
+		return value.Value{}, index.MergeStats{}, err
+	}
+	loadIdx := func(v value.Value) (index.VersionedIndex, error) {
 		if v.Kind() == value.KindInvalid || v.Root().IsZero() && !v.Kind().Composite() {
-			return pos.NewEmptyTree(db.st, db.cfg), nil
+			f, err := index.For(at.Kind())
+			if err != nil {
+				return nil, err
+			}
+			return f.Empty(db.st, db.cfg), nil
 		}
-		return pos.LoadTree(db.st, db.cfg, v.Root())
+		return v.Index(db.st, db.cfg, at.Kind())
 	}
-	baseTree, err := loadTree(baseVal)
+	baseIdx, err := loadIdx(baseVal)
 	if err != nil {
-		return value.Value{}, pos.MergeStats{}, err
+		return value.Value{}, index.MergeStats{}, err
 	}
-	at, err := loadTree(a)
+	bt, err := loadIdx(b)
 	if err != nil {
-		return value.Value{}, pos.MergeStats{}, err
+		return value.Value{}, index.MergeStats{}, err
 	}
-	bt, err := loadTree(b)
-	if err != nil {
-		return value.Value{}, pos.MergeStats{}, err
-	}
-	merged, stats, err := pos.Merge3(baseTree, at, bt, resolve)
+	merged, stats, err := index.Merge3(baseIdx, at, bt, resolve)
 	if err != nil {
 		return value.Value{}, stats, err
 	}
-	if a.Kind() == value.KindSet {
-		return value.FromSetTree(merged), stats, nil
-	}
-	return value.FromMapTree(merged), stats, nil
+	return value.FromIndex(a.Kind(), merged), stats, nil
 }
 
 // Exists reports whether key has any branch.

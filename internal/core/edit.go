@@ -3,15 +3,17 @@ package core
 import (
 	"fmt"
 
-	"forkbase/internal/pos"
+	"forkbase/internal/index"
 	"forkbase/internal/value"
 )
 
-// EditMap writes a new version of a map-valued object by applying puts and
-// deletes to the current branch head *incrementally*: only the affected
-// POS-Tree region is re-chunked, so the cost is O(changes · log N) rather
-// than O(N), and all untouched pages are shared with the previous version.
-func (db *DB) EditMap(key, branch string, puts []pos.Entry, deletes [][]byte, meta map[string]string) (Version, error) {
+// EditMap writes a new version of a map- or set-valued object by applying
+// puts and deletes to the current branch head *incrementally*: only the
+// affected index region is rewritten, so the cost is O(changes · log N)
+// rather than O(N), and all untouched nodes are shared with the previous
+// version.  The edit goes through the index registry, so a branch keeps
+// whatever structure (POS-Tree, MPT, ...) its head was written with.
+func (db *DB) EditMap(key, branch string, puts []index.Entry, deletes [][]byte, meta map[string]string) (Version, error) {
 	if err := db.writeGuard(); err != nil {
 		return Version{}, err
 	}
@@ -24,36 +26,27 @@ func (db *DB) EditMap(key, branch string, puts []pos.Entry, deletes [][]byte, me
 	if err != nil {
 		return Version{}, err
 	}
-	var tree *pos.Tree
 	switch cur.Value.Kind() {
-	case value.KindMap:
-		tree, err = cur.Value.MapTree(db.st, db.cfg)
-	case value.KindSet:
-		tree, err = cur.Value.SetTree(db.st, db.cfg)
+	case value.KindMap, value.KindSet:
 	default:
 		return Version{}, fmt.Errorf("core: EditMap on %s value", cur.Value.Kind())
 	}
+	ix, err := cur.Value.Index(db.st, db.cfg, cur.Index)
 	if err != nil {
 		return Version{}, err
 	}
-	ops := make([]pos.Op, 0, len(puts)+len(deletes))
+	ops := make([]index.Op, 0, len(puts)+len(deletes))
 	for _, e := range puts {
-		ops = append(ops, pos.Put(e.Key, e.Val))
+		ops = append(ops, index.Put(e.Key, e.Val))
 	}
 	for _, k := range deletes {
-		ops = append(ops, pos.Del(k))
+		ops = append(ops, index.Del(k))
 	}
-	edited, err := tree.Edit(ops)
+	edited, err := ix.Apply(ops)
 	if err != nil {
 		return Version{}, err
 	}
-	var v value.Value
-	if cur.Value.Kind() == value.KindSet {
-		v = value.FromSetTree(edited)
-	} else {
-		v = value.FromMapTree(edited)
-	}
-	return db.put(key, branch, v, meta)
+	return db.put(key, branch, value.FromIndex(cur.Value.Kind(), edited), meta)
 }
 
 // AppendList writes a new version of a list-valued object with items

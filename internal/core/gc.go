@@ -7,7 +7,7 @@ import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/fnode"
 	"forkbase/internal/hash"
-	"forkbase/internal/pos"
+	"forkbase/internal/index"
 	"forkbase/internal/store"
 )
 
@@ -265,7 +265,10 @@ func (db *DB) markValue(root hash.Hash, live map[hash.Hash]bool, tolerant bool) 
 		return fmt.Errorf("core: gc mark value %s: %w", root.Short(), err)
 	}
 	live[root] = true
-	children, err := pos.IndexChildren(c)
+	// Dispatch through the index layer's node-type registry: the walk
+	// follows child pointers of whatever structure the value uses without
+	// naming one.
+	children, err := index.Children(c)
 	if err != nil {
 		return err
 	}

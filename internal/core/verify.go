@@ -6,7 +6,7 @@ import (
 
 	"forkbase/internal/fnode"
 	"forkbase/internal/hash"
-	"forkbase/internal/pos"
+	"forkbase/internal/index"
 	"forkbase/internal/value"
 )
 
@@ -103,7 +103,9 @@ func (db *DB) verifyValue(v value.Value, owner hash.Hash, rep *VerifyReport) {
 			return nil
 		}
 		rep.ChunksChecked++
-		children, err := pos.IndexChildren(c)
+		// Structure-agnostic: child pointers decode through the index
+		// layer's node-type registry.
+		children, err := index.Children(c)
 		if err != nil {
 			rep.OK = false
 			rep.Failures = append(rep.Failures, VerifyFailure{

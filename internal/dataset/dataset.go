@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"forkbase/internal/core"
+	"forkbase/internal/index"
 	"forkbase/internal/pos"
 	"forkbase/internal/value"
 )
@@ -123,7 +124,7 @@ type Dataset struct {
 	Name   string
 	Branch string
 	Schema Schema
-	tree   *pos.Tree
+	ix     index.VersionedIndex
 	ver    core.Version
 }
 
@@ -143,7 +144,7 @@ func Create(db *core.DB, name, branch string, schema Schema, rows []Row, meta ma
 	// Build + commit under the GC write fence so a concurrent collection
 	// cannot sweep the freshly built row chunks before the head publishes.
 	ver, err := db.BuildAndPut(name, branch, meta, func() (value.Value, error) {
-		return value.NewMap(db.Store(), db.Chunking(), entries)
+		return db.NewMapValue(entries)
 	})
 	if err != nil {
 		return nil, err
@@ -201,25 +202,26 @@ func open(db *core.DB, name, branch string, ver core.Version) (*Dataset, error) 
 	if err != nil {
 		return nil, err
 	}
-	tree, err := ver.Value.MapTree(db.Store(), db.Chunking())
+	ix, err := ver.Value.Index(db.Store(), db.Chunking(), ver.Index)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{db: db, Name: name, Branch: branch, Schema: schema, tree: tree, ver: ver}, nil
+	return &Dataset{db: db, Name: name, Branch: branch, Schema: schema, ix: ix, ver: ver}, nil
 }
 
 // Version returns the dataset's version record.
 func (d *Dataset) Version() core.Version { return d.ver }
 
 // Rows returns the number of rows.
-func (d *Dataset) Rows() uint64 { return d.tree.Len() }
+func (d *Dataset) Rows() uint64 { return d.ix.Len() }
 
-// Tree exposes the underlying POS-Tree (for stats and benchmarks).
-func (d *Dataset) Tree() *pos.Tree { return d.tree }
+// Index exposes the underlying versioned index — a POS-Tree or an MPT,
+// whatever the dataset was written with (for stats and benchmarks).
+func (d *Dataset) Index() index.VersionedIndex { return d.ix }
 
 // Get returns the row with the given primary key.
 func (d *Dataset) Get(key string) (Row, error) {
-	raw, err := d.tree.Get([]byte(key))
+	raw, err := d.ix.Get([]byte(key))
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +231,7 @@ func (d *Dataset) Get(key string) (Row, error) {
 // Scan calls fn for every row in primary-key order; fn returning false
 // stops the scan.
 func (d *Dataset) Scan(fn func(Row) bool) error {
-	it, err := d.tree.Iter()
+	it, err := d.ix.Iterate()
 	if err != nil {
 		return err
 	}
@@ -261,13 +263,13 @@ func (d *Dataset) UpdateRows(upserts []Row, deleteKeys []string, meta map[string
 		meta = map[string]string{}
 	}
 	meta[metaSchema] = d.Schema.Encode()
-	// The edit writes the new tree chunks; fence them with the commit.
+	// The edit writes the new index chunks; fence them with the commit.
 	ver, err := d.db.BuildAndPut(d.Name, d.Branch, meta, func() (value.Value, error) {
-		newTree, err := d.tree.Edit(ops)
+		newIx, err := d.ix.Apply(ops)
 		if err != nil {
 			return value.Value{}, err
 		}
-		return value.FromMapTree(newTree), nil
+		return value.FromIndex(value.KindMap, newIx), nil
 	})
 	if err != nil {
 		return nil, err
@@ -316,12 +318,14 @@ type Stat struct {
 	Rows     uint64
 	Columns  int
 	Versions int
-	Tree     pos.Stats
+	// Index is the structure backing the dataset's rows (pos or mpt).
+	Index index.Kind
+	Tree  index.Stats
 }
 
 // Stat computes dataset statistics.
 func (d *Dataset) Stat() (Stat, error) {
-	ts, err := d.tree.ComputeStats()
+	ts, err := d.ix.ComputeStats()
 	if err != nil {
 		return Stat{}, err
 	}
@@ -335,9 +339,10 @@ func (d *Dataset) Stat() (Stat, error) {
 	return Stat{
 		Name:     d.Name,
 		Branch:   d.Branch,
-		Rows:     d.tree.Len(),
+		Rows:     d.ix.Len(),
 		Columns:  len(d.Schema.Columns),
 		Versions: versions,
+		Index:    d.ix.Kind(),
 		Tree:     ts,
 	}, nil
 }
@@ -444,7 +449,7 @@ type DiffResult struct {
 // schemas must agree column-wise for cell refinement; mismatched schemas
 // fall back to whole-row deltas).
 func Diff(from, to *Dataset) (DiffResult, error) {
-	deltas, stats, err := from.tree.Diff(to.tree)
+	deltas, stats, err := from.ix.DiffWith(to.ix)
 	if err != nil {
 		return DiffResult{}, err
 	}

@@ -210,12 +210,15 @@ func RunA2(entries int, batches []int) ([]A2Row, error) {
 			idx := (i * 131) % entries
 			ops[i] = pos.Put([]byte(fmt.Sprintf("key-%08d", idx)), []byte(fmt.Sprintf("edit-%d-%d", bs, i)))
 		}
+		// Best-of-3 per strategy: a single-shot measurement of a sub-ms
+		// edit is at the mercy of scheduler noise, which made the speedup
+		// assertion flaky.
 		var inc, reb *pos.Tree
-		incNanos := timeIt(func() { inc, err = tree.Edit(ops) })
+		incNanos := timeBest3(func() { inc, err = tree.Edit(ops) })
 		if err != nil {
 			return nil, err
 		}
-		rebNanos := timeIt(func() { reb, err = tree.EditRebuild(ops) })
+		rebNanos := timeBest3(func() { reb, err = tree.EditRebuild(ops) })
 		if err != nil {
 			return nil, err
 		}

@@ -170,6 +170,19 @@ func timeIt(fn func()) int64 {
 	return time.Since(start).Nanoseconds()
 }
 
+// timeBest3 measures fn three times and keeps the fastest run: single-shot
+// timings of millisecond-scale operations are at the mercy of scheduler
+// noise, which made direction-asserting tests flaky.
+func timeBest3(fn func()) int64 {
+	best := timeIt(fn)
+	for i := 0; i < 2; i++ {
+		if n := timeIt(fn); n < best {
+			best = n
+		}
+	}
+	return best
+}
+
 // PrintTable1 renders the rows like the paper's Table I plus measurements.
 func PrintTable1(w io.Writer, rows []Table1Row, cfg Table1Config) {
 	fmt.Fprintf(w, "TABLE I — comparison on %d rows × %d versions (%d rows churned/version)\n\n",
@@ -447,7 +460,7 @@ func RunFig5(sizes []int, changed int) ([]Fig5Row, error) {
 		}
 
 		var res dataset.DiffResult
-		posNanos := timeIt(func() {
+		posNanos := timeBest3(func() {
 			res, err = dataset.DiffBranches(db, "sales", "master", "vendorx")
 		})
 		if err != nil {
@@ -455,7 +468,7 @@ func RunFig5(sizes []int, changed int) ([]Fig5Row, error) {
 		}
 
 		// Naive baseline: materialise both versions and compare row by row.
-		naiveNanos := timeIt(func() {
+		naiveNanos := timeBest3(func() {
 			a := map[string]dataset.Row{}
 			mds, _ := dataset.Open(db, "sales", "master")
 			mds.Scan(func(r dataset.Row) bool { a[r[0]] = r; return true })
@@ -479,7 +492,7 @@ func RunFig5(sizes []int, changed int) ([]Fig5Row, error) {
 			diffs += len(a)
 		})
 
-		ts, err := ds.Tree().ComputeStats()
+		ts, err := ds.Index().ComputeStats()
 		if err != nil {
 			return nil, err
 		}

@@ -151,6 +151,7 @@ func RunRepl(quick bool) (*ReplReport, error) {
 	var wg sync.WaitGroup
 	gcDone := make(chan struct{})
 	var gcErr error
+	var bgPasses int // background goroutine's count, folded in after join
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -164,7 +165,7 @@ func RunRepl(quick bool) (*ReplReport, error) {
 				gcErr = err
 				return
 			}
-			rep.GCPasses++
+			bgPasses++
 			time.Sleep(2 * time.Millisecond)
 		}
 	}()
@@ -195,6 +196,14 @@ func RunRepl(quick bool) (*ReplReport, error) {
 		if err := primary.DeleteBranch("table", br); err != nil {
 			return fail(err)
 		}
+		// A synchronous full pass per round guarantees the stressor runs a
+		// deterministic number of passes racing the follower's pulls even on
+		// a single CPU, where the background goroutine above may never be
+		// scheduled inside a short churn window.
+		if _, err := primary.GC(); err != nil {
+			return fail(err)
+		}
+		rep.GCPasses++
 		rep.ChurnCommits++
 	}
 	if err := follower.WaitCaughtUp(10 * time.Minute); err != nil {
@@ -202,6 +211,7 @@ func RunRepl(quick bool) (*ReplReport, error) {
 	}
 	close(gcDone)
 	wg.Wait()
+	rep.GCPasses += bgPasses
 	if gcErr != nil {
 		return nil, gcErr
 	}

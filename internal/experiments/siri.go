@@ -1,0 +1,251 @@
+// Siri is the cross-structure SIRI comparison behind `bench -exp siri
+// -json FILE`: the experiment the source paper is fundamentally about.
+// The same versioned workload — a base table plus a chain of small-delta
+// versions — is driven through each registered index structure (POS-Tree
+// and Merkle Patricia Trie) on identical inputs, and the suite reports the
+// axes the paper compares SIRIs on: point-get latency, full-scan cost,
+// structural diff cost, node shape, and the per-version deduplication
+// ratio (how much logical snapshot volume the content-addressed store
+// collapses).
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/index"
+	"forkbase/internal/store"
+
+	_ "forkbase/internal/mpt"
+	_ "forkbase/internal/pos"
+)
+
+// SiriRow is one structure's measurements over the shared workload.
+type SiriRow struct {
+	Structure string `json:"structure"`
+
+	BuildNs    int64 `json:"build_ns"`     // base version build
+	EditNs     int64 `json:"edit_ns"`      // one delta version (median)
+	PointGetNs int64 `json:"point_get_ns"` // per-op, median of rounds
+	ScanNs     int64 `json:"scan_ns"`      // full iteration of the head
+	DiffNs     int64 `json:"diff_ns"`      // structural diff head-1 → head
+
+	DiffDeltas  int `json:"diff_deltas"`
+	DiffTouched int `json:"diff_touched"` // nodes visited by the diff
+	DiffPruned  int `json:"diff_pruned"`  // subtrees skipped by hash equality
+
+	Height  int     `json:"height"`
+	Nodes   int     `json:"nodes"`
+	AvgNode float64 `json:"avg_node_bytes"`
+
+	// LogicalBytes sums every version's full snapshot size (what V naive
+	// copies would occupy); PhysicalBytes is what the content-addressed
+	// store actually holds; DedupRatio is their quotient — the paper's
+	// cross-version deduplication axis.
+	LogicalBytes  int64   `json:"logical_bytes"`
+	PhysicalBytes int64   `json:"physical_bytes"`
+	DedupRatio    float64 `json:"dedup_ratio"`
+}
+
+// SiriReport is the full cross-structure comparison.
+type SiriReport struct {
+	Suite      string    `json:"suite"`
+	Quick      bool      `json:"quick"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	GoVersion  string    `json:"go_version"`
+	Entries    int       `json:"entries"`
+	Versions   int       `json:"versions"`
+	Delta      int       `json:"delta_per_version"`
+	Rows       []SiriRow `json:"rows"`
+}
+
+// siriKinds are the structures under comparison.
+var siriKinds = []index.Kind{index.KindPOS, index.KindMPT}
+
+// RunSiri runs the comparison; quick shrinks it to CI size.
+func RunSiri(quick bool) (*SiriReport, error) {
+	entries, versions := 100000, 8
+	if quick {
+		entries, versions = 10000, 5
+	}
+	delta := entries / 100
+	if delta < 1 {
+		delta = 1
+	}
+	rep := &SiriReport{
+		Suite:      "siri",
+		Quick:      quick,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Entries:    entries,
+		Versions:   versions,
+		Delta:      delta,
+	}
+
+	baseRows := make([]index.Entry, entries)
+	for i := range baseRows {
+		baseRows[i] = index.Entry{
+			Key: []byte(fmt.Sprintf("row-%08d", i)),
+			Val: []byte(fmt.Sprintf("value-%d-gen0", i)),
+		}
+	}
+
+	for _, kind := range siriKinds {
+		f, err := index.For(kind)
+		if err != nil {
+			return nil, err
+		}
+		st := store.NewMemStore()
+		cfg := chunker.DefaultConfig()
+		row := SiriRow{Structure: kind.String()}
+
+		// Base build.
+		start := time.Now()
+		head, err := f.Build(st, cfg, baseRows)
+		if err != nil {
+			return nil, fmt.Errorf("%s build: %w", kind, err)
+		}
+		row.BuildNs = time.Since(start).Nanoseconds()
+
+		// Version chain: each version rewrites a contiguous delta window.
+		heads := []index.VersionedIndex{head}
+		var editNs []int64
+		for v := 1; v < versions; v++ {
+			ops := make([]index.Op, delta)
+			base := (v * 131) % (entries - delta)
+			for i := range ops {
+				ops[i] = index.Put(
+					[]byte(fmt.Sprintf("row-%08d", base+i)),
+					[]byte(fmt.Sprintf("value-%d-gen%d", base+i, v)),
+				)
+			}
+			start = time.Now()
+			next, err := heads[len(heads)-1].Apply(ops)
+			if err != nil {
+				return nil, fmt.Errorf("%s edit v%d: %w", kind, v, err)
+			}
+			editNs = append(editNs, time.Since(start).Nanoseconds())
+			heads = append(heads, next)
+		}
+		row.EditNs = medianInt64(editNs)
+
+		cur := heads[len(heads)-1]
+
+		// Point gets: median over rounds of a fixed probe set.
+		probes := make([][]byte, 0, 2000)
+		for i := 0; i < 2000; i++ {
+			probes = append(probes, []byte(fmt.Sprintf("row-%08d", (i*977)%entries)))
+		}
+		var rounds []int64
+		for r := 0; r < perfRuns; r++ {
+			start = time.Now()
+			for _, k := range probes {
+				if _, err := cur.Get(k); err != nil {
+					return nil, fmt.Errorf("%s get: %w", kind, err)
+				}
+			}
+			rounds = append(rounds, time.Since(start).Nanoseconds()/int64(len(probes)))
+		}
+		row.PointGetNs = medianInt64(rounds)
+
+		// Full scan.
+		start = time.Now()
+		it, err := cur.Iterate()
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+		if n != entries {
+			return nil, fmt.Errorf("%s scan saw %d entries, want %d", kind, n, entries)
+		}
+		row.ScanNs = time.Since(start).Nanoseconds()
+
+		// Structural diff between the last two versions.
+		start = time.Now()
+		deltas, dstats, err := heads[len(heads)-2].DiffWith(cur)
+		if err != nil {
+			return nil, err
+		}
+		row.DiffNs = time.Since(start).Nanoseconds()
+		row.DiffDeltas = len(deltas)
+		row.DiffTouched = dstats.TouchedChunks
+		row.DiffPruned = dstats.PrunedRefs
+
+		// Shape and dedup accounting.
+		for _, h := range heads {
+			s, err := h.ComputeStats()
+			if err != nil {
+				return nil, err
+			}
+			row.LogicalBytes += s.Bytes
+		}
+		shape, err := cur.ComputeStats()
+		if err != nil {
+			return nil, err
+		}
+		row.Height, row.Nodes = shape.Height, shape.Nodes
+		if shape.Nodes > 0 {
+			row.AvgNode = float64(shape.Bytes) / float64(shape.Nodes)
+		}
+		row.PhysicalBytes = st.Stats().PhysicalBytes
+		if row.PhysicalBytes > 0 {
+			row.DedupRatio = float64(row.LogicalBytes) / float64(row.PhysicalBytes)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func medianInt64(v []int64) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// PrintSiri renders the comparison table.
+func PrintSiri(w io.Writer, rep *SiriReport) {
+	fmt.Fprintf(w, "SIRI comparison — identical workload per structure (N=%d, %d versions, delta=%d, GOMAXPROCS=%d, %s)\n\n",
+		rep.Entries, rep.Versions, rep.Delta, rep.GoMaxProcs, rep.GoVersion)
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s %12s %8s %8s %10s %10s\n",
+		"struct", "build", "edit", "get/op", "scan", "diff", "height", "nodes", "avg node", "dedup")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-6s %10.2fms %10.2fms %10dns %10.2fms %10.2fms %8d %8d %8.0fB %9.2fx\n",
+			r.Structure,
+			float64(r.BuildNs)/1e6, float64(r.EditNs)/1e6, r.PointGetNs,
+			float64(r.ScanNs)/1e6, float64(r.DiffNs)/1e6,
+			r.Height, r.Nodes, r.AvgNode, r.DedupRatio)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "  %s: diff touched %d nodes, pruned %d subtrees, %d deltas; %d versions occupy %.2f MB logical / %.2f MB physical\n",
+			r.Structure, r.DiffTouched, r.DiffPruned, r.DiffDeltas,
+			rep.Versions, float64(r.LogicalBytes)/(1<<20), float64(r.PhysicalBytes)/(1<<20))
+	}
+}
+
+// WriteSiriJSON writes the report to path (the BENCH_5 artifact).
+func WriteSiriJSON(path string, rep *SiriReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

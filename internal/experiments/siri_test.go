@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunSiriQuick runs the cross-structure comparison at CI size and
+// enforces its invariants: both structures measure the same workload (same
+// delta count), both exhibit SIRI behaviour (subtree pruning in diffs,
+// cross-version dedup), and the report renders.
+func TestRunSiriQuick(t *testing.T) {
+	rep, err := RunSiri(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("expected pos and mpt rows, got %d", len(rep.Rows))
+	}
+	if rep.Rows[0].Structure != "pos" || rep.Rows[1].Structure != "mpt" {
+		t.Fatalf("unexpected structures: %+v", rep.Rows)
+	}
+	for _, r := range rep.Rows {
+		if r.DiffDeltas != rep.Delta {
+			t.Fatalf("%s: diff found %d deltas, workload changed %d", r.Structure, r.DiffDeltas, rep.Delta)
+		}
+		if r.DiffPruned == 0 {
+			t.Fatalf("%s: structural diff pruned nothing", r.Structure)
+		}
+		if r.DedupRatio <= 1 {
+			t.Fatalf("%s: no cross-version dedup (%.2fx)", r.Structure, r.DedupRatio)
+		}
+		if r.Nodes == 0 || r.Height == 0 || r.PointGetNs == 0 {
+			t.Fatalf("%s: degenerate measurements: %+v", r.Structure, r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintSiri(&buf, rep)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}

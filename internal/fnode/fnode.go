@@ -18,6 +18,7 @@ import (
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
 )
@@ -37,6 +38,12 @@ type FNode struct {
 	// Meta carries user annotations (author, message, ...).  Keys are
 	// encoded sorted, keeping the uid deterministic.
 	Meta map[string]string
+	// Index records which index structure backs composite values of this
+	// version, so readers self-describe without engine configuration.  The
+	// default (index.KindPOS, the zero value) is encoded as *absence* —
+	// POS-backed FNodes stay byte-identical to those written before the
+	// index layer existed, and old chunks decode as POS-backed.
+	Index index.Kind
 }
 
 // ErrNotFNode is returned when a uid resolves to a non-FNode chunk.
@@ -91,6 +98,12 @@ func (f *FNode) Encode() []byte {
 		out = appendBytes(out, []byte(k))
 		out = appendBytes(out, []byte(f.Meta[k]))
 	}
+	// Index kind: a single trailing byte, present only for non-default
+	// structures.  Omitting the POS default keeps every POS-backed encoding
+	// (and therefore uid) byte-identical with pre-index-layer versions.
+	if f.Index != index.KindPOS {
+		out = append(out, byte(f.Index))
+	}
 	return out
 }
 
@@ -135,6 +148,16 @@ func Decode(data []byte) (*FNode, error) {
 			}
 			f.Meta[string(k)] = string(v)
 		}
+	}
+	if len(p) > 0 {
+		f.Index = index.Kind(p[0])
+		if f.Index == index.KindPOS {
+			return nil, errors.New("fnode: redundant index kind byte (POS is encoded as absence)")
+		}
+		if !f.Index.Known() {
+			return nil, fmt.Errorf("fnode: unknown index kind %d", p[0])
+		}
+		p = p[1:]
 	}
 	if len(p) != 0 {
 		return nil, fmt.Errorf("fnode: %d trailing bytes", len(p))

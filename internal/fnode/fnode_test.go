@@ -7,6 +7,7 @@ import (
 
 	"forkbase/internal/chunker"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
 )
@@ -263,5 +264,50 @@ func TestHistoryNodesParallelsHistory(t *testing.T) {
 	uids3, nodes3, err := HistoryNodes(ms, prev, 2)
 	if err != nil || len(uids3) != 2 || len(nodes3) != 2 {
 		t.Fatalf("limited walk: %d %d %v", len(uids3), len(nodes3), err)
+	}
+}
+
+// TestIndexKindEncoding pins the compatibility contract of the index-kind
+// field: a POS-backed FNode (the default) encodes *without* any kind byte —
+// byte-identical to FNodes written before the index layer existed, so old
+// DBs reopen with identical uids — while non-default kinds append exactly
+// one self-describing byte.
+func TestIndexKindEncoding(t *testing.T) {
+	f := New([]byte("k"), value.Int(7), []hash.Hash{hash.Of([]byte("p"))}, 2, map[string]string{"a": "b"})
+	legacy := f.Encode()
+
+	mptF := *f
+	mptF.Index = index.KindMPT
+	tagged := mptF.Encode()
+	if len(tagged) != len(legacy)+1 || tagged[len(tagged)-1] != byte(index.KindMPT) {
+		t.Fatalf("MPT encoding should be legacy + 1 kind byte (len %d vs %d)", len(tagged), len(legacy))
+	}
+	if !bytes.Equal(tagged[:len(legacy)], legacy) {
+		t.Fatal("kind byte changed the shared prefix")
+	}
+
+	// Legacy bytes decode as POS-backed; tagged bytes round-trip the kind.
+	dec, err := Decode(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Index != index.KindPOS {
+		t.Fatalf("legacy decode Index = %v", dec.Index)
+	}
+	dec2, err := Decode(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec2.Index != index.KindMPT {
+		t.Fatalf("tagged decode Index = %v", dec2.Index)
+	}
+	// uids differ between kinds (the kind is part of identity)…
+	if f.UID() == mptF.UID() {
+		t.Fatal("kind byte does not affect the uid")
+	}
+	// …and a redundant explicit POS byte is rejected, keeping encodings
+	// canonical (one record set + history → one uid).
+	if _, err := Decode(append(append([]byte{}, legacy...), 0)); err == nil {
+		t.Fatal("redundant POS kind byte accepted")
 	}
 }

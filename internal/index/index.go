@@ -1,0 +1,295 @@
+// Package index defines the structure-agnostic versioned-index layer of
+// ForkBase: the contract every Structurally-Invariant Reusable Index (SIRI)
+// implements, plus the registries through which the rest of the system —
+// garbage collection, tamper verification, replication, the value layer —
+// dispatches on index structure without naming one.
+//
+// The source paper compares POS-Trees against other SIRIs (notably the
+// Merkle Patricia Trie) on deduplication, lookup latency and tamper
+// evidence.  This package is what makes that comparison — and any future
+// index structure — a one-package addition:
+//
+//   - VersionedIndex is the operation surface (get/put/del/iter/rank/diff/
+//     merge/stats).  An index is an immutable value rooted at a chunk hash
+//     over a store.Store; "mutations" return a new index sharing unchanged
+//     chunks with the old one.
+//   - Factory builds, loads and empties indexes of one Kind; factories
+//     self-register (Register) from their package's init, and callers reach
+//     them through For or, when only a root hash is known, through Load,
+//     which sniffs the root chunk's type to pick the structure — stored
+//     data is self-describing.
+//   - Children is the node-type-keyed decoding registry: reachability walks
+//     (GC mark, verify, the replication Merkle prune) ask it for a chunk's
+//     child hashes and never import a concrete index package.
+//
+// A SIRI implementation must guarantee structural invariance: the chunk
+// graph (and therefore the root hash) is a pure function of the logical
+// record set, independent of the operation history that produced it.  The
+// differential oracle in differential_test.go enforces this cross-structure.
+package index
+
+import (
+	"errors"
+	"fmt"
+
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// Kind identifies an index structure.
+type Kind uint8
+
+// Registered index kinds.  KindPOS is the zero value: FNodes written before
+// the index layer existed carry no kind byte and decode as POS-backed.
+const (
+	// KindPOS is the Pattern-Oriented-Split Tree (package pos), the paper's
+	// primary contribution: a B+-tree/Merkle-tree hybrid with content-defined
+	// node boundaries.
+	KindPOS Kind = 0
+	// KindMPT is the Merkle Patricia Trie (package mpt): a content-addressed
+	// hash trie with nibble-path compression, the main comparison structure
+	// of the paper's SIRI evaluation.
+	KindMPT Kind = 1
+)
+
+// String returns the kind's wire/CLI name.
+func (k Kind) String() string {
+	switch k {
+	case KindPOS:
+		return "pos"
+	case KindMPT:
+		return "mpt"
+	default:
+		return fmt.Sprintf("index(%d)", uint8(k))
+	}
+}
+
+// Known reports whether k names a defined structure (registered or not);
+// decoders use it to reject corrupt kind bytes.
+func (k Kind) Known() bool { return k == KindPOS || k == KindMPT }
+
+// ParseKind parses a kind name ("pos", "mpt").
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "pos":
+		return KindPOS, nil
+	case "mpt":
+		return KindMPT, nil
+	default:
+		return 0, fmt.Errorf("index: unknown index kind %q (want pos|mpt)", s)
+	}
+}
+
+// Entry is one key/value record of an index.
+type Entry struct {
+	Key []byte
+	Val []byte
+}
+
+// Op is a single mutation in an Apply batch: a put (Delete=false) or a
+// delete (Delete=true).
+type Op struct {
+	Key    []byte
+	Val    []byte
+	Delete bool
+}
+
+// Put returns a put op.
+func Put(key, val []byte) Op { return Op{Key: key, Val: val} }
+
+// Del returns a delete op.
+func Del(key []byte) Op { return Op{Key: key, Delete: true} }
+
+// ErrKeyNotFound is returned by Get for absent keys.
+var ErrKeyNotFound = errors.New("index: key not found")
+
+// ErrOutOfRange is returned for ranks/positions past the end.
+var ErrOutOfRange = errors.New("index: position out of range")
+
+// Iterator walks an index in key order.
+type Iterator interface {
+	// Next advances to the next entry; false at the end or on error.
+	Next() bool
+	// Entry returns the current entry.  Valid only after a true Next; the
+	// slices may alias shared decoded node data — copy before holding.
+	Entry() Entry
+	// Err returns the first error encountered.
+	Err() error
+}
+
+// VersionedIndex is the operation surface of one immutable index version.
+//
+// Implementations are lightweight handles (store + root hash + cached
+// count); all "mutating" operations return a new VersionedIndex sharing
+// every unchanged chunk with the receiver.  Slices returned by read methods
+// may alias shared decoded node data: callers must not modify them and
+// should copy before holding long-term.
+type VersionedIndex interface {
+	// Kind identifies the structure.
+	Kind() Kind
+	// Root returns the root chunk hash; zero for the empty index.  Because
+	// of structural invariance, two indexes of the same Kind hold the same
+	// record set iff their roots are equal.
+	Root() hash.Hash
+	// Len returns the number of entries.
+	Len() uint64
+	// Store returns the backing chunk store.
+	Store() store.Store
+	// Config returns the chunking configuration the index was opened with.
+	Config() chunker.Config
+
+	// Get returns the value under key, or ErrKeyNotFound.
+	Get(key []byte) ([]byte, error)
+	// Has reports whether key is present.
+	Has(key []byte) (bool, error)
+	// At returns the entry at rank i (0-based, key order) in O(log N).
+	At(i uint64) (Entry, error)
+	// Rank returns the number of entries with key strictly less than key.
+	Rank(key []byte) (uint64, error)
+
+	// Apply applies a batch of puts and deletes and returns the resulting
+	// index.  The result is byte-identical to building the edited record
+	// set from scratch (structural invariance).
+	Apply(ops []Op) (VersionedIndex, error)
+
+	// Iterate returns an iterator over all entries in key order.
+	Iterate() (Iterator, error)
+	// IterateFrom returns an iterator positioned before the first entry
+	// whose key is >= key.
+	IterateFrom(key []byte) (Iterator, error)
+
+	// DiffWith computes key-level deltas from the receiver (old) to o (new),
+	// pruning shared subtrees when both sides are the same structure.
+	DiffWith(o VersionedIndex) ([]Delta, DiffStats, error)
+
+	// ChunkIDs returns the ids of every chunk in the index (root included).
+	ChunkIDs() ([]hash.Hash, error)
+	// ComputeStats walks the whole index and reports its physical shape.
+	ComputeStats() (Stats, error)
+}
+
+// Stats describes the physical shape of an index — the quantity behind the
+// paper's node-structure experiment, comparable across structures.
+type Stats struct {
+	Height     int // levels (leaf = 1; empty = 0)
+	Nodes      int // total nodes
+	LeafNodes  int // nodes carrying entries/values
+	IndexNodes int // interior routing nodes
+	Entries    uint64
+	Bytes      int64 // total encoded node bytes
+	MinNode    int   // smallest node payload
+	MaxNode    int   // largest node payload
+	LeafBytes  int64
+}
+
+// AvgLeaf returns the mean leaf payload size.
+func (s Stats) AvgLeaf() float64 {
+	if s.LeafNodes == 0 {
+		return 0
+	}
+	return float64(s.LeafBytes) / float64(s.LeafNodes)
+}
+
+// AvgFanout returns the mean children per interior node.
+func (s Stats) AvgFanout() float64 {
+	if s.IndexNodes == 0 {
+		return 0
+	}
+	return float64(s.Nodes-1) / float64(s.IndexNodes)
+}
+
+// Delta is one key-level difference between two index versions.
+type Delta struct {
+	Key  []byte
+	From []byte // value in the "old" index; nil if the key was added
+	To   []byte // value in the "new" index; nil if the key was removed
+}
+
+// DeltaKind classifies a delta.
+type DeltaKind int
+
+// Delta kinds.
+const (
+	Added DeltaKind = iota
+	Removed
+	Modified
+)
+
+// Kind returns the delta's classification.
+func (d Delta) Kind() DeltaKind {
+	switch {
+	case d.From == nil:
+		return Added
+	case d.To == nil:
+		return Removed
+	default:
+		return Modified
+	}
+}
+
+func (k DeltaKind) String() string {
+	switch k {
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	default:
+		return "modified"
+	}
+}
+
+// DiffStats instruments a diff run; TouchedChunks is the "pages read"
+// quantity behind the O(D·log N) claim.
+type DiffStats struct {
+	TouchedChunks int
+	PrunedRefs    int // subtrees skipped because their root hashes matched
+	Deltas        int
+}
+
+// Conflict reports a key modified divergently by both sides of a three-way
+// merge.
+type Conflict struct {
+	Key  []byte
+	Base []byte // value at the common base (nil if absent)
+	A    []byte // value in index A (nil if deleted)
+	B    []byte // value in index B (nil if deleted)
+}
+
+// ErrConflict is returned by Merge3 when both sides changed the same key to
+// different values and no resolver was supplied.
+type ErrConflict struct {
+	Conflicts []Conflict
+}
+
+func (e *ErrConflict) Error() string {
+	return fmt.Sprintf("index: merge conflict on %d key(s), first %q", len(e.Conflicts), e.Conflicts[0].Key)
+}
+
+// Resolver decides the merged value for a conflicting key; returning
+// (nil, false) deletes the key, (v, true) keeps v.
+type Resolver func(c Conflict) (val []byte, keep bool)
+
+// ResolveOurs prefers side A; ResolveTheirs prefers side B.
+func ResolveOurs(c Conflict) ([]byte, bool)   { return c.A, c.A != nil }
+func ResolveTheirs(c Conflict) ([]byte, bool) { return c.B, c.B != nil }
+
+// MergeStats instruments a merge: how much of the merged index was reused
+// versus freshly calculated.
+type MergeStats struct {
+	DeltasA, DeltasB int
+	Conflicts        int
+	// ReusedChunks / NewChunks partition the merged index's chunk set by
+	// whether the chunk already existed or had to be newly calculated.
+	ReusedChunks int
+	NewChunks    int
+}
+
+// ReuseFraction is ReusedChunks/(ReusedChunks+NewChunks).
+func (m MergeStats) ReuseFraction() float64 {
+	t := m.ReusedChunks + m.NewChunks
+	if t == 0 {
+		return 1
+	}
+	return float64(m.ReusedChunks) / float64(t)
+}

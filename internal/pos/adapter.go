@@ -1,0 +1,101 @@
+package pos
+
+import (
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/index"
+	"forkbase/internal/store"
+)
+
+// This file ports the map POS-Tree behind the structure-agnostic
+// index.VersionedIndex contract.  Tree already satisfies most of the
+// interface directly (Get, Has, At, Rank, Root, Len, ChunkIDs,
+// ComputeStats, Store, Config); the methods below bridge the tree-typed
+// signatures (Edit, Iter, Diff) to the interface-typed ones, and the init
+// hook registers the factory, the root chunk types and the child-hash
+// decoders the reachability walks (GC mark, verify, replication prune)
+// dispatch through.  Chunk encodings are untouched by this port: a DB
+// written before the index layer existed reopens with byte-identical roots.
+
+// Kind identifies the structure (index.KindPOS).
+func (t *Tree) Kind() index.Kind { return index.KindPOS }
+
+// Apply applies a batch of puts and deletes via the incremental Edit and
+// returns the resulting tree as a VersionedIndex.
+func (t *Tree) Apply(ops []index.Op) (index.VersionedIndex, error) {
+	nt, err := t.Edit(ops)
+	if err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// Iterate returns a key-ordered iterator (interface-typed Iter).
+func (t *Tree) Iterate() (index.Iterator, error) {
+	it, err := t.Iter()
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// IterateFrom returns an iterator positioned before the first key >= key.
+func (t *Tree) IterateFrom(key []byte) (index.Iterator, error) {
+	it, err := t.IterFrom(key)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// DiffWith diffs against another index: the structural, subtree-pruning
+// diff when o is also a POS-Tree, the generic iterator diff otherwise.
+func (t *Tree) DiffWith(o index.VersionedIndex) ([]index.Delta, index.DiffStats, error) {
+	if ot, ok := o.(*Tree); ok {
+		return t.Diff(ot)
+	}
+	return index.GenericDiff(t, o)
+}
+
+var _ index.VersionedIndex = (*Tree)(nil)
+var _ index.Iterator = (*Iter)(nil)
+
+// factory builds, loads and empties map POS-Trees for the index registry.
+type factory struct{}
+
+func (factory) Kind() index.Kind { return index.KindPOS }
+
+func (factory) Empty(st store.Store, cfg chunker.Config) index.VersionedIndex {
+	return NewEmptyTree(st, cfg)
+}
+
+func (factory) Load(st store.Store, cfg chunker.Config, root hash.Hash) (index.VersionedIndex, error) {
+	t, err := LoadTree(st, cfg, root)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (factory) Build(st store.Store, cfg chunker.Config, entries []index.Entry) (index.VersionedIndex, error) {
+	t, err := BuildMap(st, cfg, entries)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func init() {
+	index.Register(factory{})
+	// Both map node types can root a tree (single-leaf trees root at a
+	// leaf), so Load can sniff the structure from stored data.
+	index.RegisterRoot(chunk.TypeMapLeaf, index.KindPOS)
+	index.RegisterRoot(chunk.TypeMapIndex, index.KindPOS)
+	// Child-hash decoders for every POS node type: reachability walks feed
+	// arbitrary chunks through index.Children instead of importing pos.
+	// IndexChildren answers for map and seq index nodes alike (and returns
+	// nil for leaves, which need no registration).
+	index.RegisterChildren(chunk.TypeMapIndex, IndexChildren)
+	index.RegisterChildren(chunk.TypeSeqIndex, IndexChildren)
+}

@@ -35,8 +35,10 @@ type levelBuilder struct {
 	// node buffer — the same byte-granular pattern as chunker.EntryChunker,
 	// minus the per-byte call and ring-buffer bookkeeping, plus the min-size
 	// skip (bytes that no checkable window can reach are never hashed).
+	// The scanner is picked by Config.Algo: the cyclic-polynomial Scan or
+	// the FastCDC-style GearScan — both share the resumable Find contract.
 	// Index levels keep the entry-granular IndexChunker.
-	scan         *rolling.Scan
+	scan         boundaryScan
 	begin, check int // scan constants: hash start index, first checkable index
 	scanPos      int
 	scanHash     uint64
@@ -54,6 +56,13 @@ type levelBuilder struct {
 	boundary bool         // true when positioned exactly at a node boundary
 }
 
+// boundaryScan is the resumable bulk boundary-detection contract shared by
+// rolling.Scan (cyclic polynomial) and rolling.GearScan (FastCDC gear).
+type boundaryScan interface {
+	Find(node []byte, pos int, h uint64, begin, check int) (int, uint64)
+	SkipStart(minSize int) int
+}
+
 func newLevelBuilder(sink *store.ChunkSink, cfg chunker.Config, level uint8, isMap bool) *levelBuilder {
 	cfg = cfg.Normalized()
 	b := &levelBuilder{
@@ -64,7 +73,11 @@ func newLevelBuilder(sink *store.ChunkSink, cfg chunker.Config, level uint8, isM
 		boundary: true,
 	}
 	if level == 0 {
-		b.scan = rolling.NewScan(cfg.Q, cfg.Window)
+		if cfg.Algo == chunker.AlgoGear {
+			b.scan = rolling.NewGearScan(cfg.Q)
+		} else {
+			b.scan = rolling.NewScan(cfg.Q, cfg.Window)
+		}
 		b.begin = b.scan.SkipStart(cfg.MinSize)
 		b.check = cfg.MinSize - 1
 	} else {

@@ -6,55 +6,28 @@ import (
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 )
 
-// Delta is one key-level difference between two map trees.
-type Delta struct {
-	Key  []byte
-	From []byte // value in the "old" tree; nil if the key was added
-	To   []byte // value in the "new" tree; nil if the key was removed
-}
-
-// Kind classifies a delta.
-type DeltaKind int
+// Delta, DeltaKind and DiffStats are the shared diff vocabulary of the
+// versioned-index layer, re-exported so existing callers keep compiling
+// against pos.*.
+type (
+	// Delta is one key-level difference between two map trees.
+	Delta = index.Delta
+	// DeltaKind classifies a delta.
+	DeltaKind = index.DeltaKind
+	// DiffStats instruments a diff run; TouchedChunks is the "pages read"
+	// quantity behind the O(D·log N) claim of §II-B.
+	DiffStats = index.DiffStats
+)
 
 // Delta kinds.
 const (
-	Added DeltaKind = iota
-	Removed
-	Modified
+	Added    = index.Added
+	Removed  = index.Removed
+	Modified = index.Modified
 )
-
-// Kind returns the delta's classification.
-func (d Delta) Kind() DeltaKind {
-	switch {
-	case d.From == nil:
-		return Added
-	case d.To == nil:
-		return Removed
-	default:
-		return Modified
-	}
-}
-
-func (k DeltaKind) String() string {
-	switch k {
-	case Added:
-		return "added"
-	case Removed:
-		return "removed"
-	default:
-		return "modified"
-	}
-}
-
-// DiffStats instruments a diff run; TouchedChunks is the "pages read"
-// quantity behind the O(D·log N) claim of §II-B.
-type DiffStats struct {
-	TouchedChunks int
-	PrunedRefs    int // subtrees skipped because their root hashes matched
-	Deltas        int
-}
 
 // Diff computes the key-level differences from t (old) to o (new).
 //

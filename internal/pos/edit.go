@@ -7,22 +7,20 @@ import (
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/store"
 )
 
 // Op is a single mutation in an edit batch: a put (Delete=false) or a
-// delete (Delete=true).
-type Op struct {
-	Key    []byte
-	Val    []byte
-	Delete bool
-}
+// delete (Delete=true).  It is the shared mutation type of the
+// versioned-index layer.
+type Op = index.Op
 
-// Put returns a put op.
-func Put(key, val []byte) Op { return Op{Key: key, Val: val} }
-
-// Del returns a delete op.
-func Del(key []byte) Op { return Op{Key: key, Delete: true} }
+// Put returns a put op; Del returns a delete op.
+var (
+	Put = index.Put
+	Del = index.Del
+)
 
 // normalizeOps sorts ops by key keeping only the last op per key.
 func normalizeOps(ops []Op) []Op {

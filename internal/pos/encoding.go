@@ -22,13 +22,13 @@ import (
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 )
 
-// Entry is one key/value record of a map POS-Tree leaf.
-type Entry struct {
-	Key []byte
-	Val []byte
-}
+// Entry is one key/value record of a map POS-Tree leaf.  It is the shared
+// record type of the versioned-index layer; pos re-exports it so existing
+// callers keep compiling against pos.Entry.
+type Entry = index.Entry
 
 // childRef is one routing entry of an index node: the identifier of a child
 // plus the greatest key stored in that child's subtree (the split key) and

@@ -1,59 +1,32 @@
 package pos
 
 import (
-	"bytes"
-	"fmt"
-	"sort"
+	"forkbase/internal/index"
 )
 
-// Conflict reports a key modified divergently by both sides of a three-way
-// merge.
-type Conflict struct {
-	Key  []byte
-	Base []byte // value at the common base (nil if absent)
-	A    []byte // value in tree A (nil if deleted)
-	B    []byte // value in tree B (nil if deleted)
-}
-
-// ErrConflict is returned by Merge3 when both sides changed the same key to
-// different values and no resolver was supplied.
-type ErrConflict struct {
-	Conflicts []Conflict
-}
-
-func (e *ErrConflict) Error() string {
-	return fmt.Sprintf("pos: merge conflict on %d key(s), first %q", len(e.Conflicts), e.Conflicts[0].Key)
-}
-
-// Resolver decides the merged value for a conflicting key; returning
-// (nil, false) deletes the key, (v, true) keeps v.
-type Resolver func(c Conflict) (val []byte, keep bool)
+// Conflict, ErrConflict, Resolver and MergeStats are the shared merge
+// vocabulary of the versioned-index layer, re-exported so existing callers
+// keep compiling against pos.*.
+type (
+	// Conflict reports a key modified divergently by both sides of a
+	// three-way merge.
+	Conflict = index.Conflict
+	// ErrConflict is returned by Merge3 when both sides changed the same
+	// key to different values and no resolver was supplied.
+	ErrConflict = index.ErrConflict
+	// Resolver decides the merged value for a conflicting key.
+	Resolver = index.Resolver
+	// MergeStats instruments a merge: how much of the merged tree was
+	// reused versus freshly calculated — the quantity illustrated by Fig 3
+	// of the paper.
+	MergeStats = index.MergeStats
+)
 
 // ResolveOurs prefers side A; ResolveTheirs prefers side B.
-func ResolveOurs(c Conflict) ([]byte, bool)   { return c.A, c.A != nil }
-func ResolveTheirs(c Conflict) ([]byte, bool) { return c.B, c.B != nil }
-
-// MergeStats instruments a merge: how much of the merged tree was reused
-// versus freshly calculated — the quantity illustrated by Fig 3 of the paper
-// ("three-way merge of two POS-Trees reuses disjointly modified sub-trees").
-type MergeStats struct {
-	DeltasA, DeltasB int
-	Conflicts        int
-	// ReusedChunks / NewChunks partition the merged tree's chunk set by
-	// whether the chunk already existed (shared with base/A/B or anything
-	// else in the store) or had to be newly calculated.
-	ReusedChunks int
-	NewChunks    int
-}
-
-// ReuseFraction is ReusedChunks/(ReusedChunks+NewChunks).
-func (m MergeStats) ReuseFraction() float64 {
-	t := m.ReusedChunks + m.NewChunks
-	if t == 0 {
-		return 1
-	}
-	return float64(m.ReusedChunks) / float64(t)
-}
+var (
+	ResolveOurs   = index.ResolveOurs
+	ResolveTheirs = index.ResolveTheirs
+)
 
 // Merge3 three-way-merges trees a and b against their common base (paper
 // §II-B): the diff phase computes Δa = Diff(base→a) and Δb = Diff(base→b)
@@ -62,87 +35,13 @@ func (m MergeStats) ReuseFraction() float64 {
 // are re-chunked).  Conflicts — keys changed by both sides to different
 // values — go to the resolver; with a nil resolver the merge fails with
 // *ErrConflict.
+//
+// The algorithm itself lives in index.Merge3, where it is generic over any
+// SIRI; this wrapper keeps the tree-typed signature.
 func Merge3(base, a, b *Tree, resolve Resolver) (*Tree, MergeStats, error) {
-	var stats MergeStats
-	// Trivial cases first: untouched sides merge to the other side.
-	if base.Root() == a.Root() {
-		return b, stats, nil
-	}
-	if base.Root() == b.Root() {
-		return a, stats, nil
-	}
-	if a.Root() == b.Root() {
-		return a, stats, nil
-	}
-
-	da, _, err := base.Diff(a)
+	merged, stats, err := index.Merge3(base, a, b, resolve)
 	if err != nil {
 		return nil, stats, err
 	}
-	db, _, err := base.Diff(b)
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.DeltasA, stats.DeltasB = len(da), len(db)
-
-	amap := make(map[string]Delta, len(da))
-	for _, d := range da {
-		amap[string(d.Key)] = d
-	}
-
-	var ops []Op // applied on top of a
-	var conflicts []Conflict
-	for _, d := range db {
-		ad, touchedByA := amap[string(d.Key)]
-		if !touchedByA {
-			if d.To == nil {
-				ops = append(ops, Del(d.Key))
-			} else {
-				ops = append(ops, Put(d.Key, d.To))
-			}
-			continue
-		}
-		// Both sides touched the key: identical outcomes are clean.
-		if bytes.Equal(ad.To, d.To) && (ad.To == nil) == (d.To == nil) {
-			continue
-		}
-		c := Conflict{Key: d.Key, Base: d.From, A: ad.To, B: d.To}
-		if resolve == nil {
-			conflicts = append(conflicts, c)
-			continue
-		}
-		v, keep := resolve(c)
-		if keep {
-			ops = append(ops, Put(d.Key, v))
-		} else {
-			ops = append(ops, Del(d.Key))
-		}
-	}
-	stats.Conflicts = len(conflicts)
-	if len(conflicts) > 0 {
-		sort.Slice(conflicts, func(i, j int) bool {
-			return bytes.Compare(conflicts[i].Key, conflicts[j].Key) < 0
-		})
-		return nil, stats, &ErrConflict{Conflicts: conflicts}
-	}
-
-	// Snapshot which chunks exist before the merge-phase edit, so new
-	// chunks can be attributed (for the Fig 3 reuse accounting we instead
-	// query the store's unique-count delta, which is cheap and exact).
-	before := a.src.st.Stats()
-	merged, err := a.Edit(ops)
-	if err != nil {
-		return nil, stats, err
-	}
-	after := a.src.st.Stats()
-	stats.NewChunks = int(after.UniqueChunks - before.UniqueChunks)
-	ids, err := merged.ChunkIDs()
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.ReusedChunks = len(ids) - stats.NewChunks
-	if stats.ReusedChunks < 0 {
-		stats.ReusedChunks = 0
-	}
-	return merged, stats, nil
+	return merged.(*Tree), stats, nil
 }

@@ -1,13 +1,13 @@
 package pos
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/chunker"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/store"
 )
 
@@ -22,8 +22,9 @@ type Seq struct {
 	count uint64
 }
 
-// ErrOutOfRange is returned for positions past the end of a sequence.
-var ErrOutOfRange = errors.New("pos: position out of range")
+// ErrOutOfRange is returned for positions past the end of a sequence.  It
+// is the index layer's shared sentinel.
+var ErrOutOfRange = index.ErrOutOfRange
 
 // NewEmptySeq returns the empty sequence.
 func NewEmptySeq(st store.Store, cfg chunker.Config) *Seq {

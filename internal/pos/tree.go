@@ -9,6 +9,7 @@ import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/chunker"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/store"
 )
 
@@ -26,8 +27,9 @@ type Tree struct {
 	count uint64
 }
 
-// ErrKeyNotFound is returned by Get when the key is absent.
-var ErrKeyNotFound = errors.New("pos: key not found")
+// ErrKeyNotFound is returned by Get when the key is absent.  It is the
+// index layer's shared sentinel, so errors.Is matches across structures.
+var ErrKeyNotFound = index.ErrKeyNotFound
 
 // NewEmptyTree returns the empty map tree (zero root).
 func NewEmptyTree(st store.Store, cfg chunker.Config) *Tree {
@@ -146,34 +148,9 @@ func (t *Tree) Entries() ([]Entry, error) {
 }
 
 // Stats describes the physical shape of a tree, the quantity behind the
-// paper's Fig 2 (node structure) experiment.
-type Stats struct {
-	Height     int // levels (leaf = 1; empty tree = 0)
-	Nodes      int // total nodes
-	LeafNodes  int // leaf count
-	IndexNodes int // index node count
-	Entries    uint64
-	Bytes      int64 // total encoded node bytes
-	MinNode    int   // smallest node payload
-	MaxNode    int   // largest node payload
-	LeafBytes  int64
-}
-
-// AvgLeaf returns the mean leaf payload size.
-func (s Stats) AvgLeaf() float64 {
-	if s.LeafNodes == 0 {
-		return 0
-	}
-	return float64(s.LeafBytes) / float64(s.LeafNodes)
-}
-
-// AvgFanout returns the mean children per index node.
-func (s Stats) AvgFanout() float64 {
-	if s.IndexNodes == 0 {
-		return 0
-	}
-	return float64(s.Nodes-1) / float64(s.IndexNodes)
-}
+// paper's Fig 2 (node structure) experiment.  It is the shared shape type
+// of the versioned-index layer (index.Stats), comparable across structures.
+type Stats = index.Stats
 
 // ComputeStats walks the whole tree and reports its shape.
 func (t *Tree) ComputeStats() (Stats, error) {

@@ -8,7 +8,7 @@ import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/fnode"
 	"forkbase/internal/hash"
-	"forkbase/internal/pos"
+	"forkbase/internal/index"
 	"forkbase/internal/store"
 )
 
@@ -37,8 +37,10 @@ type syncer struct {
 }
 
 // children returns the chunk ids a chunk references: FNodes link their base
-// versions and their value root; POS-Tree index nodes link their child
-// pages; leaves link nothing.
+// versions and their value root; index nodes — of whatever structure, via
+// the index layer's node-type registry — link their child pages; leaves
+// link nothing.  Dispatching through the registry is what lets the Merkle
+// prune walk replicate POS-Tree and MPT value graphs alike.
 func children(c *chunk.Chunk) ([]hash.Hash, error) {
 	if c.Type() == chunk.TypeFNode {
 		f, err := fnode.Decode(c.Data())
@@ -55,7 +57,7 @@ func children(c *chunk.Chunk) ([]hash.Hash, error) {
 		}
 		return out, nil
 	}
-	return pos.IndexChildren(c)
+	return index.Children(c)
 }
 
 // syncRoot makes every chunk reachable from root present in the local

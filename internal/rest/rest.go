@@ -152,6 +152,7 @@ type versionBody struct {
 	Kind   string            `json:"kind"`
 	Value  string            `json:"value"`
 	Count  uint64            `json:"count,omitempty"`
+	Index  string            `json:"index,omitempty"` // map/set index structure
 	Meta   map[string]string `json:"meta,omitempty"`
 	Branch string            `json:"branch,omitempty"`
 }
@@ -164,6 +165,9 @@ func renderVersion(v core.Version, branch string) versionBody {
 		Value:  v.Value.Display(),
 		Meta:   v.Meta,
 		Branch: branch,
+	}
+	if k := v.Value.Kind(); k == value.KindMap || k == value.KindSet {
+		out.Index = v.Index.String()
 	}
 	if v.Value.Kind().Composite() {
 		out.Count = v.Value.Count()
@@ -202,6 +206,7 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		"logical_bytes":  s.LogicalBytes,
 		"dedup_ratio":    s.DedupRatio(),
 		"dedup_hits":     s.DedupHits,
+		"index":          h.db.IndexKind().String(),
 	})
 }
 
@@ -340,13 +345,15 @@ func (h *Handler) buildValue(body putBody) (value.Value, error) {
 		for k, v := range body.Entries {
 			entries = append(entries, pos.Entry{Key: []byte(k), Val: []byte(v)})
 		}
-		return value.NewMap(h.db.Store(), h.db.Chunking(), entries)
+		// Engine helper: the map is indexed with the engine's configured
+		// structure (POS-Tree or MPT).
+		return h.db.NewMapValue(entries)
 	case "set":
 		elems := make([][]byte, len(body.Items))
 		for i, s := range body.Items {
 			elems[i] = []byte(s)
 		}
-		return value.NewSet(h.db.Store(), h.db.Chunking(), elems)
+		return h.db.NewSetValue(elems)
 	case "list":
 		items := make([][]byte, len(body.Items))
 		for i, s := range body.Items {

@@ -1,0 +1,189 @@
+// Gear-hash boundary scanning, FastCDC-2020 style (Xia et al., "The Design
+// of Fast Content-Defined Chunking for Data Deduplication Storage
+// Systems"): an alternative to the cyclic-polynomial rolling hash of this
+// package's Hasher/Scan.
+//
+// The gear hash replaces the ring buffer and the remove-departing-byte
+// rotation with a single shift-and-add per byte:
+//
+//	h = (h << 1) + gear[b]
+//
+// Each byte's contribution shifts left once per subsequent byte and falls
+// off the top after 64 bytes, so the hash has an implicit 64-byte window
+// with no bookkeeping at all — the cheapest per-byte update a CDC scanner
+// can do.  Boundary quality comes from *normalized chunking*: a stricter
+// mask (more bits) before the expected chunk size and a looser one after,
+// pulling the chunk-size distribution toward 2^q without hard cutoffs.
+//
+// Determinism matters exactly as for the Γ table: every instance must
+// chunk identically or content addressing breaks, so the gear table and
+// the spread masks derive from fixed SplitMix64 streams and arithmetic —
+// no runtime randomness.
+package rolling
+
+// gearWindow is the implicit window of the gear hash: a byte's contribution
+// is gone once 64 later bytes have shifted it out.
+const gearWindow = 64
+
+// gearNormalization is the mask-width delta of normalized chunking: the
+// strict mask uses q+2 bits (boundaries 4x rarer before the expected size),
+// the loose mask q-2 (4x more likely after).  Level 2 is the sweet spot the
+// FastCDC paper reports for dedup-vs-uniformity.
+const gearNormalization = 2
+
+// gearTable is the byte-substitution table, derived from a fixed SplitMix64
+// stream (a different seed than the Γ table so the two algorithms are
+// decorrelated).
+func gearTable() [256]uint64 {
+	var t [256]uint64
+	s := uint64(0xA24BAED4963EE407) // fixed seed
+	for i := 0; i < 256; i++ {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		t[i] = z
+	}
+	return t
+}
+
+// spreadMask returns a mask with `bits` one-bits spread across the high end
+// of the word.  Spreading (rather than packing the low bits) makes the
+// boundary decision depend on bytes across the whole implicit window, which
+// the FastCDC paper found marginally better for dedup than contiguous
+// masks; the exact positions only need to be deterministic.
+func spreadMask(bits int) uint64 {
+	if bits <= 0 {
+		bits = 1
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	var m uint64
+	for i := 0; i < bits; i++ {
+		m |= 1 << (63 - uint(i*63/bits))
+	}
+	return m
+}
+
+// GearScan finds split patterns over contiguous chunk buffers with the gear
+// hash.  It mirrors Scan's resumable API — (position, hash) state threads
+// through Find across appends — so the POS-Tree node builders can use
+// either scanner interchangeably.
+//
+// GearScan is immutable after NewGearScan and safe to share between
+// goroutines.
+type GearScan struct {
+	q      uint
+	normal int // expected chunk size 2^q: where the mask switches
+	maskS  uint64
+	maskL  uint64
+	table  [256]uint64
+}
+
+// NewGearScan returns a gear scanner targeting 2^q-byte average chunks.
+func NewGearScan(q uint) *GearScan {
+	if q < 1 || q > 30 {
+		panic("rolling: gear q out of range [1,30]")
+	}
+	s := &GearScan{
+		q:      q,
+		normal: 1 << q,
+		maskS:  spreadMask(int(q) + gearNormalization),
+		maskL:  spreadMask(int(q) - gearNormalization),
+		table:  gearTable(),
+	}
+	return s
+}
+
+// Window returns the implicit window size in bytes.
+func (s *GearScan) Window() int { return gearWindow }
+
+// Find resumes scanning node[pos:] for the first split pattern; the
+// contract matches Scan.Find: hashing started at index begin, a pattern
+// only counts at indexes >= check, and the returned hash state is passed
+// back in when more bytes arrive.  Because a byte's contribution shifts
+// out entirely after gearWindow later bytes, starting at
+// begin = max(0, check+1-gearWindow) yields bit-identical hash values to
+// feeding the whole buffer — the property the equivalence tests pin.
+func (s *GearScan) Find(node []byte, pos int, h uint64, begin, check int) (int, uint64) {
+	n := len(node)
+	i := pos
+	if i < begin {
+		i = begin
+	}
+	// Below the first checkable index: roll without testing.
+	stop := check
+	if stop > n {
+		stop = n
+	}
+	for ; i < stop; i++ {
+		h = h<<1 + s.table[node[i]]
+	}
+	// Strict-mask region: up to (but excluding) the normalization point.
+	// Byte index i closes a chunk of i+1 bytes, so the switch sits at
+	// i+1 == normal.
+	stop = s.normal - 1
+	if stop > n {
+		stop = n
+	}
+	for ; i < stop; i++ {
+		h = h<<1 + s.table[node[i]]
+		if h&s.maskS == 0 {
+			return i, h
+		}
+	}
+	// Loose-mask region.
+	for ; i < n; i++ {
+		h = h<<1 + s.table[node[i]]
+		if h&s.maskL == 0 {
+			return i, h
+		}
+	}
+	return -1, h
+}
+
+// SkipStart returns the index at which hashing may begin for a chunk whose
+// first boundary check happens at index minSize-1: bytes further back than
+// the implicit window can never influence a checked hash.
+func (s *GearScan) SkipStart(minSize int) int {
+	if minSize > gearWindow {
+		return minSize - gearWindow
+	}
+	return 0
+}
+
+// GearHash is the byte-at-a-time form of the gear hash, for the chunkers
+// that consume streams rather than contiguous buffers.  The zero value is
+// ready at a chunk boundary.
+type GearHash struct {
+	scan *GearScan
+	h    uint64
+	n    int // bytes since the last boundary
+}
+
+// NewGearHash returns a byte-wise gear hasher with the same boundary
+// semantics as NewGearScan(q).
+func NewGearHash(q uint) *GearHash {
+	return &GearHash{scan: NewGearScan(q)}
+}
+
+// Roll feeds one byte and reports whether it closes a chunk (pattern hit
+// under the size-normalized mask).  Min/max guards are the caller's
+// (chunker's) concern, exactly as with Hasher.OnPattern.
+func (g *GearHash) Roll(b byte) bool {
+	g.h = g.h<<1 + g.scan.table[b]
+	g.n++
+	mask := g.scan.maskL
+	if g.n < g.scan.normal {
+		mask = g.scan.maskS
+	}
+	return g.h&mask == 0
+}
+
+// Reset restarts the hasher at a chunk boundary.
+func (g *GearHash) Reset() {
+	g.h = 0
+	g.n = 0
+}

@@ -1,0 +1,142 @@
+package rolling
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGearScanMatchesByteWise pins the bulk scanner to the byte-at-a-time
+// hasher: resuming Find across arbitrary append boundaries, with the
+// min-size skip, must fire on exactly the byte the per-byte form fires on.
+func TestGearScanMatchesByteWise(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 50; round++ {
+		q := uint(6 + rng.Intn(6))
+		minSize := 1 + rng.Intn(200)
+		n := 1 + rng.Intn(4000)
+		data := make([]byte, n)
+		rng.Read(data)
+
+		// Byte-wise oracle: first index >= minSize-1 with a pattern.
+		g := NewGearHash(q)
+		oracle := -1
+		for i, b := range data {
+			hit := g.Roll(b)
+			if hit && i >= minSize-1 {
+				oracle = i
+				break
+			}
+		}
+
+		// Bulk scan, resuming across random append boundaries.
+		s := NewGearScan(q)
+		begin := s.SkipStart(minSize)
+		check := minSize - 1
+		var h uint64
+		pos := begin
+		found := -1
+		for cut := 0; cut < n && found < 0; {
+			next := cut + 1 + rng.Intn(512)
+			if next > n {
+				next = n
+			}
+			found, h = s.Find(data[:next], pos, h, begin, check)
+			pos = next
+			cut = next
+		}
+		if found != oracle {
+			t.Fatalf("round %d (q=%d min=%d n=%d): bulk found %d, byte-wise %d", round, q, minSize, n, found, oracle)
+		}
+	}
+}
+
+// TestGearDeterminism: the gear table and masks are fixed — two scanners
+// must agree bit for bit, and boundaries depend only on content.
+func TestGearDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	data := make([]byte, 8192)
+	rng.Read(data)
+	a, b := NewGearScan(10), NewGearScan(10)
+	ia, ha := a.Find(data, 0, 0, 0, 0)
+	ib, hb := b.Find(data, 0, 0, 0, 0)
+	if ia != ib || ha != hb {
+		t.Fatalf("two identical scanners disagree: (%d,%x) vs (%d,%x)", ia, ha, ib, hb)
+	}
+	if a.maskS == a.maskL {
+		t.Fatal("normalized masks are identical; normalization is inert")
+	}
+	if a.maskS&a.maskL != a.maskL {
+		// Not required by the algorithm, but a sanity check that the strict
+		// mask is at least as selective where they overlap is dropped —
+		// only the bit counts matter.
+		t.Log("masks do not nest (fine, only selectivity matters)")
+	}
+}
+
+// TestGearBoundaryDistribution sanity-checks that boundaries actually
+// occur and normalization pulls sizes toward 2^q.
+func TestGearBoundaryDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	s := NewGearScan(10) // expect ~1 KiB chunks
+	var sizes []int
+	start := 0
+	for start < len(data) {
+		i, _ := s.Find(data[start:], 0, 0, 0, 0)
+		if i < 0 {
+			break
+		}
+		sizes = append(sizes, i+1)
+		start += i + 1
+	}
+	if len(sizes) < 256 {
+		t.Fatalf("only %d boundaries over 1 MiB at q=10", len(sizes))
+	}
+	var sum int
+	for _, sz := range sizes {
+		sum += sz
+	}
+	avg := float64(sum) / float64(len(sizes))
+	if avg < 256 || avg > 4096 {
+		t.Fatalf("average chunk %0.f bytes, expected near 1024", avg)
+	}
+}
+
+// BenchmarkBulkScanRolling / BenchmarkBulkScanGear compare the two bulk
+// boundary scanners over the same buffer (the levelBuilder hot path).
+func BenchmarkBulkScanRolling(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	s := NewScan(12, DefaultWindow)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := 0
+		for start < len(data) {
+			hit, _ := s.Find(data[start:], 0, 0, 0, 511)
+			if hit < 0 {
+				break
+			}
+			start += hit + 1
+		}
+	}
+}
+
+func BenchmarkBulkScanGear(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	s := NewGearScan(12)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := 0
+		for start < len(data) {
+			hit, _ := s.Find(data[start:], 0, 0, 0, 511)
+			if hit < 0 {
+				break
+			}
+			start += hit + 1
+		}
+	}
+}

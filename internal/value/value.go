@@ -17,6 +17,7 @@ import (
 
 	"forkbase/internal/chunker"
 	"forkbase/internal/hash"
+	"forkbase/internal/index"
 	"forkbase/internal/pos"
 	"forkbase/internal/store"
 )
@@ -67,8 +68,16 @@ func (k Kind) Composite() bool { return k >= KindBlob && k <= KindList }
 type Value struct {
 	kind   Kind
 	inline []byte    // primitive payload
-	root   hash.Hash // composite POS-Tree root
+	root   hash.Hash // composite index root
 	count  uint64    // composite cardinality (entries, items or bytes)
+
+	// idx/idxKnown carry the index structure of a map/set value *in
+	// memory only* (the encoding stays untouched; persistence records the
+	// kind on the FNode).  Values built through constructors know their
+	// structure, so write paths need not re-read the root chunk to learn
+	// it; values decoded from stored descriptors sniff on demand.
+	idx      index.Kind
+	idxKnown bool
 }
 
 // ErrWrongKind is returned by typed accessors used on the wrong kind.
@@ -234,18 +243,84 @@ func Decode(data []byte) (Value, error) {
 
 // --- composite constructors -------------------------------------------------
 
-// NewMap builds a map value from entries.
+// NewMap builds a map value from entries using the default POS-Tree.
 func NewMap(st store.Store, cfg chunker.Config, entries []pos.Entry) (Value, error) {
-	t, err := pos.BuildMap(st, cfg, entries)
+	return NewMapWith(st, cfg, index.KindPOS, entries)
+}
+
+// NewMapWith builds a map value whose entries are indexed by the given
+// structure (POS-Tree, Merkle Patricia Trie, ...), dispatching through the
+// index registry.
+func NewMapWith(st store.Store, cfg chunker.Config, k index.Kind, entries []pos.Entry) (Value, error) {
+	f, err := index.For(k)
 	if err != nil {
 		return Value{}, err
 	}
-	return FromMapTree(t), nil
+	ix, err := f.Build(st, cfg, entries)
+	if err != nil {
+		return Value{}, err
+	}
+	return FromIndex(KindMap, ix), nil
+}
+
+// NewSetWith builds a set value over the given index structure.
+func NewSetWith(st store.Store, cfg chunker.Config, k index.Kind, elems [][]byte) (Value, error) {
+	entries := make([]pos.Entry, len(elems))
+	for i, e := range elems {
+		entries[i] = pos.Entry{Key: e, Val: nil}
+	}
+	f, err := index.For(k)
+	if err != nil {
+		return Value{}, err
+	}
+	ix, err := f.Build(st, cfg, entries)
+	if err != nil {
+		return Value{}, err
+	}
+	return FromIndex(KindSet, ix), nil
+}
+
+// FromIndex wraps an existing versioned index as a map or set value.
+func FromIndex(kind Kind, ix index.VersionedIndex) Value {
+	if kind != KindMap && kind != KindSet {
+		panic(fmt.Sprintf("value: FromIndex on %s", kind))
+	}
+	return Value{kind: kind, root: ix.Root(), count: ix.Len(), idx: ix.Kind(), idxKnown: true}
+}
+
+// IndexKind reports the structure backing a map/set value, when the value
+// was built in this process (constructors know it); ok is false for
+// decoded descriptors, whose structure is sniffed from the root chunk.
+func (v Value) IndexKind() (index.Kind, bool) { return v.idx, v.idxKnown }
+
+// WithIndexKind returns the value stamped with its known index structure —
+// how the engine propagates an FNode's recorded kind onto the descriptor
+// it decoded, so empty values (no root chunk to sniff) keep their branch's
+// structure.  A no-op for non-map/set kinds.
+func (v Value) WithIndexKind(k index.Kind) Value {
+	if v.kind == KindMap || v.kind == KindSet {
+		v.idx, v.idxKnown = k, true
+	}
+	return v
+}
+
+// Index loads the versioned index backing a map or set value, sniffing the
+// structure from the root chunk.  For empty values — no chunk to sniff —
+// the value's own stamped kind (constructors, WithIndexKind) wins over the
+// caller's hint, so a branch whose head emptied keeps its structure.
+func (v Value) Index(st store.Store, cfg chunker.Config, hint index.Kind) (index.VersionedIndex, error) {
+	if v.kind != KindMap && v.kind != KindSet {
+		return nil, fmt.Errorf("%w: have %s want map or set", ErrWrongKind, v.kind)
+	}
+	if v.idxKnown {
+		hint = v.idx
+	}
+	return index.Load(st, cfg, v.root, hint)
 }
 
 // FromMapTree wraps an existing map tree as a value.
 func FromMapTree(t *pos.Tree) Value {
-	return Value{kind: KindMap, root: t.Root(), count: t.Len()}
+	return Value{kind: KindMap, root: t.Root(), count: t.Len(), idx: index.KindPOS, idxKnown: true}
 }
 
 // NewSet builds a set value from elements.
@@ -258,12 +333,12 @@ func NewSet(st store.Store, cfg chunker.Config, elems [][]byte) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	return Value{kind: KindSet, root: t.Root(), count: t.Len()}, nil
+	return FromSetTree(t), nil
 }
 
 // FromSetTree wraps an existing set-shaped tree as a value.
 func FromSetTree(t *pos.Tree) Value {
-	return Value{kind: KindSet, root: t.Root(), count: t.Len()}
+	return Value{kind: KindSet, root: t.Root(), count: t.Len(), idx: index.KindPOS, idxKnown: true}
 }
 
 // NewList builds a list value from items.
@@ -329,18 +404,20 @@ func (v Value) Blob(st store.Store, cfg chunker.Config) (*pos.Blob, error) {
 }
 
 // ChunkIDs returns every chunk id reachable from a value (empty for
-// primitives); used by whole-version verification and GC.
+// primitives); used by whole-version verification and GC.  Map and set
+// values dispatch through the index registry, so the enumeration works for
+// every registered structure.
 func (v Value) ChunkIDs(st store.Store, cfg chunker.Config) ([]hash.Hash, error) {
 	if !v.kind.Composite() || v.root.IsZero() {
 		return nil, nil
 	}
 	switch v.kind {
 	case KindMap, KindSet:
-		t, err := pos.LoadTree(st, cfg, v.root)
+		ix, err := index.Load(st, cfg, v.root, index.KindPOS)
 		if err != nil {
 			return nil, err
 		}
-		return t.ChunkIDs()
+		return ix.ChunkIDs()
 	case KindList:
 		s, err := pos.LoadSeq(st, cfg, v.root)
 		if err != nil {
