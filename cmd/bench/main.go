@@ -11,6 +11,7 @@
 //	bench -exp a1|a2|a3     ablations
 //	bench -exp perf         write/read-path perf suite (median of 5)
 //	bench -exp repl         Merkle-delta replication vs full copy
+//	bench -exp chaos        robustness soak under a seeded fault schedule
 //	bench -exp siri         POS-Tree vs Merkle Patricia Trie comparison
 //
 // Use -quick for smaller workloads (CI-sized).  With -json FILE the perf
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|siri")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|siri")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
@@ -191,6 +192,25 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return nil
+	})
+
+	run("chaos", func() error {
+		rep, err := experiments.RunChaos(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.PrintChaos(out, rep)
+		if *jsonPath != "" {
+			if err := experiments.WriteChaosJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if !rep.Passed {
+			return fmt.Errorf("chaos soak failed: lost_acked=%d within_budget=%v follower=%v cluster=%v crash=%v",
+				rep.LostAckedTotal, rep.WithinBudget, rep.FollowerConverged, rep.ClusterConverged, rep.CrashRecovered)
 		}
 		return nil
 	})

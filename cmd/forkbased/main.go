@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"forkbase/internal/core"
 	"forkbase/internal/index"
@@ -36,6 +37,9 @@ func main() {
 	dir := flag.String("dir", "", "data directory (default: in-memory)")
 	follow := flag.String("follow", "", "run as a read replica of the primary at this address")
 	indexKind := flag.String("index", "", "index structure for new composite values: pos|mpt (default pos)")
+	maxConns := flag.Int("max-conns", 1024, "max concurrent TCP connections (0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-request read deadline / idle-connection timeout (0 = none)")
+	maxLag := flag.Uint64("max-lag", 1024, "replica readiness threshold: max feed entries behind the primary")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "forkbased: ", log.LstdFlags)
@@ -73,6 +77,7 @@ func main() {
 
 	srv := server.New(st, heads, logger)
 	srv.AttachFeed(feed)
+	srv.SetLimits(server.Limits{MaxConns: *maxConns, ReadTimeout: *readTimeout})
 
 	var follower *repl.Follower
 	if *follow != "" {
@@ -106,6 +111,19 @@ func main() {
 		h := rest.New(eng)
 		if follower != nil {
 			h.WithReplStatus(follower.Stats).SetReadOnly(true)
+			// Readiness = synced within the lag threshold; a partitioned or
+			// badly lagging replica answers healthz with 503 so load
+			// balancers drain it instead of serving stale reads.
+			h.WithReadiness(func() (bool, string) {
+				lag, err := follower.Lag()
+				if err != nil {
+					return false, fmt.Sprintf("cannot reach primary: %v", err)
+				}
+				if lag > *maxLag {
+					return false, fmt.Sprintf("lagging %d entries (threshold %d)", lag, *maxLag)
+				}
+				return true, ""
+			})
 		}
 		go func() {
 			logger.Printf("REST API on %s", *httpAddr)

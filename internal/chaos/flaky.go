@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// FlakyStore wraps a store.Store and injects transient failures and slow
+// calls.  Failures surface as store.ErrUnavailable — the transient class
+// the retry and serving layers are built to absorb — never as silent
+// corruption (that threat model is MaliciousStore's job).  It forwards the
+// batch capabilities, so it composes with the counting/verifying wrappers
+// in either order.
+type FlakyStore struct {
+	Inner store.Store
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	failEvery int           // every nth op fails (0 = off); deterministic
+	prob      float64       // per-op failure probability from the seed
+	delay     time.Duration // injected latency per op
+	down      bool          // hard outage: every op fails until lifted
+	ops       int64
+	failures  int64
+}
+
+var (
+	_ store.Store          = (*FlakyStore)(nil)
+	_ store.BatchStore     = (*FlakyStore)(nil)
+	_ store.BatchReadStore = (*FlakyStore)(nil)
+)
+
+// NewFlakyStore wraps inner with a seeded fault source.  With no knobs set
+// it is a transparent pass-through.
+func NewFlakyStore(inner store.Store, seed int64) *FlakyStore {
+	return &FlakyStore{Inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailEvery makes every nth operation fail (0 disables).  Deterministic
+// regardless of seed: the schedule is the op counter.
+func (f *FlakyStore) FailEvery(n int) { f.mu.Lock(); f.failEvery = n; f.mu.Unlock() }
+
+// SetProb makes each operation fail with probability p, drawn from the
+// seeded source.
+func (f *FlakyStore) SetProb(p float64) { f.mu.Lock(); f.prob = p; f.mu.Unlock() }
+
+// SetDelay injects d of latency into every operation.
+func (f *FlakyStore) SetDelay(d time.Duration) { f.mu.Lock(); f.delay = d; f.mu.Unlock() }
+
+// SetDown toggles a hard outage: every operation fails until lifted.
+func (f *FlakyStore) SetDown(down bool) { f.mu.Lock(); f.down = down; f.mu.Unlock() }
+
+// Failures reports how many operations were failed by injection.
+func (f *FlakyStore) Failures() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.failures }
+
+// enter applies the per-op fault schedule: count, delay, maybe fail.
+func (f *FlakyStore) enter(op string) error {
+	f.mu.Lock()
+	f.ops++
+	delay := f.delay
+	fail := f.down ||
+		(f.failEvery > 0 && f.ops%int64(f.failEvery) == 0) ||
+		(f.prob > 0 && f.rng.Float64() < f.prob)
+	if fail {
+		f.failures++
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return fmt.Errorf("chaos: injected %s fault: %w", op, store.ErrUnavailable)
+	}
+	return nil
+}
+
+// Put implements store.Store.
+func (f *FlakyStore) Put(c *chunk.Chunk) (bool, error) {
+	if err := f.enter("put"); err != nil {
+		return false, err
+	}
+	return f.Inner.Put(c)
+}
+
+// Get implements store.Store.
+func (f *FlakyStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	if err := f.enter("get"); err != nil {
+		return nil, err
+	}
+	return f.Inner.Get(id)
+}
+
+// Has implements store.Store.
+func (f *FlakyStore) Has(id hash.Hash) (bool, error) {
+	if err := f.enter("has"); err != nil {
+		return false, err
+	}
+	return f.Inner.Has(id)
+}
+
+// PutBatch implements store.BatchStore; one injection decision covers the
+// whole batch (a backend fails per request, not per record).
+func (f *FlakyStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
+	if err := f.enter("putbatch"); err != nil {
+		return make([]bool, len(cs)), err
+	}
+	return store.PutBatch(f.Inner, cs)
+}
+
+// GetBatch implements store.BatchReadStore.
+func (f *FlakyStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	if err := f.enter("getbatch"); err != nil {
+		return nil, err
+	}
+	return store.GetBatch(f.Inner, ids)
+}
+
+// HasBatch implements store.BatchReadStore.
+func (f *FlakyStore) HasBatch(ids []hash.Hash) ([]bool, error) {
+	if err := f.enter("hasbatch"); err != nil {
+		return nil, err
+	}
+	return store.HasBatch(f.Inner, ids)
+}
+
+// Stats implements store.Store.  Never injected: health probes must see the
+// store even mid-outage.
+func (f *FlakyStore) Stats() store.Stats { return f.Inner.Stats() }

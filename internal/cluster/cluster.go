@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -20,22 +21,55 @@ import (
 
 // Cluster is a client-side view of a sharded ForkBase deployment.
 type Cluster struct {
+	addrs   []string
 	clients []*server.Client
 	stores  []*server.RemoteStore
 	heads   *server.RemoteBranchTable
 }
 
-// Connect dials every node; addrs[0] is the metadata master.
+// ShardError names the shard behind a failed cluster operation, so a
+// partial failure reads "shard 2 (10.0.0.3:7200) is down", not an anonymous
+// transport error.  errors.Is/As reach through to the cause.
+type ShardError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// shardErr tags err with its shard (nil stays nil).
+func (c *Cluster) shardErr(n int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ShardError{Shard: n, Addr: c.addrs[n], Err: err}
+}
+
+// Connect dials every node with default client options; addrs[0] is the
+// metadata master.
 func Connect(addrs []string) (*Cluster, error) {
+	return ConnectWithOptions(addrs, server.ClientOptions{})
+}
+
+// ConnectWithOptions dials every node with explicit timeouts and retry
+// policy.  Each shard's client retries independently (reconnect + backoff
+// on transport faults), so one flaky node slows only its own share of a
+// scatter — the per-shard retry the gather paths build on.
+func ConnectWithOptions(addrs []string, opts server.ClientOptions) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no addresses")
 	}
-	c := &Cluster{}
-	for _, a := range addrs {
-		cl, err := server.Dial(a)
+	c := &Cluster{addrs: addrs}
+	for i, a := range addrs {
+		cl, err := server.DialWithOptions(a, opts)
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("cluster: %w", err)
+			return nil, c.shardErr(i, err)
 		}
 		c.clients = append(c.clients, cl)
 		c.stores = append(c.stores, server.NewRemoteStore(cl))
@@ -88,7 +122,10 @@ func (s *shardedStore) cluster() *Cluster { return (*Cluster)(s) }
 
 // Put implements store.Store.
 func (s *shardedStore) Put(ch *chunk.Chunk) (bool, error) {
-	return s.cluster().shard(ch.ID()).Put(ch)
+	c := s.cluster()
+	n := c.shardIndex(ch.ID())
+	fresh, err := c.stores[n].Put(ch)
+	return fresh, c.shardErr(n, err)
 }
 
 // PutBatch implements store.BatchStore: the batch is split by placement and
@@ -115,7 +152,7 @@ func (s *shardedStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
 			defer wg.Done()
 			partFresh, err := c.stores[n].PutBatch(part)
 			if err != nil {
-				errs[n] = err
+				errs[n] = c.shardErr(n, err)
 				return
 			}
 			for j, i := range idxs {
@@ -124,22 +161,34 @@ func (s *shardedStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
 		}(n, idxs, part)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return fresh, err
-		}
+	// Aggregate every failed shard (not just the first): a caller staring at
+	// a partial-failure error needs to know the full blast radius.
+	if err := errors.Join(errs...); err != nil {
+		return fresh, err
 	}
 	return fresh, nil
 }
 
 // Get implements store.Store.
 func (s *shardedStore) Get(id hash.Hash) (*chunk.Chunk, error) {
-	return s.cluster().shard(id).Get(id)
+	c := s.cluster()
+	n := c.shardIndex(id)
+	ch, err := c.stores[n].Get(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, err // a clean miss is not a shard failure
+		}
+		return nil, c.shardErr(n, err)
+	}
+	return ch, nil
 }
 
 // Has implements store.Store.
 func (s *shardedStore) Has(id hash.Hash) (bool, error) {
-	return s.cluster().shard(id).Has(id)
+	c := s.cluster()
+	n := c.shardIndex(id)
+	ok, err := c.stores[n].Has(id)
+	return ok, c.shardErr(n, err)
 }
 
 // scatter partitions ids by placement, runs fn once per involved node in
@@ -162,16 +211,13 @@ func (s *shardedStore) scatter(ids []hash.Hash, fn func(node int, idxs []int, pa
 		wg.Add(1)
 		go func(n int, idxs []int, part []hash.Hash) {
 			defer wg.Done()
-			errs[n] = fn(n, idxs, part)
+			errs[n] = c.shardErr(n, fn(n, idxs, part))
 		}(n, idxs, part)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	// One slow-or-dead shard must not masquerade as total failure: name
+	// every shard that failed and let errors.Is/As find the causes.
+	return errors.Join(errs...)
 }
 
 // GetBatch implements store.BatchReadStore: ids are split by placement and

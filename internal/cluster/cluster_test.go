@@ -1,8 +1,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
+
+	"forkbase/internal/chaos"
+	"forkbase/internal/retry"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
@@ -173,5 +179,85 @@ func TestClusterBatchReads(t *testing.T) {
 	}
 	if has[len(ids)] {
 		t.Fatal("HasBatch claimed the absent id")
+	}
+}
+
+// TestClusterGetBatchShardDownNamesShard pins the partial-failure contract:
+// with one shard unreachable (responses black-holed, the nastiest case — a
+// dead socket fails fast, a partition hangs naive clients), a batched read
+// must come back within the retry budget with an error naming the dead
+// shard, while the other shards' data is untouched.
+func TestClusterGetBatchShardDownNamesShard(t *testing.T) {
+	addrs := make([]string, 3)
+	for i := range addrs {
+		srv := server.New(store.NewMemStore(), core.NewMemBranchTable(), nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+		t.Cleanup(func() { srv.Close() })
+	}
+	proxy, err := chaos.NewProxy(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+	addrs[1] = proxy.Addr()
+
+	opts := server.ClientOptions{
+		DialTimeout: time.Second,
+		OpTimeout:   200 * time.Millisecond,
+		Retry:       retry.Policy{Attempts: 2, Base: 5 * time.Millisecond, Max: 10 * time.Millisecond},
+	}
+	c, err := ConnectWithOptions(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	st := c.Store()
+	var ids []hash.Hash
+	hit := map[int]bool{}
+	for i := 0; len(ids) < 30 || len(hit) < 3; i++ {
+		ch := chunk.New(chunk.TypeBlobLeaf, []byte{byte(i), byte(i >> 8), 'd'})
+		if _, err := st.Put(ch); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ch.ID())
+		hit[c.shardIndex(ch.ID())] = true
+	}
+
+	proxy.Partition(chaos.ToClient, true) // shard 1 receives, never answers
+
+	start := time.Now()
+	_, err = store.GetBatch(st, ids)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("GetBatch with a dead shard succeeded")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != 1 {
+		t.Fatalf("error does not name the dead shard: %v", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("error text hides the shard: %v", err)
+	}
+	// Not a hang: bounded by the per-shard retry budget, with slack for a
+	// loaded CI machine.
+	if elapsed > 5*time.Second {
+		t.Fatalf("GetBatch blocked %v under a one-way partition", elapsed)
+	}
+
+	// The healthy shards still serve their share.
+	proxy.Heal()
+	got, err := store.GetBatch(st, ids)
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	for i, ch := range got {
+		if ch == nil || ch.ID() != ids[i] {
+			t.Fatalf("slot %d wrong after heal", i)
+		}
 	}
 }

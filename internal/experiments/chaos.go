@@ -1,0 +1,538 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forkbase/internal/chaos"
+	"forkbase/internal/chunk"
+	"forkbase/internal/cluster"
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/repl"
+	"forkbase/internal/retry"
+	"forkbase/internal/server"
+	"forkbase/internal/store"
+	"forkbase/internal/value"
+)
+
+// ChaosReport is the robustness soak (BENCH_6): a seeded fault schedule —
+// connection resets, latency spikes, one-way partitions, mid-frame cuts,
+// store brown-outs and crash points — runs over a primary, a following
+// replica and a 3-shard cluster while writers and a latency prober keep
+// working through the faults.  After the storm heals, the pass criteria are
+// exact: zero lost acknowledged writes, byte-identical convergence
+// everywhere, and no client op ever blocked past its deadline budget.
+type ChaosReport struct {
+	Suite      string `json:"suite"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	ElapsedNs  int64  `json:"elapsed_ns"`
+
+	// The fault schedule actually injected (seed-deterministic choices;
+	// counts keyed by fault class).
+	Rounds int            `json:"rounds"`
+	Faults map[string]int `json:"faults"`
+	Resets int64          `json:"proxy_resets"`
+	Cuts   int64          `json:"proxy_cuts"`
+
+	// Primary writers (full engine over the faulty wire: chunk puts + CAS).
+	PrimaryWrites    int `json:"primary_writes"`
+	PrimaryAcked     int `json:"primary_acked"`
+	PrimaryAmbiguous int `json:"primary_ambiguous"`
+	PrimaryRejected  int `json:"primary_rejected"`
+	PrimaryLostAcked int `json:"primary_lost_acked"`
+
+	// Latency prober: every op must resolve — success or failure — inside
+	// the client's worst-case deadline budget (Client.MaxBlock).
+	ProbeOps     int64 `json:"probe_ops"`
+	MaxOpNs      int64 `json:"max_op_ns"`
+	BudgetNs     int64 `json:"budget_ns"`
+	WithinBudget bool  `json:"within_budget"`
+
+	// Follower: must converge byte-identical after the heal, using snapshot
+	// fallback when the blind window outran the feed ring.
+	FollowerSnapshots uint64 `json:"follower_snapshots"`
+	FollowerErrors    uint64 `json:"follower_errors"`
+	FollowerConverged bool   `json:"follower_converged"`
+
+	// Cluster writers (3 shards, each behind its own faulty proxy; shard 0's
+	// store additionally browns out on a schedule).
+	ClusterWrites    int  `json:"cluster_writes"`
+	ClusterAcked     int  `json:"cluster_acked"`
+	ClusterLostAcked int  `json:"cluster_lost_acked"`
+	ClusterConverged bool `json:"cluster_converged"`
+	StoreFaults      int  `json:"store_faults"`
+
+	// Crash points: simulated process deaths inside FileStore's rotate and
+	// compact paths; every acknowledged chunk must survive the reopen.
+	CrashPoints    int  `json:"crash_points"`
+	CrashLostAcked int  `json:"crash_lost_acked"`
+	CrashRecovered bool `json:"crash_recovered"`
+
+	// LostAckedTotal is the headline number: it must be zero.
+	LostAckedTotal int  `json:"lost_acked_total"`
+	Passed         bool `json:"passed"`
+}
+
+// chaosSeed makes the soak reproducible: rerunning with the same seed
+// replays the same fault schedule.
+const chaosSeed = 20
+
+// RunChaos executes the robustness soak.
+func RunChaos(quick bool) (*ChaosReport, error) {
+	rounds, outage := 120, 150*time.Millisecond
+	if quick {
+		rounds, outage = 40, 60*time.Millisecond
+	}
+	rep := &ChaosReport{
+		Suite:      "forkbase-chaos",
+		Quick:      quick,
+		Seed:       chaosSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Rounds:     rounds,
+		Faults:     map[string]int{},
+	}
+	start := time.Now()
+
+	// ---- Primary: engine + feed + TCP service, behind a chaos proxy.
+	pst := store.NewMemStore()
+	feed := core.NewFeed(64) // small ring: blind windows force snapshot fallback
+	pheads := core.WithFeed(core.NewMemBranchTable(), feed)
+	prim := core.Open(core.Options{Store: pst, Branches: pheads})
+	defer prim.Close()
+	srv := server.New(pst, pheads, nil)
+	srv.AttachFeed(feed)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	pWriter, err := chaos.NewProxy(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer pWriter.Close()
+	pFollower, err := chaos.NewProxy(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer pFollower.Close()
+
+	copts := server.ClientOptions{
+		DialTimeout: time.Second,
+		OpTimeout:   250 * time.Millisecond,
+		Retry:       retry.Policy{Attempts: 4, Base: 10 * time.Millisecond, Max: 50 * time.Millisecond},
+	}
+
+	// The writer runs a full engine over the faulty wire: every Put is
+	// remote chunk writes plus a remote CAS, exercising reconnect, resend
+	// gating and the ambiguity probe.
+	wcl, err := server.DialWithOptions(pWriter.Addr(), copts)
+	if err != nil {
+		return nil, err
+	}
+	defer wcl.Close()
+	rdb := core.Open(core.Options{Store: server.NewRemoteStore(wcl), Branches: server.NewRemoteBranchTable(wcl)})
+	defer rdb.Close()
+
+	// ---- Follower behind its own proxy (its faults are independent).
+	fcl, err := server.DialWithOptions(pFollower.Addr(), copts)
+	if err != nil {
+		return nil, err
+	}
+	defer fcl.Close()
+	replica := core.Open(core.Options{})
+	defer replica.Close()
+	follower := repl.NewFollower(repl.NewRemoteSource(fcl), replica.Store(), replica.BranchTable(), repl.Options{
+		Poll:     50 * time.Millisecond,
+		RetryMin: 10 * time.Millisecond,
+		RetryMax: 100 * time.Millisecond,
+	})
+	follower.Start()
+	defer follower.Close()
+
+	// ---- 3-shard cluster, each shard behind its own proxy; shard 0's
+	// store browns out every 40th op on top of the network faults.
+	flaky := chaos.NewFlakyStore(store.NewMemStore(), chaosSeed)
+	flaky.FailEvery(40)
+	shardStores := []store.Store{flaky, store.NewMemStore(), store.NewMemStore()}
+	var shardProxies []*chaos.Proxy
+	var shardAddrs []string
+	for _, sst := range shardStores {
+		ssrv := server.New(sst, core.NewMemBranchTable(), nil)
+		saddr, err := ssrv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer ssrv.Close()
+		sp, err := chaos.NewProxy(saddr)
+		if err != nil {
+			return nil, err
+		}
+		defer sp.Close()
+		shardProxies = append(shardProxies, sp)
+		shardAddrs = append(shardAddrs, sp.Addr())
+	}
+	cl, err := cluster.ConnectWithOptions(shardAddrs, copts)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	cst := cl.Store()
+
+	// ---- Background workload: writers and a latency prober run through
+	// every fault window, not just between them.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	var mu sync.Mutex
+	acked := map[string]string{} // key -> acknowledged payload
+	var wrote, ambiguous, rejected int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := 0; ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := fmt.Sprintf("k%05d", seq)
+			val := fmt.Sprintf("payload-%d-%d", chaosSeed, seq)
+			_, err := rdb.Put(key, "", value.String(val), nil)
+			mu.Lock()
+			wrote++
+			switch {
+			case err == nil:
+				acked[key] = val
+			case errors.Is(err, server.ErrAmbiguous):
+				ambiguous++
+			default:
+				rejected++
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var cmu sync.Mutex
+	var cacked []hash.Hash
+	var cwrote int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := 0; ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := chunk.New(chunk.TypeBlobLeaf,
+				[]byte(fmt.Sprintf("shard-payload-%d-%d-%s", chaosSeed, seq, strings.Repeat("x", 40))))
+			_, err := cst.Put(c)
+			cmu.Lock()
+			cwrote++
+			if err == nil {
+				cacked = append(cacked, c.ID())
+			}
+			cmu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Prober: read-only ops against the primary through the faulty proxy.
+	// Whatever the schedule does, each op must resolve within MaxBlock.
+	pcl, err := server.DialWithOptions(pWriter.Addr(), copts)
+	if err != nil {
+		return nil, err
+	}
+	defer pcl.Close()
+	probeBT := server.NewRemoteBranchTable(pcl)
+	var probeOps, maxOpNs atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			_, _, _ = probeBT.Head("k00000", "")
+			ns := time.Since(t0).Nanoseconds()
+			probeOps.Add(1)
+			for {
+				cur := maxOpNs.Load()
+				if ns <= cur || maxOpNs.CompareAndSwap(cur, ns) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// ---- The storm: a seeded agitator walks the fault schedule over all
+	// five proxies while the workload runs.
+	ag := chaos.NewAgitator(chaosSeed, append([]*chaos.Proxy{pWriter, pFollower}, shardProxies...)...)
+	ag.MaxOutage = outage
+	for i := 0; i < rounds; i++ {
+		desc := ag.Round()
+		class := desc
+		if j := strings.IndexByte(desc, ' '); j > 0 {
+			class = desc[:j]
+		}
+		rep.Faults[class]++
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// ---- Heal everything and let the workload drain.
+	close(stop)
+	wg.Wait()
+	for _, p := range append([]*chaos.Proxy{pWriter, pFollower}, shardProxies...) {
+		p.Heal()
+	}
+	flaky.FailEvery(0)
+
+	rep.PrimaryWrites, rep.PrimaryAmbiguous, rep.PrimaryRejected = wrote, ambiguous, rejected
+	rep.PrimaryAcked = len(acked)
+	rep.ClusterWrites, rep.ClusterAcked = cwrote, len(cacked)
+	rep.ProbeOps = probeOps.Load()
+	rep.MaxOpNs = maxOpNs.Load()
+	rep.BudgetNs = pcl.MaxBlock(0).Nanoseconds()
+	rep.WithinBudget = rep.MaxOpNs <= rep.BudgetNs
+	rep.StoreFaults = int(flaky.Failures())
+	_, rep.Resets, rep.Cuts = pWriter.Stats()
+	for _, p := range append([]*chaos.Proxy{pFollower}, shardProxies...) {
+		_, r, c := p.Stats()
+		rep.Resets += r
+		rep.Cuts += c
+	}
+
+	// ---- Verify: every acknowledged primary write is readable server-side
+	// with the acknowledged payload.
+	for key, want := range acked {
+		v, err := prim.Get(key, "")
+		if err != nil {
+			rep.PrimaryLostAcked++
+			continue
+		}
+		if got, err := v.Value.AsString(); err != nil || got != want {
+			rep.PrimaryLostAcked++
+		}
+	}
+
+	// ---- Follower convergence: byte-identical heads (uid equality is
+	// content-addressed identity) and acknowledged payloads readable from
+	// the replica's own store.
+	if err := follower.WaitCaughtUp(2 * time.Minute); err != nil {
+		return nil, fmt.Errorf("follower never converged after heal: %w", err)
+	}
+	rep.FollowerConverged = true
+	keys, err := prim.ListKeys()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		ph, err := prim.Head(key, "")
+		if err != nil {
+			return nil, err
+		}
+		rh, err := replica.Head(key, "")
+		if err != nil || rh != ph {
+			rep.FollowerConverged = false
+			break
+		}
+	}
+	if rep.FollowerConverged {
+		for key, want := range acked {
+			v, err := replica.Get(key, "")
+			if err != nil {
+				rep.FollowerConverged = false
+				break
+			}
+			if got, err := v.Value.AsString(); err != nil || got != want {
+				rep.FollowerConverged = false
+				break
+			}
+		}
+	}
+	fstats := follower.Stats()
+	rep.FollowerSnapshots, rep.FollowerErrors = fstats.Snapshots, fstats.Errors
+
+	// ---- Cluster: every acknowledged chunk is present and verifies.
+	for _, id := range cacked {
+		c, err := cst.Get(id)
+		if err != nil || c == nil {
+			rep.ClusterLostAcked++
+		}
+	}
+	rep.ClusterConverged = rep.ClusterLostAcked == 0
+
+	// ---- Crash points: die inside rotate and compact, reopen, audit.
+	if err := runCrashPoints(rep); err != nil {
+		return nil, err
+	}
+
+	rep.LostAckedTotal = rep.PrimaryLostAcked + rep.ClusterLostAcked + rep.CrashLostAcked
+	rep.ElapsedNs = time.Since(start).Nanoseconds()
+	rep.Passed = rep.LostAckedTotal == 0 && rep.WithinBudget &&
+		rep.FollowerConverged && rep.ClusterConverged && rep.CrashRecovered
+	return rep, nil
+}
+
+// runCrashPoints simulates a process death at FileStore's rotate seam and
+// again inside compaction, verifying acknowledged chunks survive each
+// reopen.  Panics with a chaos.Crash value stand in for the process dying;
+// recovery is a fresh OpenFileStore over the same directory.
+func runCrashPoints(rep *ChaosReport) error {
+	dir, err := os.MkdirTemp("", "forkbase-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	expectCrash := func(fn func()) (crashed bool, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(chaos.Crash); !ok {
+					err = fmt.Errorf("unexpected panic: %v", r)
+					return
+				}
+				crashed = true
+			}
+		}()
+		fn()
+		return false, nil
+	}
+
+	// Crash 1: mid-rotate, before the old segment seals.
+	fs, err := store.OpenFileStoreSegmented(dir, 4096)
+	if err != nil {
+		return err
+	}
+	fs.SetCrashHook(chaos.PanicAt(store.CrashRotateBeforeSeal, 1))
+	var acked []hash.Hash
+	var putErr error
+	crashed, err := expectCrash(func() {
+		for i := 0; i < 400; i++ {
+			c := chunk.New(chunk.TypeBlobLeaf,
+				[]byte(fmt.Sprintf("crash-payload-%04d-%s", i, strings.Repeat("y", 48))))
+			if _, putErr = fs.Put(c); putErr != nil {
+				return
+			}
+			acked = append(acked, c.ID())
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if putErr != nil {
+		return fmt.Errorf("chaos: put before crash point: %w", putErr)
+	}
+	if !crashed {
+		return fmt.Errorf("chaos: store never reached the rotate crash point")
+	}
+	rep.CrashPoints++
+	fs.Close()
+
+	re, err := store.OpenFileStoreSegmented(dir, 4096)
+	if err != nil {
+		return fmt.Errorf("reopen after rotate crash: %w", err)
+	}
+	for _, id := range acked {
+		if _, err := re.Get(id); err != nil {
+			rep.CrashLostAcked++
+		}
+	}
+
+	// Crash 2: inside compaction, after the live rewrite but before the old
+	// segment is unlinked — the window where a naive compactor loses data.
+	keep := map[hash.Hash]bool{}
+	for i, id := range acked {
+		if i%2 == 0 {
+			keep[id] = true
+		}
+	}
+	re.SetCrashHook(chaos.PanicAt(store.CrashCompactBeforeUnlink, 1))
+	crashed, err = expectCrash(func() {
+		_, _ = re.Sweep(func(id hash.Hash) bool { return keep[id] }, 0)
+	})
+	if err != nil {
+		return err
+	}
+	if crashed {
+		rep.CrashPoints++
+	}
+	re.Close()
+
+	re2, err := store.OpenFileStoreSegmented(dir, 4096)
+	if err != nil {
+		return fmt.Errorf("reopen after compact crash: %w", err)
+	}
+	defer re2.Close()
+	for id := range keep {
+		if _, err := re2.Get(id); err != nil {
+			rep.CrashLostAcked++
+		}
+	}
+	rep.CrashRecovered = rep.CrashLostAcked == 0
+	return nil
+}
+
+// PrintChaos renders the report.
+func PrintChaos(w io.Writer, rep *ChaosReport) {
+	fmt.Fprintf(w, "Chaos soak: seeded fault schedule (seed=%d, rounds=%d, GOMAXPROCS=%d, %s)\n",
+		rep.Seed, rep.Rounds, rep.GoMaxProcs, rep.GoVersion)
+	fmt.Fprintf(w, "  faults injected          ")
+	first := true
+	for _, class := range []string{"latency", "reset", "one-way", "cut"} {
+		if n, ok := rep.Faults[class]; ok {
+			if !first {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s=%d", class, n)
+			first = false
+		}
+	}
+	fmt.Fprintf(w, " (+%d conn resets, %d mid-frame cuts, %d store brown-outs)\n",
+		rep.Resets, rep.Cuts, rep.StoreFaults)
+	fmt.Fprintf(w, "  primary writes           %d acked / %d attempted (%d ambiguous, %d rejected), lost acked: %d\n",
+		rep.PrimaryAcked, rep.PrimaryWrites, rep.PrimaryAmbiguous, rep.PrimaryRejected, rep.PrimaryLostAcked)
+	fmt.Fprintf(w, "  deadline budget          max op %.1fms of %.1fms budget over %d probes: within=%v\n",
+		float64(rep.MaxOpNs)/1e6, float64(rep.BudgetNs)/1e6, rep.ProbeOps, rep.WithinBudget)
+	fmt.Fprintf(w, "  follower                 converged=%v (snapshots=%d, errors=%d)\n",
+		rep.FollowerConverged, rep.FollowerSnapshots, rep.FollowerErrors)
+	fmt.Fprintf(w, "  cluster (3 shards)       %d acked / %d attempted, lost acked: %d, converged=%v\n",
+		rep.ClusterAcked, rep.ClusterWrites, rep.ClusterLostAcked, rep.ClusterConverged)
+	fmt.Fprintf(w, "  crash points             %d simulated crashes, lost acked: %d, recovered=%v\n",
+		rep.CrashPoints, rep.CrashLostAcked, rep.CrashRecovered)
+	verdict := "PASS"
+	if !rep.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "  verdict                  %s (lost acked total: %d)  elapsed %.1fs\n",
+		verdict, rep.LostAckedTotal, float64(rep.ElapsedNs)/1e9)
+}
+
+// WriteChaosJSON writes the report to path.
+func WriteChaosJSON(path string, rep *ChaosReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

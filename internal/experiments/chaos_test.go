@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestChaosSoak pins PR 6's acceptance criteria: under the seeded fault
+// schedule the system converges byte-identical with zero lost acknowledged
+// writes, and no client op blocks past its deadline budget.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	rep, err := RunChaos(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostAckedTotal != 0 {
+		t.Errorf("lost acknowledged writes: primary=%d cluster=%d crash=%d",
+			rep.PrimaryLostAcked, rep.ClusterLostAcked, rep.CrashLostAcked)
+	}
+	if !rep.WithinBudget {
+		t.Errorf("a client op blocked %.1fms, past its %.1fms deadline budget",
+			float64(rep.MaxOpNs)/1e6, float64(rep.BudgetNs)/1e6)
+	}
+	if !rep.FollowerConverged {
+		t.Error("follower did not converge byte-identical after the heal")
+	}
+	if !rep.ClusterConverged {
+		t.Error("cluster lost acknowledged chunks")
+	}
+	if !rep.CrashRecovered {
+		t.Error("crash-point recovery lost acknowledged chunks")
+	}
+	// The soak must actually have exercised the system: real faults were
+	// injected and real writes were acknowledged through them.
+	if rep.Rounds == 0 || len(rep.Faults) == 0 {
+		t.Error("no faults injected")
+	}
+	if rep.PrimaryAcked == 0 || rep.ClusterAcked == 0 {
+		t.Errorf("workload too thin: primary acked %d, cluster acked %d",
+			rep.PrimaryAcked, rep.ClusterAcked)
+	}
+	if rep.ProbeOps == 0 {
+		t.Error("latency prober never ran")
+	}
+}

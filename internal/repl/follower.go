@@ -8,6 +8,7 @@ import (
 
 	"forkbase/internal/core"
 	"forkbase/internal/hash"
+	"forkbase/internal/retry"
 	"forkbase/internal/store"
 )
 
@@ -19,9 +20,15 @@ type Options struct {
 	Poll time.Duration
 	// BatchLimit bounds feed entries applied per round (default 256).
 	BatchLimit int
-	// RetryMin / RetryMax bound the exponential backoff after a failed
-	// round (defaults 100ms / 5s).
+	// RetryMin / RetryMax bound the jittered exponential backoff after a
+	// failed round (defaults 100ms / 5s).
 	RetryMin, RetryMax time.Duration
+	// FetchRetry is the per-batch retry policy inside the Merkle walk:
+	// a transient GetChunks failure re-fetches that one batch, resuming the
+	// walk where it stood, instead of failing the round and restarting the
+	// whole graph after the round backoff.  Zero value: 3 attempts bounded
+	// by RetryMin/RetryMax.
+	FetchRetry retry.Policy
 }
 
 func (o *Options) fill() {
@@ -37,6 +44,21 @@ func (o *Options) fill() {
 	if o.RetryMax <= 0 {
 		o.RetryMax = 5 * time.Second
 	}
+	if o.FetchRetry.Attempts == 0 {
+		o.FetchRetry.Attempts = 3
+	}
+	if o.FetchRetry.Base <= 0 {
+		o.FetchRetry.Base = o.RetryMin
+	}
+	if o.FetchRetry.Max <= 0 {
+		o.FetchRetry.Max = o.RetryMax
+	}
+}
+
+// backoffPolicy is the round-level backoff shape, shared with the retry
+// package so every loop in the system backs off the same (jittered) way.
+func (o *Options) backoffPolicy() retry.Policy {
+	return retry.Policy{Base: o.RetryMin, Max: o.RetryMax}
 }
 
 // Follower is the replica state machine: snapshot catch-up, then an
@@ -72,12 +94,13 @@ type Follower struct {
 // follower.
 func NewFollower(src Source, local store.Store, heads core.BranchTable, opts Options) *Follower {
 	opts.fill()
+	stop := make(chan struct{})
 	f := &Follower{
 		src:   src,
-		sync:  &syncer{src: src, local: local},
+		sync:  &syncer{src: src, local: local, retry: opts.FetchRetry, stop: stop},
 		heads: heads,
 		opts:  opts,
-		stop:  make(chan struct{}),
+		stop:  stop,
 		done:  make(chan struct{}),
 	}
 	f.applied = sync.NewCond(&f.mu)
@@ -180,7 +203,8 @@ func (f *Follower) bump(fn func(*Stats)) {
 // run is the follower loop.
 func (f *Follower) run() {
 	defer close(f.done)
-	backoff := f.opts.RetryMin
+	pol := f.opts.backoffPolicy()
+	fails := 0 // consecutive failed rounds; indexes the backoff curve
 	needSnapshot := true
 	vanished := 0 // consecutive ErrChunkVanished rounds
 	var cursor core.FeedCursor
@@ -230,17 +254,43 @@ func (f *Follower) run() {
 			select {
 			case <-f.stop:
 				return
-			case <-time.After(backoff):
+			case <-time.After(pol.Backoff(fails)):
 			}
-			backoff *= 2
-			if backoff > f.opts.RetryMax {
-				backoff = f.opts.RetryMax
-			}
+			fails++
 			continue
 		}
-		backoff = f.opts.RetryMin
+		fails = 0
 		vanished = 0
 	}
+}
+
+// Lag reports how many feed entries the replica trails the primary by
+// right now (one Seq probe against the source).  An epoch mismatch —
+// primary restarted, or nothing applied yet — counts as fully behind.
+func (f *Follower) Lag() (uint64, error) {
+	target, err := f.src.Seq()
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cursor.Epoch != target.Epoch {
+		return target.Seq + 1, nil
+	}
+	if f.cursor.Seq >= target.Seq {
+		return 0, nil
+	}
+	return target.Seq - f.cursor.Seq, nil
+}
+
+// Ready is the readiness predicate behind /v1/healthz: the replica is
+// serving-fit when it can reach its primary and is synced to within maxLag
+// feed entries.  A live-but-lagging follower stays "alive" (the loop is
+// running) while reporting not-ready, so load balancers drain it instead of
+// serving stale reads.
+func (f *Follower) Ready(maxLag uint64) bool {
+	lag, err := f.Lag()
+	return err == nil && lag <= maxLag
 }
 
 // snapshot performs a full catch-up: anchor a cursor, mirror every primary
@@ -344,7 +394,9 @@ func (f *Follower) tailOnce(cursor core.FeedCursor) (core.FeedCursor, bool, erro
 // the building block the experiments measure in isolation.  It returns the
 // chunks and bytes fetched.
 func SyncRootInto(src Source, local store.Store, root hash.Hash) (chunks, bytes uint64, err error) {
-	s := &syncer{src: src, local: local}
+	// Single-attempt policy: a measurement pull reports failures instead of
+	// silently padding its numbers with retries.
+	s := &syncer{src: src, local: local, retry: retry.Policy{Attempts: -1}}
 	if err := s.syncRoot(root); err != nil {
 		return s.chunksFetched.Load(), s.bytesFetched.Load(), err
 	}

@@ -9,6 +9,7 @@ import (
 	"forkbase/internal/fnode"
 	"forkbase/internal/hash"
 	"forkbase/internal/index"
+	"forkbase/internal/retry"
 	"forkbase/internal/store"
 )
 
@@ -31,9 +32,37 @@ type syncer struct {
 	src   Source
 	local store.Store // replica store (verifying wrapper: claimed chunks recheck on Put)
 
+	// retry wraps each remote fetch batch, making the walk resumable at
+	// batch granularity: a transient source failure re-fetches one batch
+	// instead of abandoning (and later restarting) the whole graph walk.
+	// stop aborts in-flight backoffs on follower shutdown.
+	retry retry.Policy
+	stop  <-chan struct{}
+
 	chunksFetched atomic.Uint64
 	bytesFetched  atomic.Uint64
 	chunksSkipped atomic.Uint64
+}
+
+// fetch pulls one batch of ids from the source under the retry policy.  A
+// vanished chunk (nil slot) is permanent at this layer — only a newer feed
+// entry or a snapshot resolves it, not a re-fetch.
+func (s *syncer) fetch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	var out []*chunk.Chunk
+	err := s.retry.Do(s.stop, func(retry.Attempt) error {
+		part, err := s.src.GetChunks(ids)
+		if err != nil {
+			return err
+		}
+		for j, c := range part {
+			if c == nil {
+				return retry.Permanent(fmt.Errorf("%w: %s", ErrChunkVanished, ids[j].Short()))
+			}
+		}
+		out = part
+		return nil
+	})
+	return out, err
 }
 
 // children returns the chunk ids a chunk references: FNodes link their base
@@ -104,14 +133,11 @@ func (s *syncer) syncRoot(root hash.Hash) error {
 			if end > len(missing) {
 				end = len(missing)
 			}
-			part, err := s.src.GetChunks(missing[off:end])
+			part, err := s.fetch(missing[off:end])
 			if err != nil {
 				return err
 			}
-			for j, c := range part {
-				if c == nil {
-					return fmt.Errorf("%w: %s", ErrChunkVanished, missing[off+j].Short())
-				}
+			for _, c := range part {
 				level = append(level, c)
 				s.chunksFetched.Add(1)
 				s.bytesFetched.Add(uint64(c.Size()))

@@ -14,6 +14,7 @@
 //	POST   /v1/gc                                 collect unreachable chunks
 //	GET    /v1/stats                              store dedup accounting
 //	GET    /v1/repl/status                        replication progress
+//	GET    /v1/healthz                            liveness + readiness probe
 package rest
 
 import (
@@ -36,8 +37,9 @@ import (
 type Handler struct {
 	db         *core.DB
 	mux        *http.ServeMux
-	replStatus func() repl.Stats // nil on non-replicas
-	readOnly   bool              // replicas reject mutating routes
+	replStatus func() repl.Stats     // nil on non-replicas
+	ready      func() (bool, string) // nil = always ready
+	readOnly   bool                  // replicas reject mutating routes
 }
 
 // New builds the handler.
@@ -49,8 +51,43 @@ func New(db *core.DB) *Handler {
 	h.mux.HandleFunc("/v1/batch", h.batch)
 	h.mux.HandleFunc("/v1/gc", h.gc)
 	h.mux.HandleFunc("/v1/repl/status", h.replStatusHandler)
+	h.mux.HandleFunc("/v1/healthz", h.healthz)
 	h.registerDatasets()
 	return h
+}
+
+// WithReadiness installs the readiness predicate behind /v1/healthz.  A
+// replica wires its follower's lag check here (repl.Follower.Ready); a
+// primary usually leaves it nil (always ready).  The detail string explains
+// a not-ready verdict.  Returns h for chaining.
+func (h *Handler) WithReadiness(fn func() (bool, string)) *Handler {
+	h.ready = fn
+	return h
+}
+
+// healthz serves GET /v1/healthz — the probe endpoint load balancers and
+// orchestrators poll.  Answering at all is liveness; the status code is
+// readiness: 200 when serving-fit, 503 (with Retry-After) when not — e.g. a
+// follower lagging beyond its threshold or cut off from its primary.
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	ready, detail := true, ""
+	if h.ready != nil {
+		ready, detail = h.ready()
+	}
+	body := map[string]any{"alive": true, "ready": ready}
+	if detail != "" {
+		body["detail"] = detail
+	}
+	if !ready {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // WithReplStatus publishes replication progress at GET /v1/repl/status;
@@ -119,15 +156,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfterSeconds is the backpressure hint shipped with every 503: long
+// enough to shed a retry storm, short enough that a healed store is
+// rediscovered quickly.
+const retryAfterSeconds = "1"
+
 // writeErr is the single engine-error→HTTP-status mapping.  Every handler
 // funnels non-validation errors through here, so a given engine condition
 // surfaces as the same status on every route: absence is 404, lost races
-// and conflicts are 409, a missing store capability is 501, and detected
-// tampering is 502.  Anything unrecognized stays a 500 — a genuine
-// server-side fault.
+// and conflicts are 409, a missing store capability is 501, detected
+// tampering is 502, and a transiently unavailable store is 503 with a
+// Retry-After hint (back off, don't fail over).  Anything unrecognized
+// stays a 500 — a genuine server-side fault.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, store.ErrUnavailable):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrBranchNotFound),
 		errors.Is(err, core.ErrKeyNotFound),
 		errors.Is(err, pos.ErrKeyNotFound),

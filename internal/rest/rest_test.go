@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"forkbase/internal/chaos"
 	"forkbase/internal/chunk"
 	"forkbase/internal/chunker"
 	"forkbase/internal/core"
@@ -383,5 +384,86 @@ func TestGCEndpointNotCollectable(t *testing.T) {
 	t.Cleanup(srv.Close)
 	if code, _ := doJSON(t, "POST", srv.URL+"/v1/gc", nil); code != http.StatusNotImplemented {
 		t.Fatalf("not-collectable gc code = %d", code)
+	}
+}
+
+func TestHealthzDefaultReady(t *testing.T) {
+	srv, _, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["alive"] != true || body["ready"] != true {
+		t.Fatalf("healthz body: %v", body)
+	}
+}
+
+func TestHealthzNotReadyIs503WithRetryAfter(t *testing.T) {
+	mal := store.NewMaliciousStore(store.NewMemStore())
+	db := core.Open(core.Options{Store: mal, Chunking: chunker.SmallConfig()})
+	h := New(db).WithReadiness(func() (bool, string) { return false, "replica lagging 42 entries" })
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["alive"] != true || body["ready"] != false || body["detail"] != "replica lagging 42 entries" {
+		t.Fatalf("healthz body: %v", body)
+	}
+}
+
+// TestUnavailableStoreIs503 pins graceful degradation on the data routes: a
+// transiently-down store surfaces as 503 + Retry-After (backpressure), not
+// as a 500 or a fake 404.
+func TestUnavailableStoreIs503(t *testing.T) {
+	flaky := chaos.NewFlakyStore(store.NewMemStore(), 1)
+	db := core.Open(core.Options{Store: flaky, Chunking: chunker.SmallConfig()})
+	srv := httptest.NewServer(New(db))
+	t.Cleanup(srv.Close)
+
+	code, _ := doJSON(t, http.MethodPut, srv.URL+"/v1/obj/x", map[string]any{"kind": "string", "value": "v"})
+	if code != http.StatusCreated {
+		t.Fatalf("seed put = %d", code)
+	}
+	flaky.SetDown(true)
+	resp, err := http.Get(srv.URL + "/v1/obj/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("get with store down = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	flaky.SetDown(false)
+	resp2, err := http.Get(srv.URL + "/v1/obj/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("get after recovery = %d, want 200", resp2.StatusCode)
 	}
 }

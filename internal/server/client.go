@@ -11,27 +11,84 @@ import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
 	"forkbase/internal/hash"
+	"forkbase/internal/retry"
 	"forkbase/internal/store"
 )
 
-// Client is a connection to one ForkBase server.  Requests are serialised
-// over a single TCP connection guarded by a mutex; the client reconnects
-// transparently after transport errors.
-type Client struct {
-	addr string
-
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+// ClientOptions tune a Client's failure behavior.  The zero value selects
+// the defaults below.
+type ClientOptions struct {
+	// DialTimeout bounds each (re)connection attempt (default 5s).
+	DialTimeout time.Duration
+	// OpTimeout bounds one request-response attempt: the write deadline
+	// covers the encode, the read deadline covers the decode (plus the
+	// long-poll budget for feed reads).  A stalled server or a chaos
+	// mid-frame truncation surfaces as a timeout instead of hanging the
+	// caller forever (default 10s).
+	OpTimeout time.Duration
+	// Retry is the transport-failure policy: failed attempts reconnect
+	// with exponential backoff.  Retry.Timeout is ignored (OpTimeout is
+	// authoritative).  Non-idempotent ops are never blindly re-sent; see
+	// roundTrip.
+	Retry retry.Policy
 }
 
-// Dial connects to a server and verifies liveness with a ping.
-func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
-	if err := c.connect(); err != nil {
-		return nil, err
+func (o *ClientOptions) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
 	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 10 * time.Second
+	}
+	if o.Retry.Attempts == 0 {
+		o.Retry.Attempts = 4
+	}
+	if o.Retry.Base <= 0 {
+		o.Retry.Base = 50 * time.Millisecond
+	}
+	if o.Retry.Max <= 0 {
+		o.Retry.Max = time.Second
+	}
+	o.Retry.Timeout = o.OpTimeout
+}
+
+// Client is a connection to one ForkBase server.  Requests are serialised
+// over a single TCP connection guarded by a mutex; every attempt runs under
+// explicit read/write deadlines, and transport failures reconnect with
+// backoff under the client's retry policy.
+//
+// Idempotency contract: reads (Get/Has/GetBatch/feed/pin) are retried
+// freely.  Mutations (CAS, chunk puts, branch delete/rename) are re-sent
+// only when the failed attempt provably wrote zero bytes of the request —
+// otherwise the server may have executed it, and the ambiguous error is
+// surfaced to the caller (who owns the op-level recovery; see
+// RemoteBranchTable.CompareAndSet for the CAS probe).
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu     sync.Mutex
+	conn   net.Conn
+	cw     *countingWriter
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+	stop   chan struct{} // closed by Close; aborts in-flight backoffs
+}
+
+// errClientClosed is returned by every op after Close.
+var errClientClosed = errors.New("client: closed")
+
+// Dial connects to a server with default options and verifies liveness with
+// a ping.
+func Dial(addr string) (*Client, error) {
+	return DialWithOptions(addr, ClientOptions{})
+}
+
+// DialWithOptions connects with explicit timeouts and retry policy.
+func DialWithOptions(addr string, opts ClientOptions) (*Client, error) {
+	opts.fill()
+	c := &Client{addr: addr, opts: opts, stop: make(chan struct{})}
 	var resp Response
 	if err := c.roundTrip(&Request{Op: OpPing}, &resp); err != nil {
 		return nil, err
@@ -39,55 +96,145 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
+// countingWriter counts bytes written since the last reset — the witness
+// that lets roundTrip prove a failed send never reached the wire.
+type countingWriter struct {
+	w net.Conn
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// connectLocked dials and installs a fresh connection.  Callers hold c.mu.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("client: dial %s: %w", c.addr, err)
 	}
 	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
+	c.cw = &countingWriter{w: conn}
+	c.enc = gob.NewEncoder(c.cw)
 	c.dec = gob.NewDecoder(conn)
 	return nil
 }
 
+// teardownLocked discards a connection after a transport failure, so the
+// next attempt redials instead of reusing a dead encoder.  Callers hold
+// c.mu.
+func (c *Client) teardownLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn, c.cw, c.enc, c.dec = nil, nil, nil, nil
+}
+
+// idempotent reports whether op may be blindly re-sent after a transport
+// failure that left the server's state unknown.  Reads, presence checks,
+// feed reads and pins are; mutations are not — a CAS executed twice is a
+// lost-update bug, and a re-run batch put skews freshness accounting.
+func idempotent(op Op) bool {
+	switch op {
+	case OpCAS, OpDeleteBranch, OpRenameBranch, OpPutChunk, OpPutChunks:
+		return false
+	}
+	return true
+}
+
+// ErrAmbiguous marks a transport failure after part of a non-idempotent
+// request may have reached the server: the op may or may not have executed.
+// Callers that can probe (re-read the head, re-check presence) should; see
+// RemoteBranchTable.CompareAndSet.
+var ErrAmbiguous = errors.New("client: request outcome unknown")
+
+// roundTrip performs one request-response exchange under the retry policy.
 func (c *Client) roundTrip(req *Request, resp *Response) error {
+	// Long-poll feed reads legitimately idle on the server up to their wait
+	// budget; the read deadline must cover it on top of the op timeout.
+	var extraRead time.Duration
+	if req.Op == OpFeedSince && req.WaitMillis > 0 {
+		extraRead = time.Duration(req.WaitMillis) * time.Millisecond
+	}
+	return c.opts.Retry.Do(c.stop, func(a retry.Attempt) error {
+		return c.attempt(req, resp, extraRead)
+	})
+}
+
+// attempt is one full exchange: (re)connect, encode under a write deadline,
+// decode under a read deadline.  Errors are classified for the retry loop:
+// server-sent errors and ambiguous non-idempotent failures are permanent;
+// everything else is transient and redials.
+func (c *Client) attempt(req *Request, resp *Response, extraRead time.Duration) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return retry.Permanent(errClientClosed)
+	}
 	if c.conn == nil {
-		if err := c.connect(); err != nil {
-			return err
+		if err := c.connectLocked(); err != nil {
+			return err // transient: the policy redials with backoff
 		}
 	}
+	now := time.Now()
+	_ = c.conn.SetWriteDeadline(now.Add(c.opts.OpTimeout))
+	c.cw.n = 0
 	if err := c.enc.Encode(req); err != nil {
-		// One reconnect attempt for stale connections.
-		c.conn.Close()
-		if cerr := c.connect(); cerr != nil {
-			return cerr
+		sent := c.cw.n > 0
+		c.teardownLocked()
+		if sent && !idempotent(req.Op) {
+			return retry.Permanent(fmt.Errorf("%w: send of %s interrupted after %s: %v",
+				ErrAmbiguous, req.Op, c.addr, err))
 		}
-		if err := c.enc.Encode(req); err != nil {
-			return fmt.Errorf("client: send: %w", err)
-		}
+		return fmt.Errorf("client: send %s: %w", req.Op, err)
 	}
+	_ = c.conn.SetReadDeadline(time.Now().Add(c.opts.OpTimeout + extraRead))
+	*resp = Response{}
 	if err := c.dec.Decode(resp); err != nil {
-		c.conn.Close()
-		c.conn = nil
-		return fmt.Errorf("client: recv: %w", err)
+		c.teardownLocked()
+		if !idempotent(req.Op) {
+			// The request reached the wire whole; only the reply was lost.
+			return retry.Permanent(fmt.Errorf("%w: reply to %s lost from %s: %v",
+				ErrAmbiguous, req.Op, c.addr, err))
+		}
+		return fmt.Errorf("client: recv %s: %w", req.Op, err)
 	}
 	if resp.Err != "" {
-		return errors.New(resp.Err)
+		// The server executed the request and refused it: retrying would
+		// re-execute, and the answer would not change.
+		return retry.Permanent(errors.New(resp.Err))
 	}
 	return nil
 }
 
-// Close shuts the connection.
+// MaxBlock is the worst-case wall clock one client op can spend before
+// returning: every retry attempt paying a full dial plus its op timeout,
+// plus all backoffs.  extra is any per-call read allowance (the long-poll
+// budget of a feed read; 0 otherwise).  The chaos soak pins observed op
+// latency against this bound.
+func (c *Client) MaxBlock(extra time.Duration) time.Duration {
+	p := c.opts.Retry
+	p.Timeout = c.opts.DialTimeout + c.opts.OpTimeout + extra
+	return p.MaxElapsed()
+}
+
+// Close shuts the connection.  Safe to call more than once; concurrent ops
+// fail fast instead of waiting out their backoff.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	close(c.stop)
 	if c.conn == nil {
 		return nil
 	}
 	err := c.conn.Close()
-	c.conn = nil
+	c.conn, c.cw, c.enc, c.dec = nil, nil, nil, nil
 	return err
 }
 
@@ -289,11 +436,20 @@ func (r *RemoteBranchTable) Head(key, branch string) (hash.Hash, bool, error) {
 	return resp.UID, resp.Found, nil
 }
 
-// CompareAndSet implements core.BranchTable.
+// CompareAndSet implements core.BranchTable.  An ambiguous transport
+// failure (the CAS may or may not have executed on the server) is resolved
+// by probing the head: if it now equals new, the CAS landed — uids are
+// content-addressed, so "head == new" is exactly the postcondition the
+// caller asked for regardless of which attempt (or writer) established it.
 func (r *RemoteBranchTable) CompareAndSet(key, branch string, old, new hash.Hash) (bool, error) {
 	var resp Response
 	err := r.c.roundTrip(&Request{Op: OpCAS, Key: key, Branch: branch, Old: old, New: new}, &resp)
 	if err != nil {
+		if errors.Is(err, ErrAmbiguous) {
+			if cur, found, herr := r.Head(key, branch); herr == nil && found && cur == new {
+				return true, nil
+			}
+		}
 		return false, err
 	}
 	return resp.OK, nil

@@ -9,6 +9,8 @@
 package server
 
 import (
+	"strconv"
+
 	"forkbase/internal/hash"
 	"forkbase/internal/store"
 )
@@ -54,6 +56,33 @@ const (
 	OpPinHead
 	OpUnpinHead
 )
+
+var opNames = map[Op]string{
+	OpPutChunk:     "PutChunk",
+	OpGetChunk:     "GetChunk",
+	OpHasChunk:     "HasChunk",
+	OpStats:        "Stats",
+	OpHead:         "Head",
+	OpCAS:          "CAS",
+	OpDeleteBranch: "DeleteBranch",
+	OpRenameBranch: "RenameBranch",
+	OpBranches:     "Branches",
+	OpKeys:         "Keys",
+	OpPing:         "Ping",
+	OpPutChunks:    "PutChunks",
+	OpGetChunks:    "GetChunks",
+	OpHasChunks:    "HasChunks",
+	OpFeedSince:    "FeedSince",
+	OpPinHead:      "PinHead",
+	OpUnpinHead:    "UnpinHead",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "Op(" + strconv.Itoa(int(o)) + ")"
+}
 
 // WireChunk is one chunk of a batched put.  The id is a *claim* until the
 // receiving side rehashes the data; mislabelled chunks reject the batch.

@@ -21,13 +21,42 @@ type Server struct {
 	heads    core.BranchTable
 	feed     *core.Feed // non-nil when this node publishes a change feed
 	readOnly bool       // replicas reject mutating ops
+	limits   Limits
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	logger *log.Logger
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	refused uint64 // connections shed by the MaxConns gate
+	logger  *log.Logger
+	wg      sync.WaitGroup
+}
+
+// Limits bound a server's exposure to slow or excessive clients.  The zero
+// value imposes none (library embeddings, tests); cmd/forkbased enables
+// both.
+type Limits struct {
+	// MaxConns caps concurrently served connections.  Excess accepts are
+	// closed immediately — load is shed at the door instead of queueing
+	// goroutines until memory runs out.  Clients see a transport error and
+	// retry with backoff, by which time a slot may have freed.  0 = no cap.
+	MaxConns int
+	// ReadTimeout bounds how long the server waits for a complete request
+	// frame.  It is also the idle-connection timeout: a client that goes
+	// quiet (or a chaos proxy that truncates a frame mid-gob) loses its
+	// connection instead of parking a goroutine forever.  Well-behaved
+	// clients reconnect transparently.  0 = wait forever.
+	ReadTimeout time.Duration
+}
+
+// SetLimits configures load-shedding bounds.  Call before Listen.
+func (s *Server) SetLimits(l Limits) { s.limits = l }
+
+// Refused reports how many connections the MaxConns gate has shed.
+func (s *Server) Refused() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refused
 }
 
 // Feed-serving limits: a single OpFeedSince answer is bounded so a lagging
@@ -89,6 +118,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
+			s.refused++
+			s.mu.Unlock()
+			conn.Close() // shed at the door; the client backs off and retries
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -107,6 +142,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if s.limits.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.limits.ReadTimeout))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {

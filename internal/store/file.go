@@ -90,10 +90,42 @@ type FileStore struct {
 	readers       map[int]*os.File
 	readersClosed bool
 
-	// testBeforeUnlink, when set, runs after compaction's durability barrier
-	// (new copies flushed + fsynced) and before each victim segment is
-	// unlinked — the crash point torn-compaction recovery tests exercise.
-	testBeforeUnlink func(seg int)
+	// hook, when set, runs at the named crash points of the segment
+	// lifecycle (see CrashPoint* constants).  Fault-injection harnesses
+	// panic or snapshot the directory there to make torn-write recovery
+	// tests systematic instead of ad hoc.
+	hook func(point string, seg int)
+}
+
+// Named crash points, in lifecycle order.  Each fires with the relevant
+// segment number while the store's invariants are at their most fragile:
+// recovery must succeed from a crash at any of them.
+const (
+	// CrashRotateBeforeSeal: the active segment is flushed, fsynced and
+	// closed, but not yet renamed/sealed.
+	CrashRotateBeforeSeal = "rotate.before-seal"
+	// CrashRotateAfterSeal: the segment is sealed but the next active
+	// segment does not exist yet.
+	CrashRotateAfterSeal = "rotate.after-seal"
+	// CrashCompactAfterRewrite: every victim's live records are rewritten
+	// into the tail but the durability barrier (flush+fsync) has not run.
+	CrashCompactAfterRewrite = "compact.after-rewrite"
+	// CrashCompactBeforeUnlink: the durability barrier has run and the
+	// victim segment is about to be unlinked.
+	CrashCompactBeforeUnlink = "compact.before-unlink"
+)
+
+// SetCrashHook installs fn at every named crash point (nil uninstalls).
+// fn runs synchronously on the mutating goroutine with store locks held —
+// it must only observe (snapshot the directory) or panic (simulated crash),
+// never call back into the store.
+func (f *FileStore) SetCrashHook(fn func(point string, seg int)) { f.hook = fn }
+
+// at fires the named crash point.
+func (f *FileStore) at(point string, seg int) {
+	if f.hook != nil {
+		f.hook(point, seg)
+	}
 }
 
 // indexShards is the sharding factor of the in-memory index.  Shard choice
@@ -515,9 +547,11 @@ func (f *FileStore) rotate() error {
 		return fmt.Errorf("filestore: %w", err)
 	}
 	seg := int(f.actSeg.Load())
+	f.at(CrashRotateBeforeSeal, seg)
 	if err := f.seal(seg); err != nil {
 		return err
 	}
+	f.at(CrashRotateAfterSeal, seg)
 	f.actSeg.Store(int64(seg + 1))
 	return f.openActive()
 }
@@ -864,6 +898,7 @@ func (f *FileStore) compactLocked(minDeadRatio float64, res *SweepStats) error {
 			return err
 		}
 	}
+	f.at(CrashCompactAfterRewrite, victims[0])
 	// Durability barrier: every rewritten record is on disk before any
 	// victim disappears.  Records that landed in segments sealed during the
 	// rewrite were fsynced by rotate; the tail needs an explicit sync.
@@ -875,9 +910,7 @@ func (f *FileStore) compactLocked(minDeadRatio float64, res *SweepStats) error {
 		return fmt.Errorf("filestore: %w", err)
 	}
 	for _, seg := range victims {
-		if f.testBeforeUnlink != nil {
-			f.testBeforeUnlink(seg)
-		}
+		f.at(CrashCompactBeforeUnlink, seg)
 		if err := os.Remove(f.segmentPath(seg)); err != nil {
 			return fmt.Errorf("filestore: unlinking compacted seg %d: %w", seg, err)
 		}

@@ -291,12 +291,13 @@ func TestFileStoreCrashMidCompaction(t *testing.T) {
 		}
 	}
 	snapped := false
-	s.testBeforeUnlink = func(seg int) {
-		if !snapped { // snapshot once, with every victim still on disk
+	s.SetCrashHook(func(point string, seg int) {
+		if point == CrashCompactBeforeUnlink && !snapped {
+			// snapshot once, with every victim still on disk
 			copyDir(t, dir, crashed)
 			snapped = true
 		}
-	}
+	})
 	if _, err := s.Sweep(sweepKeep(keep), 0); err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,12 @@ import (
 // ErrNotFound is returned when a requested chunk is absent.
 var ErrNotFound = errors.New("store: chunk not found")
 
+// ErrUnavailable marks a transient backend failure: the store (or the node
+// in front of it) cannot serve the request *right now*, but retrying later
+// may succeed.  Serving layers translate it into backpressure (REST replies
+// 503 with Retry-After) instead of treating it as data loss.
+var ErrUnavailable = errors.New("store: temporarily unavailable")
+
 // Store is a content-addressed chunk store.
 //
 // Implementations must be safe for concurrent use.
