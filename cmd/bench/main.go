@@ -13,6 +13,7 @@
 //	bench -exp repl         Merkle-delta replication vs full copy
 //	bench -exp chaos        robustness soak under a seeded fault schedule
 //	bench -exp siri         POS-Tree vs Merkle Patricia Trie comparison
+//	bench -exp scale        GOMAXPROCS matrix for the parallel paths
 //
 // Use -quick for smaller workloads (CI-sized).  With -json FILE the perf
 // suite also writes a machine-readable report (BENCH_N.json artifacts track
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|siri")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|siri|scale")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
@@ -228,5 +229,21 @@ func main() {
 			fmt.Printf("wrote %s\n", *jsonPath)
 		}
 		return nil
+	})
+
+	run("scale", func() error {
+		rep, runErr := experiments.RunScale(*quick)
+		if rep != nil {
+			experiments.PrintScale(out, rep)
+			if *jsonPath != "" {
+				if err := experiments.WriteScaleJSON(*jsonPath, rep); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+		}
+		// A root/delta divergence surfaces as runErr after the partial
+		// report is emitted: CI fails on it.
+		return runErr
 	})
 }

@@ -176,6 +176,7 @@ type options struct {
 	nodeCacheBytes int64
 	compactEvery   time.Duration
 	compactRatio   float64
+	sinkHashers    int
 }
 
 // InMemory keeps everything in RAM (default).
@@ -264,6 +265,17 @@ func WithCompactRatio(ratio float64) Option {
 	return func(o *options) { o.compactRatio = ratio }
 }
 
+// WithSinkHashers overrides the SHA-256 worker count of every chunk sink the
+// engine opens (builders, editors, merges): n > 0 runs n hashing workers per
+// sink, n < 0 pins hashing to each producer goroutine (the right setting
+// when the caller already saturates the cores — e.g. many concurrent
+// writers), and 0 keeps the default of min(GOMAXPROCS-1, 4).  Bulk builds
+// additionally fan out across worker goroutines whose sinks always hash
+// synchronously; this knob governs the remaining single-producer sinks.
+func WithSinkHashers(n int) Option {
+	return func(o *options) { o.sinkHashers = n }
+}
+
 // Open creates or opens a ForkBase instance.
 func Open(opts ...Option) (*DB, error) {
 	var o options
@@ -322,6 +334,7 @@ func Open(opts ...Option) (*DB, error) {
 		NodeCacheBytes: o.nodeCacheBytes,
 		CompactEvery:   compactEvery,
 		CompactRatio:   o.compactRatio,
+		SinkHashers:    o.sinkHashers,
 	})
 	if o.followAddr != "" {
 		if db.clust != nil {

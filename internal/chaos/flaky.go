@@ -17,6 +17,11 @@ import (
 // corruption (that threat model is MaliciousStore's job).  It forwards the
 // batch capabilities, so it composes with the counting/verifying wrappers
 // in either order.
+//
+// Concurrency: every knob, the rng and both counters (ops, failures) are
+// read and written only under one mutex in enter(), so the fault schedule
+// and its accounting stay consistent when parallel build or compaction
+// workers drive the store from many goroutines.
 type FlakyStore struct {
 	Inner store.Store
 

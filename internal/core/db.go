@@ -96,6 +96,12 @@ type Options struct {
 	// FeedCapacity bounds the change feed's retained window (0 selects
 	// DefaultFeedCapacity).  Ignored when Branches is already feed-wrapped.
 	FeedCapacity int
+	// SinkHashers, when non-zero, tunes the SHA-256 worker count of every
+	// chunk sink opened over this DB's store: > 0 runs that many workers
+	// per sink, < 0 pins hashing to the producer goroutine.  Attached to
+	// the store handle as a discovered capability (store.WithSinkHashers),
+	// so it reaches sinks opened deep inside the value layer.
+	SinkHashers int
 }
 
 // DefaultCompactRatio is the background compactor's segment-rewrite
@@ -137,6 +143,9 @@ func Open(opts Options) *DB {
 	if opts.NodeCacheBytes > 0 {
 		db.ncache = nodecache.New(opts.NodeCacheBytes)
 		db.st = store.WithNodeCache(db.st, db.ncache)
+	}
+	if opts.SinkHashers != 0 {
+		db.st = store.WithSinkHashers(db.st, opts.SinkHashers)
 	}
 	db.compactRatio = opts.CompactRatio
 	if db.compactRatio <= 0 {

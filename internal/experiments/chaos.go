@@ -37,6 +37,7 @@ type ChaosReport struct {
 	Seed       int64  `json:"seed"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
 	ElapsedNs  int64  `json:"elapsed_ns"`
 
 	// The fault schedule actually injected (seed-deterministic choices;
@@ -101,6 +102,7 @@ func RunChaos(quick bool) (*ChaosReport, error) {
 		Seed:       chaosSeed,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		Rounds:     rounds,
 		Faults:     map[string]int{},
 	}

@@ -42,6 +42,7 @@ type PerfReport struct {
 	Quick      bool         `json:"quick"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	GoVersion  string       `json:"go_version"`
+	NumCPU     int          `json:"num_cpu"`
 	Entries    int          `json:"entries"`
 	Runs       int          `json:"runs"`
 	Results    []PerfResult `json:"results"`
@@ -132,6 +133,7 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		Quick:      quick,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		Entries:    n,
 		Runs:       perfRuns,
 		Speedups:   map[string]float64{},

@@ -24,6 +24,7 @@ type ReplReport struct {
 	Quick      bool   `json:"quick"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
 	// Entries is the map size; DeltaEntries is how many were updated (1%).
 	Entries      int `json:"entries"`
 	DeltaEntries int `json:"delta_entries"`
@@ -70,6 +71,7 @@ func RunRepl(quick bool) (*ReplReport, error) {
 		Quick:        quick,
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		GoVersion:    runtime.Version(),
+		NumCPU:       runtime.NumCPU(),
 		Entries:      entries,
 		DeltaEntries: delta,
 	}

@@ -1,0 +1,461 @@
+// Scale is the GOMAXPROCS matrix behind `bench -exp scale -json FILE`: it
+// re-runs the parallel build / diff / merge / ingest / compaction paths at
+// GOMAXPROCS 1, 4 and 8 against their serial oracles, checks the roots are
+// byte-identical at every point of the matrix, and reports per-workload
+// speedup curves.  The JSON carries gomaxprocs/num_cpu/go_version so a
+// single-core CI runner's flat curves are distinguishable from a regression
+// on real hardware.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/store"
+)
+
+// ScaleResult is one workload measured at one GOMAXPROCS setting.
+type ScaleResult struct {
+	Name string `json:"name"`
+	// SerialNs is the median wall time of the single-goroutine oracle
+	// (0 when the workload has no serial counterpart).
+	SerialNs int64 `json:"serial_ns,omitempty"`
+	// ParallelNs is the median wall time of the parallel path.
+	ParallelNs int64 `json:"parallel_ns"`
+	// Speedup is SerialNs/ParallelNs at this GOMAXPROCS (0 when no oracle).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// ScaleRow is the matrix row for one GOMAXPROCS setting.
+type ScaleRow struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []ScaleResult `json:"results"`
+}
+
+// ScaleReport is the full matrix output.
+type ScaleReport struct {
+	Suite     string `json:"suite"`
+	Quick     bool   `json:"quick"`
+	GoVersion string `json:"go_version"`
+	// NumCPU is the host's logical core count — the ceiling on how much of
+	// the curve can materialize; rows above it measure scheduling overhead.
+	NumCPU  int `json:"num_cpu"`
+	Entries int `json:"entries"`
+	Runs    int `json:"runs"`
+	// RootsIdentical asserts every parallel build/diff/merge in the matrix
+	// reproduced its serial oracle's root and delta set exactly.  CI fails
+	// the bench when this is false.
+	RootsIdentical bool       `json:"roots_identical"`
+	Rows           []ScaleRow `json:"rows"`
+	// ScalingVsP1 maps workload name to ParallelNs@p=1 / ParallelNs@p=max —
+	// the headline how-much-faster-on-8-cores curve.
+	ScalingVsP1 map[string]float64 `json:"scaling_vs_p1"`
+}
+
+const scaleRuns = 3
+
+// scaleMedian times fn scaleRuns times and returns the median ns.
+func scaleMedian(fn func() error) (int64, error) {
+	all := make([]int64, 0, scaleRuns)
+	for i := 0; i < scaleRuns; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		all = append(all, time.Since(start).Nanoseconds())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all[len(all)/2], nil
+}
+
+// scaleEntries builds the deterministic workload: unsorted keys with dups,
+// the same shape the builder differential tests use.
+func scaleEntries(n int) []pos.Entry {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]pos.Entry, n)
+	for i := range out {
+		out[i] = pos.Entry{
+			Key: []byte(fmt.Sprintf("k%08d", rng.Intn(n*2))),
+			Val: []byte(fmt.Sprintf("value-%d-%d", i, rng.Intn(1000))),
+		}
+	}
+	return out
+}
+
+// RunScale executes the matrix.  A root or delta divergence between a
+// parallel path and its serial oracle returns an error, which `bench`
+// propagates as a non-zero exit — the CI tripwire for determinism bugs.
+func RunScale(quick bool) (*ScaleReport, error) {
+	n := 60000
+	if quick {
+		n = 20000
+	}
+	rep := &ScaleReport{
+		Suite:          "forkbase-scale",
+		Quick:          quick,
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		Entries:        n,
+		Runs:           scaleRuns,
+		RootsIdentical: true,
+		ScalingVsP1:    map[string]float64{},
+	}
+
+	entries := scaleEntries(n)
+	cfg := chunker.DefaultConfig()
+
+	// Shared serial fixtures: the oracle root and the diff operands.  Built
+	// once; each matrix row re-derives the parallel side and compares.
+	oracleStore := store.NewMemStore()
+	oracle, err := pos.BuildMapSerial(oracleStore, cfg, entries)
+	if err != nil {
+		return nil, fmt.Errorf("scale: oracle build: %w", err)
+	}
+	edits := make([]pos.Op, n/20)
+	rng := rand.New(rand.NewSource(8))
+	for i := range edits {
+		edits[i] = pos.Put([]byte(fmt.Sprintf("k%08d", rng.Intn(n*2))), []byte(fmt.Sprintf("edit-%d", i)))
+	}
+	edited, err := oracle.Edit(edits)
+	if err != nil {
+		return nil, fmt.Errorf("scale: edit: %w", err)
+	}
+	wantDeltas, _, err := oracle.DiffSerial(edited)
+	if err != nil {
+		return nil, fmt.Errorf("scale: oracle diff: %w", err)
+	}
+	// A second, disjointly-edited side so Merge3 does real work on both
+	// diffs; the reference root pins cross-matrix determinism.
+	edits2 := make([]pos.Op, n/20)
+	for i := range edits2 {
+		edits2[i] = pos.Put([]byte(fmt.Sprintf("k%08d", rng.Intn(n*2))), []byte(fmt.Sprintf("other-%d", i)))
+	}
+	edited2, err := oracle.Edit(edits2)
+	if err != nil {
+		return nil, fmt.Errorf("scale: edit2: %w", err)
+	}
+	refMerge, _, err := pos.Merge3(oracle, edited, edited2, pos.ResolveOurs)
+	if err != nil {
+		return nil, fmt.Errorf("scale: reference merge: %w", err)
+	}
+
+	oldProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(oldProcs)
+
+	for _, p := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(p)
+		row := ScaleRow{GoMaxProcs: p}
+
+		// --- bulk build: serial oracle vs boundary-split parallel build ---
+		serialNs, err := scaleMedian(func() error {
+			_, err := pos.BuildMapSerial(store.NewMemStore(), cfg, entries)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var parRoot hash.Hash
+		parNs, err := scaleMedian(func() error {
+			t, err := pos.BuildMapParallel(store.NewMemStore(), cfg, entries, p)
+			if err == nil {
+				parRoot = t.Root()
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if parRoot != oracle.Root() {
+			rep.RootsIdentical = false
+			return rep, fmt.Errorf("scale: parallel build root %s != serial %s at GOMAXPROCS=%d",
+				parRoot.Short(), oracle.Root().Short(), p)
+		}
+		row.Results = append(row.Results, scaleResult("build", serialNs, parNs))
+
+		// --- full scan: one cursor vs rank-partitioned cursors ------------
+		serialNs, err = scaleMedian(func() error { return scanAll(oracle) })
+		if err != nil {
+			return nil, err
+		}
+		parNs, err = scaleMedian(func() error { return scanPartitioned(oracle, p) })
+		if err != nil {
+			return nil, err
+		}
+		row.Results = append(row.Results, scaleResult("scan", serialNs, parNs))
+
+		// --- structural diff: serial walk vs span fan-out -----------------
+		serialNs, err = scaleMedian(func() error {
+			_, _, err := oracle.DiffSerial(edited)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var gotDeltas int
+		parNs, err = scaleMedian(func() error {
+			d, _, err := oracle.DiffParallel(edited, p)
+			gotDeltas = len(d)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if gotDeltas != len(wantDeltas) {
+			rep.RootsIdentical = false
+			return rep, fmt.Errorf("scale: parallel diff found %d deltas, serial %d at GOMAXPROCS=%d",
+				gotDeltas, len(wantDeltas), p)
+		}
+		row.Results = append(row.Results, scaleResult("diff", serialNs, parNs))
+
+		// --- three-way merge (concurrent side diffs; no serial twin) ------
+		var mergeRoot hash.Hash
+		parNs, err = scaleMedian(func() error {
+			m, _, err := pos.Merge3(oracle, edited, edited2, pos.ResolveOurs)
+			if err == nil {
+				mergeRoot = m.Root()
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if mergeRoot != refMerge.Root() {
+			rep.RootsIdentical = false
+			return rep, fmt.Errorf("scale: merge root diverged at GOMAXPROCS=%d", p)
+		}
+		row.Results = append(row.Results, scaleResult("merge3", 0, parNs))
+
+		// --- ingest: lone SyncAlways writer vs group-commit cohort --------
+		serialNs, err = scaleMedian(func() error { return ingest(1, store.SyncAlways, quick) })
+		if err != nil {
+			return nil, err
+		}
+		parNs, err = scaleMedian(func() error { return ingest(8, store.SyncGroup, quick) })
+		if err != nil {
+			return nil, err
+		}
+		row.Results = append(row.Results, scaleResult("ingest-fsync", serialNs, parNs))
+
+		// --- churn + compaction (workers scale with GOMAXPROCS inside) ----
+		parNs, err = scaleMedian(func() error { return churnCompact(quick) })
+		if err != nil {
+			return nil, err
+		}
+		row.Results = append(row.Results, scaleResult("compact", 0, parNs))
+
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	first, last := rep.Rows[0], rep.Rows[len(rep.Rows)-1]
+	for i, r := range first.Results {
+		if lr := last.Results[i]; lr.ParallelNs > 0 {
+			rep.ScalingVsP1[r.Name] = float64(r.ParallelNs) / float64(lr.ParallelNs)
+		}
+	}
+	return rep, nil
+}
+
+func scaleResult(name string, serialNs, parNs int64) ScaleResult {
+	r := ScaleResult{Name: name, SerialNs: serialNs, ParallelNs: parNs}
+	if serialNs > 0 && parNs > 0 {
+		r.Speedup = float64(serialNs) / float64(parNs)
+	}
+	return r
+}
+
+// scanAll walks the whole tree with one cursor.
+func scanAll(t *pos.Tree) error {
+	it, err := t.Iter()
+	if err != nil {
+		return err
+	}
+	for it.Next() {
+	}
+	return it.Err()
+}
+
+// scanPartitioned splits the key space at every n/p-th rank and walks the p
+// ranges on separate goroutines — the read-side counterpart of the
+// boundary-split build.
+func scanPartitioned(t *pos.Tree, p int) error {
+	n := t.Len()
+	if p < 2 || n == 0 {
+		return scanAll(t)
+	}
+	bounds := make([][]byte, 0, p+1)
+	bounds = append(bounds, nil) // range 0 starts at the beginning
+	for i := 1; i < p; i++ {
+		e, err := t.At(n * uint64(i) / uint64(p))
+		if err != nil {
+			return err
+		}
+		bounds = append(bounds, append([]byte(nil), e.Key...))
+	}
+	bounds = append(bounds, nil) // final range runs to the end
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := bounds[i], bounds[i+1]
+			var it *pos.Iter
+			var err error
+			if lo == nil {
+				it, err = t.Iter()
+			} else {
+				it, err = t.IterFrom(lo)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for it.Next() {
+				if hi != nil && string(it.Entry().Key) >= string(hi) {
+					break
+				}
+			}
+			errs[i] = it.Err()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingest writes a fixed chunk volume through `writers` concurrent goroutines
+// into a FileStore under the given fsync policy.
+func ingest(writers int, policy store.SyncPolicy, quick bool) error {
+	perWriter := 400
+	if quick {
+		perWriter = 150
+	}
+	total := 8 * perWriter // fixed volume regardless of writer count
+	dir, err := os.MkdirTemp("", "fbscale")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := store.OpenFileStoreWith(dir, store.FileStoreOptions{
+		SegmentSize: 1 << 20,
+		SyncPolicy:  policy,
+	})
+	if err != nil {
+		return err
+	}
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += writers {
+				payload := make([]byte, 256)
+				for j := range payload {
+					payload[j] = byte(i + j)
+				}
+				if _, err := fs.Put(chunk.New(chunk.TypeBlobLeaf, payload)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fs.Close()
+			return err
+		}
+	}
+	return fs.Close()
+}
+
+// churnCompact fills small segments, drops half the chunks and sweeps; the
+// rewrite fan-out inside Sweep scales with GOMAXPROCS.
+func churnCompact(quick bool) error {
+	n := 1200
+	if quick {
+		n = 500
+	}
+	dir, err := os.MkdirTemp("", "fbscale")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := store.OpenFileStoreSegmented(dir, 16<<10)
+	if err != nil {
+		return err
+	}
+	defer fs.Close()
+	live := map[hash.Hash]bool{}
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 200)
+		for j := range payload {
+			payload[j] = byte(i ^ j)
+		}
+		c := chunk.New(chunk.TypeBlobLeaf, payload)
+		if _, err := fs.Put(c); err != nil {
+			return err
+		}
+		if i%2 == 0 {
+			live[c.ID()] = true
+		}
+	}
+	if err := fs.Flush(); err != nil {
+		return err
+	}
+	_, err = fs.Sweep(func(id hash.Hash) bool { return live[id] }, 0)
+	return err
+}
+
+// PrintScale renders the matrix.
+func PrintScale(w io.Writer, rep *ScaleReport) {
+	fmt.Fprintf(w, "Scale: GOMAXPROCS matrix (entries=%d runs=%d num_cpu=%d %s)\n",
+		rep.Entries, rep.Runs, rep.NumCPU, rep.GoVersion)
+	fmt.Fprintf(w, "roots identical across matrix: %v\n", rep.RootsIdentical)
+	for _, row := range rep.Rows {
+		fmt.Fprintf(w, "  GOMAXPROCS=%d\n", row.GoMaxProcs)
+		for _, r := range row.Results {
+			if r.SerialNs > 0 {
+				fmt.Fprintf(w, "    %-12s serial %8.2fms  parallel %8.2fms  speedup %.2fx\n",
+					r.Name, float64(r.SerialNs)/1e6, float64(r.ParallelNs)/1e6, r.Speedup)
+			} else {
+				fmt.Fprintf(w, "    %-12s parallel %8.2fms\n", r.Name, float64(r.ParallelNs)/1e6)
+			}
+		}
+	}
+	fmt.Fprintf(w, "  scaling p=1 -> p=%d:\n", rep.Rows[len(rep.Rows)-1].GoMaxProcs)
+	names := make([]string, 0, len(rep.ScalingVsP1))
+	for name := range rep.ScalingVsP1 {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "    %-12s %.2fx\n", name, rep.ScalingVsP1[name])
+	}
+}
+
+// WriteScaleJSON writes the machine-readable report.
+func WriteScaleJSON(path string, rep *ScaleReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

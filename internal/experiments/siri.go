@@ -58,6 +58,7 @@ type SiriReport struct {
 	Quick      bool      `json:"quick"`
 	GoMaxProcs int       `json:"gomaxprocs"`
 	GoVersion  string    `json:"go_version"`
+	NumCPU     int       `json:"num_cpu"`
 	Entries    int       `json:"entries"`
 	Versions   int       `json:"versions"`
 	Delta      int       `json:"delta_per_version"`
@@ -82,6 +83,7 @@ func RunSiri(quick bool) (*SiriReport, error) {
 		Quick:      quick,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		Entries:    entries,
 		Versions:   versions,
 		Delta:      delta,

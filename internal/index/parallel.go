@@ -1,0 +1,174 @@
+package index
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the fan-out the parallel diff and merge paths use:
+// GOMAXPROCS capped at 8.  The cap reflects the shape of the work — a diff
+// rarely leaves more than a handful of coarse misaligned spans, and past
+// 8 workers the per-task load imbalance dominates any extra concurrency.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// genericParallelMin is the smaller-side entry count below which the
+// iterator-merge diff stays serial: partitioning costs W rank lookups and W
+// iterator seeks, which only pay off over a few thousand comparisons.
+const genericParallelMin = 4096
+
+// GenericDiffParallel is GenericDiff with the key space partitioned across a
+// worker pool.  Split keys are sampled by rank from the larger side, each
+// worker merges both iterators over one key range, and the per-range outputs
+// concatenate in range order — so the deltas are exactly GenericDiff's, in
+// the same order, for any worker count.  workers <= 1, tiny inputs, or a
+// sampler without usable splits all fall back to the serial merge.
+func GenericDiffParallel(a, b VersionedIndex, workers int) ([]Delta, DiffStats, error) {
+	sampler := a
+	if b.Len() > a.Len() {
+		sampler = b
+	}
+	n := sampler.Len()
+	if workers > int(n)/2 {
+		workers = int(n) / 2
+	}
+	if workers <= 1 || n < genericParallelMin {
+		return GenericDiff(a, b)
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	// Sample ascending split keys by rank; duplicates (possible when ranks
+	// collide on short indexes) collapse.
+	var splits [][]byte
+	for i := 1; i < workers; i++ {
+		e, err := sampler.At(uint64(i) * n / uint64(workers))
+		if err != nil {
+			return nil, DiffStats{}, err
+		}
+		key := append([]byte(nil), e.Key...)
+		if len(splits) > 0 && bytes.Compare(splits[len(splits)-1], key) >= 0 {
+			continue
+		}
+		splits = append(splits, key)
+	}
+	if len(splits) == 0 {
+		return GenericDiff(a, b)
+	}
+	// Ranges: [nil, s0), [s0, s1), …, [sLast, nil).
+	type rng struct{ lo, hi []byte }
+	ranges := make([]rng, 0, len(splits)+1)
+	var lo []byte
+	for _, s := range splits {
+		ranges = append(ranges, rng{lo: lo, hi: s})
+		lo = s
+	}
+	ranges = append(ranges, rng{lo: lo, hi: nil})
+
+	outs := make([][]Delta, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i := range ranges {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = genericDiffRange(a, b, ranges[i].lo, ranges[i].hi)
+		}(i)
+	}
+	wg.Wait()
+	var out []Delta
+	for i := range ranges {
+		if errs[i] != nil {
+			return nil, DiffStats{}, errs[i]
+		}
+		out = append(out, outs[i]...)
+	}
+	return out, DiffStats{Deltas: len(out)}, nil
+}
+
+// boundedIter walks one index over [lo, hi) — nil bounds are open ends.
+type boundedIter struct {
+	it Iterator
+	hi []byte
+}
+
+func newBoundedIter(v VersionedIndex, lo, hi []byte) (*boundedIter, error) {
+	var it Iterator
+	var err error
+	if lo == nil {
+		it, err = v.Iterate()
+	} else {
+		it, err = v.IterateFrom(lo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &boundedIter{it: it, hi: hi}, nil
+}
+
+func (b *boundedIter) next() bool {
+	if !b.it.Next() {
+		return false
+	}
+	if b.hi != nil && bytes.Compare(b.it.Entry().Key, b.hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// genericDiffRange merges both indexes' iterators over one key range; the
+// same merge loop as GenericDiff, bounded.
+func genericDiffRange(a, b VersionedIndex, lo, hi []byte) ([]Delta, error) {
+	ia, err := newBoundedIter(a, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	ib, err := newBoundedIter(b, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var out []Delta
+	okA, okB := ia.next(), ib.next()
+	for okA || okB {
+		switch {
+		case !okA:
+			e := ib.it.Entry()
+			out = append(out, Delta{Key: cloneBytes(e.Key), To: cloneBytes(e.Val)})
+			okB = ib.next()
+		case !okB:
+			e := ia.it.Entry()
+			out = append(out, Delta{Key: cloneBytes(e.Key), From: cloneBytes(e.Val)})
+			okA = ia.next()
+		default:
+			ea, eb := ia.it.Entry(), ib.it.Entry()
+			cmp := bytes.Compare(ea.Key, eb.Key)
+			switch {
+			case cmp < 0:
+				out = append(out, Delta{Key: cloneBytes(ea.Key), From: cloneBytes(ea.Val)})
+				okA = ia.next()
+			case cmp > 0:
+				out = append(out, Delta{Key: cloneBytes(eb.Key), To: cloneBytes(eb.Val)})
+				okB = ib.next()
+			default:
+				if !bytes.Equal(ea.Val, eb.Val) {
+					out = append(out, Delta{Key: cloneBytes(ea.Key), From: cloneBytes(ea.Val), To: cloneBytes(eb.Val)})
+				}
+				okA = ia.next()
+				okB = ib.next()
+			}
+		}
+	}
+	if err := ia.it.Err(); err != nil {
+		return nil, err
+	}
+	if err := ib.it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

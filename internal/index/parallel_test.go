@@ -1,0 +1,59 @@
+// Differential test for the range-partitioned generic diff: for every
+// worker count and every structure pairing (POS vs POS, POS vs MPT, ...),
+// GenericDiffParallel must return exactly the deltas of the serial
+// GenericDiff, in the same key order.
+package index_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"forkbase/internal/index"
+	"forkbase/internal/store"
+)
+
+func TestGenericDiffParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	st := store.NewMemStore()
+	baseOps := randOps(rng, 6000, 0)
+	editOps := randOps(rng, 900, 4)
+	for _, ka := range kinds {
+		for _, kb := range kinds {
+			a := emptyOf(t, ka, st)
+			a, err := a.Apply(baseOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bBase := emptyOf(t, kb, st)
+			bBase, err = bBase.Apply(baseOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := bBase.Apply(editOps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pair := range [][2]index.VersionedIndex{{a, b}, {b, a}, {a, a}} {
+				wantD, _, err := index.GenericDiff(pair[0], pair[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{1, 2, 8} {
+					gotD, gotS, err := index.GenericDiffParallel(pair[0], pair[1], w)
+					if err != nil {
+						t.Fatalf("%s/%s workers=%d: %v", ka, kb, w, err)
+					}
+					if !reflect.DeepEqual(gotD, wantD) {
+						t.Fatalf("%s/%s workers=%d: deltas diverge (%d vs %d)",
+							ka, kb, w, len(gotD), len(wantD))
+					}
+					if gotS.Deltas != len(gotD) {
+						t.Fatalf("%s/%s workers=%d: stats.Deltas=%d, len=%d",
+							ka, kb, w, gotS.Deltas, len(gotD))
+					}
+				}
+			}
+		}
+	}
+}

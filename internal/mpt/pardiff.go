@@ -1,0 +1,145 @@
+package mpt
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"forkbase/internal/index"
+)
+
+// Parallel structural diff.
+//
+// The lockstep cursor walk fans out at branch nodes: the up-to-16 child
+// positions cover disjoint key ranges (distinct next nibbles) and never
+// interact, so they are the parallel task unit.  The collector walks down
+// from the roots — emitting position values pre-order and pruning shared
+// subtrees exactly like the serial differ — until a position offers more
+// than one divergent child; those children go to a bounded worker pool,
+// each diffed by its own sub-differ running the unchanged serial recursion.
+// Outputs concatenate in nibble order, so deltas and stats are identical to
+// DiffSerial for any worker count (pinned by the differential tests).
+
+// nibbleTask is one child-position pair queued for the pool.
+type nibbleTask struct {
+	prefix []byte
+	a, b   *dref
+}
+
+// DiffParallel is Diff with an explicit fan-out; workers <= 1 runs the
+// serial differ.
+func (t *Trie) DiffParallel(o *Trie, workers int) ([]index.Delta, index.DiffStats, error) {
+	if workers <= 1 {
+		return t.DiffSerial(o)
+	}
+	if t.root == o.root {
+		return nil, index.DiffStats{}, nil
+	}
+	d := &differ{old: t, new: o} // collector: descent emissions + pruning
+	a, b := rootRef(t), rootRef(o)
+	var tasks []nibbleTask
+descend:
+	for {
+		switch {
+		case a == nil && b == nil:
+			break descend
+		case a != nil && b != nil && !a.id.IsZero() && a.id == b.id:
+			d.stats.PrunedRefs++
+			break descend
+		case a == nil:
+			// One-sided subtree: every entry is an add.  Kept serial — the
+			// whole side is new data with no pruning to exploit.
+			if err := d.emitAll(d.new, b, func(key, val []byte) {
+				d.out = append(d.out, index.Delta{Key: key, To: val})
+			}); err != nil {
+				return nil, index.DiffStats{}, err
+			}
+			break descend
+		case b == nil:
+			if err := d.emitAll(d.old, a, func(key, val []byte) {
+				d.out = append(d.out, index.Delta{Key: key, From: val})
+			}); err != nil {
+				return nil, index.DiffStats{}, err
+			}
+			break descend
+		}
+		av, aOK, aKids, err := d.position(d.old, a)
+		if err != nil {
+			return nil, index.DiffStats{}, err
+		}
+		bv, bOK, bKids, err := d.position(d.new, b)
+		if err != nil {
+			return nil, index.DiffStats{}, err
+		}
+		// Pre-order: the position's own value delta precedes its children's.
+		key := func() []byte { return nibblesToKey(d.prefix) }
+		switch {
+		case aOK && bOK:
+			if !bytes.Equal(av, bv) {
+				d.out = append(d.out, index.Delta{Key: key(), From: cp(av), To: cp(bv)})
+			}
+		case aOK:
+			d.out = append(d.out, index.Delta{Key: key(), From: cp(av)})
+		case bOK:
+			d.out = append(d.out, index.Delta{Key: key(), To: cp(bv)})
+		}
+		tasks = tasks[:0]
+		for i := 0; i < 16; i++ {
+			if aKids[i] == nil && bKids[i] == nil {
+				continue
+			}
+			prefix := make([]byte, len(d.prefix)+1)
+			copy(prefix, d.prefix)
+			prefix[len(d.prefix)] = byte(i)
+			tasks = append(tasks, nibbleTask{prefix: prefix, a: aKids[i], b: bKids[i]})
+		}
+		if len(tasks) != 1 {
+			break
+		}
+		// A single divergent child cannot fan out; step into it, exactly
+		// like the serial recursion would.
+		d.prefix = tasks[0].prefix
+		a, b = tasks[0].a, tasks[0].b
+		tasks = nil
+	}
+	if len(tasks) == 0 {
+		d.stats.Deltas = len(d.out)
+		return d.out, d.stats, nil
+	}
+
+	subs := make([]*differ, len(tasks))
+	errs := make([]error, len(tasks))
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				sub := &differ{old: t, new: o, prefix: tasks[i].prefix}
+				subs[i] = sub
+				errs[i] = sub.diff(tasks[i].a, tasks[i].b)
+			}
+		}()
+	}
+	wg.Wait()
+	out := d.out
+	stats := d.stats
+	for i := range tasks {
+		if errs[i] != nil {
+			return nil, index.DiffStats{}, errs[i]
+		}
+		out = append(out, subs[i].out...)
+		stats.TouchedChunks += subs[i].stats.TouchedChunks
+		stats.PrunedRefs += subs[i].stats.PrunedRefs
+	}
+	stats.Deltas = len(out)
+	return out, stats, nil
+}

@@ -1,0 +1,76 @@
+package mpt
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"forkbase/internal/index"
+	"forkbase/internal/store"
+)
+
+// Differential test: DiffParallel must produce the same deltas, in the same
+// (pre-)order, with the same stats, as DiffSerial for every worker count.
+
+func editT(t *testing.T, tr *Trie, rng *rand.Rand, edits int) *Trie {
+	t.Helper()
+	ops := make([]index.Op, 0, edits)
+	for i := 0; i < edits; i++ {
+		kl := rng.Intn(6)
+		key := make([]byte, kl)
+		for j := range key {
+			key[j] = byte(rng.Intn(4))
+		}
+		if rng.Intn(5) == 0 {
+			ops = append(ops, index.Del(key))
+		} else {
+			ops = append(ops, index.Put(key, []byte(fmt.Sprintf("e%d", i))))
+		}
+	}
+	ni, err := tr.Apply(ops)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return ni.(*Trie)
+}
+
+func TestDiffParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	st := store.NewMemStore()
+	base := buildT(t, st, randEntries(rng, 4000))
+	empty := buildT(t, st, nil)
+	for _, edits := range []int{1, 60, 1500} {
+		other := editT(t, base, rng, edits)
+		cases := []struct {
+			name     string
+			old, new *Trie
+		}{
+			{"fwd", base, other},
+			{"rev", other, base},
+			{"self", base, base},
+			{"from-empty", empty, other},
+			{"to-empty", other, empty},
+		}
+		for _, tc := range cases {
+			wantD, wantS, err := tc.old.DiffSerial(tc.new)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 2, 8} {
+				gotD, gotS, err := tc.old.DiffParallel(tc.new, w)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", tc.name, w, err)
+				}
+				if !reflect.DeepEqual(gotD, wantD) {
+					t.Fatalf("%s edits=%d workers=%d: deltas diverge (%d vs %d)",
+						tc.name, edits, w, len(gotD), len(wantD))
+				}
+				if gotS != wantS {
+					t.Fatalf("%s edits=%d workers=%d: stats %+v != %+v",
+						tc.name, edits, w, gotS, wantS)
+				}
+			}
+		}
+	}
+}

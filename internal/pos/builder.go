@@ -250,8 +250,27 @@ func editSink(st store.Store) *store.ChunkSink {
 // property — because node boundaries depend only on the sorted entry stream.
 // Nodes flow to the store through a batched sink; the tree is fully landed
 // when BuildMap returns.
+//
+// Bulk builds fan the leaf level out across GOMAXPROCS-bounded workers (see
+// parbuild.go); structural invariance guarantees — and the differential
+// tests pin — that the root is byte-identical to the serial builder's.
 func BuildMap(st store.Store, cfg chunker.Config, entries []Entry) (*Tree, error) {
-	sorted := normalizeEntries(entries)
+	if w := buildWorkers(len(entries)); w > 1 {
+		return BuildMapParallel(st, cfg, entries, w)
+	}
+	return BuildMapSerial(st, cfg, entries)
+}
+
+// BuildMapSerial is the single-goroutine builder: one level builder feeding
+// one sink.  BuildMap delegates here below the parallel threshold; the
+// differential oracle measures parallel builds against it.
+func BuildMapSerial(st store.Store, cfg chunker.Config, entries []Entry) (*Tree, error) {
+	return buildMapSorted(st, cfg, normalizeEntries(entries))
+}
+
+// buildMapSorted builds over an already-normalized (sorted, deduplicated)
+// entry slice.
+func buildMapSorted(st store.Store, cfg chunker.Config, sorted []Entry) (*Tree, error) {
 	sink := buildSink(st)
 	defer sink.Close()
 	lb := newLevelBuilder(sink, cfg, 0, true)

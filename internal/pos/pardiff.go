@@ -1,0 +1,167 @@
+package pos
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"forkbase/internal/index"
+)
+
+// Parallel structural diff.
+//
+// The hash-pruned walk visits, at each level, only the maximal misaligned
+// spans — subtree pairs whose root hashes differ.  Those spans cover
+// disjoint, ascending key ranges and never interact, so they are the
+// natural parallel task unit: the top-level walk (pruning equal hashes
+// exactly like the serial differ) collects them, a bounded worker pool
+// diffs each with its own sub-differ running the unchanged serial code, and
+// the outputs concatenate in span order.  Deltas and DiffStats come out
+// identical to the serial diff — the walk is the same walk, just fanned out
+// — which the differential tests pin for worker counts {1, 2, 8}.
+
+// spanTask is one misaligned span pair at the fan-out level.
+type spanTask struct {
+	aRefs, bRefs []childRef
+}
+
+// DiffParallel is Diff with an explicit fan-out; workers <= 1 runs the
+// serial differ.  Results are deterministic and identical to DiffSerial for
+// any worker count.
+func (t *Tree) DiffParallel(o *Tree, workers int) ([]Delta, DiffStats, error) {
+	if workers <= 1 {
+		return t.DiffSerial(o)
+	}
+	if t.root == o.root {
+		return nil, DiffStats{}, nil
+	}
+	d := &differ{old: t, new: o} // collector: owns alignment + pruning stats
+	aRefs, bRefs := rootSpan(t), rootSpan(o)
+	var tasks []spanTask
+	for {
+		la, err := d.spanLevel(d.old, aRefs)
+		if err != nil {
+			return nil, DiffStats{}, err
+		}
+		lb, err := d.spanLevel(d.new, bRefs)
+		if err != nil {
+			return nil, DiffStats{}, err
+		}
+		for la > lb && len(aRefs) > 0 {
+			if aRefs, err = d.expand(d.old, aRefs); err != nil {
+				return nil, DiffStats{}, err
+			}
+			la--
+		}
+		for lb > la && len(bRefs) > 0 {
+			if bRefs, err = d.expand(d.new, bRefs); err != nil {
+				return nil, DiffStats{}, err
+			}
+			lb--
+		}
+		tasks = collectSpans(d, aRefs, bRefs)
+		if len(tasks) != 1 || la == 0 {
+			// Enough fan-out (or leaves reached): hand the spans to the pool.
+			// Each task carries its level implicitly — the workers re-resolve
+			// it exactly as the serial recursion would.
+			break
+		}
+		// A single misaligned span cannot fan out; descend one level, like
+		// the serial differ's recursion, and re-walk.
+		if aRefs, err = d.expand(d.old, tasks[0].aRefs); err != nil {
+			return nil, DiffStats{}, err
+		}
+		if bRefs, err = d.expand(d.new, tasks[0].bRefs); err != nil {
+			return nil, DiffStats{}, err
+		}
+		tasks = nil
+	}
+	if len(tasks) == 0 {
+		d.stats.Deltas = 0
+		return nil, d.stats, nil
+	}
+
+	subs := make([]*differ, len(tasks))
+	errs := make([]error, len(tasks))
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				sub := &differ{old: t, new: o}
+				subs[i] = sub
+				errs[i] = sub.diffSpans(tasks[i].aRefs, tasks[i].bRefs)
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]Delta, 0)
+	stats := d.stats
+	for i := range tasks {
+		if errs[i] != nil {
+			return nil, DiffStats{}, errs[i]
+		}
+		out = append(out, subs[i].out...)
+		stats.TouchedChunks += subs[i].stats.TouchedChunks
+		stats.PrunedRefs += subs[i].stats.PrunedRefs
+	}
+	if len(out) == 0 {
+		out = nil
+	}
+	stats.Deltas = len(out)
+	return out, stats, nil
+}
+
+// collectSpans runs the serial differ's two-pointer pruning walk over one
+// level, but instead of descending into each maximal misaligned span it
+// records the span pair as a task.  Pruning accounting lands on d, exactly
+// where the serial walk would put it.
+func collectSpans(d *differ, aRefs, bRefs []childRef) []spanTask {
+	var tasks []spanTask
+	ia, ib := 0, 0
+	for ia < len(aRefs) || ib < len(bRefs) {
+		if ia < len(aRefs) && ib < len(bRefs) &&
+			aRefs[ia].id == bRefs[ib].id {
+			d.stats.PrunedRefs++
+			ia++
+			ib++
+			continue
+		}
+		ja, jb := ia, ib
+		for {
+			if ja >= len(aRefs) || jb >= len(bRefs) {
+				ja, jb = len(aRefs), len(bRefs)
+				break
+			}
+			cmp := bytes.Compare(aRefs[ja].splitKey, bRefs[jb].splitKey)
+			switch {
+			case cmp < 0:
+				ja++
+			case cmp > 0:
+				jb++
+			default:
+				if aRefs[ja].id == bRefs[jb].id {
+					goto spanDone
+				}
+				ja++
+				jb++
+			}
+		}
+	spanDone:
+		tasks = append(tasks, spanTask{aRefs: aRefs[ia:ja], bRefs: bRefs[ib:jb]})
+		ia, ib = ja, jb
+	}
+	return tasks
+}
+
+// diffWorkers picks the fan-out for structural diffs and merges.
+func diffWorkers() int { return index.DefaultWorkers() }

@@ -7,11 +7,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/hash"
@@ -58,6 +60,13 @@ type FileStore struct {
 	dir        string
 	maxSegment int64
 	noMmap     bool
+	syncPolicy SyncPolicy
+
+	// group coalesces SyncGroup fsyncs; the sync loop drives SyncInterval.
+	group    groupSyncer
+	syncStop chan struct{}
+	syncOnce sync.Once // guards closing syncStop
+	syncWG   sync.WaitGroup
 
 	shards [indexShards]indexShard
 
@@ -203,6 +212,32 @@ const recordHeader = hash.Size + 4 + 1
 // DefaultSegmentSize is the size at which a new log segment is started.
 const DefaultSegmentSize = 64 << 20
 
+// SyncPolicy selects when the active tail is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncNone leaves tail durability to segment rotation and explicit Sync
+	// calls — the historical behavior and the default.  Sealed segments are
+	// always fsynced regardless of policy.
+	SyncNone SyncPolicy = iota
+	// SyncAlways flushes and fsyncs the tail after every Put and PutBatch.
+	// Every acknowledged write is durable, at one fsync per commit.
+	SyncAlways
+	// SyncGroup gives SyncAlways durability at a fraction of the fsyncs
+	// under concurrency: committers entering while an fsync is in flight
+	// park on a shared barrier, and the leader's next fsync covers the whole
+	// cohort.  With W concurrent writers the fsync rate tends toward one per
+	// W commits; a lone writer degenerates to SyncAlways.
+	SyncGroup
+	// SyncInterval fsyncs the tail from a background ticker every SyncEvery
+	// (default 2ms): commits return immediately and the crash-loss window is
+	// bounded by the interval instead of by segment rotation.
+	SyncInterval
+)
+
+// DefaultSyncEvery is the SyncInterval ticker period when SyncEvery is 0.
+const DefaultSyncEvery = 2 * time.Millisecond
+
 // FileStoreOptions tune OpenFileStoreWith.
 type FileStoreOptions struct {
 	// SegmentSize is the size at which the active segment rotates
@@ -212,6 +247,49 @@ type FileStoreOptions struct {
 	// positioned pread through persistent handles (the pre-mmap behavior,
 	// kept as the portability fallback and as the benchmark baseline).
 	NoMmap bool
+	// SyncPolicy selects when the active tail is fsynced (default SyncNone).
+	SyncPolicy SyncPolicy
+	// SyncEvery is the SyncInterval ticker period (0 = DefaultSyncEvery);
+	// ignored under the other policies.
+	SyncEvery time.Duration
+}
+
+// groupSyncer coalesces concurrent fsync requests: the first caller becomes
+// the leader and keeps fsyncing until no new waiters arrived during the last
+// round; everyone whose request was covered by a round gets that round's
+// result.  Waiter channels are buffered so the leader never blocks handing
+// out results.
+type groupSyncer struct {
+	mu      sync.Mutex
+	waiters []chan error
+	leading bool
+}
+
+// sync enqueues one request and returns once a do() round covering it ran.
+func (g *groupSyncer) sync(do func() error) error {
+	ch := make(chan error, 1)
+	g.mu.Lock()
+	g.waiters = append(g.waiters, ch)
+	if g.leading {
+		g.mu.Unlock()
+		return <-ch
+	}
+	g.leading = true
+	for {
+		batch := g.waiters
+		g.waiters = nil
+		if len(batch) == 0 {
+			g.leading = false
+			g.mu.Unlock()
+			return <-ch
+		}
+		g.mu.Unlock()
+		err := do()
+		for _, w := range batch {
+			w <- err
+		}
+		g.mu.Lock()
+	}
 }
 
 var (
@@ -248,6 +326,7 @@ func OpenFileStoreWith(dir string, opts FileStoreOptions) (*FileStore, error) {
 		dir:        dir,
 		maxSegment: opts.SegmentSize,
 		noMmap:     opts.NoMmap || !mmapSupported,
+		syncPolicy: opts.SyncPolicy,
 		segUse:     make(map[int]*segUsage),
 		sealed:     make(map[int]*mseg),
 		readers:    make(map[int]*os.File),
@@ -264,7 +343,59 @@ func OpenFileStoreWith(dir string, opts FileStoreOptions) (*FileStore, error) {
 	// Everything sealed before this open is old; the resumed tail is of
 	// unknown age and stays in the young generation until the first sweep.
 	fs.graceSeg = int(fs.actSeg.Load())
+	if opts.SyncPolicy == SyncInterval {
+		every := opts.SyncEvery
+		if every <= 0 {
+			every = DefaultSyncEvery
+		}
+		fs.syncStop = make(chan struct{})
+		fs.syncWG.Add(1)
+		go fs.syncLoop(every)
+	}
 	return fs, nil
+}
+
+// syncLoop is the SyncInterval ticker: one tail fsync per period while the
+// store is open.  Sync errors here are dropped — the same write surfaces the
+// failure on the next rotation or explicit Sync, and a best-effort ticker
+// has no caller to report to.
+func (f *FileStore) syncLoop(every time.Duration) {
+	defer f.syncWG.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.syncStop:
+			return
+		case <-ticker.C:
+			_ = f.Sync()
+		}
+	}
+}
+
+// stopSyncLoop stops the SyncInterval ticker (idempotent, no-op for other
+// policies).  Must be called before f.mu is held: the loop's in-flight Sync
+// takes f.mu, so waiting under it would deadlock.
+func (f *FileStore) stopSyncLoop() {
+	if f.syncStop == nil {
+		return
+	}
+	f.syncOnce.Do(func() { close(f.syncStop) })
+	f.syncWG.Wait()
+}
+
+// afterCommit applies the tail sync policy after a Put/PutBatch released
+// f.mu.  SyncGroup funnels through the shared barrier: under concurrency the
+// leader's fsync covers every committer that arrived while it ran.
+func (f *FileStore) afterCommit() error {
+	switch f.syncPolicy {
+	case SyncAlways:
+		return f.Sync()
+	case SyncGroup:
+		return f.group.sync(f.Sync)
+	default:
+		return nil
+	}
 }
 
 func (f *FileStore) segmentPath(n int) string {
@@ -455,12 +586,25 @@ func (f *FileStore) openActive() error {
 
 // Put implements Store.
 func (f *FileStore) Put(c *chunk.Chunk) (bool, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return false, fmt.Errorf("filestore: closed")
+	// The locked section sits in a closure so the deferred unlock also
+	// covers simulated crashes (panics from injected crash hooks); the
+	// fsync policy runs after the lock is released so SyncGroup cohorts
+	// can coalesce behind one leader.
+	fresh, err := func() (bool, error) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.closed {
+			return false, fmt.Errorf("filestore: closed")
+		}
+		return f.appendLocked(c)
+	}()
+	if err != nil || !fresh {
+		return fresh, err
 	}
-	return f.appendLocked(c)
+	if err := f.afterCommit(); err != nil {
+		return fresh, err
+	}
+	return fresh, nil
 }
 
 // appendLocked performs the dedup check and buffered append of one chunk.
@@ -512,23 +656,39 @@ func (f *FileStore) appendLocked(c *chunk.Chunk) (bool, error) {
 // one.  Duplicate ids inside one batch dedup against each other.
 func (f *FileStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
 	fresh := make([]bool, len(cs))
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return fresh, fmt.Errorf("filestore: closed")
+	// Locked section in a closure for panic-safe unlock (crash hooks);
+	// the fsync policy runs unlocked, as in Put.
+	wrote, err := func() (bool, error) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.closed {
+			return false, fmt.Errorf("filestore: closed")
+		}
+		wrote := false
+		for i, c := range cs {
+			fr, err := f.appendLocked(c)
+			if err != nil {
+				return wrote, err
+			}
+			fresh[i] = fr
+			wrote = wrote || fr
+		}
+		// Group commit: one flush per batch instead of relying on lazy
+		// flushes.
+		if err := f.actBuf.Flush(); err != nil {
+			return wrote, fmt.Errorf("filestore: %w", err)
+		}
+		f.actFlushed = f.actSize
+		return wrote, nil
+	}()
+	if err != nil {
+		return fresh, err
 	}
-	for i, c := range cs {
-		fr, err := f.appendLocked(c)
-		if err != nil {
+	if wrote {
+		if err := f.afterCommit(); err != nil {
 			return fresh, err
 		}
-		fresh[i] = fr
 	}
-	// Group commit: one flush per batch instead of relying on lazy flushes.
-	if err := f.actBuf.Flush(); err != nil {
-		return fresh, fmt.Errorf("filestore: %w", err)
-	}
-	f.actFlushed = f.actSize
 	return fresh, nil
 }
 
@@ -893,8 +1053,21 @@ func (f *FileStore) compactLocked(minDeadRatio float64, res *SweepStats) error {
 		return nil
 	}
 	sort.Ints(victims)
-	for _, seg := range victims {
-		if err := f.rewriteLive(seg, res); err != nil {
+	// Phase 1 — parallel collect: scan each victim and liveness-check its
+	// records on a bounded worker pool.  Safe under f.mu: no writer can move
+	// records, so the index is stable; workers only RLock the shards and
+	// read immutable segment data (the mapping, or a private ReadFile copy).
+	collected, err := f.collectLive(victims)
+	if err != nil {
+		return err
+	}
+	// Phase 2 — serial append: rewrite the collected records into the tail
+	// in victim order, offset order — byte-identical tail layout to the old
+	// all-serial rewrite — and repoint the index.  All SweepStats accounting
+	// (MovedIDs, MovedBytes — what core reports as Relocated) happens here
+	// on one goroutine, race-clean by construction.
+	for _, cv := range collected {
+		if err := f.appendLive(cv, res); err != nil {
 			return err
 		}
 	}
@@ -941,22 +1114,84 @@ func (f *FileStore) compactLocked(minDeadRatio float64, res *SweepStats) error {
 	return nil
 }
 
-// rewriteLive appends every still-indexed record of seg to the active tail
-// and repoints the index.  Callers hold f.mu.
-func (f *FileStore) rewriteLive(seg int, res *SweepStats) error {
-	var data []byte
+// liveRecord is one record a compaction worker found still indexed at its
+// original home: a span of the victim's data plus the fields needed to
+// repoint the index after the span is re-appended.
+type liveRecord struct {
+	id   hash.Hash
+	off  int64 // offset in the victim (start of the record header)
+	rec  int64 // on-disk record size (header + payload)
+	plen int32
+	typ  chunk.Type
+}
+
+// collectedVictim is the phase-1 output for one victim segment.  data stays
+// referenced until phase 2 has copied the spans out (the mapping cannot be
+// released mid-compaction — the store holds its reference and sweeps are
+// serialized under f.mu — and the ReadFile copy is private).
+type collectedVictim struct {
+	seg  int
+	data []byte
+	live []liveRecord
+}
+
+// collectLive scans the victim segments on parallel workers and returns, in
+// victim order, the records still indexed at their original location.
+// Callers hold f.mu, which is what makes the concurrent liveness check
+// sound: nothing can move or insert records, so a record live here is still
+// live when phase 2 rewrites it (phase 2's own repointing touches only
+// records in *other* victims — a chunk has exactly one index entry).
+func (f *FileStore) collectLive(victims []int) ([]*collectedVictim, error) {
+	out := make([]*collectedVictim, len(victims))
+	errs := make([]error, len(victims))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(victims) {
+		workers = len(victims)
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(victims) {
+					return
+				}
+				out[i], errs[i] = f.collectSegment(victims[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// collectSegment scans one victim and returns its live records in offset
+// order.  Runs on a pool worker; reads shards only under their RLock.
+func (f *FileStore) collectSegment(seg int) (*collectedVictim, error) {
+	cv := &collectedVictim{seg: seg}
 	f.segMu.RLock()
 	if m := f.sealed[seg]; m != nil {
-		data = m.data
+		cv.data = m.data
 	}
 	f.segMu.RUnlock()
-	if data == nil { // no-mmap mode: one buffered read of the victim
+	if cv.data == nil { // no-mmap mode: one buffered read of the victim
 		b, err := os.ReadFile(f.segmentPath(seg))
 		if err != nil {
-			return fmt.Errorf("filestore: %w", err)
+			return nil, fmt.Errorf("filestore: %w", err)
 		}
-		data = b
+		cv.data = b
 	}
+	data := cv.data
 	for off := int64(0); off < int64(len(data)); {
 		if off+recordHeader > int64(len(data)) {
 			break // torn tail already truncated logically at scan time
@@ -973,28 +1208,37 @@ func (f *FileStore) rewriteLive(seg int, res *SweepStats) error {
 		sh.mu.RLock()
 		loc, ok := sh.m[id]
 		sh.mu.RUnlock()
-		if !ok || loc.segment != seg || loc.offset != off {
-			off += rec // dead, or a duplicate whose other copy won
-			continue
+		if ok && loc.segment == seg && loc.offset == off {
+			cv.live = append(cv.live, liveRecord{id: id, off: off, rec: rec, plen: int32(plen), typ: typ})
 		}
+		// Otherwise dead, or a duplicate whose other copy won.
+		off += rec
+	}
+	return cv, nil
+}
+
+// appendLive rewrites one collected victim's live records into the active
+// tail and repoints the index.  Callers hold f.mu.
+func (f *FileStore) appendLive(cv *collectedVictim, res *SweepStats) error {
+	for _, lr := range cv.live {
 		if f.actSize >= f.maxSegment {
 			if err := f.rotate(); err != nil {
 				return err
 			}
 		}
-		if _, err := f.actBuf.Write(data[off : off+rec]); err != nil {
+		if _, err := f.actBuf.Write(cv.data[lr.off : lr.off+lr.rec]); err != nil {
 			return fmt.Errorf("filestore: %w", err)
 		}
 		dst := int(f.actSeg.Load())
-		newLoc := recordLoc{segment: dst, offset: f.actSize, length: int32(plen), typ: typ}
+		newLoc := recordLoc{segment: dst, offset: f.actSize, length: lr.plen, typ: lr.typ}
+		sh := f.shard(lr.id)
 		sh.mu.Lock()
-		sh.m[id] = newLoc
+		sh.m[lr.id] = newLoc
 		sh.mu.Unlock()
-		f.actSize += rec
+		f.actSize += lr.rec
 		f.useOf(dst).total = f.actSize
-		res.MovedIDs = append(res.MovedIDs, id)
-		res.MovedBytes += rec
-		off += rec
+		res.MovedIDs = append(res.MovedIDs, lr.id)
+		res.MovedBytes += lr.rec
 	}
 	return nil
 }
@@ -1023,6 +1267,11 @@ func (f *FileStore) Flush() error {
 func (f *FileStore) Sync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.closed {
+		// A policy-driven sync racing Close is benign: Close flushed and
+		// closed the tail already.
+		return nil
+	}
 	if err := f.actBuf.Flush(); err != nil {
 		return err
 	}
@@ -1034,6 +1283,9 @@ func (f *FileStore) Sync() error {
 // zero-copy payloads returned by Get become invalid: each segment mapping is
 // released once its in-flight readers drain.
 func (f *FileStore) Close() error {
+	// Stop the interval sync loop before taking f.mu: its in-flight Sync
+	// needs the lock to finish.
+	f.stopSyncLoop()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {

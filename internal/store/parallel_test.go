@@ -1,0 +1,210 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"forkbase/internal/hash"
+)
+
+// TestFileStoreSyncPolicies pins durability plumbing for every policy:
+// concurrent writers commit batches, the store closes, and a reopen must
+// see every chunk.  (Crash-window semantics differ per policy; what must
+// never differ is that an fsynced, cleanly closed store loses nothing.)
+func TestFileStoreSyncPolicies(t *testing.T) {
+	policies := map[string]FileStoreOptions{
+		"none":     {SyncPolicy: SyncNone},
+		"always":   {SyncPolicy: SyncAlways},
+		"group":    {SyncPolicy: SyncGroup},
+		"interval": {SyncPolicy: SyncInterval, SyncEvery: time.Millisecond},
+	}
+	for name, opts := range policies {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts.SegmentSize = 4096
+			s, err := OpenFileStoreWith(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers, perWriter = 8, 25
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						if _, err := s.Put(fileChunk(w*1000 + i)); err != nil {
+							panic(err)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := OpenFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if got, want := s2.Len(), writers*perWriter; got != want {
+				t.Fatalf("reopen sees %d chunks, want %d", got, want)
+			}
+			for w := 0; w < writers; w++ {
+				for i := 0; i < perWriter; i++ {
+					if _, err := s2.Get(fileChunk(w*1000 + i).ID()); err != nil {
+						t.Fatalf("chunk (%d,%d) lost: %v", w, i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGroupSyncerCoalesces pins the leader-cohort shape deterministically:
+// the first caller leads and fsyncs; waiters arriving while that round runs
+// are all covered by exactly one follow-up round.
+func TestGroupSyncerCoalesces(t *testing.T) {
+	var g groupSyncer
+	var calls atomic.Int32
+	firstRunning := make(chan struct{})
+	release := make(chan struct{})
+	do := func() error {
+		if calls.Add(1) == 1 {
+			close(firstRunning)
+			<-release
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); g.sync(do) }() // leader
+	<-firstRunning
+	const cohort = 10
+	for i := 0; i < cohort; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); g.sync(do) }()
+	}
+	// Wait until the whole cohort is enqueued behind the in-flight round.
+	for {
+		g.mu.Lock()
+		n := len(g.waiters)
+		g.mu.Unlock()
+		if n == cohort {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("do() ran %d times; want 2 (leader round + one coalesced cohort round)", got)
+	}
+}
+
+// fixedTuner is a Store advertising a sink-hasher preference.
+type fixedTuner struct {
+	Store
+	n int
+}
+
+func (f fixedTuner) SinkHashers() int { return f.n }
+func (f fixedTuner) Unwrap() Store    { return f.Store }
+
+// TestSinkHashersDiscovery pins the capability walk: preferences surface
+// through wrapper layers (verify, counting, tuning), an inner 0 keeps
+// walking, and WithSinkHashers overrides whatever is beneath it.
+func TestSinkHashersDiscovery(t *testing.T) {
+	base := NewMemStore()
+	if got := SinkHashersOf(base); got != 0 {
+		t.Fatalf("plain MemStore preference = %d, want 0", got)
+	}
+	layered := NewVerifyingStore(NewCountingStore(WithSinkHashers(base, 3)))
+	if got := SinkHashersOf(layered); got != 3 {
+		t.Fatalf("layered preference = %d, want 3", got)
+	}
+	// -1 (synchronous) must survive the walk — it is a preference, not a
+	// "keep walking" marker.
+	if got := SinkHashersOf(NewCountingStore(WithSinkHashers(base, -1))); got != -1 {
+		t.Fatalf("sync preference = %d, want -1", got)
+	}
+	// A tuner advertising 0 is "no preference": the walk keeps descending.
+	if got := SinkHashersOf(fixedTuner{Store: WithSinkHashers(base, 2), n: 0}); got != 2 {
+		t.Fatalf("zero tuner should defer to inner, got %d", got)
+	}
+	// WithSinkHashers(st, 0) is a no-op, not a wrapper.
+	if st := WithSinkHashers(base, 0); st != Store(base) {
+		t.Fatal("WithSinkHashers(st, 0) should return st unchanged")
+	}
+	// The sink actually honors a discovered synchronous preference: no
+	// hasher goroutines means emissions hash inline (observable via Flush
+	// being a pure barrier — hard to observe directly, so settle for the
+	// sink completing correctly against the tuned store).
+	sink := NewChunkSink(WithSinkHashers(base, -1), SinkOptions{})
+	for i := 0; i < 10; i++ {
+		if _, err := sink.Emit(fileChunk(i).Type(), fileChunk(i).Data()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 10 {
+		t.Fatalf("tuned sink stored %d chunks, want 10", base.Len())
+	}
+}
+
+// TestSweepMovedAccounting pins the compaction accounting the parallel
+// liveness phase feeds: MovedIDs must name exactly the surviving chunks of
+// rewritten segments, MovedBytes their on-disk volume, and every moved
+// chunk must remain readable.
+func TestSweepMovedAccounting(t *testing.T) {
+	s, err := OpenFileStoreSegmented(t.TempDir(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ids := fillSegments(t, s, 200)
+	keep := map[hash.Hash]bool{}
+	for i, id := range ids {
+		if i%2 == 0 {
+			keep[id] = true
+		}
+	}
+	res, err := s.Sweep(sweepKeep(keep), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MovedIDs) == 0 || res.MovedBytes <= 0 {
+		t.Fatalf("compaction moved nothing: %+v", res)
+	}
+	seen := map[hash.Hash]bool{}
+	for _, id := range res.MovedIDs {
+		if !keep[id] {
+			t.Fatalf("swept chunk %s reported as moved", id.Short())
+		}
+		if seen[id] {
+			t.Fatalf("chunk %s reported moved twice", id.Short())
+		}
+		seen[id] = true
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("moved chunk %s unreadable: %v", id.Short(), err)
+		}
+	}
+	var liveBytes int64
+	for _, id := range res.MovedIDs {
+		c, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each record is header + payload; MovedBytes counts on-disk spans,
+		// so it must be at least the summed payload size.
+		liveBytes += int64(len(c.Data()))
+	}
+	if res.MovedBytes < liveBytes {
+		t.Fatalf("MovedBytes %d < summed payloads %d", res.MovedBytes, liveBytes)
+	}
+}

@@ -45,10 +45,19 @@ type ChunkSink struct {
 type SinkOptions struct {
 	// BatchSize is the number of chunks per PutBatch (default 128).
 	BatchSize int
-	// Hashers is the number of hashing workers.  0 hashes synchronously on
-	// the producer goroutine — the default on single-CPU hosts, where worker
-	// handoff would only add scheduling overhead.  The default on multi-CPU
-	// hosts is min(GOMAXPROCS-1, 4).
+	// Hashers is the number of hashing workers.  0 picks a default: a
+	// preference attached to the store (see WithSinkHashers) if present,
+	// otherwise min(GOMAXPROCS-1, 4) — synchronous when that is zero, i.e.
+	// at GOMAXPROCS=1, where worker handoff cannot overlap with anything.
+	//
+	// The cap of 4 is the single-producer saturation point, re-checked
+	// against the GOMAXPROCS={1,4,8} scale matrix (BENCH_7): SHA-256 over a
+	// ~4 KiB node costs a small multiple of what encoding and boundary-
+	// scanning the same node costs, so one producer can keep roughly four
+	// hashers busy before production becomes the bottleneck and extra
+	// workers only add channel handoff.  Parallel bulk builds don't raise
+	// the cap — they scale the other axis, running several producers whose
+	// sinks hash synchronously (see pos.BuildMapParallel).
 	Hashers int
 	// hashersSet distinguishes an explicit Hashers: 0 from the zero value.
 	hashersSet bool
@@ -97,9 +106,15 @@ func NewChunkSink(st Store, opt SinkOptions) *ChunkSink {
 		opt.BatchSize = DefaultSinkBatch
 	}
 	if !opt.hashersSet && opt.Hashers == 0 {
-		opt.Hashers = runtime.GOMAXPROCS(0) - 1
-		if opt.Hashers > 4 {
-			opt.Hashers = 4
+		if n := SinkHashersOf(st); n != 0 {
+			// A preference attached to the store wins over the built-in
+			// default (negative = explicitly synchronous).
+			opt.Hashers = n
+		} else {
+			opt.Hashers = runtime.GOMAXPROCS(0) - 1
+			if opt.Hashers > 4 {
+				opt.Hashers = 4
+			}
 		}
 		if opt.Hashers < 0 {
 			opt.Hashers = 0
@@ -150,6 +165,13 @@ func (s *ChunkSink) Emit(t chunk.Type, enc []byte) (*hash.Hash, error) {
 
 // newID hands out id slots from blocks, avoiding one tiny allocation per
 // chunk.  Called only from the producer goroutine (Emit).
+//
+// Block sizing: 64 slots × hash.Size (32 B) = one 2 KiB slab per 64 emitted
+// chunks — half a default batch.  That cuts the allocator to one call per 64
+// ids (under 2% of Emit calls) while keeping each slab small enough that a
+// slab pinned by one long-lived id wastes at most 2 KiB.  Bigger blocks buy
+// nothing measurable (the allocation is already off the hot path) and
+// retain proportionally more memory per pinned id.
 func (s *ChunkSink) newID() *hash.Hash {
 	if len(s.idBlock) == cap(s.idBlock) {
 		s.idBlock = make([]hash.Hash, 0, 64)

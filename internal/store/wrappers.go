@@ -11,6 +11,11 @@ import (
 // CountingStore wraps a Store and records the byte increments of delimited
 // phases, so experiments can report "loading dataset 2 increased storage by
 // only 0.04 KB" exactly like Fig 4 of the paper.
+//
+// Concurrency: the wrapper itself holds no per-op state — delegated calls
+// touch only the inner store — and Mark/Increments guard the snapshot
+// slices with one mutex, so concurrent builder workers can write through a
+// CountingStore while an experiment thread marks phases.
 type CountingStore struct {
 	Inner Store
 
