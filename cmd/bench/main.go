@@ -12,6 +12,7 @@
 //	bench -exp perf         write/read-path perf suite (median of 5)
 //	bench -exp repl         Merkle-delta replication vs full copy
 //	bench -exp chaos        robustness soak under a seeded fault schedule
+//	bench -exp heal         disk rot → scrub → quarantine → Merkle self-healing
 //	bench -exp siri         POS-Tree vs Merkle Patricia Trie comparison
 //	bench -exp scale        GOMAXPROCS matrix for the parallel paths
 //
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|siri|scale")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|heal|siri|scale")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
@@ -212,6 +213,25 @@ func main() {
 		if !rep.Passed {
 			return fmt.Errorf("chaos soak failed: lost_acked=%d within_budget=%v follower=%v cluster=%v crash=%v",
 				rep.LostAckedTotal, rep.WithinBudget, rep.FollowerConverged, rep.ClusterConverged, rep.CrashRecovered)
+		}
+		return nil
+	})
+
+	run("heal", func() error {
+		rep, err := experiments.RunHeal(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.PrintHeal(out, rep)
+		if *jsonPath != "" {
+			if err := experiments.WriteHealJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if !rep.Passed {
+			return fmt.Errorf("heal experiment failed: detected=%v roots_identical=%v lost_acked=%d healthy=%v repaired=%d",
+				rep.DamageDetected, rep.RootsIdentical, rep.LostAcked, rep.HealthyAfterHeal, rep.HealRepaired)
 		}
 		return nil
 	})

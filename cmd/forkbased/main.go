@@ -40,6 +40,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 1024, "max concurrent TCP connections (0 = unlimited)")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-request read deadline / idle-connection timeout (0 = none)")
 	maxLag := flag.Uint64("max-lag", 1024, "replica readiness threshold: max feed entries behind the primary")
+	scrubEvery := flag.Duration("scrub-interval", 0, "background disk-scrub period for file-backed nodes (0 = disabled)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "forkbased: ", log.LstdFlags)
@@ -51,6 +52,7 @@ func main() {
 
 	var st store.Store
 	var rawHeads core.BranchTable
+	var fileStore *store.FileStore // non-nil for file-backed nodes: scrub target
 	if *dir != "" {
 		fs, err := store.OpenFileStore(*dir)
 		if err != nil {
@@ -61,6 +63,7 @@ func main() {
 		if err != nil {
 			logger.Fatalf("opening branch table: %v", err)
 		}
+		fileStore = fs
 		st, rawHeads = fs, bt
 	} else {
 		st, rawHeads = store.NewMemStore(), core.NewMemBranchTable()
@@ -80,12 +83,14 @@ func main() {
 	srv.SetLimits(server.Limits{MaxConns: *maxConns, ReadTimeout: *readTimeout})
 
 	var follower *repl.Follower
+	var healSrc *repl.RemoteSource // replicas self-heal disk loss from the primary
 	if *follow != "" {
 		cli, err := server.Dial(*follow)
 		if err != nil {
 			logger.Fatalf("dialing primary %s: %v", *follow, err)
 		}
 		defer cli.Close()
+		healSrc = repl.NewRemoteSource(cli)
 		// The follower writes through the engine's verifying store so every
 		// replicated chunk is integrity-checked; the local TCP service goes
 		// read-only — replica state moves only through replication.
@@ -107,8 +112,49 @@ func main() {
 	}
 	logger.Printf("%s chunk/branch service on %s", role, addr)
 
+	// Background disk scrub: every interval, rehash the store's on-disk
+	// chunks and quarantine damage.  Replicas additionally self-heal — lost
+	// chunks are refetched from the primary, verified, and landed back, so
+	// the detect → quarantine → repair loop closes without an operator.
+	if *scrubEvery > 0 {
+		if fileStore == nil {
+			logger.Printf("scrub-interval ignored: in-memory store has no disk to scrub")
+		} else {
+			go func() {
+				tick := time.NewTicker(*scrubEvery)
+				defer tick.Stop()
+				for range tick.C {
+					scr, err := fileStore.Scrub()
+					if err != nil {
+						logger.Printf("scrub: %v", err)
+						continue
+					}
+					if scr.Corrupt+scr.Torn+scr.Unreadable > 0 {
+						logger.Printf("scrub: quarantined %d segment(s): %d corrupt, %d torn, %d unreadable; rescued %d, lost %d",
+							scr.QuarantinedSegments, scr.Corrupt, scr.Torn, scr.Unreadable, scr.Rescued, len(scr.Lost))
+					}
+					if fileStore.Health() == nil || healSrc == nil {
+						continue
+					}
+					hs, err := eng.Heal(healSrc)
+					if err != nil {
+						logger.Printf("heal: %v", err)
+						continue
+					}
+					if hs.Repaired > 0 {
+						logger.Printf("heal: repaired %d chunk(s) (%d bytes) from primary", hs.Repaired, hs.BytesFetched)
+					}
+				}
+			}()
+			logger.Printf("disk scrub every %v", *scrubEvery)
+		}
+	}
+
 	if *httpAddr != "" {
 		h := rest.New(eng)
+		if fileStore != nil {
+			h.WithScrubber(fileStore)
+		}
 		if follower != nil {
 			h.WithReplStatus(follower.Stats).SetReadOnly(true)
 			// Readiness = synced within the lag threshold; a partitioned or

@@ -74,6 +74,17 @@ type (
 	ReplStats = repl.Stats
 	// VerifyReport summarises a tamper-evidence validation.
 	VerifyReport = core.VerifyReport
+	// ScrubStats reports one scrub pass over a file-backed store: chunks
+	// verified, damage classified (corrupt / torn / unreadable), segments
+	// quarantined, records rescued, and the ids lost pending repair.
+	ScrubStats = store.ScrubStats
+	// HealStats reports a Merkle self-healing pass (DB.Heal): chunks
+	// checked, damage found, and repairs landed.
+	HealStats = core.HealStats
+	// ChunkSource serves verified chunks by id — the intact copy Heal
+	// repairs from.  repl sources (a peer server, a local engine) satisfy
+	// it.
+	ChunkSource = core.ChunkSource
 	// IndexKind selects the structure backing composite values (see
 	// WithIndex): IndexPOS or IndexMPT.
 	IndexKind = index.Kind
@@ -672,6 +683,64 @@ func (db *DB) Compact() (GCStats, error) {
 		return GCStats{}, err
 	}
 	return db.eng.Compact()
+}
+
+// Scrub rehashes every chunk record on disk against its content address,
+// quarantines damaged segments (renamed aside, never unlinked), rescues
+// every intact record out of them, and records the store's health state.
+// Only file-backed instances have disk to scrub.
+func (db *DB) Scrub() (ScrubStats, error) {
+	if db.fileStore == nil {
+		return ScrubStats{}, errors.New("forkbase: scrub requires a file-backed store")
+	}
+	return db.fileStore.Scrub()
+}
+
+// LastScrub reports the most recent scrub (or open-time recovery)
+// classification; ok is false when none has run or the store is not
+// file-backed.
+func (db *DB) LastScrub() (ScrubStats, time.Time, bool) {
+	if db.fileStore == nil {
+		return ScrubStats{}, time.Time{}, false
+	}
+	return db.fileStore.LastScrub()
+}
+
+// StoreHealth is nil while every chunk the store has acknowledged is
+// readable and intact; after a scrub or recovery finds unrepaired damage it
+// wraps store.ErrCorrupt until Heal (or replication) restores the lost
+// chunks.
+func (db *DB) StoreHealth() error {
+	if db.fileStore == nil {
+		return nil
+	}
+	return db.fileStore.Health()
+}
+
+// Heal walks the live Merkle graph from every branch head, refetches any
+// missing or corrupt chunk from src, verifies each against its content
+// address, and lands it back in the local store.  Heal is deliberately not
+// gated by the replica write guard: repairing a read replica from its
+// primary is the expected deployment.  With a nil src, a replica heals from
+// the primary it follows; otherwise a source is required.
+func (db *DB) Heal(src ChunkSource) (HealStats, error) {
+	if src == nil {
+		if db.followCli == nil {
+			return HealStats{}, errors.New("forkbase: heal needs a chunk source")
+		}
+		src = repl.NewRemoteSource(db.followCli)
+	}
+	return db.eng.Heal(src)
+}
+
+// HealFrom heals from the forkbased server at addr (see Heal).
+func (db *DB) HealFrom(addr string) (HealStats, error) {
+	cli, err := server.Dial(addr)
+	if err != nil {
+		return HealStats{}, err
+	}
+	defer cli.Close()
+	return db.eng.Heal(repl.NewRemoteSource(cli))
 }
 
 // Verify validates the object graph reachable from uid; deep extends the

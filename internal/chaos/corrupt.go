@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Disk-fault injection: seeded bit flips against FileStore segment files.
+// The scrub/quarantine/heal machinery in internal/store and internal/core is
+// the system under test; these helpers are the rot.
+
+// CorruptFile flips nFlips seeded bits in place across the named file.  The
+// same (file contents length, seed, nFlips) triple flips the same bits, so a
+// corruption scenario replays exactly.  Flipping is position-uniform: header
+// bytes (ids, lengths, types) are as likely to rot as payloads, which is
+// what exercises every classifier branch (corrupt, torn) rather than only
+// payload mismatches.
+func CorruptFile(path string, seed int64, nFlips int) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("chaos: corrupt %s: %w", path, err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("chaos: corrupt %s: %w", path, err)
+	}
+	if fi.Size() == 0 {
+		return fmt.Errorf("chaos: corrupt %s: file is empty", path)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, 1)
+	for i := 0; i < nFlips; i++ {
+		off := rng.Int63n(fi.Size())
+		if _, err := f.ReadAt(b, off); err != nil {
+			return fmt.Errorf("chaos: corrupt %s: %w", path, err)
+		}
+		b[0] ^= 1 << uint(rng.Intn(8))
+		if _, err := f.WriteAt(b, off); err != nil {
+			return fmt.Errorf("chaos: corrupt %s: %w", path, err)
+		}
+	}
+	return f.Sync()
+}
+
+// SegmentFiles lists a FileStore directory's live segment files, sorted —
+// quarantined segments excluded, like the store's own glob.
+func SegmentFiles(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// CorruptSegment flips nFlips seeded bits in one seed-chosen sealed segment
+// of a FileStore directory (the highest-numbered segment — the active tail —
+// is spared: rotting bytes under a live O_APPEND writer tests the injector,
+// not the store).  It returns the victim's path.
+func CorruptSegment(dir string, seed int64, nFlips int) (string, error) {
+	segs, err := SegmentFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(segs) < 2 {
+		return "", fmt.Errorf("chaos: %s has no sealed segments to corrupt", dir)
+	}
+	sealed := segs[:len(segs)-1]
+	rng := rand.New(rand.NewSource(seed))
+	victim := sealed[rng.Intn(len(sealed))]
+	if err := CorruptFile(victim, rng.Int63(), nFlips); err != nil {
+		return "", err
+	}
+	return victim, nil
+}

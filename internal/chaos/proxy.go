@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -223,8 +224,10 @@ func (p *Proxy) throttle(dir int, n int) bool {
 type Agitator struct {
 	rng        *rand.Rand
 	proxies    []*Proxy
+	disks      []string // FileStore dirs eligible for bit rot (see AddDisk)
 	MaxLatency time.Duration // latency-spike ceiling (default 10ms)
 	MaxOutage  time.Duration // partition/outage hold ceiling (default 120ms)
+	MaxFlips   int           // bit flips per disk event ceiling (default 8)
 }
 
 // NewAgitator seeds a fault schedule over the given proxies.  The same seed
@@ -236,14 +239,25 @@ func NewAgitator(seed int64, proxies ...*Proxy) *Agitator {
 		proxies:    proxies,
 		MaxLatency: 10 * time.Millisecond,
 		MaxOutage:  120 * time.Millisecond,
+		MaxFlips:   8,
 	}
 }
 
+// AddDisk opts a FileStore directory into the storm: rounds may then flip
+// bits in its sealed segments (class "disk").  Disk faults are strictly
+// opt-in — an agitator with no disks draws from the same five network
+// classes as before, so existing seeded schedules replay unchanged.
+func (a *Agitator) AddDisk(dir string) { a.disks = append(a.disks, dir) }
+
 // Round injects one fault, holds it, heals, and returns a description.
 func (a *Agitator) Round() string {
+	classes := 5
+	if len(a.disks) > 0 {
+		classes = 6
+	}
 	p := a.proxies[a.rng.Intn(len(a.proxies))]
 	hold := time.Duration(1 + a.rng.Int63n(int64(a.MaxOutage))) // ≥1ns, <MaxOutage+1
-	switch a.rng.Intn(5) {
+	switch a.rng.Intn(classes) {
 	case 0:
 		d := time.Duration(1 + a.rng.Int63n(int64(a.MaxLatency)))
 		p.SetLatency(d)
@@ -263,10 +277,20 @@ func (a *Agitator) Round() string {
 		time.Sleep(hold)
 		p.Heal()
 		return fmt.Sprintf("one-way partition (to-server) on %s for %v", p.Addr(), hold.Round(time.Millisecond))
-	default:
+	case 4:
 		n := 1 + a.rng.Int63n(64)
 		p.CutNext(ToClient, n)
 		time.Sleep(hold)
 		return fmt.Sprintf("cut to-client stream on %s after %d bytes", p.Addr(), n)
+	default:
+		dir := a.disks[a.rng.Intn(len(a.disks))]
+		flips := 1 + a.rng.Intn(a.MaxFlips)
+		victim, err := CorruptSegment(dir, a.rng.Int63(), flips)
+		if err != nil {
+			// No sealed segment yet: the draw is burned (keeping the seeded
+			// schedule deterministic) and the round reports a no-op.
+			return fmt.Sprintf("disk rot skipped on %s (%v)", dir, err)
+		}
+		return fmt.Sprintf("disk rot: %d bit flip(s) in %s", flips, filepath.Base(victim))
 	}
 }

@@ -107,6 +107,8 @@ var commandHelp = map[string]string{
 	"verify":  "verify KEY [-uid UID] [-deep]               tamper validation",
 	"stats":   "stats                                       store dedup accounting",
 	"gc":      "gc                                          collect unreachable chunks",
+	"scrub":   "scrub                                       verify on-disk chunks, quarantine damage (-dir only)",
+	"heal":    "heal -from ADDR                             refetch missing/corrupt chunks from a peer",
 }
 
 var commands = map[string]command{
@@ -127,6 +129,8 @@ var commands = map[string]command{
 	"verify":  cmdVerify,
 	"stats":   cmdStats,
 	"gc":      cmdGC,
+	"scrub":   cmdScrub,
+	"heal":    cmdHeal,
 }
 
 func cmdPut(db *forkbase.DB, args []string, out io.Writer) error {
@@ -510,6 +514,51 @@ func cmdGC(db *forkbase.DB, args []string, out io.Writer) error {
 	if stats.CompactedSegments > 0 {
 		fmt.Fprintf(out, "compacted:    %d segments (%d live chunks rewritten)\n",
 			stats.CompactedSegments, stats.Relocated)
+	}
+	return nil
+}
+
+func cmdScrub(db *forkbase.DB, args []string, out io.Writer) error {
+	st, err := db.Scrub()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "segments:     %d (%d bytes scanned)\nok chunks:    %d\ncorrupt:      %d\ntorn:         %d\nunreadable:   %d\n",
+		st.Segments, st.ScannedBytes, st.Ok, st.Corrupt, st.Torn, st.Unreadable)
+	if st.QuarantinedSegments > 0 {
+		fmt.Fprintf(out, "quarantined:  %d segment(s), %d record(s) rescued\n", st.QuarantinedSegments, st.Rescued)
+	}
+	for _, id := range st.Lost {
+		fmt.Fprintf(out, "lost:         %s\n", id)
+	}
+	if err := db.StoreHealth(); err != nil {
+		fmt.Fprintf(out, "health:       %v\n", err)
+		fmt.Fprintln(out, "run `forkbase heal -from ADDR` against a peer holding an intact copy")
+	} else {
+		fmt.Fprintln(out, "health:       ok")
+	}
+	return nil
+}
+
+func cmdHeal(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("heal", flag.ContinueOnError)
+	from := fs.String("from", "", "forkbased peer address holding an intact copy")
+	if _, err := parseArgs(fs, args, 0); err != nil {
+		return err
+	}
+	if *from == "" {
+		return errors.New("need -from ADDR")
+	}
+	st, err := db.HealFrom(*from)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "branches:     %d\nchecked:      %d\nmissing:      %d\ncorrupt:      %d\nrepaired:     %d (%d bytes fetched)\n",
+		st.Branches, st.Checked, st.Missing, st.Corrupt, st.Repaired, st.BytesFetched)
+	if err := db.StoreHealth(); err != nil {
+		fmt.Fprintf(out, "health:       %v\n", err)
+	} else {
+		fmt.Fprintln(out, "health:       ok")
 	}
 	return nil
 }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunker"
+	"forkbase/internal/hash"
+	"forkbase/internal/store"
+)
+
+// testChunkSource adapts any local store into a repair source — the same
+// shape repl.LocalSource has, declared here because core cannot import repl.
+type testChunkSource struct{ st store.Store }
+
+func (s testChunkSource) GetChunks(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	return store.GetBatch(s.st, ids)
+}
+
+func newFileDB(t *testing.T, dir string) (*DB, *store.FileStore) {
+	t.Helper()
+	fs, err := store.OpenFileStoreWith(dir, store.FileStoreOptions{SegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Open(Options{Store: fs, Branches: NewMemBranchTable(), Chunking: chunker.SmallConfig()}), fs
+}
+
+// mirrorStore deep-copies every chunk of fs into a fresh MemStore — a
+// caught-up replica.  Payloads are copied out of the mmap (zero-copy chunks
+// alias the segment mapping, and this test is about to rot that mapping).
+func mirrorStore(t *testing.T, fs *store.FileStore) *store.MemStore {
+	t.Helper()
+	vs := store.NewVerifyingStore(fs)
+	replica := store.NewMemStore()
+	for _, id := range fs.IDs() {
+		c, err := vs.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := chunk.New(c.Type(), append([]byte(nil), c.Data()...))
+		if _, err := replica.Put(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return replica
+}
+
+// rotSegment flips a payload byte of the first record in the given segment
+// file (same shape as the store-level scrub tests).
+func rotSegment(t *testing.T, dir string, seg int) {
+	t.Helper()
+	path := filepath.Join(dir, "seg-000001.log")
+	if seg != 1 {
+		t.Fatalf("rotSegment helper only aims at seg 1")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := []byte{0}
+	off := int64(hash.Size + 4 + 1 + 5) // recordHeader + 5: inside payload 0
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x10
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seedHealDB(t *testing.T, db *DB, fs *store.FileStore) {
+	t.Helper()
+	if _, err := db.Put("a", "", bigMap(t, db, 400, "v1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put("a", "", bigMap(t, db, 400, "v2"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Branch("a", "dev", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put("b", "", bigMap(t, db, 200, "b1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.DiskBytes() < 3*4096 {
+		t.Fatal("seed too small to span several segments")
+	}
+}
+
+func verifyAllBranches(t *testing.T, db *DB) {
+	t.Helper()
+	keys, err := db.heads.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		branches, err := db.heads.Branches(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for branch, head := range branches {
+			if _, err := db.VerifyVersion(key, head, true); err != nil {
+				t.Fatalf("deep verify %s@%s after heal: %v", key, branch, err)
+			}
+		}
+	}
+}
+
+// TestHealRepairsCorruptInPlace: rot a sealed segment and heal *without*
+// scrubbing first — the verifying read path classifies the rotted chunk as
+// corrupt mid-walk, and Repair replaces it in place.
+func TestHealRepairsCorruptInPlace(t *testing.T) {
+	dir := t.TempDir()
+	db, fs := newFileDB(t, dir)
+	defer fs.Close()
+	seedHealDB(t, db, fs)
+	replica := mirrorStore(t, fs)
+	headBefore, err := db.Head("a", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rotSegment(t, dir, 1)
+
+	hs, err := db.Heal(testChunkSource{replica})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Corrupt == 0 {
+		t.Fatalf("heal saw no corruption: %+v", hs)
+	}
+	if hs.Repaired != hs.Corrupt+hs.Missing || len(hs.Failed) != 0 {
+		t.Fatalf("heal did not repair everything: %+v", hs)
+	}
+	if hs.Branches == 0 || hs.Checked == 0 || hs.BytesFetched == 0 {
+		t.Fatalf("implausible heal stats: %+v", hs)
+	}
+
+	headAfter, err := db.Head("a", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if headAfter != headBefore {
+		t.Fatal("heal moved a branch head")
+	}
+	verifyAllBranches(t, db)
+}
+
+// TestHealAfterScrubQuarantine is the full detect → quarantine → repair
+// loop at the engine level: scrub quarantines the rotted segment (chunk now
+// *missing*), heal refills the hole from the replica, and the store's
+// health state recovers.
+func TestHealAfterScrubQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	db, fs := newFileDB(t, dir)
+	defer fs.Close()
+	seedHealDB(t, db, fs)
+	replica := mirrorStore(t, fs)
+
+	rotSegment(t, dir, 1)
+	st, err := fs.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt == 0 || st.QuarantinedSegments != 1 || len(st.Lost) == 0 {
+		t.Fatalf("scrub missed the rot: %+v", st)
+	}
+	if err := fs.Health(); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("health = %v, want ErrCorrupt", err)
+	}
+
+	hs, err := db.Heal(testChunkSource{replica})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Missing == 0 || hs.Repaired != hs.Corrupt+hs.Missing {
+		t.Fatalf("heal did not refill the quarantine holes: %+v", hs)
+	}
+	if err := fs.Health(); err != nil {
+		t.Fatalf("health after heal = %v, want nil", err)
+	}
+	verifyAllBranches(t, db)
+}
+
+// TestHealReportsUnrepairable: a source that lacks the damaged chunks cannot
+// heal them; Heal must say so loudly (typed error, ids listed) instead of
+// reporting success.
+func TestHealReportsUnrepairable(t *testing.T) {
+	dir := t.TempDir()
+	db, fs := newFileDB(t, dir)
+	defer fs.Close()
+	seedHealDB(t, db, fs)
+
+	rotSegment(t, dir, 1)
+	if _, err := fs.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := db.Heal(testChunkSource{store.NewMemStore()})
+	if !errors.Is(err, chunk.ErrCorrupt) {
+		t.Fatalf("heal with empty source = %v, want ErrCorrupt", err)
+	}
+	if len(hs.Failed) == 0 || hs.Repaired != 0 {
+		t.Fatalf("expected only failures: %+v", hs)
+	}
+}
+
+// TestHealNoDamageIsNoop: healing a healthy store fetches nothing.
+func TestHealNoDamageIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	db, fs := newFileDB(t, dir)
+	defer fs.Close()
+	seedHealDB(t, db, fs)
+	hs, err := db.Heal(testChunkSource{store.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Repaired != 0 || hs.Missing != 0 || hs.Corrupt != 0 || hs.BytesFetched != 0 {
+		t.Fatalf("no-op heal touched data: %+v", hs)
+	}
+	if hs.Checked == 0 {
+		t.Fatal("no-op heal checked nothing")
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"forkbase/internal/chaos"
+	"forkbase/internal/chunker"
+	"forkbase/internal/core"
+	"forkbase/internal/hash"
+	"forkbase/internal/pos"
+	"forkbase/internal/repl"
+	"forkbase/internal/store"
+)
+
+// HealReport is the disk-fault robustness experiment (BENCH_8): a file-backed
+// primary with a caught-up replica suffers seeded bit rot across multiple
+// sealed segments; the scrub must detect and quarantine every damaged
+// segment (never unlinking anything), and Merkle self-healing must refetch
+// the lost chunks from the replica until every branch root on the primary is
+// byte-identical to its pre-fault state.  The tripwires are exact: all
+// injected damage detected, zero acknowledged writes lost, store health
+// restored.
+type HealReport struct {
+	Suite      string `json:"suite"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	ElapsedNs  int64  `json:"elapsed_ns"`
+
+	// Workload shape before the fault.
+	Keys         int   `json:"keys"`
+	VersionsPut  int   `json:"versions_put"`
+	Branches     int   `json:"branches"`
+	ChunksTotal  int64 `json:"chunks_total"`
+	SegmentsLive int   `json:"segments_live"`
+
+	// Injected damage (seed-deterministic).
+	SegmentsCorrupted int `json:"segments_corrupted"`
+	BitFlips          int `json:"bit_flips"`
+
+	// Detection: one scrub pass over the rotted store.
+	DetectionNs         int64 `json:"detection_ns"`
+	ScrubCorrupt        int   `json:"scrub_corrupt"`
+	ScrubTorn           int   `json:"scrub_torn"`
+	QuarantinedSegments int   `json:"quarantined_segments"`
+	QuarantineFiles     int   `json:"quarantine_files"`
+	Rescued             int   `json:"rescued"`
+	LostChunks          int   `json:"lost_chunks"`
+	DamageDetected      bool  `json:"damage_detected"` // every corrupted segment quarantined
+
+	// Repair: Merkle walk + refetch from the replica.
+	RepairNs          int64   `json:"repair_ns"`
+	HealChecked       int     `json:"heal_checked"`
+	HealMissing       int     `json:"heal_missing"`
+	HealCorrupt       int     `json:"heal_corrupt"`
+	HealRepaired      int     `json:"heal_repaired"`
+	HealBytesFetched  int64   `json:"heal_bytes_fetched"`
+	RepairBytesPerSec float64 `json:"repair_bytes_per_sec"`
+
+	// Verification: the headline tripwires.
+	RootsIdentical   bool `json:"roots_identical"` // every branch head byte-identical to pre-fault
+	LostAcked        int  `json:"lost_acked"`      // acknowledged versions unreadable after heal
+	HealthyAfterHeal bool `json:"healthy_after_heal"`
+	Passed           bool `json:"passed"`
+}
+
+// healSeed makes the rot reproducible: same seed, same flipped bits.
+const healSeed = 8
+
+// RunHeal executes the detect → quarantine → repair experiment.
+func RunHeal(quick bool) (*HealReport, error) {
+	keys, versions, entries := 8, 5, 3000
+	if quick {
+		keys, versions, entries = 4, 3, 800
+	}
+	rep := &HealReport{
+		Suite:      "forkbase-heal",
+		Quick:      quick,
+		Seed:       healSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Keys:       keys,
+	}
+	start := time.Now()
+
+	dir, err := os.MkdirTemp("", "forkbase-heal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- Primary: file-backed engine with a change feed, so a replica can
+	// follow it.  Small chunks over small segments give the rot a wide
+	// multi-segment target.
+	fs, err := store.OpenFileStoreWith(dir, store.FileStoreOptions{SegmentSize: 16384})
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close()
+	feed := core.NewFeed(0)
+	prim := core.Open(core.Options{
+		Store:    fs,
+		Branches: core.WithFeed(core.NewMemBranchTable(), feed),
+		Chunking: chunker.SmallConfig(),
+	})
+	defer prim.Close()
+
+	// Workload: versioned maps across several keys, a branch per key.
+	type ackedVersion struct {
+		key string
+		uid hash.Hash
+	}
+	var acked []ackedVersion
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("obj-%02d", k)
+		for v := 0; v < versions; v++ {
+			ents := make([]pos.Entry, entries)
+			for i := range ents {
+				ents[i] = pos.Entry{
+					Key: []byte(fmt.Sprintf("row-%05d", i)),
+					Val: []byte(fmt.Sprintf("val-%d-%d-%d-%d", healSeed, k, v, i)),
+				}
+			}
+			val, err := prim.NewMapValue(ents)
+			if err != nil {
+				return nil, err
+			}
+			ver, err := prim.Put(key, "", val, nil)
+			if err != nil {
+				return nil, err
+			}
+			acked = append(acked, ackedVersion{key, ver.UID})
+		}
+		if err := prim.Branch(key, "dev", ""); err != nil {
+			return nil, err
+		}
+		rep.Branches += 2
+	}
+	rep.VersionsPut = len(acked)
+	if err := fs.Flush(); err != nil {
+		return nil, err
+	}
+	rep.ChunksTotal = fs.Stats().UniqueChunks
+
+	// ---- Replica: in-memory follower, caught up then detached — the intact
+	// copy the primary will heal from.
+	replica := core.Open(core.Options{})
+	defer replica.Close()
+	follower := repl.NewFollower(repl.NewLocalSource(prim), replica.Store(), replica.BranchTable(),
+		repl.Options{Poll: 10 * time.Millisecond})
+	follower.Start()
+	if err := follower.WaitCaughtUp(2 * time.Minute); err != nil {
+		return nil, fmt.Errorf("replica never caught up: %w", err)
+	}
+	if err := follower.Close(); err != nil {
+		return nil, err
+	}
+
+	// Snapshot every branch head: the byte-identical recovery target.
+	headsBefore := map[string]hash.Hash{}
+	allKeys, err := prim.ListKeys()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range allKeys {
+		branches, err := prim.ListBranches(key)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range branches {
+			h, err := prim.Head(key, b)
+			if err != nil {
+				return nil, err
+			}
+			headsBefore[key+"@"+b] = h
+		}
+	}
+
+	// ---- Inject: seeded bit rot across multiple sealed segments, sized to
+	// damage well over 1% of the store's chunks.
+	segs, err := chaos.SegmentFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep.SegmentsLive = len(segs)
+	if len(segs) < 4 {
+		return nil, fmt.Errorf("workload too small: only %d segments", len(segs))
+	}
+	sealed := segs[:len(segs)-1] // spare the active tail
+	nVictims := len(sealed) / 4
+	if nVictims < 2 {
+		nVictims = 2
+	}
+	flipsPerVictim := int(rep.ChunksTotal/100)/nVictims + 2
+	step := len(sealed) / nVictims
+	for i := 0; i < nVictims; i++ {
+		victim := sealed[i*step]
+		if err := chaos.CorruptFile(victim, healSeed+int64(i), flipsPerVictim); err != nil {
+			return nil, err
+		}
+		rep.SegmentsCorrupted++
+		rep.BitFlips += flipsPerVictim
+	}
+
+	// ---- Detect: one scrub pass must find and quarantine every damaged
+	// segment.
+	t0 := time.Now()
+	scr, err := fs.Scrub()
+	if err != nil {
+		return nil, err
+	}
+	rep.DetectionNs = time.Since(t0).Nanoseconds()
+	rep.ScrubCorrupt = scr.Corrupt
+	rep.ScrubTorn = scr.Torn
+	rep.QuarantinedSegments = scr.QuarantinedSegments
+	rep.Rescued = scr.Rescued
+	rep.LostChunks = len(scr.Lost)
+	rep.DamageDetected = scr.QuarantinedSegments == rep.SegmentsCorrupted
+	quarantined, err := filepath.Glob(filepath.Join(dir, "seg-*.quarantine"))
+	if err != nil {
+		return nil, err
+	}
+	rep.QuarantineFiles = len(quarantined)
+
+	// ---- Repair: walk the Merkle graph from every head, refetch the holes
+	// from the replica, verify, land.
+	t0 = time.Now()
+	hs, err := prim.Heal(repl.NewLocalSource(replica))
+	if err != nil {
+		return nil, err
+	}
+	rep.RepairNs = time.Since(t0).Nanoseconds()
+	rep.HealChecked = hs.Checked
+	rep.HealMissing = hs.Missing
+	rep.HealCorrupt = hs.Corrupt
+	rep.HealRepaired = hs.Repaired
+	rep.HealBytesFetched = hs.BytesFetched
+	if rep.RepairNs > 0 {
+		rep.RepairBytesPerSec = float64(hs.BytesFetched) / (float64(rep.RepairNs) / 1e9)
+	}
+
+	// ---- Verify: heads never moved, every head deep-verifies, every
+	// acknowledged version is readable, health is restored.
+	rep.RootsIdentical = true
+	for _, key := range allKeys {
+		branches, err := prim.ListBranches(key)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range branches {
+			h, err := prim.Head(key, b)
+			if err != nil || h != headsBefore[key+"@"+b] {
+				rep.RootsIdentical = false
+				continue
+			}
+			if _, err := prim.VerifyVersion(key, h, true); err != nil {
+				rep.RootsIdentical = false
+			}
+		}
+	}
+	for _, av := range acked {
+		if _, err := prim.GetVersion(av.key, av.uid); err != nil {
+			rep.LostAcked++
+		}
+	}
+	rep.HealthyAfterHeal = fs.Health() == nil
+
+	rep.ElapsedNs = time.Since(start).Nanoseconds()
+	rep.Passed = rep.DamageDetected && rep.RootsIdentical && rep.LostAcked == 0 &&
+		rep.HealthyAfterHeal && rep.HealRepaired > 0 && rep.HealRepaired == rep.HealMissing+rep.HealCorrupt &&
+		rep.QuarantineFiles == rep.QuarantinedSegments
+	return rep, nil
+}
+
+// PrintHeal renders the report.
+func PrintHeal(w io.Writer, rep *HealReport) {
+	fmt.Fprintf(w, "Heal experiment: seeded disk rot + scrub + Merkle self-healing (seed=%d, GOMAXPROCS=%d, %s)\n",
+		rep.Seed, rep.GoMaxProcs, rep.GoVersion)
+	fmt.Fprintf(w, "  workload                 %d keys × %d versions (%d branches), %d chunks in %d segments\n",
+		rep.Keys, rep.VersionsPut/rep.Keys, rep.Branches, rep.ChunksTotal, rep.SegmentsLive)
+	fmt.Fprintf(w, "  injected                 %d bit flips across %d sealed segments\n",
+		rep.BitFlips, rep.SegmentsCorrupted)
+	fmt.Fprintf(w, "  detection                %.1fms scrub: %d corrupt, %d torn → %d segments quarantined (%d rescued, %d lost)\n",
+		float64(rep.DetectionNs)/1e6, rep.ScrubCorrupt, rep.ScrubTorn, rep.QuarantinedSegments, rep.Rescued, rep.LostChunks)
+	fmt.Fprintf(w, "  repair                   %.1fms heal: %d checked, %d missing + %d corrupt → %d repaired (%.1f MB/s)\n",
+		float64(rep.RepairNs)/1e6, rep.HealChecked, rep.HealMissing, rep.HealCorrupt, rep.HealRepaired,
+		rep.RepairBytesPerSec/1e6)
+	fmt.Fprintf(w, "  verification             roots_identical=%v lost_acked=%d healthy=%v\n",
+		rep.RootsIdentical, rep.LostAcked, rep.HealthyAfterHeal)
+	verdict := "PASS"
+	if !rep.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "  verdict                  %s  elapsed %.1fs\n", verdict, float64(rep.ElapsedNs)/1e9)
+}
+
+// WriteHealJSON writes the report to path.
+func WriteHealJSON(path string, rep *HealReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -133,9 +133,24 @@ func (s *LocalSource) Heads() (map[string]map[string]hash.Hash, error) {
 }
 
 // GetChunks implements Source; chunks come through the primary's verifying
-// read path.
+// read path.  Payloads are copied out before crossing the replication
+// boundary: a file-backed primary serves zero-copy slices of its segment
+// mappings, and a replica storing those aliases would share the primary's
+// fate — its "independent" copy rotting or vanishing with the primary's
+// disk.  A remote source gives this ownership guarantee for free (bytes
+// cross the wire); the local source must give the same one.
 func (s *LocalSource) GetChunks(ids []hash.Hash) ([]*chunk.Chunk, error) {
-	return store.GetBatch(s.db.Store(), ids)
+	out, err := store.GetBatch(s.db.Store(), ids)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range out {
+		if c == nil {
+			continue
+		}
+		out[i] = chunk.NewClaimed(c.Type(), append([]byte(nil), c.Data()...), c.ID())
+	}
+	return out, nil
 }
 
 // Pin implements Source (default lease, like the server side).

@@ -12,9 +12,10 @@
 //	GET    /v1/obj/{key}/verify?uid=U&deep=1      tamper validation
 //	POST   /v1/batch                              multi-key bulk write (JSON)
 //	POST   /v1/gc                                 collect unreachable chunks
+//	POST   /v1/scrub                              verify + quarantine on-disk chunks
 //	GET    /v1/stats                              store dedup accounting
 //	GET    /v1/repl/status                        replication progress
-//	GET    /v1/healthz                            liveness + readiness probe
+//	GET    /v1/healthz                            liveness + readiness + store health
 package rest
 
 import (
@@ -24,6 +25,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"forkbase/internal/core"
 	"forkbase/internal/hash"
@@ -33,12 +35,21 @@ import (
 	"forkbase/internal/value"
 )
 
+// ScrubberStore is the store capability behind POST /v1/scrub: verify every
+// on-disk chunk, quarantine damage, and report health.  *store.FileStore
+// satisfies it.
+type ScrubberStore interface {
+	store.Scrubber
+	LastScrub() (store.ScrubStats, time.Time, bool)
+}
+
 // Handler serves the REST API over a core engine.
 type Handler struct {
 	db         *core.DB
 	mux        *http.ServeMux
 	replStatus func() repl.Stats     // nil on non-replicas
 	ready      func() (bool, string) // nil = always ready
+	scrubber   ScrubberStore         // nil when the store has no disk to scrub
 	readOnly   bool                  // replicas reject mutating routes
 }
 
@@ -50,9 +61,17 @@ func New(db *core.DB) *Handler {
 	h.mux.HandleFunc("/v1/obj/", h.object)
 	h.mux.HandleFunc("/v1/batch", h.batch)
 	h.mux.HandleFunc("/v1/gc", h.gc)
+	h.mux.HandleFunc("/v1/scrub", h.scrub)
 	h.mux.HandleFunc("/v1/repl/status", h.replStatusHandler)
 	h.mux.HandleFunc("/v1/healthz", h.healthz)
 	h.registerDatasets()
+	return h
+}
+
+// WithScrubber wires the file store behind POST /v1/scrub and folds its
+// health state into /v1/healthz.  Returns h for chaining.
+func (h *Handler) WithScrubber(s ScrubberStore) *Handler {
+	h.scrubber = s
 	return h
 }
 
@@ -81,6 +100,30 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{"alive": true, "ready": ready}
 	if detail != "" {
 		body["detail"] = detail
+	}
+	if h.scrubber != nil {
+		// Store health is reported, not folded into readiness: a store with
+		// lost chunks still serves every intact version, and taking it out of
+		// rotation would also take out its repair path (heal needs to reach
+		// it).  Operators alert on store_health != "ok".
+		if herr := h.scrubber.Health(); herr != nil {
+			body["store_health"] = herr.Error()
+		} else {
+			body["store_health"] = "ok"
+		}
+		if st, at, ok := h.scrubber.LastScrub(); ok {
+			body["last_scrub"] = map[string]any{
+				"at":                   at.UTC().Format(time.RFC3339),
+				"segments":             st.Segments,
+				"ok":                   st.Ok,
+				"corrupt":              st.Corrupt,
+				"torn":                 st.Torn,
+				"unreadable":           st.Unreadable,
+				"quarantined_segments": st.QuarantinedSegments,
+				"rescued":              st.Rescued,
+				"lost":                 len(st.Lost),
+			}
+		}
 	}
 	if !ready {
 		w.Header().Set("Retry-After", retryAfterSeconds)
@@ -527,6 +570,43 @@ func (h *Handler) gc(w http.ResponseWriter, r *http.Request) {
 		"reclaimed_bytes":    stats.ReclaimedBytes,
 		"compacted_segments": stats.CompactedSegments,
 		"relocated":          stats.Relocated,
+	})
+}
+
+// scrub handles POST /v1/scrub: rehash every on-disk chunk, quarantine
+// damaged segments, report the classification.  Scrub is local maintenance,
+// not a logical write, so read-only replicas may run it too; stores without
+// disk answer 501.
+func (h *Handler) scrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	if h.scrubber == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "store has no scrub capability"})
+		return
+	}
+	st, err := h.scrubber.Scrub()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	lost := make([]string, len(st.Lost))
+	for i, id := range st.Lost {
+		lost[i] = id.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"segments":             st.Segments,
+		"scanned_bytes":        st.ScannedBytes,
+		"ok":                   st.Ok,
+		"corrupt":              st.Corrupt,
+		"torn":                 st.Torn,
+		"unreadable":           st.Unreadable,
+		"quarantined_segments": st.QuarantinedSegments,
+		"rescued":              st.Rescued,
+		"lost":                 lost,
+		"elapsed_ns":           st.ElapsedNs,
+		"healthy":              h.scrubber.Health() == nil,
 	})
 }
 

@@ -184,7 +184,7 @@ func (s *Server) handle(req *Request) *Response {
 		if c.ID() != req.ID {
 			// Refuse mislabelled chunks: content addressing is the
 			// integrity contract in both directions.
-			return fail(fmt.Errorf("chunk id mismatch: claimed %s actual %s", req.ID.Short(), c.ID().Short()))
+			return fail(fmt.Errorf("%w: claimed %s actual %s", chunk.ErrCorrupt, req.ID.Short(), c.ID().Short()))
 		}
 		fresh, err := s.st.Put(c)
 		if err != nil {

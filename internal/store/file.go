@@ -104,6 +104,15 @@ type FileStore struct {
 	// panic or snapshot the directory there to make torn-write recovery
 	// tests systematic instead of ad hoc.
 	hook func(point string, seg int)
+
+	// scrubMu guards the scrub/health state (see scrub.go).  Lock order:
+	// f.mu → scrubMu → shard locks; Health takes scrubMu without f.mu.
+	scrubMu     sync.Mutex
+	lastScrub   *ScrubStats
+	lastScrubAt time.Time
+	// lost holds ids whose every on-disk copy was found damaged; entries are
+	// dropped once the id is indexed again (repair).
+	lost map[hash.Hash]struct{}
 }
 
 // Named crash points, in lifecycle order.  Each fires with the relevant
@@ -440,17 +449,26 @@ func (f *FileStore) listSegments() ([]int, error) {
 // index (first occurrence of an id wins, which collapses the duplicate a
 // crash mid-compaction can leave).  Truncated trailing records are
 // discarded.  Every segment except the highest-numbered is sealed.
+//
+// The scan doubles as the scrubber's classifier (ok / corrupt / torn): the
+// resulting ScrubStats seed the store's health state, so a store that comes
+// up with rotted records reports unhealthy immediately instead of waiting
+// for the first background scrub.  Torn tails alone are *not* unhealthy —
+// they are the expected residue of a crash mid-append, and truncating them
+// loses nothing acknowledged as durable.
 func (f *FileStore) recover() error {
 	segs, err := f.listSegments()
 	if err != nil {
 		return err
 	}
+	var st ScrubStats
+	var claimed []hash.Hash // claimed ids of corrupt records
 	for _, seg := range segs {
 		fi, err := os.Stat(f.segmentPath(seg))
 		if err != nil {
 			return fmt.Errorf("filestore: %w", err)
 		}
-		if err := f.scanSegment(seg, fi.Size()); err != nil {
+		if err := f.scanSegment(seg, fi.Size(), &st, &claimed); err != nil {
 			return err
 		}
 	}
@@ -464,15 +482,27 @@ func (f *FileStore) recover() error {
 		}
 	}
 	f.actSeg.Store(int64(act))
+	// A corrupt record's claimed id is lost only when no intact copy of it
+	// was indexed (a duplicate left by compaction may have survived).
+	for _, id := range claimed {
+		if _, ok := f.lookup(id); !ok {
+			st.Lost = append(st.Lost, id)
+		}
+	}
+	if len(segs) > 0 {
+		f.noteScrub(st)
+	}
 	return nil
 }
 
-func (f *FileStore) scanSegment(seg int, size int64) error {
+func (f *FileStore) scanSegment(seg int, size int64, st *ScrubStats, claimed *[]hash.Hash) error {
 	file, err := os.Open(f.segmentPath(seg))
 	if err != nil {
 		return fmt.Errorf("filestore: %w", err)
 	}
 	defer file.Close()
+	st.Segments++
+	st.ScannedBytes += size
 	use := f.useOf(seg)
 	r := bufio.NewReaderSize(file, 1<<20)
 	var off int64
@@ -480,6 +510,7 @@ func (f *FileStore) scanSegment(seg int, size int64) error {
 	for off < size {
 		if _, err := io.ReadFull(r, hdr); err != nil {
 			// Torn header at the tail: truncate logically and stop.
+			st.Torn++
 			return f.truncate(seg, off, use)
 		}
 		var id hash.Hash
@@ -487,10 +518,12 @@ func (f *FileStore) scanSegment(seg int, size int64) error {
 		plen := int32(binary.LittleEndian.Uint32(hdr[hash.Size : hash.Size+4]))
 		typ := chunk.Type(hdr[hash.Size+4])
 		if plen < 0 || !typ.Valid() {
+			st.Torn++
 			return f.truncate(seg, off, use)
 		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(r, payload); err != nil {
+			st.Torn++
 			return f.truncate(seg, off, use)
 		}
 		rec := int64(recordHeader) + int64(plen)
@@ -503,14 +536,18 @@ func (f *FileStore) scanSegment(seg int, size int64) error {
 			// Bit rot inside a record: refuse to index it but keep going;
 			// readers will get ErrNotFound rather than corrupt data.
 			use.dead += rec
+			st.Corrupt++
+			*claimed = append(*claimed, id)
 		case dup:
 			// Duplicate copy (crash between compaction's rewrite and its
 			// unlink): the first occurrence won, this one is garbage.
 			use.dead += rec
+			st.Ok++
 		default:
 			sh.m[id] = recordLoc{segment: seg, offset: off, length: plen, typ: typ}
 			f.stats.UniqueChunks++
 			f.stats.PhysicalBytes += int64(c.Size())
+			st.Ok++
 		}
 		off += rec
 	}

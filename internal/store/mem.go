@@ -167,6 +167,26 @@ func (m *MemStore) Sweep(keep func(hash.Hash) bool, _ float64) (SweepStats, erro
 }
 
 var _ Collector = (*MemStore)(nil)
+var _ Repairer = (*MemStore)(nil)
+
+// Repair implements Repairer: overwrite (or insert) the entry for c's id
+// with a freshly verified copy.  Put would dedup-hit against a damaged
+// resident entry; Repair replaces it.
+func (m *MemStore) Repair(c *chunk.Chunk) error {
+	if err := c.Recheck(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.chunks[c.ID()]; ok {
+		m.stats.PhysicalBytes -= int64(old.Size())
+	} else {
+		m.stats.UniqueChunks++
+	}
+	m.chunks[c.ID()] = c
+	m.stats.PhysicalBytes += int64(c.Size())
+	return nil
+}
 
 // Delete removes a chunk (used by GC); it is a no-op if absent.
 func (m *MemStore) Delete(id hash.Hash) {

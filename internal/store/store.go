@@ -30,6 +30,14 @@ var ErrNotFound = errors.New("store: chunk not found")
 // 503 with Retry-After) instead of treating it as data loss.
 var ErrUnavailable = errors.New("store: temporarily unavailable")
 
+// ErrCorrupt marks stored bytes that no longer match their content address —
+// bit rot, a torn write, or tampering.  It is the chunk layer's sentinel
+// re-exported at the store boundary so callers classifying read failures
+// (`errors.Is(err, store.ErrCorrupt)`) need not import the chunk package.
+// Unlike ErrUnavailable it is not transient: retrying the same replica
+// yields the same bytes; repair means refetching from another copy.
+var ErrCorrupt = chunk.ErrCorrupt
+
 // Store is a content-addressed chunk store.
 //
 // Implementations must be safe for concurrent use.
@@ -201,6 +209,57 @@ type GenerationalCollector interface {
 	Collector
 	// GraceGenerations is a marker; it performs no work.
 	GraceGenerations()
+}
+
+// Scrubber is the optional capability of stores that can audit their own
+// physical media: a full pass that rehashes every stored record against its
+// content address, quarantines damaged storage units without destroying
+// them, and reports a health state afterwards.  FileStore implements it over
+// its log segments; pure in-memory stores have nothing to scrub.
+type Scrubber interface {
+	// Scrub audits every storage unit and quarantines the damaged ones.
+	Scrub() (ScrubStats, error)
+	// Health reports nil when no known-lost chunks remain, or an error
+	// wrapping ErrCorrupt while chunks detected as lost await repair.
+	Health() error
+}
+
+// Repairer is the optional capability Heal uses to replace a chunk whose
+// stored bytes are damaged: unlike Put — which would dedup-hit against the
+// still-indexed broken copy and change nothing — Repair writes a fresh
+// verified copy and repoints the index at it.  Inserting an absent chunk is
+// also valid (repair of a lost record degenerates to a put).
+type Repairer interface {
+	Repair(c *chunk.Chunk) error
+}
+
+// ScrubStats reports one scrub pass (or the equivalent classification run at
+// recovery).  Counters are per record except Segments/Unreadable/Quarantined,
+// which count storage units.
+type ScrubStats struct {
+	// Segments is the number of storage units scanned.
+	Segments int
+	// ScannedBytes is the physical volume rehashed.
+	ScannedBytes int64
+	// Ok counts records whose content matches their id.
+	Ok int
+	// Corrupt counts records whose content rehashes to a different id.
+	Corrupt int
+	// Torn counts malformed or truncated records (the sequential scan of a
+	// unit stops at the first tear; indexed records beyond it are still
+	// rescued individually during quarantine).
+	Torn int
+	// Unreadable counts storage units whose bytes could not be read at all.
+	Unreadable int
+	// QuarantinedSegments counts units set aside (renamed, never unlinked).
+	QuarantinedSegments int
+	// Rescued counts intact records re-written out of quarantined units.
+	Rescued int
+	// Lost lists indexed chunk ids with no surviving intact copy; they stay
+	// in the store's health state until something (Heal) re-stores them.
+	Lost []hash.Hash
+	// ElapsedNs is the wall time of the pass.
+	ElapsedNs int64
 }
 
 // PutBatch stores cs into s, using the native batch path when s implements
