@@ -15,6 +15,7 @@
 //	bench -exp heal         disk rot → scrub → quarantine → Merkle self-healing
 //	bench -exp siri         POS-Tree vs Merkle Patricia Trie comparison
 //	bench -exp scale        GOMAXPROCS matrix for the parallel paths
+//	bench -exp obs          metrics-layer overhead + counter accounting soak
 //
 // Use -quick for smaller workloads (CI-sized).  With -json FILE the perf
 // suite also writes a machine-readable report (BENCH_N.json artifacts track
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|heal|siri|scale")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|heal|siri|scale|obs")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
@@ -265,5 +266,24 @@ func main() {
 		// A root/delta divergence surfaces as runErr after the partial
 		// report is emitted: CI fails on it.
 		return runErr
+	})
+
+	run("obs", func() error {
+		rep, err := experiments.RunObs(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.PrintObs(out, rep)
+		if *jsonPath != "" {
+			if err := experiments.WriteObsJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if !rep.Passed {
+			return fmt.Errorf("obs experiment failed: counter_inc=%.2fns overhead=%.2f%% rest=%v engine=%v server=%v",
+				rep.CounterIncNs, rep.OverheadPct, rep.RESTCountersExact, rep.EngineOpsExact, rep.ServerOpsExact)
+		}
+		return nil
 	})
 }

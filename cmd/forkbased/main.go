@@ -11,25 +11,51 @@
 // read-only; its REST API exposes GET /v1/repl/status):
 //
 //	forkbased -listen 127.0.0.1:7451 -dir ./replica0 -follow 127.0.0.1:7450 -http 127.0.0.1:8081
+//
+// Observability: every layer reports into one metrics registry, scraped at
+// GET /v1/metrics (Prometheus text) or /v1/metrics.json on the REST
+// address.  -pprof-addr opens a separate admin listener with
+// net/http/pprof and a metrics mirror — keep it loopback-only.
+// -stats-interval logs a one-line digest of the registry periodically;
+// -slow-op warn-logs any engine op or HTTP request over the threshold with
+// its trace ID; -log-level picks the slog floor.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"forkbase/internal/core"
 	"forkbase/internal/index"
+	"forkbase/internal/obs"
 	"forkbase/internal/repl"
 	"forkbase/internal/rest"
 	"forkbase/internal/server"
 	"forkbase/internal/store"
 )
+
+// parseLevel maps the -log-level flag to a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7450", "TCP address for the chunk/branch service")
@@ -41,14 +67,30 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "per-request read deadline / idle-connection timeout (0 = none)")
 	maxLag := flag.Uint64("max-lag", 1024, "replica readiness threshold: max feed entries behind the primary")
 	scrubEvery := flag.Duration("scrub-interval", 0, "background disk-scrub period for file-backed nodes (0 = disabled)")
+	logLevel := flag.String("log-level", "info", "log floor: debug|info|warn|error")
+	pprofAddr := flag.String("pprof-addr", "", "optional admin address serving net/http/pprof and /v1/metrics (keep loopback-only)")
+	statsEvery := flag.Duration("stats-interval", 0, "log a one-line metrics digest this often (0 = disabled)")
+	slowOp := flag.Duration("slow-op", time.Second, "warn-log engine ops and HTTP requests slower than this (0 = disabled)")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "forkbased: ", log.LstdFlags)
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forkbased:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger) // package-level counters and libraries log here too
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	idx, err := index.ParseKind(*indexKind)
 	if err != nil {
-		logger.Fatalf("%v", err)
+		fatal(err.Error())
 	}
+
+	reg := obs.Default()
 
 	var st store.Store
 	var rawHeads core.BranchTable
@@ -56,12 +98,12 @@ func main() {
 	if *dir != "" {
 		fs, err := store.OpenFileStore(*dir)
 		if err != nil {
-			logger.Fatalf("opening store: %v", err)
+			fatal("opening store", "dir", *dir, "err", err)
 		}
 		defer fs.Close()
 		bt, err := core.OpenFileBranchTable(*dir)
 		if err != nil {
-			logger.Fatalf("opening branch table: %v", err)
+			fatal("opening branch table", "dir", *dir, "err", err)
 		}
 		fileStore = fs
 		st, rawHeads = fs, bt
@@ -75,10 +117,14 @@ func main() {
 	// replicas can follow this node no matter how it is written to.
 	feed := core.NewFeed(0)
 	heads := core.WithFeed(rawHeads, feed)
-	eng := core.Open(core.Options{Store: st, Branches: heads, Index: idx})
+	eng := core.Open(core.Options{
+		Store: st, Branches: heads, Index: idx,
+		Metrics: reg, Logger: logger, SlowOp: *slowOp,
+	})
 	defer eng.Close()
 
 	srv := server.New(st, heads, logger)
+	srv.SetMetrics(reg)
 	srv.AttachFeed(feed)
 	srv.SetLimits(server.Limits{MaxConns: *maxConns, ReadTimeout: *readTimeout})
 
@@ -87,7 +133,7 @@ func main() {
 	if *follow != "" {
 		cli, err := server.Dial(*follow)
 		if err != nil {
-			logger.Fatalf("dialing primary %s: %v", *follow, err)
+			fatal("dialing primary", "primary", *follow, "err", err)
 		}
 		defer cli.Close()
 		healSrc = repl.NewRemoteSource(cli)
@@ -95,22 +141,23 @@ func main() {
 		// replicated chunk is integrity-checked; the local TCP service goes
 		// read-only — replica state moves only through replication.
 		follower = repl.NewFollower(repl.NewRemoteSource(cli), eng.Store(), eng.BranchTable(), repl.Options{})
+		follower.RegisterMetrics(reg)
 		follower.Start()
 		defer follower.Close()
 		srv.SetReadOnly(true)
 		eng.SetReadOnly(true) // backstop: any engine-level write path rejects too
-		logger.Printf("following primary %s", *follow)
+		logger.Info("following primary", "primary", *follow)
 	}
 
 	addr, err := srv.Listen(*listen)
 	if err != nil {
-		logger.Fatalf("listen: %v", err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
 	role := "primary"
 	if *follow != "" {
 		role = "replica"
 	}
-	logger.Printf("%s chunk/branch service on %s", role, addr)
+	logger.Info("chunk/branch service up", "role", role, "addr", addr)
 
 	// Background disk scrub: every interval, rehash the store's on-disk
 	// chunks and quarantine damage.  Replicas additionally self-heal — lost
@@ -118,40 +165,99 @@ func main() {
 	// the detect → quarantine → repair loop closes without an operator.
 	if *scrubEvery > 0 {
 		if fileStore == nil {
-			logger.Printf("scrub-interval ignored: in-memory store has no disk to scrub")
+			logger.Warn("scrub-interval ignored: in-memory store has no disk to scrub")
 		} else {
 			go func() {
 				tick := time.NewTicker(*scrubEvery)
 				defer tick.Stop()
 				for range tick.C {
-					scr, err := fileStore.Scrub()
+					// Through the engine so scrub runs/durations land in the
+					// metrics registry alongside GC and heal.
+					scr, err := eng.Scrub()
 					if err != nil {
-						logger.Printf("scrub: %v", err)
+						logger.Error("scrub failed", "err", err)
 						continue
 					}
 					if scr.Corrupt+scr.Torn+scr.Unreadable > 0 {
-						logger.Printf("scrub: quarantined %d segment(s): %d corrupt, %d torn, %d unreadable; rescued %d, lost %d",
-							scr.QuarantinedSegments, scr.Corrupt, scr.Torn, scr.Unreadable, scr.Rescued, len(scr.Lost))
+						logger.Warn("scrub quarantined damage",
+							"quarantined_segments", scr.QuarantinedSegments,
+							"corrupt", scr.Corrupt, "torn", scr.Torn,
+							"unreadable", scr.Unreadable,
+							"rescued", scr.Rescued, "lost", len(scr.Lost))
 					}
 					if fileStore.Health() == nil || healSrc == nil {
 						continue
 					}
 					hs, err := eng.Heal(healSrc)
 					if err != nil {
-						logger.Printf("heal: %v", err)
+						logger.Error("heal failed", "err", err)
 						continue
 					}
 					if hs.Repaired > 0 {
-						logger.Printf("heal: repaired %d chunk(s) (%d bytes) from primary", hs.Repaired, hs.BytesFetched)
+						logger.Info("healed from primary",
+							"repaired_chunks", hs.Repaired, "bytes", hs.BytesFetched)
 					}
 				}
 			}()
-			logger.Printf("disk scrub every %v", *scrubEvery)
+			logger.Info("disk scrub enabled", "interval", *scrubEvery)
 		}
 	}
 
+	// Periodic one-line digest: liveness proof in the logs plus the handful
+	// of counters an operator greps for before reaching for /v1/metrics.
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				s := eng.Stats()
+				args := []any{
+					"engine_ops", int64(reg.Sum("forkbase_engine_ops_total")),
+					"engine_errors", int64(reg.Sum("forkbase_engine_errors_total")),
+					"server_requests", int64(reg.Sum("forkbase_server_requests_total")),
+					"http_requests", int64(reg.Sum("forkbase_http_requests_total")),
+					"cache_hits", int64(reg.Sum("forkbase_cache_hits_total")),
+					"cache_misses", int64(reg.Sum("forkbase_cache_misses_total")),
+					"unique_chunks", s.UniqueChunks,
+					"physical_bytes", s.PhysicalBytes,
+				}
+				if follower != nil {
+					if lag, err := follower.Lag(); err == nil {
+						args = append(args, "repl_lag", lag)
+					} else {
+						args = append(args, "repl_lag_err", err.Error())
+					}
+				}
+				logger.Info("stats", args...)
+			}
+		}()
+	}
+
+	// Admin listener: pprof plus a metrics mirror, on its own address so the
+	// profiler is never exposed where the REST API is.  Handlers are wired
+	// explicitly — importing net/http/pprof for its DefaultServeMux side
+	// effect would leak profiling onto any future default-mux listener.
+	if *pprofAddr != "" {
+		admin := http.NewServeMux()
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		admin.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+		go func() {
+			logger.Info("admin/pprof listener up", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, admin); err != nil {
+				fatal("pprof listener", "err", err)
+			}
+		}()
+	}
+
 	if *httpAddr != "" {
-		h := rest.New(eng)
+		h := rest.New(eng).WithLogger(logger).WithSlowRequest(*slowOp)
 		if fileStore != nil {
 			h.WithScrubber(fileStore)
 		}
@@ -172,9 +278,9 @@ func main() {
 			})
 		}
 		go func() {
-			logger.Printf("REST API on %s", *httpAddr)
+			logger.Info("REST API up", "addr", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, h); err != nil {
-				logger.Fatalf("http: %v", err)
+				fatal("http listener", "err", err)
 			}
 		}()
 	}
@@ -182,6 +288,6 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "shutting down")
+	logger.Info("shutting down")
 	srv.Close()
 }

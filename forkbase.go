@@ -23,6 +23,7 @@ package forkbase
 import (
 	"errors"
 	"io"
+	"log/slog"
 	"time"
 
 	"forkbase/internal/access"
@@ -33,6 +34,7 @@ import (
 	"forkbase/internal/hash"
 	"forkbase/internal/index"
 	"forkbase/internal/nodecache"
+	"forkbase/internal/obs"
 	"forkbase/internal/pos"
 	"forkbase/internal/repl"
 	"forkbase/internal/server"
@@ -188,6 +190,9 @@ type options struct {
 	compactEvery   time.Duration
 	compactRatio   float64
 	sinkHashers    int
+	metrics        *obs.Registry
+	logger         *slog.Logger
+	slowOp         time.Duration
 }
 
 // InMemory keeps everything in RAM (default).
@@ -287,6 +292,27 @@ func WithSinkHashers(n int) Option {
 	return func(o *options) { o.sinkHashers = n }
 }
 
+// WithMetrics selects the registry this instance reports into: engine and
+// store operation counts/latencies, cache and dedup gauges, GC/scrub/heal
+// accounting.  The default is obs.Default() (the process-wide registry);
+// obs.Discard disables instrumentation entirely.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(o *options) { o.metrics = reg }
+}
+
+// WithLogger routes the engine's structured log records (slow-op reports)
+// through l instead of slog.Default().
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) { o.logger = l }
+}
+
+// WithSlowOpThreshold logs any engine or store operation that takes at
+// least d, carrying the request's trace ID so one slow write can be
+// followed across layers.  0 (the default) disables slow-op logging.
+func WithSlowOpThreshold(d time.Duration) Option {
+	return func(o *options) { o.slowOp = d }
+}
+
 // Open creates or opens a ForkBase instance.
 func Open(opts ...Option) (*DB, error) {
 	var o options
@@ -346,6 +372,9 @@ func Open(opts ...Option) (*DB, error) {
 		CompactEvery:   compactEvery,
 		CompactRatio:   o.compactRatio,
 		SinkHashers:    o.sinkHashers,
+		Metrics:        o.metrics,
+		Logger:         o.logger,
+		SlowOp:         o.slowOp,
 	})
 	if o.followAddr != "" {
 		if db.clust != nil {
@@ -693,7 +722,9 @@ func (db *DB) Scrub() (ScrubStats, error) {
 	if db.fileStore == nil {
 		return ScrubStats{}, errors.New("forkbase: scrub requires a file-backed store")
 	}
-	return db.fileStore.Scrub()
+	// Route through the engine so pass durations and quarantine/loss
+	// totals land in the metrics registry.
+	return db.eng.Scrub()
 }
 
 // LastScrub reports the most recent scrub (or open-time recovery)
@@ -711,10 +742,7 @@ func (db *DB) LastScrub() (ScrubStats, time.Time, bool) {
 // wraps store.ErrCorrupt until Heal (or replication) restores the lost
 // chunks.
 func (db *DB) StoreHealth() error {
-	if db.fileStore == nil {
-		return nil
-	}
-	return db.fileStore.Health()
+	return db.eng.StoreHealth()
 }
 
 // Heal walks the live Merkle graph from every branch head, refetches any
@@ -755,6 +783,25 @@ func (db *DB) Stats() StoreStats { return db.eng.Stats() }
 // CacheStats returns decoded-node cache effectiveness (zeros when the cache
 // was not enabled via WithNodeCache).
 func (db *DB) CacheStats() NodeCacheStats { return db.eng.NodeCacheStats() }
+
+// Metrics returns the registry this instance reports into (obs.Discard
+// when instrumentation is disabled; never nil).  Serve it over HTTP with
+// rest.New, or snapshot it with MetricsSnapshot.
+func (db *DB) Metrics() *obs.Registry { return db.eng.Metrics() }
+
+// MetricsSnapshot captures every metric series as a JSON-ready snapshot —
+// what `forkbase metrics` prints and /v1/metrics.json serves.
+func (db *DB) MetricsSnapshot() obs.Snapshot { return db.eng.Metrics().Snapshot() }
+
+// FeedLag reports how many feed entries this replica is behind its primary
+// (0 when caught up).  It costs one round trip to the primary; on a DB
+// that is not a replica it returns an error.
+func (db *DB) FeedLag() (uint64, error) {
+	if db.follower == nil {
+		return 0, errors.New("forkbase: not a replica")
+	}
+	return db.follower.Lag()
+}
 
 // --- datasets ----------------------------------------------------------------
 

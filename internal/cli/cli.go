@@ -5,10 +5,12 @@
 package cli
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -105,7 +107,8 @@ var commandHelp = map[string]string{
 	"import":  "import KEY CSVFILE [-branch B] [-key COL] [-append]  CSV file as dataset (-append bulk-upserts into the existing one)",
 	"history": "history KEY [-branch B] [-n N]              version chain",
 	"verify":  "verify KEY [-uid UID] [-deep]               tamper validation",
-	"stats":   "stats                                       store dedup accounting",
+	"stats":   "stats                                       store dedup accounting, health, feed lag",
+	"metrics": "metrics [-addr HTTPADDR]                    metrics snapshot as JSON (local engine, or a node's /v1/metrics.json)",
 	"gc":      "gc                                          collect unreachable chunks",
 	"scrub":   "scrub                                       verify on-disk chunks, quarantine damage (-dir only)",
 	"heal":    "heal -from ADDR                             refetch missing/corrupt chunks from a peer",
@@ -128,6 +131,7 @@ var commands = map[string]command{
 	"history": cmdHistory,
 	"verify":  cmdVerify,
 	"stats":   cmdStats,
+	"metrics": cmdMetrics,
 	"gc":      cmdGC,
 	"scrub":   cmdScrub,
 	"heal":    cmdHeal,
@@ -501,7 +505,49 @@ func cmdStats(db *forkbase.DB, args []string, out io.Writer) error {
 	s := db.Stats()
 	fmt.Fprintf(out, "unique chunks:  %d\nphysical bytes: %d\nlogical bytes:  %d\ndedup ratio:    %.2fx\ndedup hits:     %d\nindex:          %s\n",
 		s.UniqueChunks, s.PhysicalBytes, s.LogicalBytes, s.DedupRatio(), s.DedupHits, db.IndexKind())
+	if err := db.StoreHealth(); err != nil {
+		fmt.Fprintf(out, "health:         %v\n", err)
+	} else {
+		fmt.Fprintln(out, "health:         ok")
+	}
+	if db.Following() {
+		if lag, err := db.FeedLag(); err == nil {
+			fmt.Fprintf(out, "feed lag:       %d\n", lag)
+		} else {
+			fmt.Fprintf(out, "feed lag:       unknown (%v)\n", err)
+		}
+	}
 	return nil
+}
+
+// cmdMetrics prints a metrics snapshot as JSON: the local engine's registry
+// by default, or — with -addr — a running node's /v1/metrics.json, so one
+// verb inspects both embedded and daemon deployments.
+func cmdMetrics(db *forkbase.DB, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	addr := fs.String("addr", "", "REST address of a running node (fetches /v1/metrics.json)")
+	if _, err := parseArgs(fs, args, 0); err != nil {
+		return err
+	}
+	if *addr != "" {
+		url := *addr
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		resp, err := http.Get(strings.TrimSuffix(url, "/") + "/v1/metrics.json")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /v1/metrics.json: %s", resp.Status)
+		}
+		_, err = io.Copy(out, resp.Body)
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(db.MetricsSnapshot())
 }
 
 func cmdGC(db *forkbase.DB, args []string, out io.Writer) error {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 	"forkbase/internal/hash"
 	"forkbase/internal/index"
 	"forkbase/internal/nodecache"
+	"forkbase/internal/obs"
 	"forkbase/internal/store"
 	"forkbase/internal/value"
 
@@ -33,8 +36,9 @@ const DefaultBranch = "master"
 // All chunk reads go through a verifying wrapper, so any tampering by the
 // storage provider surfaces as chunk.ErrCorrupt.
 type DB struct {
-	raw     store.Store // unwrapped, for Stats
+	raw     store.Store // instrumented backend, for Stats and GC discovery
 	st      store.Store // verifying read path (node cache layered on top)
+	met     *dbObs      // observability wiring (metrics, slow-op logs)
 	ncache  *nodecache.Cache
 	cfg     chunker.Config
 	idxKind index.Kind // structure new composite values are indexed with
@@ -102,6 +106,20 @@ type Options struct {
 	// the store handle as a discovered capability (store.WithSinkHashers),
 	// so it reaches sinks opened deep inside the value layer.
 	SinkHashers int
+	// Metrics selects the registry this engine reports into: engine
+	// operation counts/latencies, store-level per-backend instrumentation,
+	// cache and dedup gauges, GC/heal/scrub accounting.  nil selects
+	// obs.Default(); obs.Discard disables instrumentation entirely (the
+	// store is not even wrapped — the bare hot path stays bare).
+	Metrics *obs.Registry
+	// Logger receives the engine's structured log records (today:
+	// threshold-gated slow-op reports).  nil selects slog.Default().
+	Logger *slog.Logger
+	// SlowOp, when positive, logs any engine or store operation that takes
+	// at least this long, with the operation, duration and the trace ID
+	// carried by the request context — the handle for following one slow
+	// PutBatch across layers.  0 disables slow-op logging.
+	SlowOp time.Duration
 }
 
 // DefaultCompactRatio is the background compactor's segment-rewrite
@@ -124,9 +142,20 @@ func Open(opts Options) *DB {
 	if !index.Registered(opts.Index) {
 		panic(fmt.Sprintf("core: index kind %s has no linked-in implementation", opts.Index))
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	// Every chunk operation crossing into the backend is counted and timed
+	// per backend kind; store.Instrument is the identity for obs.Discard,
+	// so a metrics-disabled engine keeps the unwrapped hot path.
+	opts.Store = store.InstrumentSlow(opts.Store, opts.Metrics, opts.Logger, opts.SlowOp)
 	db := &DB{
 		raw:     opts.Store,
 		st:      store.NewVerifyingStore(opts.Store),
+		met:     newDBObs(opts.Metrics, opts.Logger, opts.SlowOp),
 		cfg:     opts.Chunking,
 		idxKind: opts.Index,
 	}
@@ -147,6 +176,7 @@ func Open(opts Options) *DB {
 	if opts.SinkHashers != 0 {
 		db.st = store.WithSinkHashers(db.st, opts.SinkHashers)
 	}
+	db.registerGauges()
 	db.compactRatio = opts.CompactRatio
 	if db.compactRatio <= 0 {
 		db.compactRatio = DefaultCompactRatio
@@ -301,9 +331,18 @@ type Version struct {
 // stored at that point; it is unreachable garbage unless the caller reuses
 // it.
 func (db *DB) Put(key, branch string, v value.Value, meta map[string]string) (Version, error) {
-	if err := db.writeGuard(); err != nil {
-		return Version{}, err
+	return db.PutCtx(context.Background(), key, branch, v, meta)
+}
+
+// PutCtx is Put carrying a request context: the trace ID minted at the
+// serving edge rides ctx into the slow-op log, so a stalled commit can be
+// attributed to the request that issued it.  ctx does not cancel the
+// write — a version is either fully committed or not published.
+func (db *DB) PutCtx(ctx context.Context, key, branch string, v value.Value, meta map[string]string) (_ Version, err error) {
+	if gerr := db.writeGuard(); gerr != nil {
+		return Version{}, gerr
 	}
+	defer db.met.finish(ctx, db.met.opPut, db.met.begin(), &err, "key", key, "branch", branch)
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
 	return db.put(key, branch, v, meta)
@@ -373,9 +412,15 @@ type WriteOp struct {
 // content-addressed and heads are independent, so there is nothing to roll
 // back.
 func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
-	if err := db.writeGuard(); err != nil {
-		return nil, err
+	return db.WriteBatchCtx(context.Background(), ops)
+}
+
+// WriteBatchCtx is WriteBatch carrying a request context (see PutCtx).
+func (db *DB) WriteBatchCtx(ctx context.Context, ops []WriteOp) (_ []Version, err error) {
+	if gerr := db.writeGuard(); gerr != nil {
+		return nil, gerr
 	}
+	defer db.met.finish(ctx, db.met.opWriteBatch, db.met.begin(), &err, "ops", len(ops))
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
 	return db.writeBatch(ops)
@@ -387,13 +432,30 @@ func (db *DB) WriteBatch(ops []WriteOp) ([]Version, error) {
 // before the head CAS publishes them.  build must not call other fenced DB
 // write methods (the fence is not reentrant); plain reads are fine.
 func (db *DB) BuildAndPut(key, branch string, meta map[string]string, build func() (value.Value, error)) (Version, error) {
-	if err := db.writeGuard(); err != nil {
-		return Version{}, err
+	return db.BuildAndPutCtx(context.Background(), key, branch, meta, build)
+}
+
+// BuildAndPutCtx is BuildAndPut carrying a request context.  The slow-op
+// record splits the build phase (chunking + store writes) from the whole
+// operation, so a slow commit shows whether the time went to building the
+// value or to publishing it.
+func (db *DB) BuildAndPutCtx(ctx context.Context, key, branch string, meta map[string]string, build func() (value.Value, error)) (_ Version, err error) {
+	if gerr := db.writeGuard(); gerr != nil {
+		return Version{}, gerr
 	}
+	var buildDur time.Duration
+	start := db.met.begin()
+	defer func() {
+		db.met.finish(ctx, db.met.opPut, start, &err, "key", key, "branch", branch, "build", buildDur)
+	}()
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
-	v, err := build()
-	if err != nil {
+	v, berr := build()
+	if !start.IsZero() {
+		buildDur = time.Since(start)
+	}
+	if berr != nil {
+		err = berr
 		return Version{}, err
 	}
 	return db.put(key, branch, v, meta)
@@ -402,13 +464,28 @@ func (db *DB) BuildAndPut(key, branch string, meta map[string]string, build func
 // BuildAndWriteBatch is BuildAndPut for batched writes: build assembles the
 // ops (storing their values' chunks) inside the fence.
 func (db *DB) BuildAndWriteBatch(build func() ([]WriteOp, error)) ([]Version, error) {
-	if err := db.writeGuard(); err != nil {
-		return nil, err
+	return db.BuildAndWriteBatchCtx(context.Background(), build)
+}
+
+// BuildAndWriteBatchCtx is BuildAndWriteBatch carrying a request context
+// (see BuildAndPutCtx for the phase split in slow-op records).
+func (db *DB) BuildAndWriteBatchCtx(ctx context.Context, build func() ([]WriteOp, error)) (_ []Version, err error) {
+	if gerr := db.writeGuard(); gerr != nil {
+		return nil, gerr
 	}
+	var buildDur time.Duration
+	start := db.met.begin()
+	defer func() {
+		db.met.finish(ctx, db.met.opWriteBatch, start, &err, "build", buildDur)
+	}()
 	db.writeMu.RLock()
 	defer db.writeMu.RUnlock()
-	ops, err := build()
-	if err != nil {
+	ops, berr := build()
+	if !start.IsZero() {
+		buildDur = time.Since(start)
+	}
+	if berr != nil {
+		err = berr
 		return nil, err
 	}
 	return db.writeBatch(ops)
@@ -503,12 +580,18 @@ func (db *DB) writeBatch(ops []WriteOp) ([]Version, error) {
 
 // Get returns the current value of key on branch.
 func (db *DB) Get(key, branch string) (Version, error) {
+	return db.GetCtx(context.Background(), key, branch)
+}
+
+// GetCtx is Get carrying a request context (see PutCtx).
+func (db *DB) GetCtx(ctx context.Context, key, branch string) (_ Version, err error) {
+	defer db.met.finish(ctx, db.met.opGet, db.met.begin(), &err, "key", key, "branch", branch)
 	if branch == "" {
 		branch = DefaultBranch
 	}
-	head, ok, err := db.heads.Head(key, branch)
-	if err != nil {
-		return Version{}, err
+	head, ok, herr := db.heads.Head(key, branch)
+	if herr != nil {
+		return Version{}, herr
 	}
 	if !ok {
 		return Version{}, fmt.Errorf("%w: %s@%s", ErrBranchNotFound, key, branch)
@@ -747,9 +830,15 @@ type MergeResult struct {
 // both heads as bases, making the merge itself part of the tamper-evident
 // history.  resolve handles conflicting keys (nil = fail on conflict).
 func (db *DB) Merge(key, dst, src string, resolve index.Resolver, meta map[string]string) (MergeResult, error) {
-	if err := db.writeGuard(); err != nil {
-		return MergeResult{}, err
+	return db.MergeCtx(context.Background(), key, dst, src, resolve, meta)
+}
+
+// MergeCtx is Merge carrying a request context (see PutCtx).
+func (db *DB) MergeCtx(ctx context.Context, key, dst, src string, resolve index.Resolver, meta map[string]string) (_ MergeResult, err error) {
+	if gerr := db.writeGuard(); gerr != nil {
+		return MergeResult{}, gerr
 	}
+	defer db.met.finish(ctx, db.met.opMerge, db.met.begin(), &err, "key", key, "dst", dst, "src", src)
 	// Normalize up front: Head defaults empty branch names on the read
 	// side, so the CAS below must target the same (defaulted) branch — an
 	// empty dst used to read master's head but CAS branch "", failing

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/fnode"
@@ -70,7 +71,16 @@ func (db *DB) GC() (GCStats, error) { return db.gc(0) }
 // (Options.CompactEvery) runs exactly this.
 func (db *DB) Compact() (GCStats, error) { return db.gc(db.compactRatio) }
 
+// gc wraps gcInner with run accounting: completed passes, durations, and
+// swept/reclaimed totals land in the metrics registry.
 func (db *DB) gc(minDeadRatio float64) (GCStats, error) {
+	start := time.Now()
+	gs, err := db.gcInner(minDeadRatio)
+	db.met.gcDone(start, gs, err)
+	return gs, err
+}
+
+func (db *DB) gcInner(minDeadRatio float64) (GCStats, error) {
 	if err := db.writeGuard(); err != nil {
 		return GCStats{}, err
 	}

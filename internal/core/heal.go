@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/fnode"
@@ -58,6 +59,13 @@ type HealStats struct {
 // the pass holds the GC fence shared, so a full collection cannot sweep
 // chunks out from under it.
 func (db *DB) Heal(src ChunkSource) (HealStats, error) {
+	start := time.Now()
+	hs, err := db.healInner(src)
+	db.met.healDone(start, hs, err)
+	return hs, err
+}
+
+func (db *DB) healInner(src ChunkSource) (HealStats, error) {
 	var hs HealStats
 	if src == nil {
 		return hs, errors.New("core: heal requires a source")

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"forkbase/internal/obs"
+	"forkbase/internal/store"
+)
+
+// latSampleMask gates latency timing on the engine hot path: clock reads
+// cost ~50-100ns on virtualized hosts, which would dwarf the atomic adds
+// everywhere else, so only 1 of every latSampleMask+1 operations is timed.
+// Counters stay exact for every op; the histogram sees an unbiased sample
+// (any busy engine feeds it thousands of observations per second).  With a
+// slow-op threshold configured every operation is timed — detection must
+// not sample.
+const latSampleMask = 31
+
+// dbObs bundles the engine's observability wiring: per-operation counters
+// and latency histograms, GC/heal/scrub run accounting, and the
+// threshold-gated slow-op structured log that carries the trace ID minted
+// at the serving edge.  Every handle is resolved once at Open; the
+// per-operation cost is a few atomic adds plus, for sampled (or all, under
+// a slow-op threshold) operations, two clock reads.
+type dbObs struct {
+	reg    *obs.Registry
+	logger *slog.Logger
+	slowOp time.Duration
+	on     bool // false for obs.Discard: every hook short-circuits
+	sample atomic.Uint64
+
+	opPut, opWriteBatch, opGet, opMerge *engineOp
+
+	gcRuns, gcErrors, gcSwept, gcReclaimed, gcCompacted *obs.Counter
+	gcSeconds                                           *obs.Histogram
+	healRuns, healRepaired, healFetchedBytes            *obs.Counter
+	healSeconds                                         *obs.Histogram
+	scrubRuns, scrubQuarantined, scrubLost              *obs.Counter
+	scrubSeconds                                        *obs.Histogram
+}
+
+type engineOp struct {
+	name  string
+	total *obs.Counter
+	errs  *obs.Counter
+	lat   *obs.Histogram
+}
+
+func newDBObs(reg *obs.Registry, logger *slog.Logger, slowOp time.Duration) *dbObs {
+	o := &dbObs{
+		reg: reg, logger: logger, slowOp: slowOp,
+		on: reg != nil && reg != obs.Discard,
+	}
+	total := reg.CounterVec("forkbase_engine_ops_total",
+		"Engine operations by entry point.", "op")
+	errsV := reg.CounterVec("forkbase_engine_errors_total",
+		"Engine operations that failed (not-found and stale-head excluded), by entry point.", "op")
+	lat := reg.HistogramVec("forkbase_engine_op_seconds",
+		"Engine operation latency by entry point.", "op")
+	mk := func(op string) *engineOp {
+		return &engineOp{name: op, total: total.With(op), errs: errsV.With(op), lat: lat.With(op)}
+	}
+	o.opPut, o.opWriteBatch, o.opGet, o.opMerge =
+		mk("put"), mk("write_batch"), mk("get"), mk("merge")
+	o.gcRuns = reg.Counter("forkbase_gc_runs_total", "Completed GC/compaction passes.")
+	o.gcErrors = reg.Counter("forkbase_gc_errors_total", "GC passes that failed.")
+	o.gcSwept = reg.Counter("forkbase_gc_swept_chunks_total", "Unreachable chunks deleted by GC.")
+	o.gcReclaimed = reg.Counter("forkbase_gc_reclaimed_bytes_total", "Physical bytes returned by GC/compaction.")
+	o.gcCompacted = reg.Counter("forkbase_gc_compacted_segments_total", "Log segments rewritten by compaction.")
+	o.gcSeconds = reg.Histogram("forkbase_gc_seconds", "GC/compaction pass duration.")
+	o.healRuns = reg.Counter("forkbase_heal_runs_total", "Completed anti-entropy heal passes.")
+	o.healRepaired = reg.Counter("forkbase_heal_repaired_chunks_total", "Chunks refetched, verified and restored by heal.")
+	o.healFetchedBytes = reg.Counter("forkbase_heal_fetched_bytes_total", "Encoded bytes pulled from the heal source.")
+	o.healSeconds = reg.Histogram("forkbase_heal_seconds", "Heal pass duration.")
+	o.scrubRuns = reg.Counter("forkbase_scrub_runs_total", "Completed media scrub passes.")
+	o.scrubQuarantined = reg.Counter("forkbase_scrub_quarantined_segments_total", "Storage units quarantined by scrub.")
+	o.scrubLost = reg.Counter("forkbase_scrub_lost_chunks_total", "Chunk records detected as lost by scrub.")
+	o.scrubSeconds = reg.Histogram("forkbase_scrub_seconds", "Scrub pass duration.")
+	return o
+}
+
+// benignOpErr reports errors that are normal protocol outcomes — absent
+// keys/branches, lost CAS races — and must not count as engine failures.
+func benignOpErr(err error) bool {
+	return errors.Is(err, ErrBranchNotFound) || errors.Is(err, ErrKeyNotFound) ||
+		errors.Is(err, ErrStaleHead) || errors.Is(err, store.ErrNotFound)
+}
+
+// begin opens one instrumented engine operation: it returns the start time
+// when this operation's latency will be recorded (sampled, or always under
+// a slow-op threshold), else the zero Time.  Evaluate as a defer argument
+// so it captures the entry time.
+func (o *dbObs) begin() time.Time {
+	if o == nil || !o.on {
+		return time.Time{}
+	}
+	if o.slowOp > 0 || o.sample.Add(1)&latSampleMask == 1 {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// finish completes one instrumented engine operation: count it, record
+// latency when begin elected to time it, and — past the slow-op threshold —
+// emit a structured log record carrying the request's trace ID so the stall
+// can be joined with store-level slow-op records.
+func (o *dbObs) finish(ctx context.Context, h *engineOp, start time.Time, errp *error, kvs ...any) {
+	if o == nil || !o.on || h == nil {
+		return
+	}
+	err := *errp
+	h.total.Inc()
+	if err != nil && !benignOpErr(err) {
+		h.errs.Inc()
+	}
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	h.lat.Observe(d)
+	if o.slowOp > 0 && d >= o.slowOp && o.logger != nil {
+		args := make([]any, 0, len(kvs)+8)
+		args = append(args, "op", h.name, "duration", d)
+		if id := obs.TraceID(ctx); id != "" {
+			args = append(args, "trace_id", id)
+		}
+		args = append(args, kvs...)
+		if err != nil {
+			args = append(args, "err", err)
+		}
+		o.logger.Warn("slow op", args...)
+	}
+}
+
+func (o *dbObs) gcDone(start time.Time, gs GCStats, err error) {
+	if o == nil {
+		return
+	}
+	if err != nil {
+		if !errors.Is(err, ErrNotCollectable) && !errors.Is(err, ErrReadOnly) {
+			o.gcErrors.Inc()
+		}
+		return
+	}
+	o.gcRuns.Inc()
+	o.gcSeconds.Since(start)
+	o.gcSwept.Add(int64(gs.Swept))
+	o.gcReclaimed.Add(gs.ReclaimedBytes)
+	o.gcCompacted.Add(int64(gs.CompactedSegments))
+}
+
+func (o *dbObs) healDone(start time.Time, hs HealStats, err error) {
+	if o == nil {
+		return
+	}
+	o.healRepaired.Add(int64(hs.Repaired))
+	o.healFetchedBytes.Add(hs.BytesFetched)
+	if err == nil {
+		o.healRuns.Inc()
+		o.healSeconds.Since(start)
+	}
+}
+
+func (o *dbObs) scrubDone(start time.Time, ss store.ScrubStats, err error) {
+	if o == nil {
+		return
+	}
+	if err != nil {
+		return
+	}
+	o.scrubRuns.Inc()
+	o.scrubSeconds.Since(start)
+	o.scrubQuarantined.Add(int64(ss.QuarantinedSegments))
+	o.scrubLost.Add(int64(len(ss.Lost)))
+}
+
+// registerGauges publishes scrape-time views of the store's dedup
+// accounting and the decoded-node cache.  Remote/cluster stores are
+// excluded — their Stats() is a network round trip, too expensive for a
+// scrape — and re-registration replaces the callback, so when a test
+// process opens engines serially the latest engine's gauges win.
+func (db *DB) registerGauges() {
+	reg := db.met.reg
+	kind := store.KindOf(db.raw)
+	if kind == "mem" || kind == "file" {
+		labels, vals := []string{"kind"}, []string{kind}
+		raw := db.raw
+		reg.GaugeFuncVec("forkbase_store_chunks", "Distinct chunks physically stored, by backend kind.",
+			labels, vals, func() float64 { return float64(raw.Stats().UniqueChunks) })
+		reg.GaugeFuncVec("forkbase_store_physical_bytes", "Encoded bytes occupying storage, by backend kind.",
+			labels, vals, func() float64 { return float64(raw.Stats().PhysicalBytes) })
+		reg.GaugeFuncVec("forkbase_store_logical_bytes", "Encoded bytes before deduplication, by backend kind.",
+			labels, vals, func() float64 { return float64(raw.Stats().LogicalBytes) })
+		reg.CounterFuncVec("forkbase_store_dedup_hits_total", "Put calls that found the chunk already present, by backend kind.",
+			labels, vals, func() float64 { return float64(raw.Stats().DedupHits) })
+	}
+	if db.ncache != nil {
+		c := db.ncache
+		reg.CounterFunc("forkbase_cache_hits_total", "Decoded-node cache hits.",
+			func() float64 { return float64(c.Stats().Hits) })
+		reg.CounterFunc("forkbase_cache_misses_total", "Decoded-node cache misses.",
+			func() float64 { return float64(c.Stats().Misses) })
+		reg.CounterFunc("forkbase_cache_evictions_total", "Decoded-node cache evictions.",
+			func() float64 { return float64(c.Stats().Evictions) })
+		reg.GaugeFunc("forkbase_cache_bytes", "Decoded-node cache resident bytes.",
+			func() float64 { return float64(c.Stats().Bytes) })
+		reg.GaugeFunc("forkbase_cache_entries", "Decoded-node cache resident entries.",
+			func() float64 { return float64(c.Stats().Entries) })
+	}
+}
+
+// Metrics returns the registry this engine reports into (obs.Discard when
+// observability is disabled; never nil).
+func (db *DB) Metrics() *obs.Registry {
+	if db.met == nil || db.met.reg == nil {
+		return obs.Discard
+	}
+	return db.met.reg
+}
+
+// ErrNotScrubbable is returned by Scrub when no layer of the store stack
+// can audit its own media (pure in-memory stores have nothing to scrub).
+var ErrNotScrubbable = errors.New("core: store does not support scrubbing")
+
+// findScrubber unwraps the store stack until it finds the media-audit
+// capability (mirrors findCollector/findRepairer).
+func findScrubber(st store.Store) (store.Scrubber, bool) {
+	for {
+		if s, ok := st.(store.Scrubber); ok {
+			return s, true
+		}
+		switch s := st.(type) {
+		case *store.CountingStore:
+			st = s.Inner
+		case *store.VerifyingStore:
+			st = s.Inner
+		case *store.MaliciousStore:
+			st = s.Inner
+		case interface{ Unwrap() store.Store }:
+			st = s.Unwrap()
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Scrub audits the backing store's physical media (see store.Scrubber),
+// recording pass duration and quarantine/loss totals.  Returns
+// ErrNotScrubbable when no layer has media to audit.
+func (db *DB) Scrub() (store.ScrubStats, error) {
+	scr, ok := findScrubber(db.raw)
+	if !ok {
+		return store.ScrubStats{}, ErrNotScrubbable
+	}
+	start := time.Now()
+	ss, err := scr.Scrub()
+	db.met.scrubDone(start, ss, err)
+	return ss, err
+}
+
+// StoreHealth reports the backing store's media health: nil while every
+// acknowledged chunk is readable and intact (or the store has no media to
+// audit), an error wrapping store.ErrCorrupt while lost chunks await
+// repair.
+func (db *DB) StoreHealth() error {
+	scr, ok := findScrubber(db.raw)
+	if !ok {
+		return nil
+	}
+	return scr.Health()
+}

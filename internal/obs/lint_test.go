@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoUnstructuredLogging is a vet-level guard over the service-facing
+// packages: once a package has migrated to log/slog, nothing may sneak a
+// legacy log.Printf or a bare fmt.Printf back in — those bypass the
+// leveled, structured pipeline (and its trace IDs) and write to stderr in
+// a format no log collector can parse.  Enforced by AST walk over every
+// non-test file of the listed packages; fmt.Fprintf to an explicit writer
+// remains allowed.
+func TestNoUnstructuredLogging(t *testing.T) {
+	banned := map[string]map[string]bool{
+		"log": {
+			"Print": true, "Printf": true, "Println": true,
+			"Fatal": true, "Fatalf": true, "Fatalln": true,
+			"Panic": true, "Panicf": true, "Panicln": true,
+		},
+		"fmt": {
+			"Print": true, "Printf": true, "Println": true,
+		},
+	}
+	dirs := []string{"../server", "../rest", "../repl"}
+
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			file, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if fns, ok := banned[pkg.Name]; ok && fns[sel.Sel.Name] {
+					t.Errorf("%s: %s.%s — use the package's *slog.Logger (structured, leveled, trace-aware) instead",
+						fset.Position(call.Pos()), pkg.Name, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}

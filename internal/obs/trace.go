@@ -1,0 +1,55 @@
+// Request tracing: a 16-hex-digit trace ID minted at the REST/server edge
+// and carried by context.Context through engine → index → store.  There is
+// no span machinery — the ID exists so that threshold-gated slow-op log
+// records emitted at different layers can be joined into one story ("this
+// 1.2 s PutBatch spent 1.1 s in segment fsync").
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"hash/maphash"
+	"sync/atomic"
+)
+
+type traceKeyType struct{}
+
+var traceKey traceKeyType
+
+// traceSeed mixes a per-process random seed with a sequence number so IDs
+// are unique across processes without syscalls or locks on the mint path.
+var (
+	traceSeed = maphash.MakeSeed()
+	traceSeq  atomic.Uint64
+)
+
+// NewTraceID mints a 16-hex-digit ID.  Cheap (one atomic add + one hash),
+// collision-resistant enough for log correlation, not a security token.
+func NewTraceID() string {
+	var h maphash.Hash
+	h.SetSeed(traceSeed)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], traceSeq.Add(1))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], h.Sum64())
+	return hex.EncodeToString(buf[:])
+}
+
+// WithTrace returns a context carrying id; an empty id mints a fresh one.
+// The final ID is returned alongside.
+func WithTrace(ctx context.Context, id string) (context.Context, string) {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return context.WithValue(ctx, traceKey, id), id
+}
+
+// TraceID extracts the trace ID from ctx, "" when absent.
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey).(string)
+	return id
+}

@@ -8,6 +8,7 @@ import (
 
 	"forkbase/internal/core"
 	"forkbase/internal/hash"
+	"forkbase/internal/obs"
 	"forkbase/internal/retry"
 	"forkbase/internal/store"
 )
@@ -267,6 +268,43 @@ func (f *Follower) run() {
 // Lag reports how many feed entries the replica trails the primary by
 // right now (one Seq probe against the source).  An epoch mismatch —
 // primary restarted, or nothing applied yet — counts as fully behind.
+// RegisterMetrics publishes this follower's sync progress into reg:
+// cumulative sync counters (rounds, snapshot fallbacks, heads applied,
+// chunks/bytes fetched, Merkle-prune skips, errors) read at scrape time
+// from Stats, plus forkbase_repl_lag.  The lag gauge costs one sequence
+// probe to the primary per scrape — the same round trip replica readiness
+// already pays per healthz — and reports -1 while the primary is
+// unreachable.
+func (f *Follower) RegisterMetrics(reg *obs.Registry) {
+	stat := func(pick func(Stats) uint64) func() float64 {
+		return func() float64 { return float64(pick(f.Stats())) }
+	}
+	reg.CounterFunc("forkbase_repl_rounds_total", "Replication sync rounds completed.",
+		stat(func(s Stats) uint64 { return s.Rounds }))
+	reg.CounterFunc("forkbase_repl_snapshots_total", "Full snapshot catch-ups (initial sync and truncation fallbacks).",
+		stat(func(s Stats) uint64 { return s.Snapshots }))
+	reg.CounterFunc("forkbase_repl_heads_applied_total", "Branch-head advances applied locally.",
+		stat(func(s Stats) uint64 { return s.HeadsApplied }))
+	reg.CounterFunc("forkbase_repl_chunks_fetched_total", "Chunks pulled across the wire.",
+		stat(func(s Stats) uint64 { return s.ChunksFetched }))
+	reg.CounterFunc("forkbase_repl_bytes_fetched_total", "Chunk bytes pulled across the wire.",
+		stat(func(s Stats) uint64 { return s.BytesFetched }))
+	reg.CounterFunc("forkbase_repl_chunks_skipped_total", "Frontier chunks pruned because the local store already held them.",
+		stat(func(s Stats) uint64 { return s.ChunksSkipped }))
+	reg.CounterFunc("forkbase_repl_errors_total", "Failed sync rounds (each retried with backoff).",
+		stat(func(s Stats) uint64 { return s.Errors }))
+	reg.GaugeFunc("forkbase_repl_cursor", "Feed sequence fully applied locally.",
+		stat(func(s Stats) uint64 { return s.Cursor }))
+	reg.GaugeFunc("forkbase_repl_lag", "Feed entries behind the primary (-1: primary unreachable).",
+		func() float64 {
+			lag, err := f.Lag()
+			if err != nil {
+				return -1
+			}
+			return float64(lag)
+		})
+}
+
 func (f *Follower) Lag() (uint64, error) {
 	target, err := f.src.Seq()
 	if err != nil {

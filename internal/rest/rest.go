@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 
 	"forkbase/internal/core"
 	"forkbase/internal/hash"
+	"forkbase/internal/obs"
 	"forkbase/internal/pos"
 	"forkbase/internal/repl"
 	"forkbase/internal/store"
@@ -51,11 +53,19 @@ type Handler struct {
 	ready      func() (bool, string) // nil = always ready
 	scrubber   ScrubberStore         // nil when the store has no disk to scrub
 	readOnly   bool                  // replicas reject mutating routes
+
+	reg     *obs.Registry // exposed at /v1/metrics(.json); engine's by default
+	met     *restMetrics
+	logger  *slog.Logger
+	slowReq time.Duration // 0 = no slow-request logging
 }
 
-// New builds the handler.
+// New builds the handler.  Metrics default to the engine's registry, the
+// logger to slog.Default(); override with WithMetrics / WithLogger.
 func New(db *core.DB) *Handler {
-	h := &Handler{db: db, mux: http.NewServeMux()}
+	h := &Handler{db: db, mux: http.NewServeMux(), logger: slog.Default()}
+	h.reg = db.Metrics()
+	h.met = newRESTMetrics(h.reg)
 	h.mux.HandleFunc("/v1/keys", h.keys)
 	h.mux.HandleFunc("/v1/stats", h.stats)
 	h.mux.HandleFunc("/v1/obj/", h.object)
@@ -64,6 +74,8 @@ func New(db *core.DB) *Handler {
 	h.mux.HandleFunc("/v1/scrub", h.scrub)
 	h.mux.HandleFunc("/v1/repl/status", h.replStatusHandler)
 	h.mux.HandleFunc("/v1/healthz", h.healthz)
+	h.mux.HandleFunc("/v1/metrics", h.metricsProm)
+	h.mux.HandleFunc("/v1/metrics.json", h.metricsJSON)
 	h.registerDatasets()
 	return h
 }
@@ -100,6 +112,21 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{"alive": true, "ready": ready}
 	if detail != "" {
 		body["detail"] = detail
+	}
+	if h.reg != nil && h.reg != obs.Discard {
+		// Registry-derived vitals, so one probe answers "is it healthy AND is
+		// it doing work".  Counter families only — gauge funcs may probe the
+		// network (repl lag) and a health check must stay cheap.
+		body["metrics"] = map[string]any{
+			"engine_ops":      h.reg.Sum("forkbase_engine_ops_total"),
+			"engine_errors":   h.reg.Sum("forkbase_engine_errors_total"),
+			"http_requests":   h.reg.Sum("forkbase_http_requests_total"),
+			"server_requests": h.reg.Sum("forkbase_server_requests_total"),
+			"store_errors":    h.reg.Sum("forkbase_store_errors_total"),
+			"cache_hits":      h.reg.Sum("forkbase_cache_hits_total"),
+			"cache_misses":    h.reg.Sum("forkbase_cache_misses_total"),
+			"retry_gaveup":    h.reg.Sum("forkbase_retry_gaveup_total"),
+		}
 	}
 	if h.scrubber != nil {
 		// Store health is reported, not folded into readiness: a store with
@@ -183,9 +210,6 @@ func (h *Handler) replStatusHandler(w http.ResponseWriter, r *http.Request) {
 		"last_error":       s.LastError,
 	})
 }
-
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -358,7 +382,7 @@ func (h *Handler) getObject(w http.ResponseWriter, r *http.Request, key string) 
 		writeJSON(w, http.StatusOK, renderVersion(v, ""))
 		return
 	}
-	v, err := h.db.Get(key, branch)
+	v, err := h.db.GetCtx(r.Context(), key, branch)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -387,7 +411,7 @@ func (h *Handler) putObject(w http.ResponseWriter, r *http.Request, key string) 
 	// Build + commit under the GC write fence: a concurrent POST /v1/gc
 	// cannot sweep the value's chunks before the head publishes them.
 	var badReq error
-	ver, err := h.db.BuildAndPut(key, branchParam(r), body.Meta, func() (value.Value, error) {
+	ver, err := h.db.BuildAndPutCtx(r.Context(), key, branchParam(r), body.Meta, func() (value.Value, error) {
 		v, err := h.buildValue(body)
 		if err != nil {
 			badReq = err
@@ -493,7 +517,7 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 	// a concurrent collection cannot sweep them mid-batch.
 	var badReq error
 	ops := make([]core.WriteOp, len(body.Ops))
-	vers, err := h.db.BuildAndWriteBatch(func() ([]core.WriteOp, error) {
+	vers, err := h.db.BuildAndWriteBatchCtx(r.Context(), func() ([]core.WriteOp, error) {
 		for i, op := range body.Ops {
 			v, err := h.buildValue(op.putBody)
 			if err != nil {
@@ -586,7 +610,13 @@ func (h *Handler) scrub(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "store has no scrub capability"})
 		return
 	}
-	st, err := h.scrubber.Scrub()
+	// Prefer the engine's scrub path (it records scrub metrics); fall back to
+	// the wired scrubber when the engine's store chain has no scrub
+	// capability (tests wiring a standalone ScrubberStore).
+	st, err := h.db.Scrub()
+	if errors.Is(err, core.ErrNotScrubbable) {
+		st, err = h.scrubber.Scrub()
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -705,7 +735,7 @@ func (h *Handler) merge(w http.ResponseWriter, r *http.Request, key string) {
 	if body.Message != "" {
 		meta["message"] = body.Message
 	}
-	res, err := h.db.Merge(key, body.Into, body.From, resolve, meta)
+	res, err := h.db.MergeCtx(r.Context(), key, body.Into, body.From, resolve, meta)
 	if err != nil {
 		var ce *pos.ErrConflict
 		if errors.As(err, &ce) {

@@ -28,6 +28,23 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"forkbase/internal/obs"
+)
+
+// Process-wide retry accounting, registered on the default registry:
+// every Do loop in the system (client round trips, cluster scatter/gather,
+// the replication follower) reports here, so "is anything retrying?" is
+// one scrape.
+var (
+	attemptsTotal = obs.Default().Counter("forkbase_retry_attempts_total",
+		"Operation attempts made through retry.Do (first tries included).")
+	retriesTotal = obs.Default().Counter("forkbase_retry_retries_total",
+		"Re-attempts after a transient failure.")
+	gaveupTotal = obs.Default().Counter("forkbase_retry_gaveup_total",
+		"Do calls that exhausted their attempts or wall-clock budget.")
+	permanentTotal = obs.Default().Counter("forkbase_retry_permanent_total",
+		"Do calls stopped by a permanent (non-retryable) error.")
 )
 
 // Defaults used when a Policy field is zero.
@@ -196,6 +213,7 @@ func (p Policy) Do(stop <-chan struct{}, op func(a Attempt) error) error {
 			if p.Budget > 0 {
 				left := p.Budget - time.Since(start)
 				if left <= 0 {
+					gaveupTotal.Inc()
 					return &BudgetError{Attempts: n, Elapsed: time.Since(start), Last: last}
 				}
 				if d > left {
@@ -207,19 +225,24 @@ func (p Policy) Do(stop <-chan struct{}, op func(a Attempt) error) error {
 				return &BudgetError{Attempts: n, Elapsed: time.Since(start), Last: errors.Join(errStopped, last)}
 			case <-time.After(d):
 			}
+			retriesTotal.Inc()
 		}
+		attemptsTotal.Inc()
 		err := op(Attempt{N: n, Timeout: p.Timeout})
 		if err == nil {
 			return nil
 		}
 		if IsPermanent(err) {
+			permanentTotal.Inc()
 			return err
 		}
 		last = err
 		if p.Budget > 0 && time.Since(start) >= p.Budget {
+			gaveupTotal.Inc()
 			return &BudgetError{Attempts: n + 1, Elapsed: time.Since(start), Last: last}
 		}
 	}
+	gaveupTotal.Inc()
 	return &BudgetError{Attempts: p.attempts(), Elapsed: time.Since(start), Last: last}
 }
 

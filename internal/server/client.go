@@ -11,9 +11,17 @@ import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
 	"forkbase/internal/hash"
+	"forkbase/internal/obs"
 	"forkbase/internal/retry"
 	"forkbase/internal/store"
 )
+
+// ambiguousTotal counts non-idempotent requests whose outcome the client
+// could not determine (transport failure after bytes reached the wire).
+// Each is a potential silent divergence the caller had to probe for, so
+// the count is worth alerting on.
+var ambiguousTotal = obs.Default().Counter("forkbase_client_ambiguous_total",
+	"Non-idempotent client requests with unknown outcome after a transport failure.")
 
 // ClientOptions tune a Client's failure behavior.  The zero value selects
 // the defaults below.
@@ -185,6 +193,7 @@ func (c *Client) attempt(req *Request, resp *Response, extraRead time.Duration) 
 		sent := c.cw.n > 0
 		c.teardownLocked()
 		if sent && !idempotent(req.Op) {
+			ambiguousTotal.Inc()
 			return retry.Permanent(fmt.Errorf("%w: send of %s interrupted after %s: %v",
 				ErrAmbiguous, req.Op, c.addr, err))
 		}
@@ -196,6 +205,7 @@ func (c *Client) attempt(req *Request, resp *Response, extraRead time.Duration) 
 		c.teardownLocked()
 		if !idempotent(req.Op) {
 			// The request reached the wire whole; only the reply was lost.
+			ambiguousTotal.Inc()
 			return retry.Permanent(fmt.Errorf("%w: reply to %s lost from %s: %v",
 				ErrAmbiguous, req.Op, c.addr, err))
 		}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/obs"
+	"forkbase/internal/store"
+)
+
+// TestServerOpcodeMetrics: each wire opcode moves its own labeled counter
+// by exactly the number of requests served, and clean traffic moves no
+// error counter.
+func TestServerOpcodeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := New(store.NewMemStore(), core.NewMemBranchTable(), nil)
+	srv.SetMetrics(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs := NewRemoteStore(cl)
+
+	c := chunk.New(chunk.TypeBlobLeaf, []byte("counted"))
+	if _, err := rs.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rs.Get(c.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rs.Has(c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.PutBatch([]*chunk.Chunk{chunk.New(chunk.TypeBlobLeaf, []byte("b1"))}); err != nil {
+		t.Fatal(err)
+	}
+
+	for op, want := range map[string]float64{
+		"PutChunk":  1,
+		"GetChunk":  3,
+		"HasChunk":  1,
+		"PutChunks": 1,
+	} {
+		if got, ok := reg.Value("forkbase_server_requests_total", op); !ok || got != want {
+			t.Errorf("server_requests_total{%s} = %v (ok=%v), want %v", op, got, ok, want)
+		}
+	}
+	if got := reg.Sum("forkbase_server_errors_total"); got != 0 {
+		t.Errorf("server_errors_total = %v, want 0", got)
+	}
+	// The per-opcode latency histogram recorded every request.
+	if got, _ := reg.Value("forkbase_server_request_seconds", "GetChunk"); got != 3 {
+		t.Errorf("server_request_seconds{GetChunk} count = %v, want 3", got)
+	}
+}

@@ -5,13 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
+	"forkbase/internal/obs"
 	"forkbase/internal/store"
 )
 
@@ -22,14 +23,82 @@ type Server struct {
 	feed     *core.Feed // non-nil when this node publishes a change feed
 	readOnly bool       // replicas reject mutating ops
 	limits   Limits
+	met      *srvMetrics // set by SetMetrics before Listen; nil = uninstrumented
 
 	mu      sync.Mutex
 	ln      net.Listener
 	conns   map[net.Conn]struct{}
 	closed  bool
 	refused uint64 // connections shed by the MaxConns gate
-	logger  *log.Logger
+	logger  *slog.Logger
 	wg      sync.WaitGroup
+}
+
+// srvMetrics holds the per-opcode and connection-lifecycle handles,
+// resolved once at SetMetrics.  All methods are nil-safe so the serving
+// path never branches on "is instrumentation configured".
+type srvMetrics struct {
+	ops      map[Op]*srvOp
+	unknown  *srvOp
+	inflight *obs.Gauge
+	open     *obs.Gauge
+	total    *obs.Counter
+	refused  *obs.Counter
+}
+
+type srvOp struct {
+	total *obs.Counter
+	errs  *obs.Counter
+	lat   *obs.Histogram
+}
+
+// SetMetrics instruments the server against reg: per-opcode request
+// counts, latencies and error counts, an in-flight gauge, and connection
+// lifecycle counters.  Call before Listen.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	if reg == nil || reg == obs.Discard {
+		return
+	}
+	total := reg.CounterVec("forkbase_server_requests_total",
+		"TCP requests served, by opcode.", "op")
+	errsV := reg.CounterVec("forkbase_server_errors_total",
+		"TCP requests answered with an error, by opcode.", "op")
+	lat := reg.HistogramVec("forkbase_server_request_seconds",
+		"TCP request handling latency, by opcode.", "op")
+	m := &srvMetrics{
+		ops: make(map[Op]*srvOp, len(opNames)),
+		inflight: reg.Gauge("forkbase_server_inflight",
+			"TCP requests currently being handled."),
+		open: reg.Gauge("forkbase_server_conns_open",
+			"TCP connections currently served."),
+		total: reg.Counter("forkbase_server_conns_total",
+			"TCP connections accepted."),
+		refused: reg.Counter("forkbase_server_conns_refused_total",
+			"TCP connections shed by the MaxConns gate."),
+	}
+	// Pre-register every known opcode so the families expose complete
+	// zero-valued series from the first scrape.
+	for op := range opNames {
+		name := op.String()
+		m.ops[op] = &srvOp{total: total.With(name), errs: errsV.With(name), lat: lat.With(name)}
+	}
+	m.unknown = &srvOp{total: total.With("unknown"), errs: errsV.With("unknown"), lat: lat.With("unknown")}
+	s.met = m
+}
+
+func (m *srvMetrics) opDone(op Op, start time.Time, failed bool) {
+	if m == nil {
+		return
+	}
+	h, ok := m.ops[op]
+	if !ok {
+		h = m.unknown
+	}
+	h.total.Inc()
+	h.lat.Since(start)
+	if failed {
+		h.errs.Inc()
+	}
 }
 
 // Limits bound a server's exposure to slow or excessive clients.  The zero
@@ -67,10 +136,12 @@ const (
 	feedMaxWait      = 30 * time.Second
 )
 
-// New creates a server over the given store and branch table.
-func New(st store.Store, heads core.BranchTable, logger *log.Logger) *Server {
+// New creates a server over the given store and branch table.  A nil
+// logger selects slog.Default(); routine transport noise (peer hangups,
+// malformed frames) is logged at Debug, so the default level stays quiet.
+func New(st store.Store, heads core.BranchTable, logger *slog.Logger) *Server {
 	if logger == nil {
-		logger = log.New(io.Discard, "", 0)
+		logger = slog.Default()
 	}
 	return &Server{st: st, heads: heads, conns: make(map[net.Conn]struct{}), logger: logger}
 }
@@ -121,11 +192,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if s.limits.MaxConns > 0 && len(s.conns) >= s.limits.MaxConns {
 			s.refused++
 			s.mu.Unlock()
+			if s.met != nil {
+				s.met.refused.Inc()
+			}
 			conn.Close() // shed at the door; the client backs off and retries
 			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if s.met != nil {
+			s.met.total.Inc()
+			s.met.open.Add(1)
+		}
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -138,6 +216,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if s.met != nil {
+			s.met.open.Add(-1)
+		}
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -148,13 +229,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) {
-				s.logger.Printf("decode: %v", err)
+				s.logger.Debug("request decode failed", "remote", conn.RemoteAddr().String(), "err", err)
 			}
 			return
 		}
+		start := time.Now()
+		if s.met != nil {
+			s.met.inflight.Add(1)
+		}
 		resp := s.handle(&req)
+		if s.met != nil {
+			s.met.inflight.Add(-1)
+			s.met.opDone(req.Op, start, resp.Err != "")
+		}
 		if err := enc.Encode(resp); err != nil {
-			s.logger.Printf("encode: %v", err)
+			s.logger.Debug("response encode failed", "remote", conn.RemoteAddr().String(), "err", err)
 			return
 		}
 	}

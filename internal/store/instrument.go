@@ -1,0 +1,239 @@
+package store
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/hash"
+	"forkbase/internal/nodecache"
+	"forkbase/internal/obs"
+)
+
+// Kinder is the optional capability by which a store names its backend for
+// metric labels ("mem", "file", "remote", ...).  Wrappers are transparent:
+// KindOf walks the Unwrap chain, so the label always describes the store
+// that actually holds the bytes.
+type Kinder interface {
+	StoreKind() string
+}
+
+// KindOf returns the backend kind of st, walking wrappers; "store" when no
+// layer declares one.
+func KindOf(st Store) string {
+	for st != nil {
+		if k, ok := st.(Kinder); ok {
+			return k.StoreKind()
+		}
+		u, ok := st.(interface{ Unwrap() Store })
+		if !ok {
+			break
+		}
+		st = u.Unwrap()
+	}
+	return "store"
+}
+
+// StoreKind implements Kinder.
+func (s *MemStore) StoreKind() string { return "mem" }
+
+// StoreKind implements Kinder.
+func (s *FileStore) StoreKind() string { return "file" }
+
+// latSampleMask gates latency timing on the single-chunk hot paths: clock
+// reads cost ~50-100ns on virtualized hosts — more than a memory store's
+// whole map access — so only 1 of every latSampleMask+1 operations is
+// timed.  Counters stay exact for every op; the histograms see an unbiased
+// sample.  Batch operations amortize the clock over many chunks and are
+// always timed, as is everything when a slow-op threshold is set (detection
+// must not sample).
+const latSampleMask = 31
+
+// instrumentedStore counts every chunk operation crossing into the backend
+// and times a sample of them.  All metric handles are resolved at
+// construction, so the common per-op cost is a handful of atomic adds.
+//
+// The wrapper is transparent to every capability discovery in the tree:
+// batch paths are instrumented natively, NodeCache/SinkHashers forward,
+// and Unwrap exposes the inner store for GC/scrub/heal discovery.
+type instrumentedStore struct {
+	Store
+	kind string
+
+	get, put, has, getB, putB, hasB opMetrics
+
+	rdB  *obs.Counter // payload bytes returned to readers
+	wrB  *obs.Counter // payload bytes accepted from writers
+	errs *obs.Counter // operations failing with a real error (not ErrNotFound)
+
+	logger *slog.Logger  // slow-op log sink, nil = disabled
+	slowOp time.Duration // threshold; 0 = disabled
+}
+
+type opMetrics struct {
+	name   string
+	total  *obs.Counter
+	lat    *obs.Histogram
+	sample atomic.Uint64
+}
+
+// Instrument wraps inner so every Get/Put/Has (and their batch forms) is
+// counted and timed under forkbase_store_* with a kind label naming the
+// backend.  A nil or Discard registry returns inner unchanged — the bare
+// path stays bare.
+func Instrument(inner Store, reg *obs.Registry) Store {
+	return InstrumentSlow(inner, reg, nil, 0)
+}
+
+// InstrumentSlow is Instrument plus a threshold-gated slow-op structured
+// log: backend operations slower than slowOp are logged through logger at
+// Warn with kind, op and duration, so a slow engine operation can be
+// attributed to the layer that actually stalled.
+func InstrumentSlow(inner Store, reg *obs.Registry, logger *slog.Logger, slowOp time.Duration) Store {
+	if inner == nil || reg == nil || reg == obs.Discard {
+		return inner
+	}
+	kind := KindOf(inner)
+	opsTotal := reg.CounterVec("forkbase_store_ops_total",
+		"Chunk-store operations by backend kind and operation.", "kind", "op")
+	opSeconds := reg.HistogramVec("forkbase_store_op_seconds",
+		"Chunk-store operation latency by backend kind and operation.", "kind", "op")
+	s := &instrumentedStore{
+		Store: inner,
+		kind:  kind,
+		rdB: reg.CounterVec("forkbase_store_read_bytes_total",
+			"Chunk payload bytes read, by backend kind.", "kind").With(kind),
+		wrB: reg.CounterVec("forkbase_store_write_bytes_total",
+			"Chunk payload bytes written, by backend kind.", "kind").With(kind),
+		errs: reg.CounterVec("forkbase_store_errors_total",
+			"Chunk-store operations that failed (not-found excluded), by backend kind.", "kind").With(kind),
+		logger: logger,
+		slowOp: slowOp,
+	}
+	mk := func(op string) opMetrics {
+		return opMetrics{name: op, total: opsTotal.With(kind, op), lat: opSeconds.With(kind, op)}
+	}
+	s.get, s.put, s.has = mk("get"), mk("put"), mk("has")
+	s.getB, s.putB, s.hasB = mk("get_batch"), mk("put_batch"), mk("has_batch")
+	return s
+}
+
+// begin returns the start time when this operation's latency will be
+// recorded (sampled, or always under a slow-op threshold), else the zero
+// Time.
+func (s *instrumentedStore) begin(op *opMetrics) time.Time {
+	if s.slowOp > 0 || op.sample.Add(1)&latSampleMask == 1 {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// observe finishes one operation: count, sampled latency, error
+// accounting, slow-op log.
+func (s *instrumentedStore) observe(op *opMetrics, start time.Time, err error) {
+	op.total.Inc()
+	if err != nil && err != ErrNotFound {
+		s.errs.Inc()
+	}
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	op.lat.Observe(d)
+	if s.slowOp > 0 && d >= s.slowOp && s.logger != nil {
+		s.logger.Warn("slow store op", "kind", s.kind, "op", op.name, "duration", d, "err", err)
+	}
+}
+
+// Put implements Store.
+func (s *instrumentedStore) Put(c *chunk.Chunk) (bool, error) {
+	start := s.begin(&s.put)
+	fresh, err := s.Store.Put(c)
+	s.observe(&s.put, start, err)
+	if c != nil {
+		s.wrB.Add(int64(len(c.Data())))
+	}
+	return fresh, err
+}
+
+// Get implements Store.
+func (s *instrumentedStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	start := s.begin(&s.get)
+	c, err := s.Store.Get(id)
+	s.observe(&s.get, start, err)
+	if c != nil {
+		s.rdB.Add(int64(len(c.Data())))
+	}
+	return c, err
+}
+
+// Has implements Store.
+func (s *instrumentedStore) Has(id hash.Hash) (bool, error) {
+	start := s.begin(&s.has)
+	ok, err := s.Store.Has(id)
+	s.observe(&s.has, start, err)
+	return ok, err
+}
+
+// PutBatch implements BatchStore (instrumented as one operation — the
+// clock amortizes over the batch, so batches are always timed; bytes count
+// every chunk offered).
+func (s *instrumentedStore) PutBatch(cs []*chunk.Chunk) ([]bool, error) {
+	start := time.Now()
+	fresh, err := PutBatch(s.Store, cs)
+	s.observe(&s.putB, start, err)
+	var n int64
+	for _, c := range cs {
+		if c != nil {
+			n += int64(len(c.Data()))
+		}
+	}
+	s.wrB.Add(n)
+	return fresh, err
+}
+
+// GetBatch implements BatchReadStore.
+func (s *instrumentedStore) GetBatch(ids []hash.Hash) ([]*chunk.Chunk, error) {
+	start := time.Now()
+	cs, err := GetBatch(s.Store, ids)
+	s.observe(&s.getB, start, err)
+	var n int64
+	for _, c := range cs {
+		if c != nil {
+			n += int64(len(c.Data()))
+		}
+	}
+	s.rdB.Add(n)
+	return cs, err
+}
+
+// HasBatch implements BatchReadStore.
+func (s *instrumentedStore) HasBatch(ids []hash.Hash) ([]bool, error) {
+	start := time.Now()
+	oks, err := HasBatch(s.Store, ids)
+	s.observe(&s.hasB, start, err)
+	return oks, err
+}
+
+// NodeCache forwards the node-cache capability through the wrapper.
+func (s *instrumentedStore) NodeCache() *nodecache.Cache { return NodeCacheOf(s.Store) }
+
+// SinkHashers forwards the tuning capability through the wrapper.
+func (s *instrumentedStore) SinkHashers() int { return SinkHashersOf(s.Store) }
+
+// StoreKind implements Kinder (the wrapper reports the backend it fronts).
+func (s *instrumentedStore) StoreKind() string { return s.kind }
+
+// Unwrap exposes the inner store (GC/scrub/heal capability discovery).
+func (s *instrumentedStore) Unwrap() Store { return s.Store }
+
+var (
+	_ BatchStore        = (*instrumentedStore)(nil)
+	_ BatchReadStore    = (*instrumentedStore)(nil)
+	_ NodeCacheProvider = (*instrumentedStore)(nil)
+	_ SinkTuner         = (*instrumentedStore)(nil)
+	_ Kinder            = (*instrumentedStore)(nil)
+	_ Kinder            = (*MemStore)(nil)
+	_ Kinder            = (*FileStore)(nil)
+)
