@@ -16,6 +16,7 @@
 //	bench -exp siri         POS-Tree vs Merkle Patricia Trie comparison
 //	bench -exp scale        GOMAXPROCS matrix for the parallel paths
 //	bench -exp obs          metrics-layer overhead + counter accounting soak
+//	bench -exp verify       amortized verification: verified-id cache + tamper matrix
 //
 // Use -quick for smaller workloads (CI-sized).  With -json FILE the perf
 // suite also writes a machine-readable report (BENCH_N.json artifacts track
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|heal|siri|scale|obs")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig2|fig3|fig4|fig5|fig6|a1|a2|a3|perf|repl|chaos|heal|siri|scale|obs|verify")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	jsonPath := flag.String("json", "", "write the perf suite report to this file (JSON)")
 	flag.Parse()
@@ -283,6 +284,26 @@ func main() {
 		if !rep.Passed {
 			return fmt.Errorf("obs experiment failed: counter_inc=%.2fns overhead=%.2f%% rest=%v engine=%v server=%v",
 				rep.CounterIncNs, rep.OverheadPct, rep.RESTCountersExact, rep.EngineOpsExact, rep.ServerOpsExact)
+		}
+		return nil
+	})
+
+	run("verify", func() error {
+		rep, err := experiments.RunVerify(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.PrintVerify(out, rep)
+		if *jsonPath != "" {
+			if err := experiments.WriteVerifyJSON(*jsonPath, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		if !rep.Passed {
+			return fmt.Errorf("verify experiment failed: speedup=%.1fx (ok=%v) overhead=%+.1f%% (ok=%v) one_hash=%v tamper=[flip=%v forge=%v scrub=%v repair=%v]",
+				rep.SpeedupVsRehash, rep.SpeedupOK, rep.OverheadVsBare*100, rep.OverheadOK, rep.OneHashPerChunk,
+				rep.TamperFlipDetected, rep.TamperForgedPutRejected, rep.TamperRotScrubDetected, rep.TamperRotRepaired)
 		}
 		return nil
 	})

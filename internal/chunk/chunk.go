@@ -11,6 +11,7 @@ package chunk
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"forkbase/internal/hash"
 )
@@ -74,8 +75,12 @@ type Chunk struct {
 	// claimed marks a chunk whose id was asserted by an untrusted party
 	// (a network peer, a batch file) rather than computed from the data.
 	// Recheck verifies the claim; the verifying store's write path rejects
-	// claimed chunks whose content does not hash to their id.
-	claimed bool
+	// claimed chunks whose content does not hash to their id.  A successful
+	// Recheck clears the flag (the content has been proven to match the id),
+	// so a chunk pays for verification at most once per process no matter
+	// how many layers it passes through.  Atomic because batch rechecks fan
+	// out across a worker pool while readers consult Claimed concurrently.
+	claimed atomic.Bool
 }
 
 // ErrCorrupt is returned when a chunk's bytes do not match its claimed id.
@@ -90,18 +95,47 @@ func New(t Type, data []byte) *Chunk {
 		panic(fmt.Sprintf("chunk: invalid type %d", t))
 	}
 	c := &Chunk{typ: t, data: data}
-	c.id = hash.OfParts([]byte{byte(t)}, data)
+	c.id = hash.SumTagged(byte(t), data)
 	return c
 }
 
-// NewPrehashed creates a chunk whose id the caller has already computed as
-// SHA-256(type || data) — the batched write path hashes node encodings on a
-// worker pool and over a contiguous [type][payload] buffer, so recomputing
-// here would double the hashing cost.  The id is trusted; callers that
-// received the id from an untrusted party must use NewClaimed instead.
-func NewPrehashed(t Type, data []byte, id hash.Hash) *Chunk {
+// Provenance is a witness that a chunk id was computed by this process's own
+// hashing site rather than asserted by a caller.  Both fields are unexported
+// and the only minting site is HashEncoding, so a forged token is
+// structurally impossible: the zero Provenance (all any other package can
+// construct) covers nothing, and NewPrehashed panics on it.
+type Provenance struct {
+	ok bool
+	id hash.Hash
+}
+
+// Covers reports whether p witnesses id.
+func (p Provenance) Covers(id hash.Hash) bool { return p.ok && p.id == id }
+
+// HashEncoding computes the content id of a full [type][payload] encoding
+// into dst (allocation-free; dst slots are handed out in slabs by the write
+// path) and mints the provenance witness for it.  This is the single trusted
+// hashing site: a Provenance exists if and only if this function ran over
+// the bytes in question.
+func HashEncoding(dst *hash.Hash, enc []byte) Provenance {
+	hash.SumInto(dst, enc)
+	return Provenance{ok: true, id: *dst}
+}
+
+// NewPrehashed creates a chunk whose id was already computed as
+// SHA-256(type || data) by HashEncoding — the batched write path hashes node
+// encodings on a worker pool and over a contiguous [type][payload] buffer,
+// so recomputing here would double the hashing cost.  The provenance token
+// is the proof the id really came from this process's hasher; it panics on a
+// token that does not cover id, which makes "pretend it's prehashed" a
+// programming error rather than a trust decision.  Callers that received the
+// id from an untrusted party must use NewClaimed instead.
+func NewPrehashed(t Type, data []byte, id hash.Hash, prov Provenance) *Chunk {
 	if !t.Valid() {
 		panic(fmt.Sprintf("chunk: invalid type %d", t))
+	}
+	if !prov.Covers(id) {
+		panic("chunk: NewPrehashed without provenance for id (use NewClaimed for untrusted ids)")
 	}
 	return &Chunk{typ: t, data: data, id: id}
 }
@@ -114,21 +148,31 @@ func NewClaimed(t Type, data []byte, id hash.Hash) *Chunk {
 	if !t.Valid() {
 		panic(fmt.Sprintf("chunk: invalid type %d", t))
 	}
-	return &Chunk{typ: t, data: data, id: id, claimed: true}
+	c := &Chunk{typ: t, data: data, id: id}
+	c.claimed.Store(true)
+	return c
 }
+
+// Claimed reports whether the chunk's id is still an unverified claim.  It
+// flips to false after a successful Recheck.
+func (c *Chunk) Claimed() bool { return c.claimed.Load() }
 
 // Recheck verifies a claimed chunk's content against its claimed id,
 // returning ErrCorrupt on mismatch.  Chunks constructed by New (id computed
 // from the data) or NewPrehashed (id computed by a trusted hasher) pass
-// without rehashing.
+// without rehashing, and a successful recheck promotes the chunk to trusted
+// — so a claimed chunk that crosses several verifying layers (fetched off
+// the wire, verified, then written through a verifying store) is hashed
+// once, not once per layer.
 func (c *Chunk) Recheck() error {
-	if !c.claimed {
+	if !c.claimed.Load() {
 		return nil
 	}
-	actual := hash.OfParts([]byte{byte(c.typ)}, c.data)
+	actual := hash.SumTagged(byte(c.typ), c.data)
 	if actual != c.id {
 		return fmt.Errorf("%w: claimed %s actual %s", ErrCorrupt, c.id.Short(), actual.Short())
 	}
+	c.claimed.Store(false)
 	return nil
 }
 

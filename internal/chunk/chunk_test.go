@@ -104,12 +104,64 @@ func TestNewPanicsOnInvalidType(t *testing.T) {
 
 func TestNewPrehashedTrusted(t *testing.T) {
 	ref := New(TypeBlobLeaf, []byte("payload"))
-	c := NewPrehashed(TypeBlobLeaf, []byte("payload"), ref.ID())
+	var id hash.Hash
+	prov := HashEncoding(&id, ref.Encode())
+	c := NewPrehashed(TypeBlobLeaf, []byte("payload"), id, prov)
 	if c.ID() != ref.ID() || c.Type() != ref.Type() {
 		t.Fatal("prehashed chunk differs from New")
 	}
+	if c.Claimed() {
+		t.Fatal("prehashed chunk reports claimed")
+	}
 	if err := c.Recheck(); err != nil {
 		t.Fatalf("trusted chunk failed recheck: %v", err)
+	}
+}
+
+func TestNewPrehashedRejectsForgedProvenance(t *testing.T) {
+	honest := New(TypeBlobLeaf, []byte("payload"))
+
+	// The zero Provenance — the only value other packages can construct —
+	// covers nothing, even when the id it accompanies is correct.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewPrehashed with zero provenance did not panic")
+			}
+		}()
+		NewPrehashed(TypeBlobLeaf, []byte("payload"), honest.ID(), Provenance{})
+	}()
+
+	// A genuine token covers only the id it was minted for: replaying it
+	// against a different id panics too.
+	var otherID hash.Hash
+	prov := HashEncoding(&otherID, New(TypeBlobLeaf, []byte("other")).Encode())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPrehashed with replayed provenance did not panic")
+		}
+	}()
+	NewPrehashed(TypeBlobLeaf, []byte("payload"), honest.ID(), prov)
+}
+
+func TestRecheckPromotesClaimed(t *testing.T) {
+	honest := New(TypeBlobLeaf, []byte("payload"))
+	c := NewClaimed(TypeBlobLeaf, []byte("payload"), honest.ID())
+	if !c.Claimed() {
+		t.Fatal("fresh claimed chunk not claimed")
+	}
+	before := hash.Digests()
+	if err := c.Recheck(); err != nil {
+		t.Fatalf("recheck: %v", err)
+	}
+	if c.Claimed() {
+		t.Fatal("recheck did not promote the chunk to trusted")
+	}
+	if err := c.Recheck(); err != nil {
+		t.Fatalf("second recheck: %v", err)
+	}
+	if got := hash.Digests() - before; got != 1 {
+		t.Fatalf("two rechecks cost %d hashes, want 1 (promotion)", got)
 	}
 }
 

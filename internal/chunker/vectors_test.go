@@ -1,0 +1,152 @@
+package chunker
+
+import "testing"
+
+// FastCDC-2020-style pinned vectors for the gear chunker: a fixed
+// SplitMix64-generated input must always cut at exactly these offsets. Any
+// change to the gear table, the rolling update, or the min/max clamping shows
+// up here as a diff of literal integers rather than a silent re-chunk of every
+// stored object (which would destroy cross-version dedup).
+
+// vecInput deterministically expands a seed into n bytes with SplitMix64.
+// Self-contained on purpose: the vectors must not depend on math/rand's
+// generator remaining stable across Go releases.
+func vecInput(seed uint64, n int) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := 0; i < n; i += 8 {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(z >> (8 * j))
+		}
+	}
+	return out
+}
+
+var gearVectors = []struct {
+	name string
+	seed uint64
+	n    int
+	cfg  Config
+	cuts []int // end offset of every chunk, in order; last == n
+}{
+	{
+		name: "q10-64k",
+		seed: 1,
+		n:    64 << 10,
+		cfg:  Config{Q: 10, MinSize: 1 << 7, MaxSize: 1 << 13, Algo: AlgoGear},
+		cuts: []int{
+			1278, 2476, 2761, 3941, 5040, 5379, 6580, 7161, 7453, 8718,
+			10119, 12109, 13183, 14274, 14705, 15855, 16881, 17878, 18931, 20538,
+			22205, 23243, 24919, 25221, 27314, 28482, 29653, 30913, 32319, 33364,
+			34699, 36423, 37600, 38957, 40065, 41696, 43044, 43281, 44390, 45743,
+			47188, 47509, 48935, 50607, 51746, 52307, 53371, 54433, 56499, 57606,
+			59077, 60181, 61810, 62836, 63922, 64486, 65536,
+		},
+	},
+	{
+		name: "q12-128k-default-geometry",
+		seed: 2,
+		n:    128 << 10,
+		cfg:  Config{Q: 12, MinSize: 1 << 9, MaxSize: 1 << 16, Algo: AlgoGear},
+		cuts: []int{
+			4686, 9300, 10167, 15047, 19236, 24271, 28869, 35480, 40816, 45526,
+			51065, 51880, 59715, 65898, 70646, 71475, 72366, 78062, 82338, 86698,
+			91377, 97103, 99987, 102688, 104889, 109036, 113667, 119581, 126854, 131072,
+		},
+	},
+	{
+		name: "q8-16k",
+		seed: 3,
+		n:    16 << 10,
+		cfg:  Config{Q: 8, MinSize: 1 << 5, MaxSize: 1 << 12, Algo: AlgoGear},
+		cuts: []int{
+			307, 713, 1044, 1344, 1633, 1931, 2247, 2283, 2743, 2779,
+			3057, 3349, 3621, 3908, 4184, 4521, 4870, 5098, 5454, 5779,
+			6039, 6318, 6584, 6632, 6740, 6829, 7093, 7389, 7801, 8061,
+			8304, 8636, 8671, 9045, 9365, 9610, 9952, 10346, 10630, 10875,
+			11156, 11208, 11669, 11937, 12197, 12501, 12767, 13069, 13381, 13881,
+			13980, 14280, 14565, 14707, 14815, 15006, 15199, 15619, 16016, 16365,
+			16384,
+		},
+	},
+}
+
+func TestGearGoldenVectors(t *testing.T) {
+	for _, tc := range gearVectors {
+		t.Run(tc.name, func(t *testing.T) {
+			data := vecInput(tc.seed, tc.n)
+			segs := SplitBytes(data, tc.cfg)
+			if len(segs) != len(tc.cuts) {
+				t.Fatalf("chunk count = %d, want %d", len(segs), len(tc.cuts))
+			}
+			off := 0
+			for i, s := range segs {
+				off += len(s)
+				if off != tc.cuts[i] {
+					t.Fatalf("chunk %d ends at %d, want %d", i, off, tc.cuts[i])
+				}
+				if off != tc.n && (len(s) < tc.cfg.MinSize || len(s) > tc.cfg.MaxSize) {
+					t.Fatalf("chunk %d size %d outside [%d, %d]", i, len(s), tc.cfg.MinSize, tc.cfg.MaxSize)
+				}
+			}
+			if off != tc.n {
+				t.Fatalf("chunks cover %d bytes, want %d", off, tc.n)
+			}
+		})
+	}
+}
+
+// TestGearStreamingMatchesVectors pins that the incremental byte chunker
+// produces the same cut points as the one-shot splitter, feeding the input in
+// awkward write sizes to exercise buffer-boundary handling.
+func TestGearStreamingMatchesVectors(t *testing.T) {
+	for _, tc := range gearVectors {
+		t.Run(tc.name, func(t *testing.T) {
+			data := vecInput(tc.seed, tc.n)
+			bc := NewByteChunker(tc.cfg)
+			var cuts []int
+			for i := 0; i < len(data); {
+				step := 1 + (i % 777)
+				if i+step > len(data) {
+					step = len(data) - i
+				}
+				for _, rel := range bc.Write(data[i : i+step]) {
+					cuts = append(cuts, i+rel)
+				}
+				i += step
+			}
+			// The tail after the final content-defined boundary is the last
+			// chunk; SplitBytes emits it, the incremental chunker leaves it
+			// pending.
+			if len(cuts) == 0 || cuts[len(cuts)-1] != tc.n {
+				cuts = append(cuts, tc.n)
+			}
+			if len(cuts) != len(tc.cuts) {
+				t.Fatalf("streaming chunk count = %d, want %d", len(cuts), len(tc.cuts))
+			}
+			for i := range cuts {
+				if cuts[i] != tc.cuts[i] {
+					t.Fatalf("streaming cut %d at %d, want %d", i, cuts[i], tc.cuts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGearMeanChunkSize sanity-checks that the expected chunk size tracks 2^Q:
+// the vectors pin exact behaviour, this pins the statistical contract.
+func TestGearMeanChunkSize(t *testing.T) {
+	cfg := Config{Q: 10, MinSize: 1 << 7, MaxSize: 1 << 13, Algo: AlgoGear}
+	data := vecInput(99, 1<<20)
+	segs := SplitBytes(data, cfg)
+	mean := len(data) / len(segs)
+	// Min-size skipping shifts the mean above 2^Q; allow [0.75x, 2.5x].
+	if mean < (1<<10)*3/4 || mean > (1<<10)*5/2 {
+		t.Fatalf("mean chunk size %d too far from 2^Q = %d", mean, 1<<10)
+	}
+}

@@ -123,11 +123,20 @@ func (db *DB) gcInner(minDeadRatio float64) (GCStats, error) {
 	// Relocated chunks are purged too: their content is unchanged, but a
 	// cached decode may alias storage the compaction retired.
 	ncache := store.NodeCacheOf(db.st)
+	verifier := store.VerifierOf(db.st)
 	for _, id := range res.SweptIDs {
 		ncache.Remove(id)
 	}
 	for _, id := range res.MovedIDs {
 		ncache.Remove(id)
+	}
+	if verifier != nil {
+		// Swept ids no longer resolve, and moved ids live in relocated
+		// records; neither may keep skipping the rehash on a stale entry.
+		// (FileStore's placement epoch also retires the moved set — this is
+		// the explicit half of the belt-and-braces pair.)
+		verifier.Invalidate(res.SweptIDs...)
+		verifier.Invalidate(res.MovedIDs...)
 	}
 	return GCStats{
 		Live:              len(live),

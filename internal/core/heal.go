@@ -97,10 +97,17 @@ func (db *DB) healInner(src ChunkSource) (HealStats, error) {
 	}
 
 	ncache := store.NodeCacheOf(db.st)
+	verifier := store.VerifierOf(db.st)
 	for len(frontier) > 0 {
 		var next, damaged []hash.Hash
 		for _, id := range frontier {
 			hs.Checked++
+			// Heal's contract is to re-verify what is actually on disk, so
+			// every read must pay the rehash: drop any verified-id entry
+			// before the Get (the read re-adds a fresh one on success).
+			if verifier != nil {
+				verifier.Invalidate(id)
+			}
 			c, err := db.st.Get(id)
 			switch {
 			case err == nil:
@@ -160,8 +167,12 @@ func (db *DB) healInner(src ChunkSource) (HealStats, error) {
 						continue
 					}
 				}
-				// A cached decode may alias storage of the damaged copy.
+				// A cached decode may alias storage of the damaged copy, and a
+				// verified-id entry still describes the bytes repair replaced.
 				ncache.Remove(want)
+				if verifier != nil {
+					verifier.Invalidate(want)
+				}
 				hs.Repaired++
 				hs.BytesFetched += int64(c.Size())
 				kids, err := chunkChildren(c)

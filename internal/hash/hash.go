@@ -12,6 +12,9 @@ import (
 	"encoding/base32"
 	"errors"
 	"fmt"
+	stdhash "hash"
+	"sync"
+	"sync/atomic"
 )
 
 // Size is the byte length of a Hash (SHA-256).
@@ -33,21 +36,79 @@ type Hash [Size]byte
 // ErrInvalidHash is returned by Parse for malformed textual hashes.
 var ErrInvalidHash = errors.New("hash: invalid hash string")
 
+// digests counts every digest computation in the process.  One content hash
+// per chunk is the write path's whole budget, so tests pin hashing cost with
+// before/after deltas of Digests(); the atomic add is noise next to the
+// SHA-256 it counts.
+var digests atomic.Int64
+
+// Digests returns the process-wide number of digest computations (Of,
+// OfParts, SumTagged, SumInto) since start.
+func Digests() int64 { return digests.Load() }
+
 // Of returns the hash of data.
 func Of(data []byte) Hash {
+	digests.Add(1)
 	return sha256.Sum256(data)
 }
 
 // OfParts returns the hash of the concatenation of parts without
 // materialising the concatenation.
 func OfParts(parts ...[]byte) Hash {
-	h := sha256.New()
+	d := statePool.Get().(*digestState)
+	d.h.Reset()
 	for _, p := range parts {
-		h.Write(p)
+		d.h.Write(p)
 	}
-	var out Hash
-	h.Sum(out[:0])
+	out := d.finish()
+	statePool.Put(d)
 	return out
+}
+
+// digestState is a pooled SHA-256 state plus the scratch buffers that keep
+// SumTagged and SumInto allocation-free: the one-byte tag and the output
+// array live on the (already heap-resident) pool entry, so nothing written
+// through the stdlib's hash.Hash interface escapes to a fresh allocation.
+type digestState struct {
+	h   stdhash.Hash
+	tag [1]byte
+	sum [Size]byte
+}
+
+var statePool = sync.Pool{New: func() any { return &digestState{h: sha256.New()} }}
+
+// finish extracts the digest into the pooled output array and returns it by
+// value (a 32-byte copy, no allocation).
+func (d *digestState) finish() Hash {
+	d.h.Sum(d.sum[:0])
+	digests.Add(1)
+	return Hash(d.sum)
+}
+
+// SumTagged returns the digest of a one-byte tag followed by payload — the
+// shape of every chunk identity, SHA-256(type || data) — without allocating.
+// It is the verify hot path's hasher: rechecking a claimed chunk costs the
+// SHA-256 and nothing else.
+func SumTagged(tag byte, payload []byte) Hash {
+	d := statePool.Get().(*digestState)
+	d.h.Reset()
+	d.tag[0] = tag
+	d.h.Write(d.tag[:])
+	d.h.Write(payload)
+	out := d.finish()
+	statePool.Put(d)
+	return out
+}
+
+// SumInto writes the digest of data into dst without allocating.  The batched
+// write path hashes contiguous [type][payload] encodings straight into id
+// slots handed out in slabs; SumInto fills such a slot in place.
+func SumInto(dst *Hash, data []byte) {
+	d := statePool.Get().(*digestState)
+	d.h.Reset()
+	d.h.Write(data)
+	*dst = d.finish()
+	statePool.Put(d)
 }
 
 // IsZero reports whether h is the null hash.

@@ -84,12 +84,24 @@ type FileStore struct {
 
 	actSeg atomic.Int64 // current active segment number (lock-free read path)
 
+	// placeEpoch counts the events after which previously-served bytes for an
+	// id may live somewhere new (compaction rewrites, quarantine rescues).
+	// The verifying layer stamps verified-id entries with it, so a remap can
+	// never satisfy a stale "verified" hit.  Sealing does not bump it: a seal
+	// changes how bytes are served, not which bytes an id resolves to.
+	placeEpoch atomic.Uint64
+
 	// segMu guards the sealed-segment table and the retired list.
 	segMu   sync.RWMutex
 	sealed  map[int]*mseg
 	retired []*mseg // parked mappings of compacted segments (munmap at Close)
 
 	gets atomic.Int64
+
+	// verifiedServes counts GetVerified calls answered with a fresh verified
+	// stamp (see MarkVerified) — reads where the verifying layer above was
+	// told it can skip the rehash.
+	verifiedServes atomic.Int64
 
 	// readersMu guards the read-handle table used by the active tail and the
 	// no-mmap fallback.  Positioned reads hold it shared for the duration of
@@ -211,6 +223,13 @@ type recordLoc struct {
 	offset  int64
 	length  int32 // payload length
 	typ     chunk.Type
+	// verifiedAt is the placement epoch at which the verifying layer last
+	// rehashed this record's bytes, plus one; zero means never.  The stamp is
+	// minted only by MarkVerified (called by a VerifyingStore after a
+	// successful recheck) and dies with the entry: every relocation —
+	// compaction, quarantine rescue, repair — builds a fresh recordLoc, and an
+	// epoch bump retires surviving stamps wholesale.
+	verifiedAt uint64
 }
 
 // diskBytes is the on-disk footprint of the record at loc.
@@ -309,6 +328,14 @@ var (
 // GraceGenerations marks the online-sweep grace capability (see
 // store.GenerationalCollector); Sweep documents the semantics.
 func (f *FileStore) GraceGenerations() {}
+
+// VerifyCacheTrusted implements VerifyCacheTruster: the store owns its local
+// disk, so a verification performed here stays valid until the placement
+// epoch moves or scrub/heal says otherwise.
+func (f *FileStore) VerifyCacheTrusted() bool { return true }
+
+// PlacementEpoch implements PlacementEpocher.
+func (f *FileStore) PlacementEpoch() uint64 { return f.placeEpoch.Load() }
 
 // OpenFileStore opens (creating if needed) a file store rooted at dir.
 // Existing segments are scanned to rebuild the index, so reopening a store
@@ -767,6 +794,21 @@ func (f *FileStore) rotate() error {
 // Records still in the active tail take the write lock just long enough to
 // flush the append buffer, then are read, copied and verified as before.
 func (f *FileStore) Get(id hash.Hash) (*chunk.Chunk, error) {
+	c, _, err := f.get(id, false)
+	return c, err
+}
+
+// GetVerified is Get plus the verified-index verdict: verified reports that
+// the verifying layer previously rehashed exactly these bytes (MarkVerified)
+// and that no placement event has intervened, so the caller may skip its own
+// recheck.  The chunk itself is still claimed — the verdict is a witness
+// riding alongside, not a change to the chunk's trust state — so any reader
+// that ignores the verdict gets exactly the plain Get contract.
+func (f *FileStore) GetVerified(id hash.Hash) (c *chunk.Chunk, verified bool, err error) {
+	return f.get(id, true)
+}
+
+func (f *FileStore) get(id hash.Hash, wantVerdict bool) (*chunk.Chunk, bool, error) {
 	f.gets.Add(1)
 	// Rotation or compaction can move a record between the index lookup and
 	// the segment access; re-looking up and retrying converges because moves
@@ -774,14 +816,14 @@ func (f *FileStore) Get(id hash.Hash) (*chunk.Chunk, error) {
 	for attempt := 0; attempt < 8; attempt++ {
 		loc, ok := f.lookup(id)
 		if !ok {
-			return nil, ErrNotFound
+			return nil, false, ErrNotFound
 		}
 		if int64(loc.segment) == f.actSeg.Load() {
 			c, retry, err := f.getActive(id)
 			if retry {
 				continue
 			}
-			return c, err
+			return c, false, err
 		}
 		if !f.noMmap {
 			f.segMu.RLock()
@@ -794,29 +836,77 @@ func (f *FileStore) Get(id hash.Hash) (*chunk.Chunk, error) {
 			end := start + int64(loc.length)
 			if end > int64(len(m.data)) {
 				m.release()
-				return nil, fmt.Errorf("filestore: index points past seg %d mapping", loc.segment)
+				return nil, false, fmt.Errorf("filestore: index points past seg %d mapping", loc.segment)
 			}
 			c := chunk.NewClaimed(loc.typ, m.data[start:end:end], id)
 			m.release()
-			return c, nil
+			// The stamp is fresh only while the placement epoch it was minted
+			// at is still current; the epoch is read *after* the bytes, so a
+			// concurrent compaction or quarantine can only turn a fresh
+			// verdict stale, never the reverse.
+			if wantVerdict && loc.verifiedAt == f.placeEpoch.Load()+1 {
+				f.verifiedServes.Add(1)
+				return c, true, nil
+			}
+			return c, false, nil
 		}
 		c, err := f.getPread(id, loc)
 		if err == nil {
-			return c, nil
+			return c, false, nil
 		}
 		// Compaction may have relocated the record and unlinked its segment
 		// mid-read; if the index moved it, retry at the new home.
 		cur, ok := f.lookup(id)
 		if !ok {
-			return nil, ErrNotFound // swept concurrently
+			return nil, false, ErrNotFound // swept concurrently
 		}
 		if cur != loc {
 			continue
 		}
-		return nil, err
+		return nil, false, err
 	}
-	return nil, fmt.Errorf("filestore: get %s: segment moved too many times", id.Short())
+	return nil, false, fmt.Errorf("filestore: get %s: segment moved too many times", id.Short())
 }
+
+// MarkVerified records that the verifying layer rehashed id's bytes while the
+// placement epoch was epoch.  The stamp is refused if placement has already
+// moved on (the verified bytes may no longer be the served bytes), and is
+// checked under the index shard lock so it cannot interleave with a
+// compaction repointing the same entry.
+func (f *FileStore) MarkVerified(id hash.Hash, epoch uint64) {
+	sh := f.shard(id)
+	sh.mu.Lock()
+	if f.placeEpoch.Load() == epoch {
+		if loc, ok := sh.m[id]; ok {
+			loc.verifiedAt = epoch + 1
+			sh.m[id] = loc
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// UnmarkVerified drops id's verified stamp (no-op if absent).  Scrub, heal,
+// repair and GC route here through VerifyingStore.Invalidate whenever they
+// learn the on-disk bytes are damaged, moved, or about to be rewritten.
+func (f *FileStore) UnmarkVerified(id hash.Hash) {
+	sh := f.shard(id)
+	sh.mu.Lock()
+	if loc, ok := sh.m[id]; ok && loc.verifiedAt != 0 {
+		loc.verifiedAt = 0
+		sh.m[id] = loc
+	}
+	sh.mu.Unlock()
+}
+
+// UnmarkAllVerified retires every verified stamp at once.  Implemented as a
+// placement-epoch bump: stamps (and verified-set entries) are keyed to the
+// epoch they were minted at, so advancing it invalidates all of them in O(1)
+// without walking the index shards.
+func (f *FileStore) UnmarkAllVerified() { f.placeEpoch.Add(1) }
+
+// VerifiedServes reports how many Gets were answered with a fresh verified
+// stamp since open.
+func (f *FileStore) VerifiedServes() int64 { return f.verifiedServes.Load() }
 
 // getActive reads a record that the index places in the active tail.  retry
 // is true when the record moved (rotation/compaction) before the lock was
@@ -1090,6 +1180,9 @@ func (f *FileStore) compactLocked(minDeadRatio float64, res *SweepStats) error {
 		return nil
 	}
 	sort.Ints(victims)
+	// Records are about to move; retire every verified-id entry stamped with
+	// the old epoch before any index repointing becomes visible to readers.
+	f.placeEpoch.Add(1)
 	// Phase 1 — parallel collect: scan each victim and liveness-check its
 	// records on a bounded worker pool.  Safe under f.mu: no writer can move
 	// records, so the index is stable; workers only RLock the shards and

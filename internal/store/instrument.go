@@ -116,8 +116,50 @@ func InstrumentSlow(inner Store, reg *obs.Registry, logger *slog.Logger, slowOp 
 	}
 	s.get, s.put, s.has = mk("get"), mk("put"), mk("has")
 	s.getB, s.putB, s.hasB = mk("get_batch"), mk("put_batch"), mk("has_batch")
+	if vi, ok := inner.(VerifiedIndexer); ok {
+		// Forward the verified-index capability natively (instrumenting
+		// GetVerified as a get), so the verifier's warm fast path keeps
+		// working — and keeps being counted — through the metrics layer.
+		return &instrumentedVerifiedStore{instrumentedStore: s, vidx: vi}
+	}
 	return s
 }
+
+// instrumentedVerifiedStore is an instrumentedStore over an inner that also
+// offers the VerifiedIndexer capability.  A separate type (rather than
+// optional methods) so the capability is visible exactly when the inner store
+// actually has it.
+type instrumentedVerifiedStore struct {
+	*instrumentedStore
+	vidx VerifiedIndexer
+}
+
+var _ VerifiedIndexer = (*instrumentedVerifiedStore)(nil)
+
+// GetVerified implements VerifiedIndexer, counted under the get metrics.
+func (s *instrumentedVerifiedStore) GetVerified(id hash.Hash) (*chunk.Chunk, bool, error) {
+	start := s.begin(&s.get)
+	c, okv, err := s.vidx.GetVerified(id)
+	s.observe(&s.get, start, err)
+	if c != nil {
+		s.rdB.Add(int64(len(c.Data())))
+	}
+	return c, okv, err
+}
+
+// MarkVerified implements VerifiedIndexer.
+func (s *instrumentedVerifiedStore) MarkVerified(id hash.Hash, epoch uint64) {
+	s.vidx.MarkVerified(id, epoch)
+}
+
+// UnmarkVerified implements VerifiedIndexer.
+func (s *instrumentedVerifiedStore) UnmarkVerified(id hash.Hash) { s.vidx.UnmarkVerified(id) }
+
+// UnmarkAllVerified implements VerifiedIndexer.
+func (s *instrumentedVerifiedStore) UnmarkAllVerified() { s.vidx.UnmarkAllVerified() }
+
+// VerifiedServes implements VerifiedIndexer.
+func (s *instrumentedVerifiedStore) VerifiedServes() int64 { return s.vidx.VerifiedServes() }
 
 // begin returns the start time when this operation's latency will be
 // recorded (sampled, or always under a slow-op threshold), else the zero

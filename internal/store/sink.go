@@ -191,7 +191,10 @@ func (s *ChunkSink) hashLoop() {
 // process hashes one job, runs the dedup pre-check, and queues the chunk,
 // writing a full batch out to the store.
 func (s *ChunkSink) process(job sinkJob) {
-	*job.id = hash.Of(job.enc)
+	// The sink is the in-process trusted hashing site: the provenance token
+	// minted here is what lets the verifying write path accept the chunk
+	// without paying a second hash.
+	prov := chunk.HashEncoding(job.id, job.enc)
 	if s.opt.Dedup {
 		// Pre-check before materialising the payload: a dedup hit costs a
 		// read-locked index lookup and no copy, no write.
@@ -217,7 +220,7 @@ func (s *ChunkSink) process(job sinkJob) {
 		// the chunk's lifetime.
 		payload = append(make([]byte, 0, len(payload)), payload...)
 	}
-	c := chunk.NewPrehashed(job.typ, payload, *job.id)
+	c := chunk.NewPrehashed(job.typ, payload, *job.id, prov)
 	s.mu.Lock()
 	s.batch = append(s.batch, c)
 	if len(s.batch) < s.opt.BatchSize {

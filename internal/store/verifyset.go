@@ -1,0 +1,229 @@
+package store
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"forkbase/internal/hash"
+)
+
+// VerifiedSet remembers which chunk ids this store instance has already
+// rehashed, so repeat reads of the same chunk skip the SHA-256 that makes
+// the verifying layer the read path's choke point (ROADMAP item 2).
+//
+// The set never serves data — it only witnesses that "the inner store's
+// bytes for this id hashed to this id, at this placement epoch".  That makes
+// its correctness contract narrow: an entry may skip a rehash only while the
+// inner store can still be serving the same bytes.  Three mechanisms keep
+// that true:
+//
+//   - entries are stamped with the store's placement epoch, which FileStore
+//     bumps whenever segment compaction or quarantine can remap ids to new
+//     locations — a stale-epoch entry invalidates itself on lookup;
+//   - GC, scrub, quarantine, repair and heal explicitly invalidate the ids
+//     they touch (see the hooks in internal/core);
+//   - scrub never consults the set at all (it reads segment files directly),
+//     so disk rot behind a cached verification is still detected.
+//
+// Layout, tuned for the probe sitting on every warm point get:
+//
+//   - 16 shards keyed by the id's first byte keep concurrent writers off
+//     each other, and each shard holds two generations (hot/cold) of
+//     sync.Map — reads are lock-free (one atomic pointer load plus a
+//     read-only map lookup), writes and the rare cold-hit promotion take
+//     the shard's add lock.
+//   - When hot fills to the per-generation budget, cold is discarded and
+//     hot becomes cold: an O(1) wholesale eviction that bounds memory at
+//     the byte budget without per-entry LRU bookkeeping, while cold hits
+//     re-promote so the working set survives rotation.
+//   - Maps are keyed by a uint64 slice of the id (cheap to hash) with the
+//     full 32-byte id confirmed against the entry — a key collision between
+//     distinct ids can evict or shadow an entry (harmless: the loser just
+//     rehashes) but can never produce a false "verified".
+type VerifiedSet struct {
+	shards [verifySetShards]verifiedShard
+
+	// capPerGen bounds each shard generation's entry count, derived from the
+	// byte budget in NewVerifiedSet.
+	capPerGen int
+	budget    int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+const verifySetShards = 16
+
+// verifiedEntryBytes is the accounting estimate for one entry: an 8-byte
+// key, a 32-byte id, an 8-byte epoch, plus map bucket overhead.
+const verifiedEntryBytes = 64
+
+// verifiedEntry confirms the full id behind a uint64 map key.  Entries are
+// immutable once published, so lock-free readers can safely dereference.
+type verifiedEntry struct {
+	id    hash.Hash
+	epoch uint64 // placement epoch at verification time
+}
+
+type verifiedShard struct {
+	// addMu serializes writers (Add, promotion, rotation, invalidation);
+	// readers never take it.
+	addMu     sync.Mutex
+	capPerGen int
+	hotCount  int // entries added to hot since last rotation
+	hot       atomic.Pointer[sync.Map]
+	cold      atomic.Pointer[sync.Map]
+}
+
+// NewVerifiedSet builds a set bounded to roughly budgetBytes of entry
+// accounting (minimum a few thousand entries so tiny budgets still amortize).
+func NewVerifiedSet(budgetBytes int64) *VerifiedSet {
+	perGen := int(budgetBytes / (verifiedEntryBytes * 2 * verifySetShards))
+	if perGen < 64 {
+		perGen = 64
+	}
+	s := &VerifiedSet{capPerGen: perGen, budget: budgetBytes}
+	for i := range s.shards {
+		s.shards[i].capPerGen = perGen
+		s.shards[i].hot.Store(&sync.Map{})
+	}
+	return s
+}
+
+func (s *VerifiedSet) shard(id hash.Hash) *verifiedShard {
+	return &s.shards[id[0]&(verifySetShards-1)]
+}
+
+// vkey derives the map key from bytes the shard selector does not use.  Ids
+// are SHA-256 outputs, so any fixed slice is uniformly distributed.
+func vkey(id hash.Hash) uint64 {
+	return binary.LittleEndian.Uint64(id[8:16])
+}
+
+// Hit reports whether id was verified at the current placement epoch.  An
+// entry from an older epoch is deleted (the bytes may have moved since it
+// was verified) and counts as an invalidation, not a miss-with-prejudice:
+// the caller rehashes and re-adds.  The fast path is lock-free.
+func (s *VerifiedSet) Hit(id hash.Hash, epoch uint64) bool {
+	sh := s.shard(id)
+	k := vkey(id)
+	if v, ok := sh.hot.Load().Load(k); ok {
+		e := v.(*verifiedEntry)
+		if e.id == id {
+			if e.epoch == epoch {
+				s.hits.Add(1)
+				return true
+			}
+			// Present in hot but at a stale epoch: drop it.
+			sh.hot.Load().CompareAndDelete(k, v)
+			s.invalidations.Add(1)
+			return false
+		}
+		// Key collision with a different id: treat as a miss.
+	}
+	// Slow path: cold generation, promoting on hit.
+	if cold := sh.cold.Load(); cold != nil {
+		if v, ok := cold.Load(k); ok {
+			e := v.(*verifiedEntry)
+			if e.id == id && e.epoch == epoch {
+				cold.Delete(k)
+				s.addEntry(sh, k, e)
+				s.hits.Add(1)
+				return true
+			}
+			if e.id == id { // stale epoch in cold
+				cold.Delete(k)
+				s.invalidations.Add(1)
+				return false
+			}
+		}
+	}
+	s.misses.Add(1)
+	return false
+}
+
+// Add records that id's inner-store bytes were verified at epoch.
+func (s *VerifiedSet) Add(id hash.Hash, epoch uint64) {
+	sh := s.shard(id)
+	s.addEntry(sh, vkey(id), &verifiedEntry{id: id, epoch: epoch})
+}
+
+// addEntry inserts into hot, rotating generations when hot is full.
+func (s *VerifiedSet) addEntry(sh *verifiedShard, k uint64, e *verifiedEntry) {
+	sh.addMu.Lock()
+	hot := sh.hot.Load()
+	if _, present := hot.Load(k); !present {
+		if sh.hotCount >= sh.capPerGen {
+			sh.cold.Store(hot)
+			hot = &sync.Map{}
+			sh.hot.Store(hot)
+			sh.hotCount = 0
+		}
+		sh.hotCount++
+	}
+	hot.Store(k, e)
+	if cold := sh.cold.Load(); cold != nil {
+		cold.Delete(k)
+	}
+	sh.addMu.Unlock()
+}
+
+// Invalidate removes id from the set (no-op if absent).  Called when scrub,
+// quarantine, repair, heal or GC learns the inner store's bytes for id are
+// gone, moved, or untrustworthy.
+func (s *VerifiedSet) Invalidate(id hash.Hash) {
+	sh := s.shard(id)
+	k := vkey(id)
+	sh.addMu.Lock()
+	dropped := false
+	if v, ok := sh.hot.Load().Load(k); ok && v.(*verifiedEntry).id == id {
+		sh.hot.Load().Delete(k)
+		dropped = true
+	}
+	if cold := sh.cold.Load(); cold != nil {
+		if v, ok := cold.Load(k); ok && v.(*verifiedEntry).id == id {
+			cold.Delete(k)
+			dropped = true
+		}
+	}
+	sh.addMu.Unlock()
+	if dropped {
+		s.invalidations.Add(1)
+	}
+}
+
+// InvalidateAll empties the set (quarantine can remap arbitrary ids).
+func (s *VerifiedSet) InvalidateAll() {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.addMu.Lock()
+		n += int64(mapLen(sh.hot.Load()) + mapLen(sh.cold.Load()))
+		sh.hot.Store(&sync.Map{})
+		sh.cold.Store(nil)
+		sh.hotCount = 0
+		sh.addMu.Unlock()
+	}
+	s.invalidations.Add(n)
+}
+
+// Len returns the current entry count (hot + cold across shards).
+func (s *VerifiedSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		n += mapLen(sh.hot.Load()) + mapLen(sh.cold.Load())
+	}
+	return n
+}
+
+func mapLen(m *sync.Map) int {
+	if m == nil {
+		return 0
+	}
+	n := 0
+	m.Range(func(any, any) bool { n++; return true })
+	return n
+}
